@@ -1,0 +1,175 @@
+// Section 1.3 — differential privacy and generalization in adaptive data
+// analysis ([DFH+15, HU14, BSSU15]).
+//
+// The experiment (a Freedman-style overfitting attack): the data has NO
+// true signal — features and label are independent coins, so every
+// label-agreement query has population value exactly 1/2. The analyst asks
+// k probe queries, aligns each probe by the sign of its released deviation
+// from 1/2, and finally asks the aggregate "cheat" query built from the
+// aligned probes. Against a non-private mechanism the cheat answer is
+// systematically inflated above 1/2 (the analyst has harvested the
+// dataset's sampling noise); against a differentially private mechanism
+// the inflation disappears — the transcript generalizes. We report the
+// mean signed bias of the cheat answer over repeated runs for (a) exact
+// answers, (b) HR10 private multiplicative weights, (c) Laplace
+// composition.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/linear_query.h"
+#include "core/pmw_linear.h"
+#include "dp/composition.h"
+
+namespace pmw {
+namespace {
+
+// Label-agreement parity probe: 1[parity of chosen feature signs == label
+// sign]. Population value 1/2 under the independent-coins distribution.
+core::LinearQuery MakeProbe(const data::Universe& universe,
+                            const std::vector<int>& coords, int tag) {
+  losses::Predicate pred = [coords](const data::Row& r) -> double {
+    int parity = 0;
+    for (int c : coords) {
+      if (r.features[c] > 0) parity ^= 1;
+    }
+    int label_bit = r.label > 0 ? 1 : 0;
+    return parity == label_bit ? 1.0 : 0.0;
+  };
+  return core::MakeLinearQuery(universe, pred,
+                               "probe#" + std::to_string(tag));
+}
+
+struct RunOutcome {
+  double cheat_bias = 0.0;       // released cheat answer - 1/2
+  double cheat_dataset_bias = 0.0;  // true dataset value of cheat - 1/2
+};
+
+// One attack run: ask k probes through `answer_fn`, build the aligned
+// aggregate, ask it, and report the signed bias.
+template <typename AnswerFn>
+RunOutcome RunAttack(const data::Universe& universe,
+                     const data::Histogram& data_hist, int d, int k,
+                     uint64_t seed, AnswerFn&& answer_fn) {
+  Rng rng(seed);
+  std::vector<core::LinearQuery> probes;
+  std::vector<double> released;
+  probes.reserve(k);
+  for (int j = 0; j < k; ++j) {
+    int width = 1 + rng.UniformInt(d);
+    std::vector<int> coords;
+    for (int c = 0; c < d; ++c) {
+      if (rng.Bernoulli(static_cast<double>(width) / d)) coords.push_back(c);
+    }
+    if (coords.empty()) coords.push_back(rng.UniformInt(d));
+    probes.push_back(MakeProbe(universe, coords, j));
+    released.push_back(answer_fn(probes.back()));
+  }
+  // The cheat query: average of probes, each flipped so its released
+  // deviation is positive. Population value stays exactly 1/2.
+  core::LinearQuery cheat;
+  cheat.label = "cheat";
+  cheat.values.assign(universe.size(), 0.0);
+  for (int j = 0; j < k; ++j) {
+    double sign = released[j] >= 0.5 ? 1.0 : -1.0;
+    for (int x = 0; x < universe.size(); ++x) {
+      // Aligned probe: p or (1-p).
+      double v = sign > 0 ? probes[j].values[x] : 1.0 - probes[j].values[x];
+      cheat.values[x] += v / k;
+    }
+  }
+  RunOutcome outcome;
+  outcome.cheat_bias = answer_fn(cheat) - 0.5;
+  outcome.cheat_dataset_bias = cheat.Evaluate(data_hist) - 0.5;
+  return outcome;
+}
+
+void RunExperiment() {
+  bench::PrintHeader(
+      "Section 1.3: adaptive overfitting attack — population value of the "
+      "cheat query is exactly 0.5");
+  const int d = 6;
+  const int n = 1000;
+  const int k = 300;
+  const int runs = 12;
+
+  data::LabeledHypercubeUniverse universe(d);
+  data::Histogram population = data::UniformDistribution(universe);
+
+  TablePrinter table({"mechanism", "mean cheat bias", "runs biased up",
+                      "mean |dataset cheat bias|"});
+
+  RunningStats exact_bias, pmw_bias, laplace_bias;
+  RunningStats exact_ds, pmw_ds, laplace_ds;
+  int exact_up = 0, pmw_up = 0, laplace_up = 0;
+
+  for (int run = 0; run < runs; ++run) {
+    Rng data_rng(11000 + run);
+    data::Dataset dataset = population.SampleDataset(universe, n, &data_rng);
+    data::Histogram data_hist = data::Histogram::FromDataset(dataset);
+
+    // (a) exact answers: the analyst sees the dataset values themselves.
+    RunOutcome exact = RunAttack(
+        universe, data_hist, d, k, 12000 + run,
+        [&](const core::LinearQuery& q) { return q.Evaluate(data_hist); });
+    exact_bias.Add(exact.cheat_bias);
+    exact_ds.Add(std::abs(exact.cheat_dataset_bias));
+    if (exact.cheat_bias > 0) ++exact_up;
+
+    // (b) HR10 private multiplicative weights.
+    core::PmwLinearOptions options;
+    options.alpha = 0.3;
+    options.privacy = {1.0, 1e-6};
+    options.override_updates = 8;
+    core::PmwLinear pmw(&dataset, options, 13000 + run);
+    RunOutcome pmw_out = RunAttack(
+        universe, data_hist, d, k, 12000 + run,
+        [&](const core::LinearQuery& q) {
+          auto a = pmw.AnswerQuery(q);
+          return a.ok() ? a.value().value : 0.5;
+        });
+    pmw_bias.Add(pmw_out.cheat_bias);
+    pmw_ds.Add(std::abs(pmw_out.cheat_dataset_bias));
+    if (pmw_out.cheat_bias > 0) ++pmw_up;
+
+    // (c) Laplace composition across the k+1 queries.
+    dp::PrivacyParams per_query = dp::PerRoundBudget({1.0, 1e-6}, k + 1);
+    Rng noise_rng(14000 + run);
+    RunOutcome lap = RunAttack(
+        universe, data_hist, d, k, 12000 + run,
+        [&](const core::LinearQuery& q) {
+          return q.Evaluate(data_hist) +
+                 noise_rng.Laplace((1.0 / n) / per_query.epsilon);
+        });
+    laplace_bias.Add(lap.cheat_bias);
+    laplace_ds.Add(std::abs(lap.cheat_dataset_bias));
+    if (lap.cheat_bias > 0) ++laplace_up;
+  }
+
+  auto row = [&](const char* name, const RunningStats& bias, int up,
+                 const RunningStats& ds) {
+    table.AddRow({name, TablePrinter::Fmt(bias.mean()),
+                  TablePrinter::FmtInt(up) + "/" + TablePrinter::FmtInt(runs),
+                  TablePrinter::Fmt(ds.mean())});
+  };
+  row("exact (non-private)", exact_bias, exact_up, exact_ds);
+  row("pmw-linear (HR10)", pmw_bias, pmw_up, pmw_ds);
+  row("laplace composition", laplace_bias, laplace_up, laplace_ds);
+  table.Print();
+  std::printf(
+      "shape check: the exact mechanism's cheat bias is systematically "
+      "positive (overfitting: ~0.4/sqrt(n) per aligned probe); both DP "
+      "mechanisms' biases centre on 0 — the generalization guarantee of "
+      "[DFH+15, BSSU15] the paper's Section 1.3 invokes.\n");
+}
+
+}  // namespace
+}  // namespace pmw
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  pmw::RunExperiment();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Lemma 3.4 — the bounded-regret property of the multiplicative weights
+// update: for every payoff sequence u_1..u_T in [-S, S]^X,
+//   (1/T) sum_t <u_t, D_hat_t - D>  <=  2 S sqrt(log|X| / T).
+// Regenerated with the greedy adversary (the worst payoff each round) over
+// sweeps of T and |X|; the measured/bound ratio must stay <= 1 and the
+// bound's sqrt(log|X|/T) shape should be visible in the measured column.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "data/histogram.h"
+
+namespace pmw {
+namespace {
+
+double GreedyAdversaryRegret(int universe_size, int T, double s,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(universe_size);
+  for (double& x : w) x = rng.Exponential(1.0);
+  data::Histogram target = data::Histogram::FromWeights(std::move(w));
+  data::Histogram hypothesis = data::Histogram::Uniform(universe_size);
+  const double eta = std::sqrt(std::log((double)universe_size) / T);
+
+  double total = 0.0;
+  for (int t = 0; t < T; ++t) {
+    std::vector<double> u(universe_size);
+    double payoff = 0.0;
+    for (int x = 0; x < universe_size; ++x) {
+      u[x] = s * ((hypothesis[x] >= target[x]) ? 1.0 : -1.0);
+      payoff += u[x] * (hypothesis[x] - target[x]);
+    }
+    total += payoff;
+    hypothesis = hypothesis.MultiplicativeUpdate(u, -eta / s);
+  }
+  return total / T;
+}
+
+void RunSweep() {
+  bench::PrintHeader(
+      "Lemma 3.4: measured greedy-adversary regret vs the bound "
+      "2 S sqrt(log|X|/T)");
+  TablePrinter table({"|X|", "T", "measured avg payoff", "bound",
+                      "measured/bound"});
+  const double s = 2.0;
+  for (int log_size : {4, 8, 12}) {
+    int size = 1 << log_size;
+    for (int T : {16, 64, 256, 1024}) {
+      RunningStats measured;
+      for (int run = 0; run < 5; ++run) {
+        measured.Add(GreedyAdversaryRegret(size, T, s, 9000 + run));
+      }
+      double bound = 2.0 * s * std::sqrt(std::log((double)size) / T);
+      table.AddRow({TablePrinter::FmtInt(size), TablePrinter::FmtInt(T),
+                    TablePrinter::Fmt(measured.mean()),
+                    TablePrinter::Fmt(bound),
+                    TablePrinter::Fmt(measured.mean() / bound, 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "shape check: every ratio <= 1, and measured regret falls like "
+      "1/sqrt(T) and rises like sqrt(log|X|).\n");
+}
+
+}  // namespace
+}  // namespace pmw
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  pmw::RunSweep();
+  return 0;
+}

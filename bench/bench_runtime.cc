@@ -1,0 +1,95 @@
+// Section 4.3 — running time.
+//
+// The paper: each round costs poly(n, d) for the sparse vector and the
+// oracle plus O~(|X|) = O~(2^d) for the histogram update; total
+// poly(n, |X|, k), exponential in the data dimension (and inherently so,
+// [Ull13]). Regenerated as google-benchmark timings of (a) one full
+// AnswerQuery round vs |X| and (b) the MW update step alone vs |X| — both
+// must scale linearly in |X|.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "erm/nonprivate_oracle.h"
+
+namespace pmw {
+namespace {
+
+void BM_PmwAnswerQuery(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  bench::Workbench wb(d, 60000, 90 + d);
+  losses::LipschitzFamily family(d);
+  erm::NonPrivateOracle oracle;
+  core::PmwOptions options =
+      bench::PracticalPmwOptions(0.1, family.scale(), 1 << 20, 1 << 20);
+  core::PmwCm pmw(&wb.dataset, &oracle, options, 9000 + d);
+  Rng rng(9100 + d);
+  for (auto _ : state) {
+    convex::CmQuery query = family.Next(&rng);
+    auto answer = pmw.AnswerQuery(query);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["universe"] = 1 << (d + 1);
+  state.SetComplexityN(1 << (d + 1));
+}
+BENCHMARK(BM_PmwAnswerQuery)->DenseRange(3, 9, 2)->Complexity(benchmark::oN);
+
+void BM_MwUpdateStep(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  data::LabeledHypercubeUniverse universe(d);
+  data::Histogram hypothesis = data::Histogram::Uniform(universe.size());
+  losses::LipschitzFamily family(d);
+  Rng rng(9200 + d);
+  convex::CmQuery query = family.Next(&rng);
+  convex::Vec theta_hat = rng.InUnitBall(d);
+  convex::Vec theta_t = rng.InUnitBall(d);
+  convex::Vec direction = convex::Sub(theta_t, theta_hat);
+  for (auto _ : state) {
+    std::vector<double> payoff(universe.size());
+    for (int x = 0; x < universe.size(); ++x) {
+      payoff[x] = convex::Dot(direction,
+                              query.loss->Gradient(theta_hat, universe.row(x)));
+    }
+    hypothesis = hypothesis.MultiplicativeUpdate(payoff, -0.1);
+    benchmark::DoNotOptimize(hypothesis);
+  }
+  state.counters["universe"] = universe.size();
+  state.SetComplexityN(universe.size());
+}
+BENCHMARK(BM_MwUpdateStep)->DenseRange(3, 11, 2)->Complexity(benchmark::oN);
+
+void BM_SparseVectorProcess(benchmark::State& state) {
+  dp::SparseVector::Options options;
+  options.max_top_answers = 1 << 20;
+  options.alpha = 0.5;
+  options.sensitivity = 1e-6;
+  options.privacy = {1.0, 1e-6};
+  dp::SparseVector sv(options, 7);
+  for (auto _ : state) {
+    auto answer = sv.Process(0.0);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_SparseVectorProcess);
+
+void BM_HistogramFromDataset(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  data::LabeledHypercubeUniverse universe(6);
+  data::Histogram dist = data::UniformDistribution(universe);
+  Rng rng(5);
+  data::Dataset dataset = dist.SampleDataset(universe, n, &rng);
+  for (auto _ : state) {
+    auto h = data::Histogram::FromDataset(dataset);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HistogramFromDataset)->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace pmw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Theorem 3.1 — the online sparse vector algorithm.
+//
+// The theorem promises: with n >= 256 S sqrt(T log(2/delta)) log(4k/beta) /
+// (eps alpha), every query with q(D) >= alpha answers kTop and every query
+// with q(D) <= alpha/2 answers kBottom, with probability 1 - beta.
+// Regenerated as the fraction of correct answers in a planted threshold
+// game across n (as multiples of the theorem's n) and across T and k — the
+// accuracy should switch on as n approaches the theorem's requirement
+// (earlier, since the 256 is conservative).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "dp/sparse_vector.h"
+
+namespace pmw {
+namespace {
+
+struct GameOutcome {
+  double correct_fraction = 0.0;
+  bool all_correct = false;
+};
+
+GameOutcome PlayPlantedGame(double n, int T, long long k, double alpha,
+                            const dp::PrivacyParams& privacy, uint64_t seed) {
+  const double s = 1.0;
+  dp::SparseVector::Options options;
+  options.max_top_answers = T;
+  options.alpha = alpha;
+  options.sensitivity = 3.0 * s / n;
+  options.privacy = privacy;
+  dp::SparseVector sv(options, seed);
+
+  Rng rng(seed ^ 0x5eedf00d);
+  long long correct = 0, total = 0;
+  int planted = 0;
+  for (long long j = 0; j < k && !sv.halted(); ++j) {
+    bool plant_high = planted < T - 1 && rng.Bernoulli(0.01);
+    double value = plant_high ? 1.5 * alpha : 0.25 * alpha;
+    auto answer = sv.Process(value);
+    if (!answer.ok()) break;
+    ++total;
+    bool expect_top = plant_high;
+    bool got_top = (*answer == dp::SparseVector::Answer::kTop);
+    if (expect_top == got_top) ++correct;
+    if (plant_high) ++planted;
+  }
+  GameOutcome outcome;
+  outcome.correct_fraction =
+      total > 0 ? static_cast<double>(correct) / total : 0.0;
+  outcome.all_correct = (correct == total);
+  return outcome;
+}
+
+void RunNSweep() {
+  bench::PrintHeader(
+      "Theorem 3.1: planted threshold game accuracy vs n (T=8, k=4000)");
+  const int T = 8;
+  const long long k = 4000;
+  const double alpha = 0.1, beta = 0.05;
+  dp::PrivacyParams privacy{1.0, 1e-6};
+  double theorem_n =
+      dp::SparseVector::TheoremRequiredN(1.0, T, k, alpha, privacy, beta);
+  std::printf("theorem n (256-constant bound): %.0f\n", theorem_n);
+
+  TablePrinter table({"n / theorem n", "n", "correct fraction (20 runs)",
+                      "runs fully correct"});
+  for (double factor : {0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    double n = factor * theorem_n;
+    RunningStats fraction;
+    int perfect = 0;
+    for (int run = 0; run < 20; ++run) {
+      GameOutcome outcome = PlayPlantedGame(n, T, k, alpha, privacy,
+                                            7000 + run);
+      fraction.Add(outcome.correct_fraction);
+      if (outcome.all_correct) ++perfect;
+    }
+    table.AddRow({TablePrinter::Fmt(factor, 2),
+                  TablePrinter::FmtInt(static_cast<long long>(n)),
+                  TablePrinter::Fmt(fraction.mean()),
+                  TablePrinter::FmtInt(perfect) + "/20"});
+  }
+  table.Print();
+}
+
+void RunTSweep() {
+  bench::PrintHeader(
+      "Theorem 3.1: required n grows like sqrt(T) (fixed k, alpha)");
+  TablePrinter table({"T", "theorem n", "smallest tested n fully correct"});
+  const long long k = 2000;
+  const double alpha = 0.1, beta = 0.05;
+  dp::PrivacyParams privacy{1.0, 1e-6};
+  for (int T : {2, 8, 32}) {
+    double theorem_n =
+        dp::SparseVector::TheoremRequiredN(1.0, T, k, alpha, privacy, beta);
+    double smallest = -1.0;
+    for (double factor : {0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+      double n = factor * theorem_n;
+      bool all_perfect = true;
+      for (int run = 0; run < 10; ++run) {
+        if (!PlayPlantedGame(n, T, k, alpha, privacy, 8000 + run)
+                 .all_correct) {
+          all_perfect = false;
+          break;
+        }
+      }
+      if (all_perfect) {
+        smallest = n;
+        break;
+      }
+    }
+    table.AddRow({TablePrinter::FmtInt(T),
+                  TablePrinter::FmtInt(static_cast<long long>(theorem_n)),
+                  smallest > 0
+                      ? TablePrinter::FmtInt(static_cast<long long>(smallest))
+                      : "none tested"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pmw
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  pmw::RunNSweep();
+  pmw::RunTSweep();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared scaffolding for the benchmark binaries: standard workloads,
+// mechanisms wired to practical parameters, and error measurement.
+//
+// Every binary prints paper-style tables (family | parameters | paper-bound
+// column | measured column). Absolute constants are ours; the reproduction
+// target is the *shape*: who wins, scaling exponents, crossovers
+// (EXPERIMENTS.md records the comparison).
+
+#ifndef PMWCM_BENCH_BENCH_UTIL_H_
+#define PMWCM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/accuracy_game.h"
+#include "core/analysts.h"
+#include "core/composition_baseline.h"
+#include "core/error.h"
+#include "core/pmw_answerer.h"
+#include "core/pmw_cm.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "losses/loss_family.h"
+
+namespace pmw {
+namespace bench {
+
+/// A standard experiment environment: labeled d-cube universe with a
+/// logistic ground-truth data distribution and an n-record dataset.
+struct Workbench {
+  std::unique_ptr<data::LabeledHypercubeUniverse> universe;
+  data::Histogram distribution;
+  data::Dataset dataset;
+  data::Histogram data_hist;
+  std::unique_ptr<core::ErrorOracle> error_oracle;
+
+  Workbench(int dim, int n, uint64_t seed)
+      : universe(std::make_unique<data::LabeledHypercubeUniverse>(dim)),
+        distribution(MakeDistribution(*universe, dim, seed)),
+        dataset(data::RoundedDataset(*universe, distribution, n)),
+        data_hist(data::Histogram::FromDataset(dataset)),
+        error_oracle(std::make_unique<core::ErrorOracle>(universe.get())) {}
+
+  static data::Histogram MakeDistribution(
+      const data::LabeledHypercubeUniverse& universe, int dim,
+      uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> theta_star(dim);
+    std::vector<double> biases(dim);
+    for (int j = 0; j < dim; ++j) {
+      theta_star[j] = rng.Uniform(-1.0, 1.0);
+      biases[j] = rng.Uniform(0.3, 0.7);
+    }
+    return data::LogisticModelDistribution(universe, theta_star, biases,
+                                           /*temperature=*/0.25);
+  }
+};
+
+/// Runs the accuracy game with a family analyst; returns per-query errors.
+inline core::GameResult PlayFamilyGame(core::QueryAnswerer* mechanism,
+                                       losses::QueryFamily* family, int k,
+                                       const Workbench& bench,
+                                       uint64_t seed) {
+  core::FamilyAnalyst analyst(family);
+  Rng rng(seed);
+  return core::RunAccuracyGame(mechanism, &analyst, k, *bench.error_oracle,
+                               bench.data_hist, &rng);
+}
+
+/// Practical PMW options used across benches (the HLM12 regime: small T).
+inline core::PmwOptions PracticalPmwOptions(double alpha, double scale,
+                                            long long k, int updates) {
+  core::PmwOptions options;
+  options.alpha = alpha;
+  options.beta = 0.05;
+  options.privacy = {1.0, 1e-6};
+  options.scale = scale;
+  options.max_queries = k;
+  options.override_updates = updates;
+  return options;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace pmw
+
+#endif  // PMWCM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,83 @@
+// Adaptive data analysis without overfitting (paper Section 1.3).
+//
+// Scenario: a quantitative researcher iteratively refines a model — each
+// new query depends on the previous private answer (Tikhonov re-centring
+// at the last fit). Against a naive pipeline such feedback loops harvest
+// sampling noise; the paper's Section 1.3 points out that differentially
+// private answers generalize ([DFH+15, BSSU15]). This example runs the
+// adaptive refinement loop through Figure 3 and reports both the
+// empirical (dataset) excess risk AND the population excess risk of every
+// answer — the two must stay close.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/accuracy_game.h"
+#include "core/analysts.h"
+#include "core/error.h"
+#include "core/pmw_answerer.h"
+#include "core/pmw_cm.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "erm/noisy_gradient_oracle.h"
+#include "losses/loss_family.h"
+
+int main() {
+  using namespace pmw;
+  const int d = 4;
+  const int n = 100000;
+  const int k = 60;
+
+  data::LabeledHypercubeUniverse universe(d);
+  data::Histogram population = data::LogisticModelDistribution(
+      universe, {0.8, -0.6, 0.3, 0.1}, {0.5, 0.5, 0.5, 0.5}, 0.3);
+  // The dataset is a finite iid sample — NOT the population itself.
+  Rng data_rng(31);
+  data::Dataset sample = population.SampleDataset(universe, n, &data_rng);
+  data::Histogram sample_hist = data::Histogram::FromDataset(sample);
+  core::ErrorOracle measure(&universe);
+
+  erm::NoisyGradientOracle oracle;
+  core::PmwOptions options;
+  options.alpha = 0.18;
+  options.privacy = {1.0, 1e-6};
+  options.scale = 2.0 * (1.0 + 1.5 * 0.3);
+  options.max_queries = k;
+  options.override_updates = 32;
+  core::PmwCm mechanism(&sample, &oracle, options, 32);
+  core::PmwAnswerer answerer(&mechanism);
+
+  losses::LipschitzFamily family(d);
+  core::AdaptiveRefinementAnalyst analyst(&family, /*sigma=*/0.3,
+                                          /*fresh_probability=*/0.4);
+
+  Rng rng(33);
+  double worst_sample = 0.0, worst_population = 0.0;
+  for (int j = 0; j < k; ++j) {
+    convex::CmQuery query = analyst.NextQuery(&rng);
+    auto answer = answerer.Answer(query);
+    if (!answer.ok()) {
+      std::printf("halted after %d queries\n", j);
+      break;
+    }
+    analyst.ObserveAnswer(query, *answer);
+    double on_sample = measure.AnswerError(query, sample_hist, *answer);
+    double on_population = measure.AnswerError(query, population, *answer);
+    worst_sample = std::max(worst_sample, on_sample);
+    worst_population = std::max(worst_population, on_population);
+    if (j % 12 == 0) {
+      std::printf("query %2d (%s): sample excess %.4f | population excess "
+                  "%.4f\n",
+                  j, query.label.substr(0, 36).c_str(), on_sample,
+                  on_population);
+    }
+  }
+  std::printf("\nworst over %d adaptive queries: sample %.4f | population "
+              "%.4f | generalization gap %.4f\n",
+              k, worst_sample, worst_population,
+              std::abs(worst_population - worst_sample));
+  std::printf("(the gap stays small even though every query depended on "
+              "previous answers — the DP-generalization connection of "
+              "Section 1.3.)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Synthetic data release from the PMW hypothesis (paper Section 4.3: "Our
+// algorithm indeed can be modified to output a synthetic dataset (namely,
+// the final histogram D_hat)").
+//
+// Scenario: a statistics bureau wants to publish a shareable synthetic
+// microdata file that preserves the answers to a workload of CM queries.
+// We run the *offline* PMW variant (Section 1.2) against the workload,
+// sample a synthetic dataset from the final hypothesis histogram, and then
+// evaluate BOTH the workload queries and fresh holdout queries on the
+// synthetic file.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/error.h"
+#include "core/pmw_offline.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "erm/noisy_gradient_oracle.h"
+#include "losses/loss_family.h"
+
+int main() {
+  using namespace pmw;
+  const int d = 4;
+  const int n = 120000;
+
+  data::LabeledHypercubeUniverse universe(d);
+  data::Histogram truth = data::LogisticModelDistribution(
+      universe, {1.0, -0.5, 0.4, -0.2}, {0.6, 0.45, 0.5, 0.55}, 0.3);
+  data::Dataset private_data = data::RoundedDataset(universe, truth, n);
+  data::Histogram private_hist = data::Histogram::FromDataset(private_data);
+  core::ErrorOracle measure(&universe);
+
+  // Fixed workload of 24 CM queries, then offline PMW.
+  losses::LipschitzFamily family(d);
+  Rng rng(41);
+  auto workload = family.Generate(24, &rng);
+
+  erm::NoisyGradientOracle oracle;
+  core::PmwOfflineOptions options;
+  options.rounds = 14;
+  options.privacy = {1.0, 1e-6};
+  options.scale = family.scale();
+  core::PmwOfflineResult release =
+      RunPmwOffline(private_data, workload, &oracle, options, 42);
+
+  std::printf("offline PMW: %d select/update rounds used\n",
+              release.rounds_used);
+
+  // Publish a synthetic microdata file of 50k rows from the hypothesis.
+  Rng sample_rng(43);
+  data::Dataset synthetic =
+      release.hypothesis.SampleDataset(universe, 50000, &sample_rng);
+  data::Histogram synthetic_hist = data::Histogram::FromDataset(synthetic);
+
+  double worst_workload = 0.0;
+  for (const auto& query : workload) {
+    worst_workload = std::max(
+        worst_workload,
+        measure.DatabaseError(query, private_hist, synthetic_hist));
+  }
+  std::printf("workload (24 queries): worst excess risk of answers computed "
+              "FROM THE SYNTHETIC FILE: %.4f\n",
+              worst_workload);
+
+  // Fresh holdout queries never shown to the mechanism.
+  auto holdout = family.Generate(24, &rng);
+  double worst_holdout = 0.0;
+  for (const auto& query : holdout) {
+    worst_holdout = std::max(
+        worst_holdout,
+        measure.DatabaseError(query, private_hist, synthetic_hist));
+  }
+  std::printf("holdout  (24 queries): worst excess risk from the synthetic "
+              "file: %.4f\n",
+              worst_holdout);
+  std::printf("L1 distance between private and synthetic histograms: %.4f\n",
+              private_hist.L1Distance(synthetic_hist));
+  std::printf("(workload error is controlled by the mechanism; holdout "
+              "error shows how much of the distribution the hypothesis "
+              "learned as a side effect.)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "analysis/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace analysis {
+namespace {
+
+void Validate(const BoundParams& p) {
+  PMW_CHECK_GT(p.alpha, 0.0);
+  PMW_CHECK_GT(p.beta, 0.0);
+  PMW_CHECK_GT(p.privacy.epsilon, 0.0);
+  PMW_CHECK_GT(p.log_universe, 0.0);
+  PMW_CHECK_GE(p.dim, 1.0);
+  PMW_CHECK_GE(p.k, 1.0);
+  PMW_CHECK_GT(p.sigma, 0.0);
+  PMW_CHECK_GT(p.scale, 0.0);
+}
+
+double LogK(const BoundParams& p) { return std::log(std::max(p.k, 2.0)); }
+
+}  // namespace
+
+double LinearSingleQueryN(const BoundParams& p) {
+  Validate(p);
+  return 1.0 / (p.alpha * p.privacy.epsilon);
+}
+
+double LipschitzSingleQueryN(const BoundParams& p) {
+  Validate(p);
+  return std::sqrt(p.dim) / (p.alpha * p.privacy.epsilon);
+}
+
+double GlmSingleQueryN(const BoundParams& p) {
+  Validate(p);
+  return 1.0 / (p.alpha * p.alpha * p.privacy.epsilon);
+}
+
+double StronglyConvexSingleQueryN(const BoundParams& p) {
+  Validate(p);
+  return std::sqrt(p.dim) /
+         (std::sqrt(p.sigma) * p.alpha * p.privacy.epsilon);
+}
+
+double LinearKQueriesN(const BoundParams& p) {
+  Validate(p);
+  return std::sqrt(p.log_universe) * LogK(p) /
+         (p.alpha * p.alpha * p.privacy.epsilon);
+}
+
+double LipschitzKQueriesN(const BoundParams& p) {
+  Validate(p);
+  double first = std::sqrt(p.dim * p.log_universe);
+  double second = LogK(p) * std::sqrt(p.log_universe);
+  return std::max(first, second) / (p.alpha * p.alpha * p.privacy.epsilon);
+}
+
+double GlmKQueriesN(const BoundParams& p) {
+  Validate(p);
+  double first = std::sqrt(p.log_universe) / p.alpha;  // 1/alpha^3 overall
+  double second = LogK(p) * std::sqrt(p.log_universe);
+  return std::max(first, second) / (p.alpha * p.alpha * p.privacy.epsilon);
+}
+
+double StronglyConvexKQueriesN(const BoundParams& p) {
+  Validate(p);
+  double first = std::sqrt(p.dim * p.log_universe) /
+                 (std::sqrt(p.sigma) * std::sqrt(p.alpha));
+  double second = LogK(p) * std::sqrt(p.log_universe);
+  return std::max(first, second) / (p.alpha * p.alpha * p.privacy.epsilon);
+}
+
+double Theorem38N(const BoundParams& p, double oracle_n) {
+  Validate(p);
+  PMW_CHECK_GT(p.privacy.delta, 0.0);
+  double pmw_n = 4096.0 * p.scale * p.scale *
+                 std::sqrt(p.log_universe * std::log(4.0 / p.privacy.delta)) *
+                 std::log(8.0 * p.k / p.beta) /
+                 (p.privacy.epsilon * p.alpha * p.alpha);
+  return std::max(oracle_n, pmw_n);
+}
+
+double Theorem31N(const BoundParams& p, double T) {
+  Validate(p);
+  PMW_CHECK_GE(T, 1.0);
+  double delta = p.privacy.delta > 0.0 ? p.privacy.delta : 1e-9;
+  return 256.0 * p.scale * std::sqrt(T * std::log(2.0 / delta)) *
+         std::log(4.0 * p.k / p.beta) / (p.privacy.epsilon * p.alpha);
+}
+
+double Figure3UpdateBudget(const BoundParams& p) {
+  Validate(p);
+  return 64.0 * p.scale * p.scale * p.log_universe / (p.alpha * p.alpha);
+}
+
+double CompositionKQueriesN(const BoundParams& p, double single_query_n) {
+  Validate(p);
+  PMW_CHECK_GT(single_query_n, 0.0);
+  PMW_CHECK_GT(p.privacy.delta, 0.0);
+  // Per-call epsilon shrinks by the better of basic composition (factor k)
+  // and strong composition (factor sqrt(8 k log(2/delta))); single-query n
+  // is inversely proportional to epsilon, so n scales up the same way.
+  double strong_factor = std::sqrt(8.0 * p.k * std::log(2.0 / p.privacy.delta));
+  return single_query_n * std::min(p.k, strong_factor);
+}
+
+double CrossoverK(const BoundParams& p, double single_query_n) {
+  Validate(p);
+  for (double k = 2.0; k <= std::pow(2.0, 80); k *= 2.0) {
+    BoundParams at_k = p;
+    at_k.k = k;
+    double composition = CompositionKQueriesN(at_k, single_query_n);
+    double pmw = Theorem38N(at_k, single_query_n);
+    if (pmw < composition) return k;
+  }
+  return -1.0;
+}
+
+}  // namespace analysis
+}  // namespace pmw

@@ -1,0 +1,87 @@
+// Closed-form sample-complexity bounds — the formulas of Table 1 and the
+// theorems they cite. The Table 1 benchmarks print these next to measured
+// errors so the reader can compare paper shape vs measurement.
+//
+// All bounds are stated as the paper does: the dataset size n sufficient
+// for (alpha, beta)-accuracy at (eps, delta)-DP, up to the O~/polylog
+// factors the paper suppresses. Constants here are the explicit ones where
+// the paper gives them (Theorems 3.1 and 3.8) and 1 otherwise.
+
+#ifndef PMWCM_ANALYSIS_BOUNDS_H_
+#define PMWCM_ANALYSIS_BOUNDS_H_
+
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace analysis {
+
+/// Common experiment parameters entering the bounds.
+struct BoundParams {
+  double alpha = 0.1;       // target accuracy
+  double beta = 0.05;       // failure probability
+  dp::PrivacyParams privacy{1.0, 1e-6};
+  double log_universe = 1;  // log |X|
+  double dim = 1;           // d
+  double k = 1;             // number of queries
+  double sigma = 1;         // strong convexity (row 4)
+  double scale = 2;         // S
+};
+
+// --- Table 1, single-query column -----------------------------------------
+
+/// Row 1 [DMNS06]: n = O(1/alpha) for one linear query.
+double LinearSingleQueryN(const BoundParams& p);
+
+/// Row 2 [BST14, Thm 4.1]: n = O(sqrt(d) / (alpha eps)).
+double LipschitzSingleQueryN(const BoundParams& p);
+
+/// Row 3 [JT14, Thm 4.3]: n = O(1 / (alpha^2 eps)).
+double GlmSingleQueryN(const BoundParams& p);
+
+/// Row 4 [BST14, Thm 4.5]: n = O(sqrt(d) / (sqrt(sigma) alpha eps)).
+double StronglyConvexSingleQueryN(const BoundParams& p);
+
+// --- Table 1, k-query column (this paper) ----------------------------------
+
+/// Row 1 [HR10]: n = O~(sqrt(log|X|) log k / alpha^2).
+double LinearKQueriesN(const BoundParams& p);
+
+/// Row 2 (Thm 4.2): n = O~(sqrt(log|X|) max(sqrt(d), log k) / (alpha^2 eps)).
+double LipschitzKQueriesN(const BoundParams& p);
+
+/// Row 3 (Thm 4.4): n = O~(sqrt(log|X|) max(1/alpha, log k) / (alpha^2 eps)).
+double GlmKQueriesN(const BoundParams& p);
+
+/// Row 4 (Thm 4.6): n = O~(sqrt(log|X|)/eps *
+///                         max(sqrt(d)/(sqrt(sigma) alpha^{3/2}),
+///                             log k / alpha^2)).
+double StronglyConvexKQueriesN(const BoundParams& p);
+
+// --- Explicit-constant theorem bounds --------------------------------------
+
+/// Theorem 3.8's n (with the printed 4096 constant), given the oracle's own
+/// requirement n'.
+double Theorem38N(const BoundParams& p, double oracle_n);
+
+/// Theorem 3.1's n (with the printed 256 constant) for the sparse vector
+/// with T top answers among k queries.
+double Theorem31N(const BoundParams& p, double T);
+
+/// Figure 3's update budget T = 64 S^2 log|X| / alpha^2.
+double Figure3UpdateBudget(const BoundParams& p);
+
+/// The composition baseline's k-query requirement: the single-query n
+/// scaled by the strong-composition factor sqrt(8 k log(2/delta)) (each of
+/// the k calls runs at eps_0 = eps / sqrt(8 k log(2/delta))).
+double CompositionKQueriesN(const BoundParams& p, double single_query_n);
+
+/// Section 4.1's crossover: PMW needs fewer samples than composition when
+/// sqrt(k) >> S sqrt(log|X|) log(k) / alpha; returns the smallest k
+/// (searched over powers of 2 up to 2^80) where PMW's requirement drops
+/// below composition's, or -1 if none is found.
+double CrossoverK(const BoundParams& p, double single_query_n);
+
+}  // namespace analysis
+}  // namespace pmw
+
+#endif  // PMWCM_ANALYSIS_BOUNDS_H_

@@ -1,0 +1,52 @@
+#include "analysis/generalization.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace analysis {
+
+double TransferredPopulationAccuracy(double sample_alpha,
+                                     const dp::PrivacyParams& privacy,
+                                     double n, double beta) {
+  PMW_CHECK_GT(sample_alpha, 0.0);
+  PMW_CHECK_GT(n, 0.0);
+  PMW_CHECK_GT(beta, 0.0);
+  dp::ValidatePrivacyParams(privacy);
+  double dp_term = std::exp(privacy.epsilon) - 1.0;
+  double sampling_term = std::sqrt(std::log(2.0 / beta) / (2.0 * n));
+  double delta_term = privacy.delta > 0.0 ? n * privacy.delta / beta : 0.0;
+  return sample_alpha + dp_term + sampling_term + delta_term;
+}
+
+double GeneralizationSufficientN(double alpha,
+                                 const dp::PrivacyParams& privacy,
+                                 double beta) {
+  PMW_CHECK_GT(alpha, 0.0);
+  // The dp_term is n-independent; if eps alone exceeds 2 alpha the target
+  // is unreachable at any n (the caller should shrink eps toward alpha —
+  // exactly the tuning BSSU15 prescribe).
+  double dp_term = std::exp(privacy.epsilon) - 1.0;
+  if (dp_term >= alpha) return -1.0;
+  for (double n = 16.0; n <= 1e15; n *= 2.0) {
+    if (TransferredPopulationAccuracy(alpha, privacy, n, beta) <=
+        2.0 * alpha) {
+      return n;
+    }
+  }
+  return -1.0;
+}
+
+double GeneralizationGap(const core::ErrorOracle& error_oracle,
+                         const convex::CmQuery& query,
+                         const data::Histogram& sample,
+                         const data::Histogram& population,
+                         const convex::Vec& theta) {
+  double on_sample = error_oracle.AnswerError(query, sample, theta);
+  double on_population = error_oracle.AnswerError(query, population, theta);
+  return std::abs(on_sample - on_population);
+}
+
+}  // namespace analysis
+}  // namespace pmw

@@ -1,0 +1,53 @@
+// Generalization bounds for adaptive data analysis (paper Section 1.3).
+//
+// [DFH+15] / [BSSU15] transfer theorem: if a mechanism is
+// (eps, delta)-differentially private AND (alpha, beta)-accurate with
+// respect to the *sample*, then it is (alpha', beta')-accurate with
+// respect to the unknown *population* the sample was drawn from, with
+//   alpha' = O(alpha + eps + sqrt(log(1/beta)/n) + ...).
+// The paper's closing remark is that plugging Theorem 3.8 into the BSSU15
+// transfer theorem yields state-of-the-art generalization for adaptively
+// chosen CM queries. This module provides that arithmetic plus the
+// measurement helpers the adaptive benchmarks/examples use.
+
+#ifndef PMWCM_ANALYSIS_GENERALIZATION_H_
+#define PMWCM_ANALYSIS_GENERALIZATION_H_
+
+#include "convex/cm_query.h"
+#include "core/error.h"
+#include "data/histogram.h"
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace analysis {
+
+/// The transfer-theorem population accuracy: for an (eps, delta)-DP
+/// mechanism that is alpha-accurate on a sample of size n, the population
+/// accuracy is bounded (up to moderate constants, BSSU15-style) by
+///   alpha + (e^eps - 1) + sample deviation sqrt(ln(2/beta)/(2n))
+///   + delta-term n*delta/beta.
+/// Returns that bound; small exactly when eps ~ alpha and delta << 1/n.
+double TransferredPopulationAccuracy(double sample_alpha,
+                                     const dp::PrivacyParams& privacy,
+                                     double n, double beta);
+
+/// The sample size at which the transferred population accuracy of the
+/// paper's Theorem 3.8 mechanism reaches 2*alpha (i.e. generalization
+/// stops being the bottleneck), found by doubling search.
+double GeneralizationSufficientN(double alpha,
+                                 const dp::PrivacyParams& privacy,
+                                 double beta);
+
+/// Measured counterpart: the gap between an answer's excess risk on the
+/// sample histogram and on the population histogram
+///   |err_l(sample, theta) - err_l(population, theta)|.
+double GeneralizationGap(const core::ErrorOracle& error_oracle,
+                         const convex::CmQuery& query,
+                         const data::Histogram& sample,
+                         const data::Histogram& population,
+                         const convex::Vec& theta);
+
+}  // namespace analysis
+}  // namespace pmw
+
+#endif  // PMWCM_ANALYSIS_GENERALIZATION_H_

@@ -1,0 +1,67 @@
+// Runtime invariant checking macros.
+//
+// PMW_CHECK-family macros verify programmer invariants and abort with a
+// diagnostic message on failure. They are always on (also in Release builds)
+// because the library is used for research experiments where silent
+// corruption of a statistical result is far worse than a crash.
+
+#ifndef PMWCM_COMMON_CHECK_H_
+#define PMWCM_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pmw {
+namespace internal {
+
+/// Prints a fatal check failure and aborts. Never returns.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const std::string& message) {
+  std::cerr << "[PMW_CHECK failed] " << file << ":" << line << ": " << message
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pmw
+
+/// Aborts with `msg` when `cond` is false.
+#define PMW_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pmw::internal::CheckFail(__FILE__, __LINE__, "expected: " #cond); \
+    }                                                                     \
+  } while (false)
+
+#define PMW_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream pmw_check_oss;                               \
+      pmw_check_oss << "expected: " #cond " -- " << msg;              \
+      ::pmw::internal::CheckFail(__FILE__, __LINE__,                  \
+                                 pmw_check_oss.str());                \
+    }                                                                 \
+  } while (false)
+
+#define PMW_CHECK_OP(op, a, b)                                             \
+  do {                                                                     \
+    const auto pmw_check_a = (a);                                          \
+    const auto pmw_check_b = (b);                                          \
+    if (!(pmw_check_a op pmw_check_b)) {                                   \
+      std::ostringstream pmw_check_oss;                                    \
+      pmw_check_oss << "expected: " #a " " #op " " #b " (" << pmw_check_a  \
+                    << " vs " << pmw_check_b << ")";                       \
+      ::pmw::internal::CheckFail(__FILE__, __LINE__, pmw_check_oss.str()); \
+    }                                                                      \
+  } while (false)
+
+#define PMW_CHECK_EQ(a, b) PMW_CHECK_OP(==, a, b)
+#define PMW_CHECK_NE(a, b) PMW_CHECK_OP(!=, a, b)
+#define PMW_CHECK_LT(a, b) PMW_CHECK_OP(<, a, b)
+#define PMW_CHECK_LE(a, b) PMW_CHECK_OP(<=, a, b)
+#define PMW_CHECK_GT(a, b) PMW_CHECK_OP(>, a, b)
+#define PMW_CHECK_GE(a, b) PMW_CHECK_OP(>=, a, b)
+
+#endif  // PMWCM_COMMON_CHECK_H_

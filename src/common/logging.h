@@ -1,0 +1,59 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Logging is stream-based and cheap when disabled. The default level is
+// kWarning so that tests and benchmarks stay quiet; experiments flip to
+// kInfo for progress reporting.
+
+#ifndef PMWCM_COMMON_LOGGING_H_
+#define PMWCM_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pmw {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum level. Not thread-safe by design; call it
+/// from main() before spawning work.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pmw
+
+#define PMW_LOG(level) \
+  ::pmw::internal::LogMessage(::pmw::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // PMWCM_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+
+double Clamp(double x, double lo, double hi) {
+  PMW_CHECK_LE(lo, hi);
+  return std::min(std::max(x, lo), hi);
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  PMW_CHECK(!v.empty());
+  double m = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+double SafeLog(double x) { return std::log(std::max(x, 1e-300)); }
+
+double Log1PExp(double z) {
+  if (z > 35.0) return z;
+  if (z < -35.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+bool AlmostEqual(double a, double b, double atol, double rtol) {
+  double diff = std::abs(a - b);
+  return diff <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  PMW_CHECK_EQ(p.size(), q.size());
+  double sp = 0.0;
+  double sq = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    PMW_CHECK_GE(p[i], 0.0);
+    PMW_CHECK_GE(q[i], 0.0);
+    sp += p[i];
+    sq += q[i];
+  }
+  PMW_CHECK_GT(sp, 0.0);
+  PMW_CHECK_GT(sq, 0.0);
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double pi = p[i] / sp;
+    if (pi <= 0.0) continue;
+    double qi = q[i] / sq;
+    kl += pi * (SafeLog(pi) - SafeLog(qi));
+  }
+  return kl;
+}
+
+int CeilLog2(long long n) {
+  PMW_CHECK_GE(n, 1);
+  int bits = 0;
+  long long v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+long long NextPow2(long long n) {
+  PMW_CHECK_GE(n, 1);
+  long long v = 1;
+  while (v < n) v <<= 1;
+  return v;
+}
+
+}  // namespace pmw

@@ -1,0 +1,45 @@
+// Scalar math helpers used across the library.
+
+#ifndef PMWCM_COMMON_MATH_UTIL_H_
+#define PMWCM_COMMON_MATH_UTIL_H_
+
+#include <vector>
+
+namespace pmw {
+
+/// x^2.
+inline double Sq(double x) { return x * x; }
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// log(sum_i exp(v_i)) computed stably (max subtraction). Requires non-empty.
+double LogSumExp(const std::vector<double>& v);
+
+/// Natural log with a floor at 1e-300 to avoid -inf on exact zeros.
+double SafeLog(double x);
+
+/// Numerically safe log(1 + exp(z)) (softplus).
+double Log1PExp(double z);
+
+/// Logistic sigmoid 1 / (1 + exp(-z)), stable for large |z|.
+double Sigmoid(double z);
+
+/// True iff |a - b| <= atol + rtol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double atol = 1e-9, double rtol = 1e-9);
+
+/// Kullback-Leibler divergence KL(p || q) between distributions given as
+/// (not necessarily normalized) non-negative vectors of equal length.
+/// Entries where p is 0 contribute 0; entries where q is 0 but p > 0
+/// contribute a large finite penalty instead of infinity.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// ceil(log2(n)) for n >= 1.
+int CeilLog2(long long n);
+
+/// Next power of two >= n (n >= 1).
+long long NextPow2(long long n);
+
+}  // namespace pmw
+
+#endif  // PMWCM_COMMON_MATH_UTIL_H_

@@ -1,0 +1,102 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  PMW_CHECK_LT(lo, hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::UniformInt(int n) {
+  PMW_CHECK_GT(n, 0);
+  return std::uniform_int_distribution<int>(0, n - 1)(engine_);
+}
+
+uint64_t Rng::NextSeed() { return engine_(); }
+
+bool Rng::Bernoulli(double p) {
+  PMW_CHECK_GE(p, 0.0);
+  PMW_CHECK_LE(p, 1.0);
+  return Uniform() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  PMW_CHECK_GE(stddev, 0.0);
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::Laplace(double scale) {
+  PMW_CHECK_GT(scale, 0.0);
+  // Inverse CDF: u uniform in (-1/2, 1/2), z = -b * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform() - 0.5;
+  double sign = (u >= 0.0) ? 1.0 : -1.0;
+  double mag = std::abs(u);
+  // 1 - 2*mag is in (0, 1]; log is finite except with probability 0.
+  double z = -scale * sign * std::log(std::max(1.0 - 2.0 * mag, 1e-300));
+  return z;
+}
+
+double Rng::Exponential(double rate) {
+  PMW_CHECK_GT(rate, 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::Gumbel() {
+  double u = std::max(Uniform(), 1e-300);
+  return -std::log(-std::log(u));
+}
+
+std::vector<double> Rng::GaussianVector(int dim, double stddev) {
+  PMW_CHECK_GE(dim, 0);
+  std::vector<double> v(dim);
+  for (int i = 0; i < dim; ++i) v[i] = Gaussian(0.0, stddev);
+  return v;
+}
+
+std::vector<double> Rng::OnUnitSphere(int dim) {
+  PMW_CHECK_GT(dim, 0);
+  while (true) {
+    std::vector<double> v = GaussianVector(dim, 1.0);
+    double norm_sq = 0.0;
+    for (double z : v) norm_sq += z * z;
+    if (norm_sq > 1e-24) {
+      double inv = 1.0 / std::sqrt(norm_sq);
+      for (double& z : v) z *= inv;
+      return v;
+    }
+  }
+}
+
+std::vector<double> Rng::InUnitBall(int dim) {
+  std::vector<double> v = OnUnitSphere(dim);
+  double r = std::pow(Uniform(), 1.0 / dim);
+  for (double& z : v) z *= r;
+  return v;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  PMW_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    PMW_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  PMW_CHECK_GT(total, 0.0);
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace pmw

@@ -1,0 +1,79 @@
+// Deterministic random number generation for mechanisms and experiments.
+//
+// All stochastic components of the library (noise mechanisms, solvers,
+// synthetic data generators, benchmark sweeps) draw from an explicitly
+// seeded Rng so that every test and every benchmark row is reproducible.
+
+#ifndef PMWCM_COMMON_RANDOM_H_
+#define PMWCM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pmw {
+
+/// A seedable pseudo-random generator exposing exactly the distributions the
+/// library needs. Wraps std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in {0, ..., n - 1}. Requires n > 0.
+  int UniformInt(int n);
+
+  /// Uniform 64-bit value, for deriving child seeds.
+  uint64_t NextSeed();
+
+  /// Bernoulli(p) in {false, true}.
+  bool Bernoulli(double p);
+
+  /// Standard normal times stddev plus mean.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Laplace(scale b): density (1/2b) exp(-|z|/b). Requires b > 0.
+  double Laplace(double scale);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Standard Gumbel variate; used for exponential-mechanism sampling.
+  double Gumbel();
+
+  /// A vector of iid Gaussians N(0, stddev^2).
+  std::vector<double> GaussianVector(int dim, double stddev);
+
+  /// A uniformly random unit vector in R^dim.
+  std::vector<double> OnUnitSphere(int dim);
+
+  /// A uniformly random point in the unit L2 ball of R^dim.
+  std::vector<double> InUnitBall(int dim);
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Requires at least one strictly positive weight.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (int i = static_cast<int>(items->size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pmw
+
+#endif  // PMWCM_COMMON_RANDOM_H_

@@ -1,0 +1,105 @@
+// Lightweight Status / Result types for recoverable errors.
+//
+// The library does not use exceptions (Google style). Programmer errors are
+// PMW_CHECKed; conditions a caller can reasonably react to (a halted sparse
+// vector, an exhausted privacy budget, a solver that failed to converge)
+// travel through Status / Result<T>.
+
+#ifndef PMWCM_COMMON_RESULT_H_
+#define PMWCM_COMMON_RESULT_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pmw {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kResourceExhausted = 3,
+  kHalted = 4,
+  kNotConverged = 5,
+  kInternal = 6,
+};
+
+/// Status of an operation: kOk or a code with a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Halted(std::string m) {
+    return Status(StatusCode::kHalted, std::move(m));
+  }
+  static Status NotConverged(std::string m) {
+    return Status(StatusCode::kNotConverged, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return "error(" + std::to_string(static_cast<int>(code_)) + "): " +
+           message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or a Status. Access to the value requires ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    PMW_CHECK_MSG(!status_.ok(), "Result from OK status needs a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PMW_CHECK_MSG(ok(), "value() on error Result: " << status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    PMW_CHECK_MSG(ok(), "value() on error Result: " << status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    PMW_CHECK_MSG(ok(), "value() on error Result: " << status_.ToString());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace pmw
+
+#endif  // PMWCM_COMMON_RESULT_H_

@@ -1,0 +1,44 @@
+// Column-aligned plain-text tables for benchmark and experiment output.
+//
+// Benchmarks regenerate the paper's tables; TablePrinter renders rows of the
+// form the paper reports (family | parameters | bound | measured) with
+// right-aligned numeric columns.
+
+#ifndef PMWCM_COMMON_TABLE_PRINTER_H_
+#define PMWCM_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace pmw {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string FmtInt(long long v);
+  /// Scientific notation, e.g. 1.3e+04.
+  static std::string FmtSci(double v, int precision = 2);
+
+  /// Renders the full table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  int row_count() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmw
+
+#endif  // PMWCM_COMMON_TABLE_PRINTER_H_

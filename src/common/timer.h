@@ -1,0 +1,30 @@
+// Wall-clock timing for the runtime experiments (paper Section 4.3).
+
+#ifndef PMWCM_COMMON_TIMER_H_
+#define PMWCM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pmw {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pmw
+
+#endif  // PMWCM_COMMON_TIMER_H_

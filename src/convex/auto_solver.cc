@@ -1,0 +1,20 @@
+#include "convex/auto_solver.h"
+
+namespace pmw {
+namespace convex {
+
+AutoSolver::AutoSolver(SolverOptions options)
+    : golden_(options), descent_(options) {}
+
+SolverResult AutoSolver::Minimize(const Objective& objective,
+                                  const Domain& domain,
+                                  const Vec* init) const {
+  if (objective.dim() == 1 &&
+      dynamic_cast<const Interval*>(&domain) != nullptr) {
+    return golden_.Minimize(objective, domain, init);
+  }
+  return descent_.Minimize(objective, domain, init);
+}
+
+}  // namespace convex
+}  // namespace pmw

@@ -1,0 +1,32 @@
+// Dispatching solver: golden-section for 1-D intervals (the linear-query
+// reduction needs essentially exact inner argmins), projected gradient
+// descent everywhere else. This is the solver the PMW core uses by default.
+
+#ifndef PMWCM_CONVEX_AUTO_SOLVER_H_
+#define PMWCM_CONVEX_AUTO_SOLVER_H_
+
+#include "convex/golden_section.h"
+#include "convex/gradient_descent.h"
+#include "convex/solver.h"
+
+namespace pmw {
+namespace convex {
+
+class AutoSolver : public Solver {
+ public:
+  explicit AutoSolver(SolverOptions options = SolverOptions());
+
+  SolverResult Minimize(const Objective& objective, const Domain& domain,
+                        const Vec* init = nullptr) const override;
+
+  std::string name() const override { return "auto"; }
+
+ private:
+  GoldenSectionSolver golden_;
+  GradientDescentSolver descent_;
+};
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_AUTO_SOLVER_H_

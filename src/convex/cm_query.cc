@@ -1,0 +1,16 @@
+#include "convex/cm_query.h"
+
+#include "common/check.h"
+
+namespace pmw {
+namespace convex {
+
+double ScaleBound(const CmQuery& query) {
+  PMW_CHECK(query.loss != nullptr);
+  PMW_CHECK(query.domain != nullptr);
+  PMW_CHECK_EQ(query.loss->dim(), query.domain->dim());
+  return query.domain->Diameter() * query.loss->lipschitz();
+}
+
+}  // namespace convex
+}  // namespace pmw

@@ -1,0 +1,33 @@
+// A convex-minimization (CM) query: a loss paired with its domain
+// (paper Section 2.2). The answer to q_l on a dataset/histogram D is
+// argmin_{theta in Theta} l_D(theta).
+
+#ifndef PMWCM_CONVEX_CM_QUERY_H_
+#define PMWCM_CONVEX_CM_QUERY_H_
+
+#include <string>
+
+#include "convex/domain.h"
+#include "convex/loss_function.h"
+
+namespace pmw {
+namespace convex {
+
+/// Non-owning pairing of a loss and its constraint set. The pointed-to
+/// objects must outlive the query (families in src/losses own them).
+struct CmQuery {
+  const LossFunction* loss = nullptr;
+  const Domain* domain = nullptr;
+  std::string label;
+};
+
+/// An upper bound on the paper's scaling parameter
+///   S >= max_{x, theta, theta'} |<theta - theta', grad l_x(theta)>|,
+/// via Cauchy-Schwarz: diameter(Theta) * Lipschitz(l). For the paper's
+/// canonical setting (unit ball, 1-Lipschitz) this gives S = 2.
+double ScaleBound(const CmQuery& query);
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_CM_QUERY_H_

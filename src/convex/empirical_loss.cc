@@ -1,0 +1,104 @@
+#include "convex/empirical_loss.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace convex {
+
+HistogramObjective::HistogramObjective(const LossFunction* loss,
+                                       const data::Universe* universe,
+                                       const data::Histogram* histogram)
+    : loss_(loss), universe_(universe), histogram_(histogram) {
+  PMW_CHECK(loss != nullptr);
+  PMW_CHECK(universe != nullptr);
+  PMW_CHECK(histogram != nullptr);
+  PMW_CHECK_EQ(universe->size(), histogram->size());
+}
+
+double HistogramObjective::Value(const Vec& theta) const {
+  double acc = 0.0;
+  for (int i = 0; i < universe_->size(); ++i) {
+    double mass = (*histogram_)[i];
+    if (mass > 0.0) acc += mass * loss_->Value(theta, universe_->row(i));
+  }
+  return acc;
+}
+
+Vec HistogramObjective::Gradient(const Vec& theta) const {
+  Vec grad = Zeros(loss_->dim());
+  for (int i = 0; i < universe_->size(); ++i) {
+    double mass = (*histogram_)[i];
+    if (mass > 0.0) {
+      loss_->AddGradient(theta, universe_->row(i), mass, &grad);
+    }
+  }
+  return grad;
+}
+
+DatasetObjective::DatasetObjective(const LossFunction* loss,
+                                   const data::Dataset* dataset)
+    : loss_(loss), dataset_(dataset) {
+  PMW_CHECK(loss != nullptr);
+  PMW_CHECK(dataset != nullptr);
+  std::map<int, int> counts;
+  for (int i = 0; i < dataset->n(); ++i) counts[dataset->index(i)] += 1;
+  double inv_n = 1.0 / static_cast<double>(dataset->n());
+  weighted_rows_.reserve(counts.size());
+  for (const auto& [index, count] : counts) {
+    weighted_rows_.emplace_back(index, count * inv_n);
+  }
+}
+
+double DatasetObjective::Value(const Vec& theta) const {
+  double acc = 0.0;
+  for (const auto& [index, weight] : weighted_rows_) {
+    acc += weight * loss_->Value(theta, dataset_->universe().row(index));
+  }
+  return acc;
+}
+
+Vec DatasetObjective::Gradient(const Vec& theta) const {
+  Vec grad = Zeros(loss_->dim());
+  for (const auto& [index, weight] : weighted_rows_) {
+    loss_->AddGradient(theta, dataset_->universe().row(index), weight, &grad);
+  }
+  return grad;
+}
+
+PerturbedObjective::PerturbedObjective(const Objective* base, Vec linear_term,
+                                       double quadratic_mu,
+                                       Vec quadratic_center)
+    : base_(base),
+      linear_term_(std::move(linear_term)),
+      quadratic_mu_(quadratic_mu),
+      quadratic_center_(std::move(quadratic_center)) {
+  PMW_CHECK(base != nullptr);
+  PMW_CHECK_EQ(static_cast<int>(linear_term_.size()), base->dim());
+  PMW_CHECK_EQ(static_cast<int>(quadratic_center_.size()), base->dim());
+  PMW_CHECK_GE(quadratic_mu_, 0.0);
+}
+
+double PerturbedObjective::Value(const Vec& theta) const {
+  double value = base_->Value(theta) + Dot(linear_term_, theta);
+  if (quadratic_mu_ > 0.0) {
+    double dist = Dist2(theta, quadratic_center_);
+    value += 0.5 * quadratic_mu_ * dist * dist;
+  }
+  return value;
+}
+
+Vec PerturbedObjective::Gradient(const Vec& theta) const {
+  Vec grad = base_->Gradient(theta);
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad[i] += linear_term_[i];
+    if (quadratic_mu_ > 0.0) {
+      grad[i] += quadratic_mu_ * (theta[i] - quadratic_center_[i]);
+    }
+  }
+  return grad;
+}
+
+}  // namespace convex
+}  // namespace pmw

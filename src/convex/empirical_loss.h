@@ -1,0 +1,80 @@
+// Empirical objectives: the expected loss of a LossFunction over a dataset
+// or a histogram, i.e. the functions l_D(theta) = sum_x D(x) l(theta; x)
+// the paper minimizes (Section 2.2).
+
+#ifndef PMWCM_CONVEX_EMPIRICAL_LOSS_H_
+#define PMWCM_CONVEX_EMPIRICAL_LOSS_H_
+
+#include "convex/loss_function.h"
+#include "convex/vector_ops.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+
+namespace pmw {
+namespace convex {
+
+/// A differentiable objective f : R^d -> R to be minimized over a Domain.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  virtual int dim() const = 0;
+  virtual double Value(const Vec& theta) const = 0;
+  virtual Vec Gradient(const Vec& theta) const = 0;
+};
+
+/// l_D(theta) where D is a histogram over a universe:
+/// f(theta) = sum_x D(x) l(theta; x). Skips zero-mass rows, so its cost is
+/// O(support size * d).
+class HistogramObjective : public Objective {
+ public:
+  HistogramObjective(const LossFunction* loss, const data::Universe* universe,
+                     const data::Histogram* histogram);
+
+  int dim() const override { return loss_->dim(); }
+  double Value(const Vec& theta) const override;
+  Vec Gradient(const Vec& theta) const override;
+
+ private:
+  const LossFunction* loss_;
+  const data::Universe* universe_;
+  const data::Histogram* histogram_;
+};
+
+/// l_D(theta) for a dataset: f(theta) = (1/n) sum_i l(theta; x_i). Evaluated
+/// through per-universe-row counts, so repeated rows cost nothing extra.
+class DatasetObjective : public Objective {
+ public:
+  DatasetObjective(const LossFunction* loss, const data::Dataset* dataset);
+
+  int dim() const override { return loss_->dim(); }
+  double Value(const Vec& theta) const override;
+  Vec Gradient(const Vec& theta) const override;
+
+ private:
+  const LossFunction* loss_;
+  const data::Dataset* dataset_;
+  std::vector<std::pair<int, double>> weighted_rows_;  // (index, weight)
+};
+
+/// f(theta) + <b, theta> + (mu/2)||theta - center||^2; the decorated
+/// objective used by objective perturbation and localization.
+class PerturbedObjective : public Objective {
+ public:
+  PerturbedObjective(const Objective* base, Vec linear_term,
+                     double quadratic_mu, Vec quadratic_center);
+
+  int dim() const override { return base_->dim(); }
+  double Value(const Vec& theta) const override;
+  Vec Gradient(const Vec& theta) const override;
+
+ private:
+  const Objective* base_;
+  Vec linear_term_;
+  double quadratic_mu_;
+  Vec quadratic_center_;
+};
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_EMPIRICAL_LOSS_H_

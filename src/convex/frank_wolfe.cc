@@ -1,0 +1,96 @@
+#include "convex/frank_wolfe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace convex {
+
+Vec LinearMinimizer(const Domain& domain, const Vec& direction) {
+  PMW_CHECK_EQ(static_cast<int>(direction.size()), domain.dim());
+  if (const auto* ball = dynamic_cast<const L2Ball*>(&domain)) {
+    // argmin over the ball: centre - radius * direction / ||direction||.
+    double norm = Norm2(direction);
+    Vec s = ball->Center();
+    if (norm > 1e-14) {
+      AddScaledInPlace(&s, direction, -ball->radius() / norm);
+    }
+    return s;
+  }
+  if (const auto* interval = dynamic_cast<const Interval*>(&domain)) {
+    return {direction[0] >= 0.0 ? interval->lo() : interval->hi()};
+  }
+  if (dynamic_cast<const Simplex*>(&domain) != nullptr) {
+    // Vertex with the smallest direction coordinate.
+    int best = 0;
+    for (int i = 1; i < domain.dim(); ++i) {
+      if (direction[i] < direction[best]) best = i;
+    }
+    Vec s = Zeros(domain.dim());
+    s[best] = 1.0;
+    return s;
+  }
+  if (const auto* box = dynamic_cast<const Box*>(&domain)) {
+    // Per-coordinate: lo when direction >= 0, hi otherwise. Recover the
+    // bounds by projecting +-inf-ish points.
+    Vec lo(domain.dim(), -1e30);
+    Vec hi(domain.dim(), 1e30);
+    box->Project(&lo);
+    box->Project(&hi);
+    Vec s(domain.dim());
+    for (int i = 0; i < domain.dim(); ++i) {
+      s[i] = direction[i] >= 0.0 ? lo[i] : hi[i];
+    }
+    return s;
+  }
+  PMW_CHECK_MSG(false,
+                "LinearMinimizer: unsupported domain " << domain.name());
+  return {};
+}
+
+FrankWolfeSolver::FrankWolfeSolver(SolverOptions options)
+    : options_(options) {
+  PMW_CHECK_GE(options_.max_iters, 1);
+}
+
+SolverResult FrankWolfeSolver::Minimize(const Objective& objective,
+                                        const Domain& domain,
+                                        const Vec* init) const {
+  PMW_CHECK_EQ(objective.dim(), domain.dim());
+  Vec theta = (init != nullptr) ? *init : domain.Center();
+  domain.Project(&theta);
+
+  Vec best_theta = theta;
+  double best_value = objective.Value(theta);
+  int iter = 0;
+  for (; iter < options_.max_iters; ++iter) {
+    Vec grad = objective.Gradient(theta);
+    Vec s = LinearMinimizer(domain, grad);
+    // Duality gap <grad, theta - s> certifies optimality.
+    Vec direction = Sub(s, theta);
+    double gap = -Dot(grad, direction);
+    if (gap <= options_.tol * (std::abs(best_value) + 1.0)) {
+      ++iter;
+      break;
+    }
+    double gamma = 2.0 / (iter + 2.0);
+    AddScaledInPlace(&theta, direction, gamma);
+    double value = objective.Value(theta);
+    if (value < best_value) {
+      best_value = value;
+      best_theta = theta;
+    }
+  }
+
+  SolverResult result;
+  result.theta = std::move(best_theta);
+  result.value = best_value;
+  result.iterations = iter;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace convex
+}  // namespace pmw

@@ -1,0 +1,34 @@
+// Frank-Wolfe (conditional gradient) solver. Projection-free: each step
+// solves a linear minimization over the domain, which the shipped domains
+// answer in closed form. Useful for smooth losses over the unit ball and as
+// an independent cross-check of the projected-gradient solver.
+
+#ifndef PMWCM_CONVEX_FRANK_WOLFE_H_
+#define PMWCM_CONVEX_FRANK_WOLFE_H_
+
+#include "convex/solver.h"
+
+namespace pmw {
+namespace convex {
+
+/// argmin_{s in domain} <direction, s> for the shipped domain types.
+/// PMW_CHECK-fails on domains without a closed-form linear minimizer.
+Vec LinearMinimizer(const Domain& domain, const Vec& direction);
+
+class FrankWolfeSolver : public Solver {
+ public:
+  explicit FrankWolfeSolver(SolverOptions options = SolverOptions());
+
+  SolverResult Minimize(const Objective& objective, const Domain& domain,
+                        const Vec* init = nullptr) const override;
+
+  std::string name() const override { return "frank-wolfe"; }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_FRANK_WOLFE_H_

@@ -1,0 +1,60 @@
+#include "convex/golden_section.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace convex {
+
+GoldenSectionSolver::GoldenSectionSolver(SolverOptions options)
+    : options_(options) {}
+
+SolverResult GoldenSectionSolver::Minimize(const Objective& objective,
+                                           const Domain& domain,
+                                           const Vec* /*init*/) const {
+  PMW_CHECK_EQ(objective.dim(), 1);
+  const auto* interval = dynamic_cast<const Interval*>(&domain);
+  PMW_CHECK_MSG(interval != nullptr,
+                "GoldenSectionSolver requires an Interval domain");
+
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = interval->lo();
+  double b = interval->hi();
+  double c = b - inv_phi * (b - a);
+  double d = a + inv_phi * (b - a);
+  double fc = objective.Value({c});
+  double fd = objective.Value({d});
+
+  int iter = 0;
+  // Stop when the bracket is tiny relative to the interval width.
+  const double width_tol =
+      std::max(options_.tol, 1e-13) * (interval->hi() - interval->lo());
+  while (std::abs(b - a) > width_tol && iter < options_.max_iters) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - inv_phi * (b - a);
+      fc = objective.Value({c});
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + inv_phi * (b - a);
+      fd = objective.Value({d});
+    }
+    ++iter;
+  }
+
+  double mid = 0.5 * (a + b);
+  SolverResult result;
+  result.theta = {mid};
+  result.value = objective.Value(result.theta);
+  result.iterations = iter;
+  result.converged = std::abs(b - a) <= width_tol;
+  return result;
+}
+
+}  // namespace convex
+}  // namespace pmw

@@ -1,0 +1,30 @@
+// Golden-section search: exact minimization of a one-dimensional convex
+// objective over an Interval. Used by the linear-query-as-CM reduction,
+// where the inner argmin must be essentially exact.
+
+#ifndef PMWCM_CONVEX_GOLDEN_SECTION_H_
+#define PMWCM_CONVEX_GOLDEN_SECTION_H_
+
+#include "convex/solver.h"
+
+namespace pmw {
+namespace convex {
+
+class GoldenSectionSolver : public Solver {
+ public:
+  explicit GoldenSectionSolver(SolverOptions options = SolverOptions());
+
+  /// Requires a 1-D objective and an Interval domain.
+  SolverResult Minimize(const Objective& objective, const Domain& domain,
+                        const Vec* init = nullptr) const override;
+
+  std::string name() const override { return "golden-section"; }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_GOLDEN_SECTION_H_

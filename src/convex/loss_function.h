@@ -1,0 +1,62 @@
+// Convex loss functions l(theta; x) defining CM queries (Section 2.2).
+//
+// A LossFunction evaluates the per-record loss and its (sub)gradient with
+// respect to theta. Metadata (Lipschitz constant, strong convexity modulus)
+// feeds the paper's restrictions in Section 1.1:
+//   Lipschitz:        ||grad l_x(theta)||_2 <= lipschitz() for all theta, x
+//   sigma-strongly convex: l(theta';x) >= l(theta;x) + <grad, theta'-theta>
+//                          + (sigma/2)||theta'-theta||^2.
+
+#ifndef PMWCM_CONVEX_LOSS_FUNCTION_H_
+#define PMWCM_CONVEX_LOSS_FUNCTION_H_
+
+#include <string>
+
+#include "convex/vector_ops.h"
+#include "data/universe.h"
+
+namespace pmw {
+namespace convex {
+
+/// Interface for a convex loss l : Theta x X -> R, differentiable in theta
+/// (or admitting a subgradient, which Gradient may return; the paper's
+/// Section 1.1 notes this suffices everywhere).
+class LossFunction {
+ public:
+  virtual ~LossFunction() = default;
+
+  /// Dimension of theta.
+  virtual int dim() const = 0;
+
+  /// l(theta; x).
+  virtual double Value(const Vec& theta, const data::Row& x) const = 0;
+
+  /// *grad += weight * grad_theta l(theta; x). Accumulating lets empirical
+  /// gradients over histograms avoid temporary allocations.
+  virtual void AddGradient(const Vec& theta, const data::Row& x, double weight,
+                           Vec* grad) const = 0;
+
+  /// An upper bound on ||grad l_x(theta)||_2 over the domain and universe.
+  virtual double lipschitz() const = 0;
+
+  /// Strong convexity modulus sigma (0 for merely convex losses).
+  virtual double strong_convexity() const { return 0.0; }
+
+  /// True when the loss is a generalized linear model
+  /// l(theta; x) = link(<theta, x.features>, x.label) (paper Section 4.2.2).
+  virtual bool is_generalized_linear() const { return false; }
+
+  virtual std::string name() const = 0;
+
+  /// Convenience non-accumulating gradient.
+  Vec Gradient(const Vec& theta, const data::Row& x) const {
+    Vec g = Zeros(dim());
+    AddGradient(theta, x, 1.0, &g);
+    return g;
+  }
+};
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_LOSS_FUNCTION_H_

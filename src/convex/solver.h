@@ -1,0 +1,54 @@
+// Solver interfaces for constrained convex minimization.
+//
+// The PMW algorithm (Figure 3) needs non-private argmins over the public
+// hypothesis histogram and over the private dataset (inside the sensitivity-
+// bounded error query); the single-query oracles in src/erm need them too.
+
+#ifndef PMWCM_CONVEX_SOLVER_H_
+#define PMWCM_CONVEX_SOLVER_H_
+
+#include <string>
+
+#include "convex/domain.h"
+#include "convex/empirical_loss.h"
+
+namespace pmw {
+namespace convex {
+
+/// Tuning knobs shared by all solvers.
+struct SolverOptions {
+  /// Hard iteration cap.
+  int max_iters = 400;
+  /// Converged when the objective improves by less than this (relatively)
+  /// over `patience` consecutive iterations.
+  double tol = 1e-10;
+  int patience = 8;
+  /// Strong-convexity modulus, if known, to enable 1/(sigma t) step sizes.
+  double strong_convexity = 0.0;
+};
+
+/// Outcome of a minimization.
+struct SolverResult {
+  Vec theta;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Interface: minimize `objective` over `domain`.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Minimizes from `init` (or the domain centre when nullptr).
+  virtual SolverResult Minimize(const Objective& objective,
+                                const Domain& domain,
+                                const Vec* init = nullptr) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_SOLVER_H_

@@ -1,0 +1,80 @@
+#include "convex/vector_ops.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace convex {
+
+Vec Zeros(int d) {
+  PMW_CHECK_GE(d, 0);
+  return Vec(d, 0.0);
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  PMW_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double Dist2(const Vec& a, const Vec& b) {
+  PMW_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  PMW_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  PMW_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Scaled(const Vec& a, double c) {
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = c * a[i];
+  return out;
+}
+
+void AddScaledInPlace(Vec* a, const Vec& b, double c) {
+  PMW_CHECK(a != nullptr);
+  PMW_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += c * b[i];
+}
+
+void ScaleInPlace(Vec* a, double c) {
+  PMW_CHECK(a != nullptr);
+  for (double& x : *a) x *= c;
+}
+
+std::string ToString(const Vec& a) {
+  std::string out = "(";
+  char buf[32];
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.4f", a[i]);
+    out += buf;
+    if (i + 1 < a.size()) out += ", ";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace convex
+}  // namespace pmw

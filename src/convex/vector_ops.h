@@ -1,0 +1,49 @@
+// Small dense vector operations. Model parameters theta live in R^d with
+// small d (the paper's experiments never need BLAS-scale d), so plain
+// std::vector<double> with free functions keeps the code transparent.
+
+#ifndef PMWCM_CONVEX_VECTOR_OPS_H_
+#define PMWCM_CONVEX_VECTOR_OPS_H_
+
+#include <string>
+#include <vector>
+
+namespace pmw {
+namespace convex {
+
+using Vec = std::vector<double>;
+
+/// The zero vector of dimension d.
+Vec Zeros(int d);
+
+/// <a, b>. Requires equal sizes.
+double Dot(const Vec& a, const Vec& b);
+
+/// ||a||_2.
+double Norm2(const Vec& a);
+
+/// ||a - b||_2.
+double Dist2(const Vec& a, const Vec& b);
+
+/// a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+/// c * a.
+Vec Scaled(const Vec& a, double c);
+
+/// *a += c * b (axpy).
+void AddScaledInPlace(Vec* a, const Vec& b, double c);
+
+/// *a *= c.
+void ScaleInPlace(Vec* a, double c);
+
+/// Renders "(a_0, a_1, ...)" with 4 decimals for diagnostics.
+std::string ToString(const Vec& a);
+
+}  // namespace convex
+}  // namespace pmw
+
+#endif  // PMWCM_CONVEX_VECTOR_OPS_H_

@@ -1,0 +1,56 @@
+#include "core/accuracy_game.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace pmw {
+namespace core {
+
+double GameResult::MaxError() const {
+  if (errors.empty()) return 0.0;
+  return *std::max_element(errors.begin(), errors.end());
+}
+
+double GameResult::MeanError() const {
+  if (errors.empty()) return 0.0;
+  return Mean(errors);
+}
+
+double GameResult::AccurateFraction(double alpha) const {
+  if (errors.empty()) return 1.0;
+  int good = 0;
+  for (double e : errors) {
+    if (e <= alpha) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(errors.size());
+}
+
+GameResult RunAccuracyGame(QueryAnswerer* mechanism, Analyst* analyst, int k,
+                           const ErrorOracle& error_oracle,
+                           const data::Histogram& data_hist, Rng* rng) {
+  PMW_CHECK(mechanism != nullptr);
+  PMW_CHECK(analyst != nullptr);
+  PMW_CHECK(rng != nullptr);
+  PMW_CHECK_GE(k, 1);
+
+  GameResult result;
+  result.errors.reserve(k);
+  for (int j = 0; j < k; ++j) {
+    convex::CmQuery query = analyst->NextQuery(rng);
+    Result<convex::Vec> answer = mechanism->Answer(query);
+    if (!answer.ok()) {
+      result.mechanism_halted = true;
+      break;
+    }
+    result.errors.push_back(
+        error_oracle.AnswerError(query, data_hist, *answer));
+    analyst->ObserveAnswer(query, *answer);
+    ++result.queries_answered;
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace pmw

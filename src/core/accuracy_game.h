@@ -1,0 +1,55 @@
+// The sample accuracy game Acc_{n,k,L}[A, B] (paper Figure 1, Definition
+// 2.4): an analyst B adaptively issues k losses from a family, the
+// mechanism A answers each, and the game records the excess empirical risk
+// (Definition 2.2) of every answer against the true dataset. The harness
+// behind every accuracy benchmark.
+
+#ifndef PMWCM_CORE_ACCURACY_GAME_H_
+#define PMWCM_CORE_ACCURACY_GAME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "convex/cm_query.h"
+#include "core/answerer.h"
+#include "core/error.h"
+#include "data/histogram.h"
+
+namespace pmw {
+namespace core {
+
+/// The analyst side of the game. NextQuery may depend on everything
+/// observed so far (adaptivity); ObserveAnswer delivers the transcript.
+class Analyst {
+ public:
+  virtual ~Analyst() = default;
+  virtual convex::CmQuery NextQuery(Rng* rng) = 0;
+  virtual void ObserveAnswer(const convex::CmQuery& query,
+                             const convex::Vec& answer) {}
+  virtual std::string name() const = 0;
+};
+
+/// Transcript and per-query errors of one run of the game.
+struct GameResult {
+  std::vector<double> errors;  // err_{l_j}(D, theta_hat_j), Definition 2.2
+  int queries_answered = 0;
+  bool mechanism_halted = false;
+
+  double MaxError() const;
+  double MeanError() const;
+  /// Fraction of queries with error <= alpha (Definition 2.4's event).
+  double AccurateFraction(double alpha) const;
+};
+
+/// Runs the game for up to k queries. Errors are measured against
+/// `data_hist` (the true dataset's histogram) by `error_oracle`. Stops
+/// early when the mechanism halts (the paper's early-termination event).
+GameResult RunAccuracyGame(QueryAnswerer* mechanism, Analyst* analyst, int k,
+                           const ErrorOracle& error_oracle,
+                           const data::Histogram& data_hist, Rng* rng);
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_ACCURACY_GAME_H_

@@ -1,0 +1,79 @@
+#include "core/analysts.h"
+
+#include "common/check.h"
+
+namespace pmw {
+namespace core {
+
+FamilyAnalyst::FamilyAnalyst(losses::QueryFamily* family) : family_(family) {
+  PMW_CHECK(family != nullptr);
+}
+
+convex::CmQuery FamilyAnalyst::NextQuery(Rng* rng) {
+  return family_->Next(rng);
+}
+
+std::string FamilyAnalyst::name() const {
+  return "family(" + family_->name() + ")";
+}
+
+RepeatingAnalyst::RepeatingAnalyst(losses::QueryFamily* family, int pool_size,
+                                   Rng* rng) {
+  PMW_CHECK(family != nullptr);
+  PMW_CHECK_GE(pool_size, 1);
+  pool_ = family->Generate(pool_size, rng);
+}
+
+convex::CmQuery RepeatingAnalyst::NextQuery(Rng* /*rng*/) {
+  convex::CmQuery query = pool_[next_ % pool_.size()];
+  ++next_;
+  return query;
+}
+
+std::string RepeatingAnalyst::name() const {
+  return "repeating(pool=" + std::to_string(pool_.size()) + ")";
+}
+
+AdaptiveRefinementAnalyst::AdaptiveRefinementAnalyst(
+    losses::QueryFamily* family, double sigma, double fresh_probability)
+    : family_(family), sigma_(sigma), fresh_probability_(fresh_probability) {
+  PMW_CHECK(family != nullptr);
+  PMW_CHECK_GT(sigma, 0.0);
+  PMW_CHECK_GE(fresh_probability, 0.0);
+  PMW_CHECK_LE(fresh_probability, 1.0);
+}
+
+convex::CmQuery AdaptiveRefinementAnalyst::NextQuery(Rng* rng) {
+  convex::CmQuery base = family_->Next(rng);
+  if (observed_answers_.empty() || rng->Bernoulli(fresh_probability_)) {
+    return base;
+  }
+  // Re-centre at the latest answer: the query now depends on the
+  // transcript. Scale the centre to half the ball to keep the family's
+  // Lipschitz bound.
+  convex::Vec center = observed_answers_.back();
+  if (static_cast<int>(center.size()) != base.loss->dim()) {
+    return base;  // family changed dimension (defensive)
+  }
+  convex::ScaleInPlace(&center, 0.5);
+  auto refined = std::make_unique<losses::TikhonovLoss>(
+      base.loss, sigma_, std::move(center), /*domain_radius=*/1.0);
+  convex::CmQuery query;
+  query.loss = refined.get();
+  query.domain = base.domain;
+  query.label = "adaptive:" + refined->name();
+  owned_.push_back(std::move(refined));
+  return query;
+}
+
+void AdaptiveRefinementAnalyst::ObserveAnswer(const convex::CmQuery& /*query*/,
+                                              const convex::Vec& answer) {
+  observed_answers_.push_back(answer);
+}
+
+std::string AdaptiveRefinementAnalyst::name() const {
+  return "adaptive-refinement(" + family_->name() + ")";
+}
+
+}  // namespace core
+}  // namespace pmw

@@ -1,0 +1,73 @@
+// Analyst strategies for the accuracy game (Figure 1). The definition
+// quantifies over *every* adversary B; these strategies span the spectrum
+// the benchmarks need: oblivious random queries from a family, repetition
+// (stressing the k >> T sparse-vector regime), and genuinely adaptive
+// refinement that builds the next query from the previous answer.
+
+#ifndef PMWCM_CORE_ANALYSTS_H_
+#define PMWCM_CORE_ANALYSTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/accuracy_game.h"
+#include "losses/loss_family.h"
+#include "losses/transforms.h"
+
+namespace pmw {
+namespace core {
+
+/// Oblivious analyst: fresh random query from the family each round.
+class FamilyAnalyst : public Analyst {
+ public:
+  explicit FamilyAnalyst(losses::QueryFamily* family);
+
+  convex::CmQuery NextQuery(Rng* rng) override;
+  std::string name() const override;
+
+ private:
+  losses::QueryFamily* family_;
+};
+
+/// Cycles through a fixed pool of `pool_size` queries drawn once from the
+/// family. With k >> pool_size, most queries repeat — the regime where the
+/// sparse vector answers almost everything with kBottom for free.
+class RepeatingAnalyst : public Analyst {
+ public:
+  RepeatingAnalyst(losses::QueryFamily* family, int pool_size, Rng* rng);
+
+  convex::CmQuery NextQuery(Rng* rng) override;
+  std::string name() const override;
+
+ private:
+  std::vector<convex::CmQuery> pool_;
+  size_t next_ = 0;
+};
+
+/// Adaptive analyst: with probability `fresh_probability` asks a fresh
+/// family query; otherwise re-centres a family query's Tikhonov
+/// regularizer at the most recent *answer*, making the query sequence a
+/// genuine function of the mechanism's transcript (the adversary model of
+/// Definition 2.4 and Section 1.3).
+class AdaptiveRefinementAnalyst : public Analyst {
+ public:
+  AdaptiveRefinementAnalyst(losses::QueryFamily* family, double sigma,
+                            double fresh_probability);
+
+  convex::CmQuery NextQuery(Rng* rng) override;
+  void ObserveAnswer(const convex::CmQuery& query,
+                     const convex::Vec& answer) override;
+  std::string name() const override;
+
+ private:
+  losses::QueryFamily* family_;
+  double sigma_;
+  double fresh_probability_;
+  std::vector<convex::Vec> observed_answers_;
+  std::vector<std::unique_ptr<convex::LossFunction>> owned_;
+};
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_ANALYSTS_H_

@@ -1,0 +1,28 @@
+// The mechanism-side interface of the sample accuracy game (Figure 1):
+// anything that can answer a stream of adaptively chosen CM queries.
+
+#ifndef PMWCM_CORE_ANSWERER_H_
+#define PMWCM_CORE_ANSWERER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "convex/cm_query.h"
+
+namespace pmw {
+namespace core {
+
+class QueryAnswerer {
+ public:
+  virtual ~QueryAnswerer() = default;
+
+  /// Answers the next query of the interaction.
+  virtual Result<convex::Vec> Answer(const convex::CmQuery& query) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_ANSWERER_H_

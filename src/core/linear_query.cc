@@ -1,0 +1,65 @@
+#include "core/linear_query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace core {
+
+double LinearQuery::Evaluate(const data::Histogram& histogram) const {
+  PMW_CHECK_EQ(values.size(), static_cast<size_t>(histogram.size()));
+  double acc = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) acc += values[i] * histogram[i];
+  return acc;
+}
+
+LinearQuery MakeLinearQuery(const data::Universe& universe,
+                            const losses::Predicate& predicate,
+                            std::string label) {
+  LinearQuery query;
+  query.label = std::move(label);
+  query.values.resize(universe.size());
+  for (int i = 0; i < universe.size(); ++i) {
+    double v = predicate(universe.row(i));
+    PMW_CHECK_GE(v, 0.0);
+    PMW_CHECK_LE(v, 1.0);
+    query.values[i] = v;
+  }
+  return query;
+}
+
+std::vector<LinearQuery> RandomConjunctionQueries(
+    const data::Universe& universe, int k, int max_width, bool include_label,
+    Rng* rng) {
+  PMW_CHECK_GE(k, 1);
+  PMW_CHECK_GE(max_width, 1);
+  PMW_CHECK(rng != nullptr);
+  const int d = universe.feature_dim();
+  PMW_CHECK_LE(max_width, d);
+  std::vector<LinearQuery> queries;
+  queries.reserve(k);
+  for (int j = 0; j < k; ++j) {
+    int width = 1 + rng->UniformInt(max_width);
+    std::vector<int> coords(d);
+    for (int i = 0; i < d; ++i) coords[i] = i;
+    rng->Shuffle(&coords);
+    coords.resize(width);
+    std::sort(coords.begin(), coords.end());
+    std::vector<int> signs(width);
+    for (int i = 0; i < width; ++i) signs[i] = rng->Bernoulli(0.5) ? 1 : -1;
+    int label_constraint = 0;
+    if (include_label && rng->Bernoulli(0.5)) {
+      label_constraint = rng->Bernoulli(0.5) ? 1 : -1;
+    }
+    std::string label = "conj#" + std::to_string(j);
+    queries.push_back(MakeLinearQuery(
+        universe,
+        losses::ConjunctionPredicate(coords, signs, label_constraint),
+        std::move(label)));
+  }
+  return queries;
+}
+
+}  // namespace core
+}  // namespace pmw

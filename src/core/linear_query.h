@@ -1,0 +1,44 @@
+// Native linear (statistical/counting) queries over a universe, and their
+// evaluation against histograms. The HR10 baseline (pmw_linear) and MWEM
+// (mwem) answer these directly; Table 1 row 1 compares them against the
+// CM-query embedding in losses/linear_query_loss.h.
+
+#ifndef PMWCM_CORE_LINEAR_QUERY_H_
+#define PMWCM_CORE_LINEAR_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/histogram.h"
+#include "data/universe.h"
+#include "losses/linear_query_loss.h"
+
+namespace pmw {
+namespace core {
+
+/// A linear query q : X -> [0, 1], stored as its value on every universe
+/// row. The answer on histogram D is <q, D>.
+struct LinearQuery {
+  std::vector<double> values;
+  std::string label;
+
+  /// <q, D>.
+  double Evaluate(const data::Histogram& histogram) const;
+};
+
+/// Tabulates a predicate over the universe.
+LinearQuery MakeLinearQuery(const data::Universe& universe,
+                            const losses::Predicate& predicate,
+                            std::string label);
+
+/// A batch of k random conjunction queries (width <= max_width) over
+/// feature signs and, optionally, the label.
+std::vector<LinearQuery> RandomConjunctionQueries(
+    const data::Universe& universe, int k, int max_width, bool include_label,
+    Rng* rng);
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_LINEAR_QUERY_H_

@@ -1,0 +1,76 @@
+#include "core/mwem.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "dp/mechanisms.h"
+
+namespace pmw {
+namespace core {
+
+MwemResult RunMwem(const data::Dataset& dataset,
+                   const std::vector<LinearQuery>& queries,
+                   const MwemOptions& options, uint64_t seed) {
+  PMW_CHECK(!queries.empty());
+  PMW_CHECK_GE(options.rounds, 1);
+  dp::ValidatePrivacyParams(options.privacy);
+  Rng rng(seed);
+
+  const data::Universe& universe = dataset.universe();
+  data::Histogram data_hist = data::Histogram::FromDataset(dataset);
+  const double n = static_cast<double>(dataset.n());
+  const double log_universe = universe.LogSize();
+  const double eta = options.override_eta > 0.0
+                         ? options.override_eta
+                         : std::sqrt(log_universe / options.rounds);
+
+  // Each round spends eps/rounds, half on selection, half on measurement
+  // (the HLM12 split).
+  const double eps_round = options.privacy.epsilon / options.rounds;
+  const double eps_select = eps_round / 2.0;
+  const double eps_measure = eps_round / 2.0;
+
+  MwemResult result;
+  result.hypothesis = data::Histogram::Uniform(universe.size());
+
+  std::vector<double> true_answers(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    true_answers[q] = queries[q].Evaluate(data_hist);
+  }
+
+  for (int round = 0; round < options.rounds; ++round) {
+    // Select the (noisily) worst-answered query; scores are 1/n-sensitive.
+    std::vector<double> scores(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      scores[q] =
+          std::abs(true_answers[q] - queries[q].Evaluate(result.hypothesis));
+    }
+    int chosen =
+        dp::ExponentialMechanism(scores, 1.0 / n, eps_select, &rng);
+    result.selected.push_back(chosen);
+
+    // Measure it with Laplace noise.
+    double noisy = true_answers[chosen] +
+                   rng.Laplace((1.0 / n) / eps_measure);
+    noisy = Clamp(noisy, 0.0, 1.0);
+
+    // Multiplicative update toward the measurement.
+    double hypothesis_answer = queries[chosen].Evaluate(result.hypothesis);
+    double sign = (noisy > hypothesis_answer) ? 1.0 : -1.0;
+    result.hypothesis = result.hypothesis.MultiplicativeUpdate(
+        queries[chosen].values, sign * eta);
+
+    double max_err = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      max_err = std::max(
+          max_err,
+          std::abs(true_answers[q] - queries[q].Evaluate(result.hypothesis)));
+    }
+    result.max_error_trace.push_back(max_err);
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace pmw

@@ -1,0 +1,49 @@
+// MWEM (Hardt-Ligett-McSherry, NIPS 2012): the offline multiplicative-
+// weights + exponential-mechanism release for a *fixed* set of linear
+// queries. The paper cites it as the practical face of the PMW framework
+// (Section 1, [HLM12]); it is the offline counterpart of pmw_linear and
+// the template for pmw_offline's CM extension.
+
+#ifndef PMWCM_CORE_MWEM_H_
+#define PMWCM_CORE_MWEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/linear_query.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace core {
+
+struct MwemOptions {
+  /// Number of (select, measure, update) rounds.
+  int rounds = 10;
+  dp::PrivacyParams privacy{1.0, 0.0};  // pure DP by default
+  /// MW learning rate; 0 selects eta = sqrt(log|X| / rounds).
+  double override_eta = 0.0;
+};
+
+struct MwemResult {
+  data::Histogram hypothesis;
+  /// Index of the query selected in each round.
+  std::vector<int> selected;
+  /// Max |<q, D> - <q, hypothesis>| over the query set, per round (a
+  /// convergence trace; computed for reporting, not released).
+  std::vector<double> max_error_trace;
+
+  MwemResult() : hypothesis(data::Histogram::Uniform(1)) {}
+};
+
+/// Runs MWEM and returns the final hypothesis histogram.
+MwemResult RunMwem(const data::Dataset& dataset,
+                   const std::vector<LinearQuery>& queries,
+                   const MwemOptions& options, uint64_t seed);
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_MWEM_H_

@@ -1,0 +1,19 @@
+#include "core/pmw_answerer.h"
+
+#include "common/check.h"
+
+namespace pmw {
+namespace core {
+
+PmwAnswerer::PmwAnswerer(PmwCm* mechanism) : mechanism_(mechanism) {
+  PMW_CHECK(mechanism != nullptr);
+}
+
+Result<convex::Vec> PmwAnswerer::Answer(const convex::CmQuery& query) {
+  Result<PmwAnswer> answer = mechanism_->AnswerQuery(query);
+  if (!answer.ok()) return answer.status();
+  return std::move(answer.value().theta);
+}
+
+}  // namespace core
+}  // namespace pmw

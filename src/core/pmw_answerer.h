@@ -1,0 +1,29 @@
+// Adapter: PmwCm as a QueryAnswerer for the accuracy game.
+
+#ifndef PMWCM_CORE_PMW_ANSWERER_H_
+#define PMWCM_CORE_PMW_ANSWERER_H_
+
+#include "core/answerer.h"
+#include "core/pmw_cm.h"
+
+namespace pmw {
+namespace core {
+
+class PmwAnswerer : public QueryAnswerer {
+ public:
+  explicit PmwAnswerer(PmwCm* mechanism);
+
+  Result<convex::Vec> Answer(const convex::CmQuery& query) override;
+
+  std::string name() const override { return "pmw-cm"; }
+
+  PmwCm* mechanism() { return mechanism_; }
+
+ private:
+  PmwCm* mechanism_;
+};
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_PMW_ANSWERER_H_

@@ -1,0 +1,153 @@
+#include "core/pmw_cm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace pmw {
+namespace core {
+
+PmwSchedule PmwSchedule::Compute(const PmwOptions& options,
+                                 double log_universe) {
+  PMW_CHECK_GT(options.alpha, 0.0);
+  PMW_CHECK_GT(options.beta, 0.0);
+  PMW_CHECK_GT(options.scale, 0.0);
+  PMW_CHECK_GT(log_universe, 0.0);
+  dp::ValidatePrivacyParams(options.privacy);
+  PMW_CHECK_MSG(options.privacy.delta > 0.0,
+                "Figure 3 requires delta > 0 (strong composition)");
+
+  PmwSchedule s;
+  if (options.override_updates > 0) {
+    s.T = options.override_updates;
+  } else {
+    // T = 64 S^2 log|X| / alpha^2 (Figure 3).
+    s.T = static_cast<int>(std::ceil(64.0 * options.scale * options.scale *
+                                     log_universe /
+                                     (options.alpha * options.alpha)));
+  }
+  PMW_CHECK_GE(s.T, 1);
+  s.eta = options.override_eta > 0.0 ? options.override_eta
+                                     : std::sqrt(log_universe / s.T);
+  const double eps = options.privacy.epsilon;
+  const double delta = options.privacy.delta;
+  // eps0 = eps / sqrt(8 T log(4/delta)), delta0 = delta/(4T) (Figure 3);
+  // the T-fold strong composition of the oracle calls then stays within
+  // (eps/2 + o(eps), delta/2), and the sparse vector gets (eps/2, delta/2).
+  s.oracle_budget.epsilon =
+      eps / std::sqrt(8.0 * s.T * std::log(4.0 / delta));
+  s.oracle_budget.delta = delta / (4.0 * s.T);
+  s.sv_budget = {eps / 2.0, delta / 2.0};
+  s.alpha0 = options.alpha / 4.0;
+  s.beta0 = options.beta / (2.0 * s.T);
+  return s;
+}
+
+double PmwSchedule::TheoremRequiredN(const PmwOptions& options,
+                                     double log_universe, double oracle_n) {
+  const double s = options.scale;
+  const double eps = options.privacy.epsilon;
+  const double delta = options.privacy.delta;
+  const double alpha = options.alpha;
+  const double beta = options.beta;
+  const double k = static_cast<double>(options.max_queries);
+  double pmw_n = 4096.0 * s * s *
+                 std::sqrt(log_universe * std::log(4.0 / delta)) *
+                 std::log(8.0 * k / beta) / (eps * alpha * alpha);
+  return std::max(oracle_n, pmw_n);
+}
+
+PmwCm::PmwCm(const data::Dataset* dataset, erm::Oracle* oracle,
+             const PmwOptions& options, uint64_t seed)
+    : dataset_(dataset),
+      oracle_(oracle),
+      options_(options),
+      schedule_(PmwSchedule::Compute(options, dataset->universe().LogSize())),
+      error_oracle_(&dataset->universe(), options.solver),
+      data_histogram_(data::Histogram::FromDataset(*dataset)),
+      hypothesis_(data::Histogram::Uniform(dataset->universe().size())),
+      rng_(seed) {
+  PMW_CHECK(oracle != nullptr);
+  dp::SparseVector::Options sv_options;
+  sv_options.max_top_answers = schedule_.T;
+  sv_options.alpha = options_.alpha;
+  // The error queries are (3S/n)-sensitive (Section 3.4.2).
+  sv_options.sensitivity =
+      3.0 * options_.scale / static_cast<double>(dataset->n());
+  sv_options.privacy = schedule_.sv_budget;
+  sparse_vector_ =
+      std::make_unique<dp::SparseVector>(sv_options, rng_.NextSeed());
+  ledger_.Record("sparse-vector", schedule_.sv_budget);
+}
+
+Result<PmwAnswer> PmwCm::AnswerQuery(const convex::CmQuery& query) {
+  PMW_CHECK(query.loss != nullptr);
+  PMW_CHECK(query.domain != nullptr);
+  if (halted()) {
+    return Status::Halted("pmw-cm: sparse vector exhausted its T updates");
+  }
+  if (queries_answered_ >= options_.max_queries) {
+    return Status::ResourceExhausted("pmw-cm: k queries already answered");
+  }
+  ++queries_answered_;
+
+  // theta_hat_t = argmin over the public hypothesis (no privacy cost).
+  convex::Vec theta_hat = error_oracle_.Minimize(query, hypothesis_);
+
+  // q_j(D) = err_l(D, D_hat_t) = l_D(theta_hat) - min l_D; the only access
+  // to D here flows through the sparse vector's noisy threshold test.
+  double query_value =
+      error_oracle_.AnswerError(query, data_histogram_, theta_hat);
+  Result<dp::SparseVector::Answer> sv_answer =
+      sparse_vector_->Process(query_value);
+  if (!sv_answer.ok()) return sv_answer.status();
+
+  if (*sv_answer == dp::SparseVector::Answer::kBottom) {
+    PmwAnswer answer;
+    answer.theta = std::move(theta_hat);
+    answer.was_update = false;
+    return answer;
+  }
+
+  // kTop: the hypothesis is (noisily) alpha/2-inaccurate. Obtain a private
+  // approximate minimizer from A'.
+  erm::OracleContext context;
+  context.privacy = schedule_.oracle_budget;
+  context.target_alpha = schedule_.alpha0;
+  context.target_beta = schedule_.beta0;
+  Result<convex::Vec> oracle_answer =
+      oracle_->Solve(query, *dataset_, context, &rng_);
+  if (!oracle_answer.ok()) return oracle_answer.status();
+  convex::Vec theta_t = std::move(oracle_answer).value();
+  ledger_.Record("oracle:" + oracle_->name(), schedule_.oracle_budget);
+
+  // Dual certificate (the paper's key new step):
+  //   u_t(x) = <theta_t - theta_hat_t, grad l_x(theta_hat_t)>.
+  const data::Universe& universe = dataset_->universe();
+  convex::Vec direction = convex::Sub(theta_t, theta_hat);
+  std::vector<double> payoff(universe.size());
+  for (int x = 0; x < universe.size(); ++x) {
+    convex::Vec grad = query.loss->Gradient(theta_hat, universe.row(x));
+    payoff[x] = convex::Dot(direction, grad);
+  }
+
+  // MW step D_{t+1}(x) ~ exp(-eta u_t(x)/S) D_t(x): mass moves away from
+  // records where the hypothesis over-weights the certificate (payoffs are
+  // normalized to [-1, 1] by S so eta = sqrt(log|X|/T) is the standard MW
+  // tuning; see the regret accounting in DESIGN.md).
+  double exponent = -schedule_.eta / options_.scale;
+  if (options_.flip_update_sign) exponent = -exponent;  // ablation only
+  hypothesis_ = hypothesis_.MultiplicativeUpdate(payoff, exponent);
+  ++update_count_;
+  PMW_LOG(kDebug) << "pmw-cm update " << update_count_ << "/" << schedule_.T
+                  << " on " << query.label;
+
+  PmwAnswer answer;
+  answer.theta = std::move(theta_t);
+  answer.was_update = true;
+  return answer;
+}
+
+}  // namespace core
+}  // namespace pmw

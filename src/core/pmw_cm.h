@@ -1,0 +1,140 @@
+// Online Private Multiplicative Weights for CM queries — the paper's main
+// contribution (Figure 3, Theorems 3.8 and 3.9).
+//
+// The mechanism maintains a public hypothesis histogram D_hat over the data
+// universe. For each incoming loss l_j it forms the (3S/n)-sensitive query
+//   q_j(D) = err_{l_j}(D, D_hat_t)
+// and feeds it to the online sparse vector algorithm. On kBottom it answers
+// with the hypothesis's own minimizer (free: no privacy cost). On kTop it
+// calls the single-query oracle A' for a private minimizer theta_t, answers
+// with it, and performs the paper's key *dual certificate* update: the
+// vector
+//   u_t(x) = <theta_t - theta_hat_t, grad l_x(theta_hat_t)>
+// is a linear query on which D_hat_t errs by at least err - alpha_0
+// (Claim 3.5), and a multiplicative-weights step on u_t drives D_hat toward
+// D. The regret bound (Lemma 3.4) caps the number of updates at
+// T = 64 S^2 log|X| / alpha^2, so the sparse vector never exhausts its
+// budget and every one of the k queries is answered within alpha
+// (Theorem 3.8).
+
+#ifndef PMWCM_CORE_PMW_CM_H_
+#define PMWCM_CORE_PMW_CM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/error.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+#include "dp/ledger.h"
+#include "dp/privacy.h"
+#include "dp/sparse_vector.h"
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace core {
+
+/// Configuration of the Figure 3 algorithm.
+struct PmwOptions {
+  /// Target accuracy alpha and failure probability beta.
+  double alpha = 0.1;
+  double beta = 0.05;
+  /// Total privacy budget (eps, delta); delta > 0 required.
+  dp::PrivacyParams privacy{1.0, 1e-6};
+  /// The family scale parameter S (Section 3.2's scaling condition). For
+  /// 1-Lipschitz losses over the unit ball, S = 2.
+  double scale = 2.0;
+  /// k: the number of queries the analyst may ask (enters the sparse
+  /// vector's parameters only through documentation; the accuracy bound's
+  /// log k lives in the required n).
+  long long max_queries = 1024;
+  /// Maximum number of MW updates. 0 selects the paper's worst-case
+  /// T = ceil(64 S^2 log|X| / alpha^2); benchmarks use small practical
+  /// values (the HLM12 regime), which is sound: T only bounds the number
+  /// of updates the mechanism may spend.
+  int override_updates = 0;
+  /// Learning rate. 0 selects the paper's eta = sqrt(log|X| / T).
+  double override_eta = 0.0;
+  /// ABLATION ONLY: negate the MW exponent (the wrong direction). The
+  /// accuracy analysis (Claims 3.5-3.7) breaks; bench_ablation measures
+  /// how badly.
+  bool flip_update_sign = false;
+  /// Inner solver controls.
+  convex::SolverOptions solver;
+};
+
+/// The derived parameters of Figure 3.
+struct PmwSchedule {
+  int T = 0;            // update budget
+  double eta = 0.0;     // MW learning rate
+  dp::PrivacyParams oracle_budget;  // (eps0, delta0) per A' call
+  dp::PrivacyParams sv_budget;      // (eps/2, delta/2) for sparse vector
+  double alpha0 = 0.0;  // oracle accuracy target alpha/4
+  double beta0 = 0.0;   // oracle failure target beta/(2T)
+
+  /// Computes the schedule exactly as printed in Figure 3.
+  static PmwSchedule Compute(const PmwOptions& options, double log_universe);
+
+  /// Theorem 3.8's sufficient dataset size:
+  /// max(n', 4096 S^2 sqrt(log|X| log(4/delta)) log(8k/beta)/(eps alpha^2)).
+  static double TheoremRequiredN(const PmwOptions& options,
+                                 double log_universe, double oracle_n);
+};
+
+/// Per-query outcome (the mechanism's released transcript entry).
+struct PmwAnswer {
+  convex::Vec theta;
+  /// True when this query triggered an A' call and a MW update.
+  bool was_update = false;
+};
+
+/// The interactive mechanism. One instance serves one dataset and up to
+/// max_queries adaptively chosen CM queries.
+class PmwCm {
+ public:
+  /// `dataset` and `oracle` must outlive the mechanism. The dataset's
+  /// universe provides |X|.
+  PmwCm(const data::Dataset* dataset, erm::Oracle* oracle,
+        const PmwOptions& options, uint64_t seed);
+
+  /// Answers the next query; Status kHalted when the sparse vector has
+  /// exhausted its T updates (Theorem 3.8 guarantees this cannot happen
+  /// at the theorem's n; at practical parameters it is observable).
+  Result<PmwAnswer> AnswerQuery(const convex::CmQuery& query);
+
+  /// The public hypothesis histogram (also a synthetic dataset release;
+  /// see the paper's Section 4.3 remark).
+  const data::Histogram& hypothesis() const { return hypothesis_; }
+
+  const PmwSchedule& schedule() const { return schedule_; }
+  int update_count() const { return update_count_; }
+  long long queries_answered() const { return queries_answered_; }
+  bool halted() const { return sparse_vector_->halted(); }
+
+  /// Audit trail of every differentially private access.
+  const dp::PrivacyLedger& ledger() const { return ledger_; }
+
+  /// The error oracle used internally (shared for measurement code).
+  const ErrorOracle& error_oracle() const { return error_oracle_; }
+
+ private:
+  const data::Dataset* dataset_;
+  erm::Oracle* oracle_;
+  PmwOptions options_;
+  PmwSchedule schedule_;
+  ErrorOracle error_oracle_;
+  data::Histogram data_histogram_;
+  data::Histogram hypothesis_;
+  std::unique_ptr<dp::SparseVector> sparse_vector_;
+  dp::PrivacyLedger ledger_;
+  Rng rng_;
+  int update_count_ = 0;
+  long long queries_answered_ = 0;
+};
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_PMW_CM_H_

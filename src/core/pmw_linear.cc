@@ -1,0 +1,79 @@
+#include "core/pmw_linear.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pmw {
+namespace core {
+
+PmwLinear::PmwLinear(const data::Dataset* dataset,
+                     const PmwLinearOptions& options, uint64_t seed)
+    : dataset_(dataset),
+      options_(options),
+      data_histogram_(data::Histogram::FromDataset(*dataset)),
+      hypothesis_(data::Histogram::Uniform(dataset->universe().size())),
+      rng_(seed) {
+  PMW_CHECK_GT(options.alpha, 0.0);
+  dp::ValidatePrivacyParams(options.privacy);
+  PMW_CHECK_MSG(options.privacy.delta > 0.0, "PMW requires delta > 0");
+
+  const double log_universe = dataset->universe().LogSize();
+  T_ = options.override_updates > 0
+           ? options.override_updates
+           : static_cast<int>(std::ceil(16.0 * log_universe /
+                                        (options.alpha * options.alpha)));
+  eta_ = options.override_eta > 0.0 ? options.override_eta
+                                    : std::sqrt(log_universe / T_);
+
+  // Budget split mirroring Figure 3: half to the sparse vector, half
+  // (strong-composed over T updates) to the Laplace answers.
+  dp::SparseVector::Options sv_options;
+  sv_options.max_top_answers = T_;
+  sv_options.alpha = options.alpha;
+  sv_options.sensitivity = 1.0 / static_cast<double>(dataset->n());
+  sv_options.privacy = {options.privacy.epsilon / 2.0,
+                        options.privacy.delta / 2.0};
+  sparse_vector_ =
+      std::make_unique<dp::SparseVector>(sv_options, rng_.NextSeed());
+
+  double eps0 = options.privacy.epsilon /
+                std::sqrt(8.0 * T_ * std::log(4.0 / options.privacy.delta));
+  laplace_scale_ = (1.0 / static_cast<double>(dataset->n())) / eps0;
+}
+
+Result<PmwLinearAnswer> PmwLinear::AnswerQuery(const LinearQuery& query) {
+  if (halted()) {
+    return Status::Halted("pmw-linear: update budget exhausted");
+  }
+  const double true_answer = query.Evaluate(data_histogram_);
+  const double hypothesis_answer = query.Evaluate(hypothesis_);
+  // The sparse-vector query is the absolute error of the hypothesis; it is
+  // (1/n)-sensitive because only the true answer depends on D.
+  Result<dp::SparseVector::Answer> sv_answer =
+      sparse_vector_->Process(std::abs(true_answer - hypothesis_answer));
+  if (!sv_answer.ok()) return sv_answer.status();
+
+  PmwLinearAnswer answer;
+  if (*sv_answer == dp::SparseVector::Answer::kBottom) {
+    answer.value = hypothesis_answer;
+    answer.was_update = false;
+    return answer;
+  }
+
+  // Update round: release a Laplace-noised answer and move the hypothesis
+  // toward it (the HR10 update).
+  double noisy_answer = true_answer + rng_.Laplace(laplace_scale_);
+  noisy_answer = Clamp(noisy_answer, 0.0, 1.0);
+  double sign = (noisy_answer > hypothesis_answer) ? 1.0 : -1.0;
+  hypothesis_ = hypothesis_.MultiplicativeUpdate(query.values, sign * eta_);
+  ++update_count_;
+
+  answer.value = noisy_answer;
+  answer.was_update = true;
+  return answer;
+}
+
+}  // namespace core
+}  // namespace pmw

@@ -1,0 +1,68 @@
+// Online private multiplicative weights for linear queries — the
+// Hardt-Rothblum (FOCS 2010) mechanism the paper extends (Section 1.2's
+// sketch). Serves as the Table 1 row 1 baseline and as the reference
+// implementation the CM extension is diffed against in tests.
+
+#ifndef PMWCM_CORE_PMW_LINEAR_H_
+#define PMWCM_CORE_PMW_LINEAR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/linear_query.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+#include "dp/privacy.h"
+#include "dp/sparse_vector.h"
+
+namespace pmw {
+namespace core {
+
+struct PmwLinearOptions {
+  double alpha = 0.1;
+  double beta = 0.05;
+  dp::PrivacyParams privacy{1.0, 1e-6};
+  /// 0 = the HR10 worst-case T = 16 log|X| / alpha^2; benchmarks use
+  /// practical values.
+  int override_updates = 0;
+  double override_eta = 0.0;
+};
+
+/// One answer: the released value for the query.
+struct PmwLinearAnswer {
+  double value = 0.0;
+  bool was_update = false;
+};
+
+class PmwLinear {
+ public:
+  PmwLinear(const data::Dataset* dataset, const PmwLinearOptions& options,
+            uint64_t seed);
+
+  /// Answers <q, D> within +-alpha (whp, at the theorem's n).
+  Result<PmwLinearAnswer> AnswerQuery(const LinearQuery& query);
+
+  const data::Histogram& hypothesis() const { return hypothesis_; }
+  int update_count() const { return update_count_; }
+  bool halted() const { return sparse_vector_->halted(); }
+  int T() const { return T_; }
+
+ private:
+  const data::Dataset* dataset_;
+  PmwLinearOptions options_;
+  data::Histogram data_histogram_;
+  data::Histogram hypothesis_;
+  std::unique_ptr<dp::SparseVector> sparse_vector_;
+  Rng rng_;
+  int T_ = 0;
+  double eta_ = 0.0;
+  double laplace_scale_ = 0.0;
+  int update_count_ = 0;
+};
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_PMW_LINEAR_H_

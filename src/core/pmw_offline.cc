@@ -1,0 +1,91 @@
+#include "core/pmw_offline.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "dp/composition.h"
+#include "dp/mechanisms.h"
+
+namespace pmw {
+namespace core {
+
+PmwOfflineResult RunPmwOffline(const data::Dataset& dataset,
+                               const std::vector<convex::CmQuery>& queries,
+                               erm::Oracle* oracle,
+                               const PmwOfflineOptions& options,
+                               uint64_t seed) {
+  PMW_CHECK(!queries.empty());
+  PMW_CHECK(oracle != nullptr);
+  PMW_CHECK_GE(options.rounds, 1);
+  dp::ValidatePrivacyParams(options.privacy);
+  PMW_CHECK_MSG(options.privacy.delta > 0.0, "requires delta > 0");
+  Rng rng(seed);
+
+  const data::Universe& universe = dataset.universe();
+  ErrorOracle error_oracle(&universe, options.solver);
+  data::Histogram data_hist = data::Histogram::FromDataset(dataset);
+  const double n = static_cast<double>(dataset.n());
+  const double eta = options.override_eta > 0.0
+                         ? options.override_eta
+                         : std::sqrt(universe.LogSize() / options.rounds);
+
+  // Budget: half (strong-composed over rounds) for selection, half for the
+  // oracle calls — the CM analogue of the HLM12 split.
+  dp::PrivacyParams half{options.privacy.epsilon / 2.0,
+                         options.privacy.delta / 2.0};
+  dp::PrivacyParams select_budget = dp::PerRoundBudget(half, options.rounds);
+  dp::PrivacyParams oracle_budget = dp::PerRoundBudget(half, options.rounds);
+
+  PmwOfflineResult result;
+  result.hypothesis = data::Histogram::Uniform(universe.size());
+
+  for (int round = 0; round < options.rounds; ++round) {
+    // Score every query by the hypothesis's error (Definition 2.3);
+    // (3S/n)-sensitive in the dataset (Section 3.4.2).
+    std::vector<double> scores(queries.size());
+    std::vector<convex::Vec> hypothesis_argmins(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      hypothesis_argmins[q] =
+          error_oracle.Minimize(queries[q], result.hypothesis);
+      scores[q] =
+          error_oracle.AnswerError(queries[q], data_hist,
+                                   hypothesis_argmins[q]);
+    }
+    int chosen = dp::ExponentialMechanism(
+        scores, 3.0 * options.scale / n, select_budget.epsilon, &rng);
+    result.selected.push_back(chosen);
+    result.rounds_used = round + 1;
+
+    if (options.stop_error > 0.0 && scores[chosen] < options.stop_error) {
+      break;
+    }
+
+    erm::OracleContext context;
+    context.privacy = oracle_budget;
+    Result<convex::Vec> theta_t =
+        oracle->Solve(queries[chosen], dataset, context, &rng);
+    PMW_CHECK_MSG(theta_t.ok(), theta_t.status().ToString());
+
+    // Dual-certificate update (Figure 3's key step).
+    const convex::Vec& theta_hat = hypothesis_argmins[chosen];
+    convex::Vec direction = convex::Sub(*theta_t, theta_hat);
+    std::vector<double> payoff(universe.size());
+    for (int x = 0; x < universe.size(); ++x) {
+      convex::Vec grad =
+          queries[chosen].loss->Gradient(theta_hat, universe.row(x));
+      payoff[x] = convex::Dot(direction, grad);
+    }
+    result.hypothesis = result.hypothesis.MultiplicativeUpdate(
+        payoff, -eta / options.scale);
+  }
+
+  result.answers.reserve(queries.size());
+  for (const convex::CmQuery& query : queries) {
+    result.answers.push_back(
+        error_oracle.Minimize(query, result.hypothesis));
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace pmw

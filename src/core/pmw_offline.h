@@ -1,0 +1,59 @@
+// Offline private multiplicative weights for CM queries — the variant
+// sketched in the paper's Section 1.2 ([GHRU11, GRU12, HLM12] style): the
+// k loss functions are fixed in advance, each round privately selects the
+// query on which the hypothesis errs most (exponential mechanism over the
+// (3S/n)-sensitive error scores), calls A' on it, and performs the same
+// dual-certificate MW update as the online algorithm. After T rounds every
+// query is answered from the final hypothesis.
+
+#ifndef PMWCM_CORE_PMW_OFFLINE_H_
+#define PMWCM_CORE_PMW_OFFLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "convex/cm_query.h"
+#include "core/error.h"
+#include "data/dataset.h"
+#include "data/histogram.h"
+#include "dp/privacy.h"
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace core {
+
+struct PmwOfflineOptions {
+  /// Number of (select, oracle, update) rounds.
+  int rounds = 10;
+  dp::PrivacyParams privacy{1.0, 1e-6};
+  /// Family scale S.
+  double scale = 2.0;
+  /// 0 selects eta = sqrt(log|X| / rounds).
+  double override_eta = 0.0;
+  /// Early exit: stop when the selected query's (non-noisy, internal)
+  /// error drops below this; 0 disables.
+  double stop_error = 0.0;
+  convex::SolverOptions solver;
+};
+
+struct PmwOfflineResult {
+  data::Histogram hypothesis;
+  /// Per-query answers read off the final hypothesis.
+  std::vector<convex::Vec> answers;
+  std::vector<int> selected;
+  int rounds_used = 0;
+
+  PmwOfflineResult() : hypothesis(data::Histogram::Uniform(1)) {}
+};
+
+PmwOfflineResult RunPmwOffline(const data::Dataset& dataset,
+                               const std::vector<convex::CmQuery>& queries,
+                               erm::Oracle* oracle,
+                               const PmwOfflineOptions& options,
+                               uint64_t seed);
+
+}  // namespace core
+}  // namespace pmw
+
+#endif  // PMWCM_CORE_PMW_OFFLINE_H_

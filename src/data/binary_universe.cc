@@ -1,0 +1,75 @@
+#include "data/binary_universe.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace data {
+namespace {
+
+std::vector<Row> MakeHypercubeRows(int dim, bool labeled) {
+  PMW_CHECK_GE(dim, 1);
+  PMW_CHECK_LE(dim, labeled ? 19 : 20);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  const int n_feature_patterns = 1 << dim;
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n_feature_patterns) * (labeled ? 2 : 1));
+  for (int pattern = 0; pattern < n_feature_patterns; ++pattern) {
+    Row base;
+    base.features.resize(dim);
+    for (int j = 0; j < dim; ++j) {
+      base.features[j] = ((pattern >> j) & 1) ? scale : -scale;
+    }
+    if (labeled) {
+      // Label occupies the lowest index bit: emit label -1 then +1.
+      Row neg = base;
+      neg.label = -1.0;
+      rows.push_back(std::move(neg));
+      Row pos = base;
+      pos.label = 1.0;
+      rows.push_back(std::move(pos));
+    } else {
+      rows.push_back(std::move(base));
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+HypercubeUniverse::HypercubeUniverse(int dim)
+    : VectorUniverse(MakeHypercubeRows(dim, /*labeled=*/false),
+                     "hypercube(d=" + std::to_string(dim) + ")"),
+      dim_(dim) {}
+
+int HypercubeUniverse::IndexOf(const std::vector<int>& signs) const {
+  PMW_CHECK_EQ(static_cast<int>(signs.size()), dim_);
+  int index = 0;
+  for (int j = 0; j < dim_; ++j) {
+    PMW_CHECK_MSG(signs[j] == 1 || signs[j] == -1, "signs must be +-1");
+    if (signs[j] == 1) index |= (1 << j);
+  }
+  return index;
+}
+
+LabeledHypercubeUniverse::LabeledHypercubeUniverse(int dim)
+    : VectorUniverse(MakeHypercubeRows(dim, /*labeled=*/true),
+                     "labeled-hypercube(d=" + std::to_string(dim) + ")"),
+      dim_(dim) {}
+
+int LabeledHypercubeUniverse::IndexOf(const std::vector<int>& signs,
+                                      int label) const {
+  PMW_CHECK_EQ(static_cast<int>(signs.size()), dim_);
+  PMW_CHECK_MSG(label == 1 || label == -1, "label must be +-1");
+  int index = 0;
+  for (int j = 0; j < dim_; ++j) {
+    PMW_CHECK_MSG(signs[j] == 1 || signs[j] == -1, "signs must be +-1");
+    if (signs[j] == 1) index |= (1 << (j + 1));
+  }
+  if (label == 1) index |= 1;
+  return index;
+}
+
+}  // namespace data
+}  // namespace pmw

@@ -1,0 +1,52 @@
+// Hypercube data universes, the paper's canonical choice (Section 4.3):
+// X = {+-1/sqrt(d)}^d (so that every record has unit L2 norm), optionally
+// crossed with a binary label in {-1, +1} for supervised losses.
+
+#ifndef PMWCM_DATA_BINARY_UNIVERSE_H_
+#define PMWCM_DATA_BINARY_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/universe.h"
+
+namespace pmw {
+namespace data {
+
+/// X = {+-1/sqrt(d)}^d; |X| = 2^d. Bit j of the index selects the sign of
+/// coordinate j (bit set => +1/sqrt(d)).
+class HypercubeUniverse : public VectorUniverse {
+ public:
+  /// Requires 1 <= dim <= 20 (|X| = 2^dim must stay enumerable).
+  explicit HypercubeUniverse(int dim);
+
+  /// Index of the record whose coordinate signs are `signs` (+1 or -1 each).
+  int IndexOf(const std::vector<int>& signs) const;
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+};
+
+/// X = {+-1/sqrt(d)}^d x {-1, +1}; |X| = 2^(d+1). The label occupies the
+/// lowest bit of the index (bit set => label +1), feature bit j occupies
+/// index bit j + 1.
+class LabeledHypercubeUniverse : public VectorUniverse {
+ public:
+  /// Requires 1 <= dim <= 19.
+  explicit LabeledHypercubeUniverse(int dim);
+
+  /// Index of (signs, label). label must be +1 or -1.
+  int IndexOf(const std::vector<int>& signs, int label) const;
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+};
+
+}  // namespace data
+}  // namespace pmw
+
+#endif  // PMWCM_DATA_BINARY_UNIVERSE_H_

@@ -1,0 +1,37 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace pmw {
+namespace data {
+
+Dataset::Dataset(const Universe* universe, std::vector<int> indices)
+    : universe_(universe), indices_(std::move(indices)) {
+  PMW_CHECK(universe_ != nullptr);
+  PMW_CHECK_MSG(!indices_.empty(), "dataset must have at least one record");
+  for (int idx : indices_) {
+    PMW_CHECK_GE(idx, 0);
+    PMW_CHECK_LT(idx, universe_->size());
+  }
+}
+
+int Dataset::index(int i) const {
+  PMW_CHECK_GE(i, 0);
+  PMW_CHECK_LT(i, n());
+  return indices_[i];
+}
+
+const Row& Dataset::row(int i) const { return universe_->row(index(i)); }
+
+Dataset Dataset::WithRowReplaced(int position, int new_index) const {
+  PMW_CHECK_GE(position, 0);
+  PMW_CHECK_LT(position, n());
+  PMW_CHECK_GE(new_index, 0);
+  PMW_CHECK_LT(new_index, universe_->size());
+  std::vector<int> indices = indices_;
+  indices[position] = new_index;
+  return Dataset(universe_, std::move(indices));
+}
+
+}  // namespace data
+}  // namespace pmw

@@ -1,0 +1,44 @@
+// Datasets D in X^n, stored as universe-row indices (Section 2.1).
+
+#ifndef PMWCM_DATA_DATASET_H_
+#define PMWCM_DATA_DATASET_H_
+
+#include <vector>
+
+#include "data/universe.h"
+
+namespace pmw {
+namespace data {
+
+/// A dataset of n records, each an index into a fixed Universe. Storing
+/// indices (rather than copies of the rows) keeps histogram conversion exact
+/// and makes neighbouring-dataset enumeration (for sensitivity tests) cheap.
+class Dataset {
+ public:
+  /// All indices must be valid rows of `universe`, which must outlive *this.
+  Dataset(const Universe* universe, std::vector<int> indices);
+
+  int n() const { return static_cast<int>(indices_.size()); }
+  const Universe& universe() const { return *universe_; }
+
+  /// Universe index of record i.
+  int index(int i) const;
+
+  /// The record itself.
+  const Row& row(int i) const;
+
+  /// A neighbouring dataset (Definition 2.1): record `position` replaced by
+  /// universe row `new_index`.
+  Dataset WithRowReplaced(int position, int new_index) const;
+
+  const std::vector<int>& indices() const { return indices_; }
+
+ private:
+  const Universe* universe_;
+  std::vector<int> indices_;
+};
+
+}  // namespace data
+}  // namespace pmw
+
+#endif  // PMWCM_DATA_DATASET_H_

@@ -1,0 +1,73 @@
+#include "data/discretize.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pmw {
+namespace data {
+namespace {
+
+double FeatureDistSq(const Row& row, const ContinuousRecord& record) {
+  double acc = 0.0;
+  for (size_t j = 0; j < row.features.size(); ++j) {
+    acc += Sq(row.features[j] - record.features[j]);
+  }
+  return acc;
+}
+
+bool LabelMatches(const Row& row, const ContinuousRecord& record) {
+  if (row.label == 0.0) return true;
+  return (row.label > 0.0) == (record.label > 0.0);
+}
+
+}  // namespace
+
+int NearestRow(const Universe& universe, const ContinuousRecord& record) {
+  PMW_CHECK_EQ(static_cast<int>(record.features.size()),
+               universe.feature_dim());
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  bool best_label_match = false;
+  for (int i = 0; i < universe.size(); ++i) {
+    const Row& row = universe.row(i);
+    double dist = FeatureDistSq(row, record);
+    bool label_match = LabelMatches(row, record);
+    bool better = dist < best_dist - 1e-15 ||
+                  (std::abs(dist - best_dist) <= 1e-15 && label_match &&
+                   !best_label_match);
+    if (better) {
+      best = i;
+      best_dist = dist;
+      best_label_match = label_match;
+    }
+  }
+  PMW_CHECK_GE(best, 0);
+  return best;
+}
+
+Dataset DiscretizeDataset(const Universe& universe,
+                          const std::vector<ContinuousRecord>& records) {
+  PMW_CHECK(!records.empty());
+  std::vector<int> indices;
+  indices.reserve(records.size());
+  for (const ContinuousRecord& r : records) {
+    indices.push_back(NearestRow(universe, r));
+  }
+  return Dataset(&universe, std::move(indices));
+}
+
+double MaxRoundingDistance(const Universe& universe,
+                           const std::vector<ContinuousRecord>& records) {
+  double worst = 0.0;
+  for (const ContinuousRecord& r : records) {
+    int idx = NearestRow(universe, r);
+    worst = std::max(worst, std::sqrt(FeatureDistSq(universe.row(idx), r)));
+  }
+  return worst;
+}
+
+}  // namespace data
+}  // namespace pmw

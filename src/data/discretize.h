@@ -1,0 +1,42 @@
+// Rounding continuous records to a finite universe.
+//
+// The paper (Section 1.1) notes that for data in R^d it is essentially
+// without loss of generality (up to a factor ~2 in error) to round records
+// to a finite universe of size (d/alpha)^O(d). These helpers perform that
+// rounding against any enumerable Universe by nearest-row search.
+
+#ifndef PMWCM_DATA_DISCRETIZE_H_
+#define PMWCM_DATA_DISCRETIZE_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/universe.h"
+
+namespace pmw {
+namespace data {
+
+/// A raw (continuous) record: features plus label.
+struct ContinuousRecord {
+  std::vector<double> features;
+  double label = 0.0;
+};
+
+/// Index of the universe row minimizing squared feature distance; among
+/// rows at equal distance, one whose label sign matches is preferred.
+int NearestRow(const Universe& universe, const ContinuousRecord& record);
+
+/// Rounds every record and assembles the discretized dataset.
+Dataset DiscretizeDataset(const Universe& universe,
+                          const std::vector<ContinuousRecord>& records);
+
+/// Maximum feature-space rounding distance incurred over `records` —
+/// the quantity that the paper's "factor of 2 in error" remark bounds.
+double MaxRoundingDistance(const Universe& universe,
+                           const std::vector<ContinuousRecord>& records);
+
+}  // namespace data
+}  // namespace pmw
+
+#endif  // PMWCM_DATA_DISCRETIZE_H_

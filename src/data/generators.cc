@@ -1,0 +1,146 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pmw {
+namespace data {
+namespace {
+
+// Probability of the sign pattern of `row` under a product-of-biases model.
+double ProductMass(const Row& row, const std::vector<double>& biases) {
+  double mass = 1.0;
+  for (size_t j = 0; j < row.features.size(); ++j) {
+    double bias = biases[j];
+    mass *= (row.features[j] > 0.0) ? bias : (1.0 - bias);
+  }
+  return mass;
+}
+
+}  // namespace
+
+Histogram UniformDistribution(const Universe& universe) {
+  return Histogram::Uniform(universe.size());
+}
+
+Histogram ProductDistribution(const Universe& universe,
+                              const std::vector<double>& coordinate_biases,
+                              double label_bias) {
+  PMW_CHECK_EQ(static_cast<int>(coordinate_biases.size()),
+               universe.feature_dim());
+  for (double b : coordinate_biases) {
+    PMW_CHECK_GE(b, 0.0);
+    PMW_CHECK_LE(b, 1.0);
+  }
+  PMW_CHECK_GE(label_bias, 0.0);
+  PMW_CHECK_LE(label_bias, 1.0);
+  std::vector<double> w(universe.size());
+  for (int i = 0; i < universe.size(); ++i) {
+    const Row& row = universe.row(i);
+    double mass = ProductMass(row, coordinate_biases);
+    if (row.label > 0.0) {
+      mass *= label_bias;
+    } else if (row.label < 0.0) {
+      mass *= (1.0 - label_bias);
+    }
+    w[i] = mass;
+  }
+  return Histogram::FromWeights(std::move(w));
+}
+
+Histogram LogisticModelDistribution(
+    const Universe& universe, const std::vector<double>& theta_star,
+    const std::vector<double>& coordinate_biases, double temperature) {
+  PMW_CHECK_EQ(static_cast<int>(theta_star.size()), universe.feature_dim());
+  PMW_CHECK_GT(temperature, 0.0);
+  std::vector<double> w(universe.size());
+  for (int i = 0; i < universe.size(); ++i) {
+    const Row& row = universe.row(i);
+    double mass = ProductMass(row, coordinate_biases);
+    if (row.label != 0.0) {
+      double margin = 0.0;
+      for (size_t j = 0; j < row.features.size(); ++j) {
+        margin += theta_star[j] * row.features[j];
+      }
+      double p_pos = Sigmoid(margin / temperature);
+      mass *= (row.label > 0.0) ? p_pos : (1.0 - p_pos);
+    }
+    w[i] = mass;
+  }
+  return Histogram::FromWeights(std::move(w));
+}
+
+Histogram MixtureDistribution(const Universe& universe,
+                              const std::vector<std::vector<double>>& centers,
+                              double width) {
+  PMW_CHECK(!centers.empty());
+  PMW_CHECK_GT(width, 0.0);
+  for (const auto& c : centers) {
+    PMW_CHECK_EQ(static_cast<int>(c.size()), universe.feature_dim());
+  }
+  std::vector<double> w(universe.size());
+  for (int i = 0; i < universe.size(); ++i) {
+    const Row& row = universe.row(i);
+    double mass = 0.0;
+    int nearest = 0;
+    double nearest_dist = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers.size(); ++c) {
+      double dist_sq = 0.0;
+      for (size_t j = 0; j < row.features.size(); ++j) {
+        dist_sq += Sq(row.features[j] - centers[c][j]);
+      }
+      mass += std::exp(-dist_sq / width);
+      if (dist_sq < nearest_dist) {
+        nearest_dist = dist_sq;
+        nearest = static_cast<int>(c);
+      }
+    }
+    if (row.label != 0.0) {
+      // Nearest centre's parity decides the likely label (90/10 split).
+      double p_pos = (nearest % 2 == 0) ? 0.9 : 0.1;
+      mass *= (row.label > 0.0) ? p_pos : (1.0 - p_pos);
+    }
+    w[i] = mass;
+  }
+  return Histogram::FromWeights(std::move(w));
+}
+
+Dataset SampleDataset(const Universe& universe, const Histogram& dist, int n,
+                      Rng* rng) {
+  return dist.SampleDataset(universe, n, rng);
+}
+
+Dataset RoundedDataset(const Universe& universe, const Histogram& dist,
+                       int n) {
+  PMW_CHECK_EQ(universe.size(), dist.size());
+  PMW_CHECK_GE(n, 1);
+  // Largest-remainder rounding of n * p(x) to integer counts summing to n.
+  std::vector<int> counts(dist.size());
+  std::vector<std::pair<double, int>> remainders(dist.size());
+  int assigned = 0;
+  for (int i = 0; i < dist.size(); ++i) {
+    double exact = dist[i] * n;
+    counts[i] = static_cast<int>(std::floor(exact));
+    assigned += counts[i];
+    remainders[i] = {exact - counts[i], i};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int j = 0; j < n - assigned; ++j) {
+    counts[remainders[j % remainders.size()].second] += 1;
+  }
+  std::vector<int> indices;
+  indices.reserve(n);
+  for (int i = 0; i < dist.size(); ++i) {
+    for (int c = 0; c < counts[i]; ++c) indices.push_back(i);
+  }
+  PMW_CHECK_EQ(static_cast<int>(indices.size()), n);
+  return Dataset(&universe, std::move(indices));
+}
+
+}  // namespace data
+}  // namespace pmw

@@ -1,0 +1,84 @@
+#include "data/grid_universe.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace data {
+namespace {
+
+std::vector<Row> MakeGridRows(int dim, int points_per_axis, bool labeled) {
+  PMW_CHECK_GE(dim, 1);
+  PMW_CHECK_GE(points_per_axis, 2);
+  double total = std::pow(static_cast<double>(points_per_axis), dim) *
+                 (labeled ? 2.0 : 1.0);
+  PMW_CHECK_MSG(total <= static_cast<double>(1 << 20),
+                "grid universe too large to enumerate");
+  const double radius = 1.0 / std::sqrt(static_cast<double>(dim));
+  std::vector<double> axis(points_per_axis);
+  for (int i = 0; i < points_per_axis; ++i) {
+    axis[i] = -radius + 2.0 * radius * static_cast<double>(i) /
+                            static_cast<double>(points_per_axis - 1);
+  }
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(total));
+  std::vector<int> idx(dim, 0);
+  while (true) {
+    Row base;
+    base.features.resize(dim);
+    for (int j = 0; j < dim; ++j) base.features[j] = axis[idx[j]];
+    if (labeled) {
+      Row neg = base;
+      neg.label = -1.0;
+      rows.push_back(std::move(neg));
+      Row pos = base;
+      pos.label = 1.0;
+      rows.push_back(std::move(pos));
+    } else {
+      rows.push_back(std::move(base));
+    }
+    // Odometer increment over the d axis indices.
+    int j = 0;
+    while (j < dim) {
+      if (++idx[j] < points_per_axis) break;
+      idx[j] = 0;
+      ++j;
+    }
+    if (j == dim) break;
+  }
+  return rows;
+}
+
+}  // namespace
+
+GridUniverse::GridUniverse(int dim, int points_per_axis, bool labeled)
+    : VectorUniverse(MakeGridRows(dim, points_per_axis, labeled),
+                     "grid(d=" + std::to_string(dim) + ",m=" +
+                         std::to_string(points_per_axis) +
+                         (labeled ? ",labeled)" : ")")),
+      dim_(dim),
+      points_per_axis_(points_per_axis),
+      labeled_(labeled) {}
+
+int GridUniverse::IndexOf(const std::vector<int>& axis_indices,
+                          int label) const {
+  PMW_CHECK_EQ(static_cast<int>(axis_indices.size()), dim_);
+  long long cell = 0;
+  // Row layout from MakeGridRows: axis 0 varies fastest.
+  long long stride = 1;
+  for (int j = 0; j < dim_; ++j) {
+    PMW_CHECK_GE(axis_indices[j], 0);
+    PMW_CHECK_LT(axis_indices[j], points_per_axis_);
+    cell += stride * axis_indices[j];
+    stride *= points_per_axis_;
+  }
+  if (labeled_) {
+    PMW_CHECK_MSG(label == 1 || label == -1, "label must be +-1");
+    cell = cell * 2 + (label == 1 ? 1 : 0);
+  }
+  return static_cast<int>(cell);
+}
+
+}  // namespace data
+}  // namespace pmw

@@ -1,0 +1,40 @@
+// Grid data universes: the paper's suggested rounding of continuous domains
+// (Section 1.1) to a finite universe of size roughly (d/alpha)^O(d).
+
+#ifndef PMWCM_DATA_GRID_UNIVERSE_H_
+#define PMWCM_DATA_GRID_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/universe.h"
+
+namespace pmw {
+namespace data {
+
+/// X = G^d (x {-1,+1} when labeled) where G is a uniform grid of
+/// `points_per_axis` values covering [-1/sqrt(d), +1/sqrt(d)], so every
+/// record has L2 norm at most 1. |X| = points_per_axis^d (times 2 labeled).
+class GridUniverse : public VectorUniverse {
+ public:
+  /// Requires points_per_axis >= 2 and total size <= 2^20.
+  GridUniverse(int dim, int points_per_axis, bool labeled);
+
+  int dim() const { return dim_; }
+  int points_per_axis() const { return points_per_axis_; }
+  bool labeled() const { return labeled_; }
+
+  /// Index of the grid cell with the given per-axis indices (each in
+  /// [0, points_per_axis)) and label (+1/-1; ignored when unlabeled).
+  int IndexOf(const std::vector<int>& axis_indices, int label) const;
+
+ private:
+  int dim_;
+  int points_per_axis_;
+  bool labeled_;
+};
+
+}  // namespace data
+}  // namespace pmw
+
+#endif  // PMWCM_DATA_GRID_UNIVERSE_H_

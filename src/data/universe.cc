@@ -1,0 +1,41 @@
+#include "data/universe.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace data {
+
+double Universe::LogSize() const {
+  PMW_CHECK_GE(size(), 1);
+  return std::log(static_cast<double>(size()));
+}
+
+double Universe::MaxFeatureNorm() const {
+  double best = 0.0;
+  for (int i = 0; i < size(); ++i) {
+    double norm_sq = 0.0;
+    for (double f : row(i).features) norm_sq += f * f;
+    best = std::max(best, std::sqrt(norm_sq));
+  }
+  return best;
+}
+
+VectorUniverse::VectorUniverse(std::vector<Row> rows, std::string name)
+    : rows_(std::move(rows)), name_(std::move(name)) {
+  PMW_CHECK_MSG(!rows_.empty(), "universe must be non-empty");
+  feature_dim_ = static_cast<int>(rows_[0].features.size());
+  for (const Row& r : rows_) {
+    PMW_CHECK_EQ(static_cast<int>(r.features.size()), feature_dim_);
+  }
+}
+
+const Row& VectorUniverse::row(int i) const {
+  PMW_CHECK_GE(i, 0);
+  PMW_CHECK_LT(i, size());
+  return rows_[i];
+}
+
+}  // namespace data
+}  // namespace pmw

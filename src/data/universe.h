@@ -1,0 +1,68 @@
+// Finite data universes (the set X of possible records).
+//
+// The paper (Section 2.1) represents datasets as histograms over a finite
+// data universe X. A Universe enumerates the records of X; each record (Row)
+// carries a feature vector and a real label so that the same universe can
+// back linear queries, regression losses, and classification losses.
+
+#ifndef PMWCM_DATA_UNIVERSE_H_
+#define PMWCM_DATA_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+namespace pmw {
+namespace data {
+
+/// One record type in the universe: a feature vector plus a label.
+/// For unlabeled universes the label is 0.
+struct Row {
+  std::vector<double> features;
+  double label = 0.0;
+};
+
+/// An enumerable finite data universe X = {row(0), ..., row(size-1)}.
+class Universe {
+ public:
+  virtual ~Universe() = default;
+
+  /// |X|.
+  virtual int size() const = 0;
+
+  /// The i-th record; valid for 0 <= i < size().
+  virtual const Row& row(int i) const = 0;
+
+  /// Dimensionality of the feature vectors.
+  virtual int feature_dim() const = 0;
+
+  /// Human-readable identifier for reports.
+  virtual std::string name() const = 0;
+
+  /// log(|X|), the quantity appearing in all the paper's bounds.
+  double LogSize() const;
+
+  /// Maximum L2 norm of any feature vector in the universe.
+  double MaxFeatureNorm() const;
+};
+
+/// A universe backed by an explicit vector of rows. Base class for the
+/// concrete universes and directly usable for custom record sets.
+class VectorUniverse : public Universe {
+ public:
+  VectorUniverse(std::vector<Row> rows, std::string name);
+
+  int size() const override { return static_cast<int>(rows_.size()); }
+  const Row& row(int i) const override;
+  int feature_dim() const override { return feature_dim_; }
+  std::string name() const override { return name_; }
+
+ protected:
+  std::vector<Row> rows_;
+  int feature_dim_;
+  std::string name_;
+};
+
+}  // namespace data
+}  // namespace pmw
+
+#endif  // PMWCM_DATA_UNIVERSE_H_

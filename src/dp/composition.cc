@@ -1,0 +1,45 @@
+#include "dp/composition.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace dp {
+
+PrivacyParams BasicComposition(const PrivacyParams& per_round, int rounds) {
+  ValidatePrivacyParams(per_round);
+  PMW_CHECK_GE(rounds, 1);
+  return {per_round.epsilon * rounds, per_round.delta * rounds};
+}
+
+PrivacyParams StrongComposition(const PrivacyParams& per_round, int rounds,
+                                double delta_prime) {
+  ValidatePrivacyParams(per_round);
+  PMW_CHECK_GE(rounds, 1);
+  PMW_CHECK_GT(delta_prime, 0.0);
+  PMW_CHECK_LT(delta_prime, 1.0);
+  double t = static_cast<double>(rounds);
+  double eps0 = per_round.epsilon;
+  double eps = std::sqrt(2.0 * t * std::log(1.0 / delta_prime)) * eps0 +
+               2.0 * t * eps0 * eps0;
+  return {eps, delta_prime + t * per_round.delta};
+}
+
+PrivacyParams PerRoundBudget(const PrivacyParams& total, int rounds) {
+  ValidatePrivacyParams(total);
+  PMW_CHECK_GE(rounds, 1);
+  PMW_CHECK_MSG(total.delta > 0.0,
+                "PerRoundBudget requires delta > 0 (strong composition)");
+  double t = static_cast<double>(rounds);
+  double log_term = std::log(2.0 / total.delta);
+  PMW_CHECK_MSG(total.epsilon <= log_term,
+                "PerRoundBudget requires eps <= ln(2/delta)");
+  PrivacyParams per_round;
+  per_round.epsilon = total.epsilon / std::sqrt(8.0 * t * log_term);
+  per_round.delta = total.delta / (2.0 * t);
+  return per_round;
+}
+
+}  // namespace dp
+}  // namespace pmw

@@ -1,0 +1,33 @@
+// Composition theorems for differential privacy (paper Section 3.4.1).
+//
+// Implements basic composition and the strong composition theorem of
+// Dwork, Rothblum, and Vadhan (paper Theorem 3.10), plus the inverse
+// budget split the paper's algorithm uses (Figure 3's eps0, delta0).
+
+#ifndef PMWCM_DP_COMPOSITION_H_
+#define PMWCM_DP_COMPOSITION_H_
+
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace dp {
+
+/// T-fold basic composition: (T eps0, T delta0).
+PrivacyParams BasicComposition(const PrivacyParams& per_round, int rounds);
+
+/// Theorem 3.10: a T-fold adaptive composition of (eps0, delta0)-DP
+/// mechanisms is (eps, delta' + T delta0)-DP for
+///   eps = sqrt(2 T ln(1/delta')) eps0 + 2 T eps0^2.
+PrivacyParams StrongComposition(const PrivacyParams& per_round, int rounds,
+                                double delta_prime);
+
+/// The paper's inverse split (Theorem 3.10, "in particular"): per-round
+///   eps0 = eps / sqrt(8 T log(2/delta)),  delta0 = delta / (2T)
+/// so that the T-fold strong composition stays within (eps, delta).
+/// Requires eps <= ln(2/delta) (checked) so the quadratic term stays small.
+PrivacyParams PerRoundBudget(const PrivacyParams& total, int rounds);
+
+}  // namespace dp
+}  // namespace pmw
+
+#endif  // PMWCM_DP_COMPOSITION_H_

@@ -1,0 +1,64 @@
+#include "dp/ledger.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "dp/composition.h"
+
+namespace pmw {
+namespace dp {
+
+void PrivacyLedger::Record(const std::string& label,
+                           const PrivacyParams& params) {
+  ValidatePrivacyParams(params);
+  events_.push_back({label, params});
+}
+
+PrivacyParams PrivacyLedger::BasicTotal() const {
+  PrivacyParams total{0.0, 0.0};
+  for (const Event& e : events_) {
+    total.epsilon += e.params.epsilon;
+    total.delta += e.params.delta;
+  }
+  return total;
+}
+
+PrivacyParams PrivacyLedger::GroupedStrongTotal(
+    double delta_prime_per_group) const {
+  std::map<std::pair<double, double>, int> groups;
+  for (const Event& e : events_) {
+    groups[{e.params.epsilon, e.params.delta}] += 1;
+  }
+  PrivacyParams total{0.0, 0.0};
+  for (const auto& [key, count] : groups) {
+    PrivacyParams per_round{key.first, key.second};
+    PrivacyParams group =
+        StrongComposition(per_round, count, delta_prime_per_group);
+    total.epsilon += group.epsilon;
+    total.delta += group.delta;
+  }
+  return total;
+}
+
+int PrivacyLedger::CountWithPrefix(const std::string& prefix) const {
+  int count = 0;
+  for (const Event& e : events_) {
+    if (e.label.rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+std::string PrivacyLedger::Report() const {
+  std::ostringstream oss;
+  oss << "PrivacyLedger: " << events_.size() << " events\n";
+  for (const Event& e : events_) {
+    oss << "  " << e.label << " " << e.params.ToString() << "\n";
+  }
+  PrivacyParams basic = BasicTotal();
+  oss << "  basic total: " << basic.ToString() << "\n";
+  return oss.str();
+}
+
+}  // namespace dp
+}  // namespace pmw

@@ -1,0 +1,49 @@
+// A privacy ledger: records every differentially private access an
+// algorithm makes and reports the total privacy cost under basic or strong
+// composition. Used by tests to audit that the PMW implementation spends
+// exactly the budget the paper's analysis (Section 3.4) claims.
+
+#ifndef PMWCM_DP_LEDGER_H_
+#define PMWCM_DP_LEDGER_H_
+
+#include <string>
+#include <vector>
+
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace dp {
+
+class PrivacyLedger {
+ public:
+  /// Records one (eps, delta)-DP release.
+  void Record(const std::string& label, const PrivacyParams& params);
+
+  int event_count() const { return static_cast<int>(events_.size()); }
+
+  /// Total under basic composition (sum of epsilons and deltas).
+  PrivacyParams BasicTotal() const;
+
+  /// Total under strong composition applied to the *homogeneous* subgroup
+  /// of events sharing each distinct (eps, delta), each group composed
+  /// strongly with its own delta' = delta_prime_per_group, then summed
+  /// basically across groups. A simple, conservative audit.
+  PrivacyParams GroupedStrongTotal(double delta_prime_per_group) const;
+
+  /// Events carrying the given label prefix.
+  int CountWithPrefix(const std::string& prefix) const;
+
+  std::string Report() const;
+
+ private:
+  struct Event {
+    std::string label;
+    PrivacyParams params;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace dp
+}  // namespace pmw
+
+#endif  // PMWCM_DP_LEDGER_H_

@@ -1,0 +1,87 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace dp {
+
+double LaplaceScale(double sensitivity, double epsilon) {
+  PMW_CHECK_GT(sensitivity, 0.0);
+  PMW_CHECK_GT(epsilon, 0.0);
+  return sensitivity / epsilon;
+}
+
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng* rng) {
+  PMW_CHECK(rng != nullptr);
+  return value + rng->Laplace(LaplaceScale(sensitivity, epsilon));
+}
+
+double GaussianSigma(double sensitivity, const PrivacyParams& params) {
+  PMW_CHECK_GT(sensitivity, 0.0);
+  ValidatePrivacyParams(params);
+  PMW_CHECK_MSG(params.delta > 0.0,
+                "Gaussian mechanism requires delta > 0");
+  return sensitivity * std::sqrt(2.0 * std::log(1.25 / params.delta)) /
+         params.epsilon;
+}
+
+double GaussianMechanism(double value, double sensitivity,
+                         const PrivacyParams& params, Rng* rng) {
+  PMW_CHECK(rng != nullptr);
+  return value + rng->Gaussian(0.0, GaussianSigma(sensitivity, params));
+}
+
+std::vector<double> GaussianMechanismVector(std::vector<double> value,
+                                            double sensitivity,
+                                            const PrivacyParams& params,
+                                            Rng* rng) {
+  PMW_CHECK(rng != nullptr);
+  double sigma = GaussianSigma(sensitivity, params);
+  for (double& v : value) v += rng->Gaussian(0.0, sigma);
+  return value;
+}
+
+int ExponentialMechanism(const std::vector<double>& scores, double sensitivity,
+                         double epsilon, Rng* rng) {
+  PMW_CHECK(rng != nullptr);
+  PMW_CHECK(!scores.empty());
+  PMW_CHECK_GT(sensitivity, 0.0);
+  PMW_CHECK_GT(epsilon, 0.0);
+  // Gumbel-max: argmax_i (eps * score_i / (2 sens) + Gumbel_i) has exactly
+  // the exponential-mechanism distribution.
+  int best = 0;
+  double best_key = -1e308;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double key = epsilon * scores[i] / (2.0 * sensitivity) + rng->Gumbel();
+    if (key > best_key) {
+      best_key = key;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int ReportNoisyMax(const std::vector<double>& scores, double sensitivity,
+                   double epsilon, Rng* rng) {
+  PMW_CHECK(rng != nullptr);
+  PMW_CHECK(!scores.empty());
+  PMW_CHECK_GT(sensitivity, 0.0);
+  PMW_CHECK_GT(epsilon, 0.0);
+  int best = 0;
+  double best_value = -1e308;
+  double scale = 2.0 * sensitivity / epsilon;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double noisy = scores[i] + rng->Laplace(scale);
+    if (noisy > best_value) {
+      best_value = noisy;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace dp
+}  // namespace pmw

@@ -1,0 +1,57 @@
+// Basic output-perturbation mechanisms: Laplace, Gaussian, and the
+// exponential mechanism (McSherry-Talwar), the building blocks the paper's
+// framework composes (Sections 1.2, 3.1, 3.4).
+
+#ifndef PMWCM_DP_MECHANISMS_H_
+#define PMWCM_DP_MECHANISMS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace dp {
+
+/// The Laplace mechanism for a scalar with L1 sensitivity `sensitivity`:
+/// value + Lap(sensitivity / epsilon). Pure epsilon-DP.
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        Rng* rng);
+
+/// Noise scale b used by LaplaceMechanism.
+double LaplaceScale(double sensitivity, double epsilon);
+
+/// The Gaussian mechanism for a scalar with L2 sensitivity `sensitivity`:
+/// value + N(0, sigma^2) with the classical calibration
+/// sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon. Requires
+/// delta > 0 and epsilon <= 1 for the classical bound to apply (checked).
+double GaussianMechanism(double value, double sensitivity,
+                         const PrivacyParams& params, Rng* rng);
+
+/// Noise standard deviation used by GaussianMechanism.
+double GaussianSigma(double sensitivity, const PrivacyParams& params);
+
+/// Vector Gaussian mechanism: adds iid N(0, sigma^2) per coordinate, where
+/// `sensitivity` bounds the L2 norm of the difference between neighbouring
+/// outputs.
+std::vector<double> GaussianMechanismVector(std::vector<double> value,
+                                            double sensitivity,
+                                            const PrivacyParams& params,
+                                            Rng* rng);
+
+/// The exponential mechanism: samples index i with probability proportional
+/// to exp(epsilon * score[i] / (2 * sensitivity)), where `sensitivity`
+/// bounds the per-record change of every score. Implemented by the Gumbel-
+/// max trick, which is exact. Pure epsilon-DP.
+int ExponentialMechanism(const std::vector<double>& scores, double sensitivity,
+                         double epsilon, Rng* rng);
+
+/// Report-noisy-max with Laplace noise (an alternative selection mechanism,
+/// also epsilon-DP for sensitivity-1 scores after scaling).
+int ReportNoisyMax(const std::vector<double>& scores, double sensitivity,
+                   double epsilon, Rng* rng);
+
+}  // namespace dp
+}  // namespace pmw
+
+#endif  // PMWCM_DP_MECHANISMS_H_

@@ -1,0 +1,15 @@
+#include "dp/privacy.h"
+
+#include "common/check.h"
+
+namespace pmw {
+namespace dp {
+
+void ValidatePrivacyParams(const PrivacyParams& params) {
+  PMW_CHECK_MSG(params.epsilon > 0.0, "epsilon must be positive");
+  PMW_CHECK_MSG(params.delta >= 0.0 && params.delta < 1.0,
+                "delta must lie in [0, 1)");
+}
+
+}  // namespace dp
+}  // namespace pmw

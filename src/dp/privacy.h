@@ -1,0 +1,31 @@
+// Privacy parameter types (Definition 2.1).
+
+#ifndef PMWCM_DP_PRIVACY_H_
+#define PMWCM_DP_PRIVACY_H_
+
+#include <string>
+
+namespace pmw {
+namespace dp {
+
+/// (epsilon, delta)-differential privacy parameters.
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 0.0;
+
+  /// True for pure (epsilon, 0)-DP.
+  bool IsPure() const { return delta == 0.0; }
+
+  std::string ToString() const {
+    return "(eps=" + std::to_string(epsilon) +
+           ", delta=" + std::to_string(delta) + ")";
+  }
+};
+
+/// Validates epsilon > 0 and 0 <= delta < 1, aborting otherwise.
+void ValidatePrivacyParams(const PrivacyParams& params);
+
+}  // namespace dp
+}  // namespace pmw
+
+#endif  // PMWCM_DP_PRIVACY_H_

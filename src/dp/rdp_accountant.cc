@@ -1,0 +1,77 @@
+#include "dp/rdp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "dp/composition.h"
+
+namespace pmw {
+namespace dp {
+namespace {
+
+std::vector<double> DefaultOrders() {
+  std::vector<double> orders = {1.25, 1.5, 1.75, 2.0, 2.5, 3.0,
+                                4.0,  5.0, 6.0,  8.0, 12.0, 16.0,
+                                24.0, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0};
+  return orders;
+}
+
+}  // namespace
+
+RdpAccountant::RdpAccountant() : RdpAccountant(DefaultOrders()) {}
+
+RdpAccountant::RdpAccountant(std::vector<double> orders)
+    : orders_(std::move(orders)), rdp_(orders_.size(), 0.0) {
+  PMW_CHECK(!orders_.empty());
+  for (double a : orders_) PMW_CHECK_GT(a, 1.0);
+}
+
+void RdpAccountant::AddGaussian(double noise_multiplier, int count) {
+  PMW_CHECK_GT(noise_multiplier, 0.0);
+  PMW_CHECK_GE(count, 1);
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += count * orders_[i] /
+               (2.0 * noise_multiplier * noise_multiplier);
+  }
+}
+
+void RdpAccountant::AddPureDp(double epsilon, int count) {
+  PMW_CHECK_GT(epsilon, 0.0);
+  PMW_CHECK_GE(count, 1);
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    double bound = std::min(0.5 * orders_[i] * epsilon * epsilon, epsilon);
+    rdp_[i] += count * bound;
+  }
+}
+
+double RdpAccountant::EpsilonAt(double delta) const {
+  PMW_CHECK_GT(delta, 0.0);
+  PMW_CHECK_LT(delta, 1.0);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    double a = orders_[i];
+    double eps = rdp_[i] + std::log(1.0 / delta) / (a - 1.0) +
+                 std::log((a - 1.0) / a);
+    best = std::min(best, std::max(eps, 0.0));
+  }
+  return best;
+}
+
+double RdpAccountant::StrongCompositionEpsilon(double noise_multiplier,
+                                               int count, double delta) {
+  // Each Gaussian release at noise multiplier m is (eps0, delta0)-DP with
+  // the classical calibration eps0 = sqrt(2 ln(1.25/delta0)) / m; charge
+  // half the final delta to the per-release delta0 and half to the
+  // composition slack.
+  PMW_CHECK_GT(noise_multiplier, 0.0);
+  PMW_CHECK_GE(count, 1);
+  double delta0 = delta / (2.0 * count);
+  double eps0 = std::sqrt(2.0 * std::log(1.25 / delta0)) / noise_multiplier;
+  PrivacyParams per{eps0, delta0};
+  return StrongComposition(per, count, delta / 2.0).epsilon;
+}
+
+}  // namespace dp
+}  // namespace pmw

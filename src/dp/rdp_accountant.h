@@ -1,0 +1,68 @@
+// Renyi differential privacy (RDP) accounting — a tighter composition
+// calculus than Theorem 3.10's strong composition.
+//
+// The paper's Figure 3 splits its budget with the DRV10 strong composition
+// theorem. Modern accountants track the Renyi divergence of each mechanism
+// at a grid of orders and convert to (eps, delta) at the end, composing by
+// simple addition. Shipped as an optional extension (DESIGN.md "ablations /
+// future work"): bench_ablation quantifies how much budget Figure 3 leaves
+// on the table at practical T.
+//
+// Facts used (Mironov 2017; Balle et al. 2020 conversion):
+//   Gaussian mechanism, L2 sensitivity D, noise sigma:
+//       RDP(alpha) = alpha D^2 / (2 sigma^2).
+//   Pure eps-DP mechanism: RDP(alpha) <= min(eps alpha / 2 * tanh-free
+//       bound, eps) — we use the standard bound
+//       RDP(alpha) <= min( (alpha/2) eps^2 , eps ).
+//   Composition: RDP adds order-wise.
+//   Conversion: (eps, delta)-DP with
+//       eps = min_alpha RDP(alpha) + log(1/delta)/(alpha - 1)
+//             + log((alpha-1)/alpha)   (Balle et al.; the last term <= 0).
+
+#ifndef PMWCM_DP_RDP_ACCOUNTANT_H_
+#define PMWCM_DP_RDP_ACCOUNTANT_H_
+
+#include <vector>
+
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace dp {
+
+class RdpAccountant {
+ public:
+  /// Uses a standard grid of orders (1.25 ... 512).
+  RdpAccountant();
+  /// Custom orders; every order must be > 1.
+  explicit RdpAccountant(std::vector<double> orders);
+
+  /// Records a Gaussian mechanism with the given noise multiplier
+  /// (sigma / sensitivity). May be called repeatedly (composition).
+  void AddGaussian(double noise_multiplier, int count = 1);
+
+  /// Records a pure eps-DP mechanism (e.g. one sparse-vector epoch or an
+  /// exponential-mechanism selection).
+  void AddPureDp(double epsilon, int count = 1);
+
+  /// Current RDP value at each order.
+  const std::vector<double>& rdp() const { return rdp_; }
+  const std::vector<double>& orders() const { return orders_; }
+
+  /// Best (eps, delta)-DP guarantee at the given delta.
+  double EpsilonAt(double delta) const;
+
+  /// Convenience: the epsilon the DRV10 strong composition theorem would
+  /// report for `count` Gaussian releases at the same noise multiplier —
+  /// used by the ablation bench for a side-by-side.
+  static double StrongCompositionEpsilon(double noise_multiplier, int count,
+                                         double delta);
+
+ private:
+  std::vector<double> orders_;
+  std::vector<double> rdp_;
+};
+
+}  // namespace dp
+}  // namespace pmw
+
+#endif  // PMWCM_DP_RDP_ACCOUNTANT_H_

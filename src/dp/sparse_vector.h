@@ -1,0 +1,78 @@
+// The online sparse vector algorithm (paper Section 3.1, Theorem 3.1).
+//
+// Answers a long adaptive stream of low-sensitivity queries with one bit
+// each: kTop when the query value is (noisily) above a threshold, kBottom
+// otherwise. Privacy cost scales only with T, the number of kTop answers,
+// not with the total number of queries k — the property that lets private
+// multiplicative weights answer exponentially many queries.
+//
+// Implementation follows the textbook Sparse algorithm (Dwork-Roth,
+// "Algorithmic Foundations of DP", Section 3.6): AboveThreshold epochs with
+// Laplace noise on threshold and queries, threshold noise refreshed after
+// every kTop, halting after T kTop answers. With delta > 0 the per-epoch
+// budget comes from strong composition across the T epochs.
+
+#ifndef PMWCM_DP_SPARSE_VECTOR_H_
+#define PMWCM_DP_SPARSE_VECTOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace dp {
+
+class SparseVector {
+ public:
+  struct Options {
+    /// T: the algorithm halts after this many kTop answers.
+    int max_top_answers = 1;
+    /// alpha: callers are promised (whp) kTop when q(D) >= alpha and
+    /// kBottom when q(D) <= alpha/2. The internal threshold is 3*alpha/4.
+    double alpha = 0.1;
+    /// Sensitivity Delta of every query (3S/n in the paper's usage).
+    double sensitivity = 0.0;
+    PrivacyParams privacy;
+  };
+
+  enum class Answer { kBottom = 0, kTop = 1 };
+
+  SparseVector(const Options& options, uint64_t seed);
+
+  /// Processes the next query value; Status kHalted once T kTop answers
+  /// have been given.
+  Result<Answer> Process(double query_value);
+
+  bool halted() const { return top_count_ >= options_.max_top_answers; }
+  int top_count() const { return top_count_; }
+  long long queries_processed() const { return queries_processed_; }
+
+  /// Laplace scale applied to each query value (exposed for tests and for
+  /// the Theorem 3.1 benchmark).
+  double query_noise_scale() const { return query_scale_; }
+  double threshold_noise_scale() const { return threshold_scale_; }
+
+  /// Theorem 3.1's sufficient dataset size (with the paper's constant):
+  /// n >= 256 S sqrt(T log(2/delta)) log(4k/beta) / (eps alpha).
+  static double TheoremRequiredN(double scale_s, int max_top_answers,
+                                 long long num_queries, double alpha,
+                                 const PrivacyParams& privacy, double beta);
+
+ private:
+  void RefreshThresholdNoise();
+
+  Options options_;
+  Rng rng_;
+  double threshold_scale_;
+  double query_scale_;
+  double noisy_threshold_;
+  int top_count_ = 0;
+  long long queries_processed_ = 0;
+};
+
+}  // namespace dp
+}  // namespace pmw
+
+#endif  // PMWCM_DP_SPARSE_VECTOR_H_

@@ -1,0 +1,63 @@
+#include "erm/exponential_erm_oracle.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "convex/empirical_loss.h"
+#include "dp/mechanisms.h"
+
+namespace pmw {
+namespace erm {
+
+ExponentialErmOracle::ExponentialErmOracle(ExponentialErmOptions options)
+    : options_(options) {
+  PMW_CHECK_GE(options.grid_points, 2);
+  PMW_CHECK_GE(options.ball_net_size, 2);
+  PMW_CHECK_GT(options.loss_range, 0.0);
+}
+
+Result<convex::Vec> ExponentialErmOracle::Solve(const convex::CmQuery& query,
+                                                const data::Dataset& dataset,
+                                                const OracleContext& context,
+                                                Rng* rng) {
+  PMW_CHECK(rng != nullptr);
+  dp::ValidatePrivacyParams(context.privacy);
+  const convex::Domain& domain = *query.domain;
+
+  // Build a data-independent candidate net. The fixed seed makes the net a
+  // public object: it depends only on the query/domain, never on the data.
+  std::vector<convex::Vec> net;
+  if (const auto* interval = dynamic_cast<const convex::Interval*>(&domain)) {
+    net.reserve(options_.grid_points);
+    for (int i = 0; i < options_.grid_points; ++i) {
+      double t = static_cast<double>(i) / (options_.grid_points - 1);
+      net.push_back({interval->lo() + t * (interval->hi() - interval->lo())});
+    }
+  } else {
+    Rng net_rng(0xbada55);  // public, data-independent
+    net.reserve(options_.ball_net_size + 1);
+    net.push_back(domain.Center());
+    for (int i = 0; i < options_.ball_net_size; ++i) {
+      convex::Vec point = net_rng.InUnitBall(domain.dim());
+      // Scale the unit-ball sample into the domain around its centre.
+      convex::Vec candidate = domain.Center();
+      convex::AddScaledInPlace(&candidate, point, 0.5 * domain.Diameter());
+      domain.Project(&candidate);
+      net.push_back(std::move(candidate));
+    }
+  }
+
+  convex::DatasetObjective objective(query.loss, &dataset);
+  std::vector<double> scores(net.size());
+  for (size_t i = 0; i < net.size(); ++i) {
+    scores[i] = -objective.Value(net[i]);
+  }
+  const double sensitivity =
+      options_.loss_range / static_cast<double>(dataset.n());
+  int choice = dp::ExponentialMechanism(scores, sensitivity,
+                                        context.privacy.epsilon, rng);
+  return net[choice];
+}
+
+}  // namespace erm
+}  // namespace pmw

@@ -1,0 +1,47 @@
+// Exponential-mechanism ERM over a data-independent net of the domain.
+//
+// Scores each candidate theta in the net by -l_D(theta); one record changes
+// the score by at most range/n where `range` bounds the spread of the loss
+// over records. Selecting with the exponential mechanism is pure eps-DP and
+// has excess risk O(range * log |net| / (eps n)) over the best net point.
+// Exact for 1-D interval domains with a fine grid (the linear-query
+// reduction); a cross-check oracle for low-dimensional ball domains.
+
+#ifndef PMWCM_ERM_EXPONENTIAL_ERM_ORACLE_H_
+#define PMWCM_ERM_EXPONENTIAL_ERM_ORACLE_H_
+
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace erm {
+
+struct ExponentialErmOptions {
+  /// Grid points for 1-D interval domains.
+  int grid_points = 257;
+  /// Net size for multi-dimensional ball domains (random ball points,
+  /// deterministic seed, data-independent).
+  int ball_net_size = 512;
+  /// Bound on max_{theta, x, x'} |l(theta;x) - l(theta;x')| used for the
+  /// score sensitivity. For the library's normalized losses (values in
+  /// [0, ~2]) the default 2.0 is safe.
+  double loss_range = 2.0;
+};
+
+class ExponentialErmOracle : public Oracle {
+ public:
+  explicit ExponentialErmOracle(ExponentialErmOptions options = {});
+
+  Result<convex::Vec> Solve(const convex::CmQuery& query,
+                            const data::Dataset& dataset,
+                            const OracleContext& context, Rng* rng) override;
+
+  std::string name() const override { return "exp-mech-erm"; }
+
+ private:
+  ExponentialErmOptions options_;
+};
+
+}  // namespace erm
+}  // namespace pmw
+
+#endif  // PMWCM_ERM_EXPONENTIAL_ERM_ORACLE_H_

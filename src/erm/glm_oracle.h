@@ -1,0 +1,49 @@
+// Dimension-independent oracle for generalized linear models — the JT14
+// route (paper Theorem 4.3).
+//
+// Construction (regularize + output perturbation, risk analyzed through the
+// GLM structure): add a ridge term (mu/2)||theta||^2 with mu chosen from the
+// accuracy target, solve exactly, and release the minimizer plus Gaussian
+// noise scaled to the regularized problem's sensitivity 2L/(n mu).
+//
+// Why this is dimension-independent for GLMs: the empirical GLM Hessian is
+// E_D[link''(<theta,x>) x x^T], whose *trace* is at most the link
+// smoothness times max ||x||^2 <= 1 — independent of d. Expected excess
+// risk from the Gaussian noise is (1/2) sigma^2 tr(Hessian), so the noise
+// cost does not pick up the sqrt(d) factor that generic losses pay (Table 1
+// row 2 vs row 3). This reproduces the *shape* of JT14's bound
+// n = O(1/(alpha0^2 eps0)); constants are ours. Substitution documented in
+// DESIGN.md.
+
+#ifndef PMWCM_ERM_GLM_ORACLE_H_
+#define PMWCM_ERM_GLM_ORACLE_H_
+
+#include "convex/auto_solver.h"
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace erm {
+
+class GlmOracle : public Oracle {
+ public:
+  explicit GlmOracle(convex::SolverOptions solver_options = {});
+
+  /// Requires query.loss->is_generalized_linear() and delta > 0.
+  Result<convex::Vec> Solve(const convex::CmQuery& query,
+                            const data::Dataset& dataset,
+                            const OracleContext& context, Rng* rng) override;
+
+  std::string name() const override { return "glm(jt14)"; }
+
+  /// The ridge weight used for a given accuracy target and domain radius:
+  /// mu = target_alpha / radius^2 (ridge bias <= target_alpha / 2).
+  static double RidgeWeight(double target_alpha, double domain_radius);
+
+ private:
+  convex::AutoSolver solver_;
+};
+
+}  // namespace erm
+}  // namespace pmw
+
+#endif  // PMWCM_ERM_GLM_ORACLE_H_

@@ -1,0 +1,43 @@
+// Localization for strongly convex losses — the BST14 route behind paper
+// Theorem 4.5's sqrt(d)/(sqrt(sigma) alpha eps) shape.
+//
+// Phased output perturbation: each phase solves the ERM restricted to a
+// ball around the previous (noisy) estimate whose radius halves each phase.
+// Strong convexity guarantees the true minimizer stays inside the shrinking
+// balls (whp), so later phases add less noise where it matters. Each phase
+// spends an equal share of the budget under strong composition.
+
+#ifndef PMWCM_ERM_LOCALIZATION_ORACLE_H_
+#define PMWCM_ERM_LOCALIZATION_ORACLE_H_
+
+#include "convex/auto_solver.h"
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace erm {
+
+struct LocalizationOptions {
+  /// Number of halving phases (log-many suffice).
+  int phases = 5;
+};
+
+class LocalizationOracle : public Oracle {
+ public:
+  explicit LocalizationOracle(LocalizationOptions options = {});
+
+  /// Requires strong convexity > 0 and delta > 0.
+  Result<convex::Vec> Solve(const convex::CmQuery& query,
+                            const data::Dataset& dataset,
+                            const OracleContext& context, Rng* rng) override;
+
+  std::string name() const override { return "localization(bst14)"; }
+
+ private:
+  LocalizationOptions options_;
+  convex::AutoSolver solver_;
+};
+
+}  // namespace erm
+}  // namespace pmw
+
+#endif  // PMWCM_ERM_LOCALIZATION_ORACLE_H_

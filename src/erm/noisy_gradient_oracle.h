@@ -1,0 +1,44 @@
+// Noisy projected gradient descent: the BST14 route (paper Theorem 4.1).
+//
+// Runs `steps` iterations of projected gradient descent on the empirical
+// loss, adding Gaussian noise to each full gradient. The empirical gradient
+// has L2 sensitivity 2L/n (one record changes one summand by at most 2L);
+// per-step privacy comes from splitting the call's budget with strong
+// composition (dp::PerRoundBudget). Achieves excess risk
+// O(sqrt(d) polylog / (n eps alpha))-shaped error, matching Theorem 4.1's
+// n = O(sqrt(d)/(alpha0 eps0)) up to constants.
+
+#ifndef PMWCM_ERM_NOISY_GRADIENT_ORACLE_H_
+#define PMWCM_ERM_NOISY_GRADIENT_ORACLE_H_
+
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace erm {
+
+struct NoisyGradientOptions {
+  /// Number of noisy gradient iterations.
+  int steps = 64;
+  /// Use the average of the iterates (recommended for convex losses)
+  /// rather than the final iterate.
+  bool average_iterates = true;
+};
+
+class NoisyGradientOracle : public Oracle {
+ public:
+  explicit NoisyGradientOracle(NoisyGradientOptions options = {});
+
+  Result<convex::Vec> Solve(const convex::CmQuery& query,
+                            const data::Dataset& dataset,
+                            const OracleContext& context, Rng* rng) override;
+
+  std::string name() const override { return "noisy-gd(bst14)"; }
+
+ private:
+  NoisyGradientOptions options_;
+};
+
+}  // namespace erm
+}  // namespace pmw
+
+#endif  // PMWCM_ERM_NOISY_GRADIENT_ORACLE_H_

@@ -1,0 +1,45 @@
+#include "erm/nonprivate_oracle.h"
+
+#include "common/check.h"
+#include "convex/empirical_loss.h"
+
+namespace pmw {
+namespace erm {
+
+NonPrivateOracle::NonPrivateOracle(convex::SolverOptions options)
+    : solver_(options) {}
+
+Result<convex::Vec> NonPrivateOracle::Solve(const convex::CmQuery& query,
+                                            const data::Dataset& dataset,
+                                            const OracleContext& /*context*/,
+                                            Rng* /*rng*/) {
+  convex::DatasetObjective objective(query.loss, &dataset);
+  convex::SolverResult result = solver_.Minimize(objective, *query.domain);
+  return result.theta;
+}
+
+BiasedOracle::BiasedOracle(Oracle* inner, double bias_radius)
+    : inner_(inner), bias_radius_(bias_radius) {
+  PMW_CHECK(inner != nullptr);
+  PMW_CHECK_GE(bias_radius, 0.0);
+}
+
+Result<convex::Vec> BiasedOracle::Solve(const convex::CmQuery& query,
+                                        const data::Dataset& dataset,
+                                        const OracleContext& context,
+                                        Rng* rng) {
+  Result<convex::Vec> inner = inner_->Solve(query, dataset, context, rng);
+  if (!inner.ok()) return inner;
+  convex::Vec theta = std::move(inner).value();
+  convex::Vec direction = rng->OnUnitSphere(static_cast<int>(theta.size()));
+  convex::AddScaledInPlace(&theta, direction, bias_radius_);
+  query.domain->Project(&theta);
+  return theta;
+}
+
+std::string BiasedOracle::name() const {
+  return "biased(" + inner_->name() + ")";
+}
+
+}  // namespace erm
+}  // namespace pmw

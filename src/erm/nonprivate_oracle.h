@@ -1,0 +1,50 @@
+// A non-private "oracle": exact ERM via an inner solver. The epsilon = inf
+// ablation baseline, and the reference answer in accuracy measurements.
+
+#ifndef PMWCM_ERM_NONPRIVATE_ORACLE_H_
+#define PMWCM_ERM_NONPRIVATE_ORACLE_H_
+
+#include "convex/auto_solver.h"
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace erm {
+
+class NonPrivateOracle : public Oracle {
+ public:
+  explicit NonPrivateOracle(convex::SolverOptions options = {});
+
+  Result<convex::Vec> Solve(const convex::CmQuery& query,
+                            const data::Dataset& dataset,
+                            const OracleContext& context, Rng* rng) override;
+
+  std::string name() const override { return "non-private"; }
+
+ private:
+  convex::AutoSolver solver_;
+};
+
+/// Failure-injection decorator: perturbs the wrapped oracle's answer by a
+/// fixed-radius step inside the domain, modelling an A' that violates its
+/// (alpha0, beta0) accuracy contract. Used by tests and the ablation bench
+/// to verify the PMW accuracy analysis degrades exactly as Claim 3.6
+/// predicts when assumption (2) fails.
+class BiasedOracle : public Oracle {
+ public:
+  BiasedOracle(Oracle* inner, double bias_radius);
+
+  Result<convex::Vec> Solve(const convex::CmQuery& query,
+                            const data::Dataset& dataset,
+                            const OracleContext& context, Rng* rng) override;
+
+  std::string name() const override;
+
+ private:
+  Oracle* inner_;
+  double bias_radius_;
+};
+
+}  // namespace erm
+}  // namespace pmw
+
+#endif  // PMWCM_ERM_NONPRIVATE_ORACLE_H_

@@ -1,0 +1,53 @@
+// The single-CM-query oracle interface: the black box A' of Figure 3.
+//
+// The paper's algorithm assumes an (eps0, delta0)-DP algorithm A' that is
+// (alpha0, beta0)-accurate for one CM query from the family. Section 4
+// instantiates A' with the algorithms of BST14 (noisy gradient methods,
+// Theorem 4.1; localization for strongly convex losses, Theorem 4.5) and
+// JT14 (dimension-independent GLM algorithm, Theorem 4.3); this module
+// implements each route plus auxiliary oracles for tests and ablations.
+
+#ifndef PMWCM_ERM_ORACLE_H_
+#define PMWCM_ERM_ORACLE_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "convex/cm_query.h"
+#include "data/dataset.h"
+#include "dp/privacy.h"
+
+namespace pmw {
+namespace erm {
+
+/// Per-call context handed to an oracle.
+struct OracleContext {
+  /// The (eps0, delta0) budget for this single call.
+  dp::PrivacyParams privacy;
+  /// Accuracy target alpha_0 (a hint; oracles that auto-tune internal
+  /// regularization use it, others ignore it).
+  double target_alpha = 0.05;
+  /// Failure probability target beta_0.
+  double target_beta = 0.05;
+};
+
+/// A differentially private approximate minimizer for one CM query.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Returns theta_hat with l_D(theta_hat) <= min l_D + alpha0 (whp),
+  /// spending context.privacy on `dataset`.
+  virtual Result<convex::Vec> Solve(const convex::CmQuery& query,
+                                    const data::Dataset& dataset,
+                                    const OracleContext& context,
+                                    Rng* rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace erm
+}  // namespace pmw
+
+#endif  // PMWCM_ERM_ORACLE_H_

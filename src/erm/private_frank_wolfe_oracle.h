@@ -1,0 +1,43 @@
+// Private Frank-Wolfe (Talwar-Thakurta-Zhang style): each iteration picks
+// the domain vertex minimizing the noisy linear objective. For polytope
+// domains with few vertices (intervals, simplices, boxes) the per-step
+// selection is an exponential mechanism over the vertex set and the total
+// error is nearly dimension-free — a complementary oracle route that the
+// paper's framework can plug in as A' (Section 3's oracle is a black box).
+// Over the L2 ball the LMO is solved on a vertex net of the sphere.
+
+#ifndef PMWCM_ERM_PRIVATE_FRANK_WOLFE_ORACLE_H_
+#define PMWCM_ERM_PRIVATE_FRANK_WOLFE_ORACLE_H_
+
+#include "erm/oracle.h"
+
+namespace pmw {
+namespace erm {
+
+struct PrivateFrankWolfeOptions {
+  /// Frank-Wolfe iterations.
+  int steps = 48;
+  /// Sphere-net size used when the domain is an L2 ball (data-independent,
+  /// fixed seed).
+  int sphere_net_size = 128;
+};
+
+class PrivateFrankWolfeOracle : public Oracle {
+ public:
+  explicit PrivateFrankWolfeOracle(PrivateFrankWolfeOptions options = {});
+
+  /// Requires delta > 0 (per-step budget by strong composition).
+  Result<convex::Vec> Solve(const convex::CmQuery& query,
+                            const data::Dataset& dataset,
+                            const OracleContext& context, Rng* rng) override;
+
+  std::string name() const override { return "private-frank-wolfe"; }
+
+ private:
+  PrivateFrankWolfeOptions options_;
+};
+
+}  // namespace erm
+}  // namespace pmw
+
+#endif  // PMWCM_ERM_PRIVATE_FRANK_WOLFE_ORACLE_H_

@@ -1,0 +1,75 @@
+#include "losses/linear_query_loss.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pmw {
+namespace losses {
+
+LinearQueryLoss::LinearQueryLoss(Predicate predicate, std::string query_name)
+    : predicate_(std::move(predicate)), query_name_(std::move(query_name)) {
+  PMW_CHECK(predicate_ != nullptr);
+}
+
+double LinearQueryLoss::Value(const convex::Vec& theta,
+                              const data::Row& x) const {
+  PMW_CHECK_EQ(theta.size(), 1u);
+  double p = predicate_(x);
+  PMW_CHECK_GE(p, 0.0);
+  PMW_CHECK_LE(p, 1.0);
+  return 0.5 * Sq(theta[0] - p);
+}
+
+void LinearQueryLoss::AddGradient(const convex::Vec& theta,
+                                  const data::Row& x, double weight,
+                                  convex::Vec* grad) const {
+  PMW_CHECK_EQ(theta.size(), 1u);
+  PMW_CHECK_EQ(grad->size(), 1u);
+  (*grad)[0] += weight * (theta[0] - predicate_(x));
+}
+
+Predicate ConjunctionPredicate(std::vector<int> coords, std::vector<int> signs,
+                               int label_constraint) {
+  PMW_CHECK_EQ(coords.size(), signs.size());
+  for (int s : signs) PMW_CHECK_MSG(s == 1 || s == -1, "signs must be +-1");
+  PMW_CHECK_MSG(
+      label_constraint == 0 || label_constraint == 1 || label_constraint == -1,
+      "label_constraint must be 0 (none) or +-1");
+  return [coords = std::move(coords), signs = std::move(signs),
+          label_constraint](const data::Row& x) -> double {
+    for (size_t i = 0; i < coords.size(); ++i) {
+      PMW_CHECK_LT(static_cast<size_t>(coords[i]), x.features.size());
+      double v = x.features[coords[i]];
+      if ((v > 0.0 ? 1 : -1) != signs[i]) return 0.0;
+    }
+    if (label_constraint != 0) {
+      if ((x.label > 0.0 ? 1 : -1) != label_constraint) return 0.0;
+    }
+    return 1.0;
+  };
+}
+
+Predicate HalfspacePredicate(std::vector<double> w, double t) {
+  return [w = std::move(w), t](const data::Row& x) -> double {
+    PMW_CHECK_EQ(w.size(), x.features.size());
+    double z = 0.0;
+    for (size_t j = 0; j < w.size(); ++j) z += w[j] * x.features[j];
+    return z >= t ? 1.0 : 0.0;
+  };
+}
+
+Predicate ParityPredicate(std::vector<int> coords) {
+  return [coords = std::move(coords)](const data::Row& x) -> double {
+    int parity = 0;
+    for (int c : coords) {
+      PMW_CHECK_LT(static_cast<size_t>(c), x.features.size());
+      if (x.features[c] > 0.0) parity ^= 1;
+    }
+    return static_cast<double>(parity);
+  };
+}
+
+}  // namespace losses
+}  // namespace pmw

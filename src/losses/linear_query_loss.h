@@ -1,0 +1,61 @@
+// Linear queries embedded as CM queries.
+//
+// The paper repeatedly uses that linear queries are a special case of
+// Lipschitz, 1-bounded CM queries (Table 1 row 1, Section 4.3). For a
+// predicate p : X -> [0, 1], the loss
+//     l(theta; x) = (1/2)(theta - p(x))^2   over Theta = [0, 1]
+// has minimizer argmin_theta l_D(theta) = E_D[p(x)], exactly the linear
+// query's answer, and is 1-Lipschitz with scale S = 1.
+
+#ifndef PMWCM_LOSSES_LINEAR_QUERY_LOSS_H_
+#define PMWCM_LOSSES_LINEAR_QUERY_LOSS_H_
+
+#include <functional>
+#include <string>
+
+#include "convex/loss_function.h"
+
+namespace pmw {
+namespace losses {
+
+/// A [0,1]-valued predicate over records.
+using Predicate = std::function<double(const data::Row&)>;
+
+class LinearQueryLoss : public convex::LossFunction {
+ public:
+  LinearQueryLoss(Predicate predicate, std::string query_name);
+
+  int dim() const override { return 1; }
+  double Value(const convex::Vec& theta, const data::Row& x) const override;
+  void AddGradient(const convex::Vec& theta, const data::Row& x, double weight,
+                   convex::Vec* grad) const override;
+  double lipschitz() const override { return 1.0; }
+  /// Quadratic in theta with second derivative 1.
+  double strong_convexity() const override { return 1.0; }
+  std::string name() const override { return "linq:" + query_name_; }
+
+  /// The embedded predicate's value.
+  double PredicateValue(const data::Row& x) const { return predicate_(x); }
+
+ private:
+  Predicate predicate_;
+  std::string query_name_;
+};
+
+/// Conjunction predicate over coordinate signs: returns 1 iff
+/// sign(x.features[j]) == signs[j] for every j in `coords`, and (when
+/// label_constraint is +1/-1) the label sign matches too. The classical
+/// "marginal"-style workload for PMW.
+Predicate ConjunctionPredicate(std::vector<int> coords, std::vector<int> signs,
+                               int label_constraint);
+
+/// Threshold predicate: 1 iff <w, x.features> >= t.
+Predicate HalfspacePredicate(std::vector<double> w, double t);
+
+/// Parity predicate over coordinate signs of `coords` (0/1 valued).
+Predicate ParityPredicate(std::vector<int> coords);
+
+}  // namespace losses
+}  // namespace pmw
+
+#endif  // PMWCM_LOSSES_LINEAR_QUERY_LOSS_H_

@@ -1,0 +1,134 @@
+// Workload generators: the families L of CM queries from Table 1.
+//
+// Each family can generate arbitrarily many distinct queries (the paper's
+// regime is k exponential in n) by composing base losses with random record
+// transforms, random regularization centres, or random predicates. A family
+// owns every loss it generates, so the returned CmQuery views stay valid for
+// the family's lifetime.
+
+#ifndef PMWCM_LOSSES_LOSS_FAMILY_H_
+#define PMWCM_LOSSES_LOSS_FAMILY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "convex/cm_query.h"
+#include "convex/domain.h"
+#include "losses/linear_query_loss.h"
+#include "losses/margin_losses.h"
+#include "losses/transforms.h"
+
+namespace pmw {
+namespace losses {
+
+/// Interface for a query family L (paper Section 2.2).
+class QueryFamily {
+ public:
+  virtual ~QueryFamily() = default;
+
+  /// Generates the next random query from the family. The underlying loss
+  /// object is owned by the family.
+  virtual convex::CmQuery Next(Rng* rng) = 0;
+
+  /// The family-wide scale parameter S (Section 3.2's scaling condition).
+  virtual double scale() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Convenience: a batch of k queries.
+  std::vector<convex::CmQuery> Generate(int k, Rng* rng);
+};
+
+/// Table 1 row 2: Lipschitz, d-bounded losses over the unit ball — random
+/// sign-flipped squared / logistic / hinge / absolute losses.
+class LipschitzFamily : public QueryFamily {
+ public:
+  explicit LipschitzFamily(int dim);
+
+  convex::CmQuery Next(Rng* rng) override;
+  double scale() const override { return 2.0; }  // diameter 2 x Lipschitz 1
+  std::string name() const override { return "lipschitz"; }
+
+  const convex::Domain& domain() const { return domain_; }
+
+ private:
+  int dim_;
+  convex::L2Ball domain_;
+  std::vector<std::unique_ptr<convex::LossFunction>> base_losses_;
+  std::vector<std::unique_ptr<convex::LossFunction>> generated_;
+};
+
+/// Table 1 row 3: unconstrained generalized linear models (UGLM) — random
+/// sign-flipped squared / logistic / Huber losses (all GLMs) over the unit
+/// ball (the paper's UGLM domain is the unit ball; "unconstrained" means no
+/// constraint beyond boundedness, Section 4.2.2).
+class GlmFamily : public QueryFamily {
+ public:
+  explicit GlmFamily(int dim);
+
+  convex::CmQuery Next(Rng* rng) override;
+  double scale() const override { return 2.0; }
+  std::string name() const override { return "uglm"; }
+
+  const convex::Domain& domain() const { return domain_; }
+
+ private:
+  int dim_;
+  convex::L2Ball domain_;
+  std::vector<std::unique_ptr<convex::LossFunction>> base_losses_;
+  std::vector<std::unique_ptr<convex::LossFunction>> generated_;
+};
+
+/// Table 1 row 4: sigma-strongly convex losses — Lipschitz bases plus a
+/// Tikhonov term with a random centre in the half-radius ball.
+class StronglyConvexFamily : public QueryFamily {
+ public:
+  StronglyConvexFamily(int dim, double sigma);
+
+  convex::CmQuery Next(Rng* rng) override;
+  double scale() const override;
+  std::string name() const override { return "strongly-convex"; }
+
+  double sigma() const { return sigma_; }
+  const convex::Domain& domain() const { return domain_; }
+
+ private:
+  int dim_;
+  double sigma_;
+  convex::L2Ball domain_;
+  std::vector<std::unique_ptr<convex::LossFunction>> base_losses_;
+  std::vector<std::unique_ptr<convex::LossFunction>> generated_;
+};
+
+/// Table 1 row 1: linear (counting) queries embedded as CM queries — random
+/// conjunctions of up to `max_width` literals over feature signs and the
+/// label, with Theta = [0, 1].
+class LinearQueryFamily : public QueryFamily {
+ public:
+  /// `include_label` adds a label literal with probability 1/2.
+  LinearQueryFamily(int dim, int max_width, bool include_label);
+
+  convex::CmQuery Next(Rng* rng) override;
+  double scale() const override { return 1.0; }
+  std::string name() const override { return "linear-queries"; }
+
+  const convex::Domain& domain() const { return domain_; }
+
+  /// The most recent query's predicate (for direct linear-query baselines).
+  const LinearQueryLoss* last_loss() const { return last_loss_; }
+
+ private:
+  int dim_;
+  int max_width_;
+  bool include_label_;
+  convex::Interval domain_;
+  std::vector<std::unique_ptr<LinearQueryLoss>> generated_;
+  const LinearQueryLoss* last_loss_ = nullptr;
+};
+
+}  // namespace losses
+}  // namespace pmw
+
+#endif  // PMWCM_LOSSES_LOSS_FAMILY_H_

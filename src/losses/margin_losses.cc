@@ -1,0 +1,82 @@
+#include "losses/margin_losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pmw {
+namespace losses {
+
+double MarginLoss::Value(const convex::Vec& theta, const data::Row& x) const {
+  PMW_CHECK_EQ(theta.size(), x.features.size());
+  double z = 0.0;
+  for (size_t j = 0; j < theta.size(); ++j) z += theta[j] * x.features[j];
+  return Link(z, x.label);
+}
+
+void MarginLoss::AddGradient(const convex::Vec& theta, const data::Row& x,
+                             double weight, convex::Vec* grad) const {
+  PMW_CHECK(grad != nullptr);
+  PMW_CHECK_EQ(theta.size(), x.features.size());
+  PMW_CHECK_EQ(grad->size(), theta.size());
+  double z = 0.0;
+  for (size_t j = 0; j < theta.size(); ++j) z += theta[j] * x.features[j];
+  double coeff = weight * LinkDerivative(z, x.label);
+  for (size_t j = 0; j < theta.size(); ++j) {
+    (*grad)[j] += coeff * x.features[j];
+  }
+}
+
+double SquaredLoss::Link(double z, double y) const {
+  return 0.25 * Sq(z - y);
+}
+
+double SquaredLoss::LinkDerivative(double z, double y) const {
+  return 0.5 * (z - y);
+}
+
+double LogisticLoss::Link(double z, double y) const {
+  return Log1PExp(-y * z);
+}
+
+double LogisticLoss::LinkDerivative(double z, double y) const {
+  return -y * Sigmoid(-y * z);
+}
+
+double HingeLoss::Link(double z, double y) const {
+  return std::max(0.0, 1.0 - y * z);
+}
+
+double HingeLoss::LinkDerivative(double z, double y) const {
+  return (1.0 - y * z > 0.0) ? -y : 0.0;
+}
+
+double AbsoluteLoss::Link(double z, double y) const { return std::abs(z - y); }
+
+double AbsoluteLoss::LinkDerivative(double z, double y) const {
+  if (z > y) return 1.0;
+  if (z < y) return -1.0;
+  return 0.0;
+}
+
+HuberLoss::HuberLoss(int dim, double delta) : MarginLoss(dim), delta_(delta) {
+  PMW_CHECK_GT(delta, 0.0);
+}
+
+double HuberLoss::Link(double z, double y) const {
+  double r = z - y;
+  if (std::abs(r) <= delta_) return 0.5 * Sq(r);
+  return delta_ * (std::abs(r) - 0.5 * delta_);
+}
+
+double HuberLoss::LinkDerivative(double z, double y) const {
+  double r = z - y;
+  return Clamp(r, -delta_, delta_);
+}
+
+double HuberLoss::lipschitz() const { return std::min(delta_, 2.0); }
+
+}  // namespace losses
+}  // namespace pmw

@@ -1,0 +1,100 @@
+// Generalized-linear margin losses over labeled records.
+//
+// Every loss here has the form l(theta; (x, y)) = link(<theta, x>, y) for a
+// convex link, i.e. they are generalized linear models (paper Section
+// 4.2.2), and each is normalized to be 1-Lipschitz over records with
+// ||x||_2 <= 1 and labels y in {-1, +1} and parameters ||theta||_2 <= 1
+// (paper Section 1.1's scaling convention).
+
+#ifndef PMWCM_LOSSES_MARGIN_LOSSES_H_
+#define PMWCM_LOSSES_MARGIN_LOSSES_H_
+
+#include <string>
+
+#include "convex/loss_function.h"
+
+namespace pmw {
+namespace losses {
+
+/// Shared base: l(theta; (x,y)) = link(<theta, x.features>, y).
+/// Subclasses provide the scalar link and its derivative in the margin.
+class MarginLoss : public convex::LossFunction {
+ public:
+  explicit MarginLoss(int dim) : dim_(dim) {}
+
+  int dim() const override { return dim_; }
+  double Value(const convex::Vec& theta, const data::Row& x) const override;
+  void AddGradient(const convex::Vec& theta, const data::Row& x, double weight,
+                   convex::Vec* grad) const override;
+  bool is_generalized_linear() const override { return true; }
+
+  /// link(z, y) — convex in z for each fixed label y.
+  virtual double Link(double z, double y) const = 0;
+  /// d/dz link(z, y) (a subderivative at kinks).
+  virtual double LinkDerivative(double z, double y) const = 0;
+
+ private:
+  int dim_;
+};
+
+/// Scaled squared loss (linear regression):
+/// l = (1/4)(<theta,x> - y)^2. The 1/4 makes it 1-Lipschitz on the unit
+/// ball with |y| <= 1 (|z - y| <= 2).
+class SquaredLoss : public MarginLoss {
+ public:
+  explicit SquaredLoss(int dim) : MarginLoss(dim) {}
+  double Link(double z, double y) const override;
+  double LinkDerivative(double z, double y) const override;
+  double lipschitz() const override { return 1.0; }
+  std::string name() const override { return "squared"; }
+};
+
+/// Logistic loss: l = log(1 + exp(-y <theta,x>)); 1-Lipschitz.
+class LogisticLoss : public MarginLoss {
+ public:
+  explicit LogisticLoss(int dim) : MarginLoss(dim) {}
+  double Link(double z, double y) const override;
+  double LinkDerivative(double z, double y) const override;
+  double lipschitz() const override { return 1.0; }
+  std::string name() const override { return "logistic"; }
+};
+
+/// Hinge loss (SVM): l = max(0, 1 - y <theta,x>); 1-Lipschitz, non-smooth.
+class HingeLoss : public MarginLoss {
+ public:
+  explicit HingeLoss(int dim) : MarginLoss(dim) {}
+  double Link(double z, double y) const override;
+  double LinkDerivative(double z, double y) const override;
+  double lipschitz() const override { return 1.0; }
+  std::string name() const override { return "hinge"; }
+};
+
+/// Absolute (L1 regression) loss: l = |<theta,x> - y|; 1-Lipschitz.
+class AbsoluteLoss : public MarginLoss {
+ public:
+  explicit AbsoluteLoss(int dim) : MarginLoss(dim) {}
+  double Link(double z, double y) const override;
+  double LinkDerivative(double z, double y) const override;
+  double lipschitz() const override { return 1.0; }
+  std::string name() const override { return "absolute"; }
+};
+
+/// Huber loss on the residual r = <theta,x> - y with transition delta:
+/// quadratic inside |r| <= delta, linear outside; Lipschitz min(2, delta)
+/// ... with delta <= 1 it is 1-Lipschitz and smooth.
+class HuberLoss : public MarginLoss {
+ public:
+  HuberLoss(int dim, double delta = 1.0);
+  double Link(double z, double y) const override;
+  double LinkDerivative(double z, double y) const override;
+  double lipschitz() const override;
+  std::string name() const override { return "huber"; }
+
+ private:
+  double delta_;
+};
+
+}  // namespace losses
+}  // namespace pmw
+
+#endif  // PMWCM_LOSSES_MARGIN_LOSSES_H_

@@ -1,0 +1,89 @@
+#include "losses/transforms.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace losses {
+
+SignFlipLoss::SignFlipLoss(const convex::LossFunction* base,
+                           std::vector<int> flips, int label_flip)
+    : base_(base), flips_(std::move(flips)), label_flip_(label_flip) {
+  PMW_CHECK(base != nullptr);
+  PMW_CHECK_EQ(static_cast<int>(flips_.size()), base->dim());
+  for (int f : flips_) PMW_CHECK_MSG(f == 1 || f == -1, "flips must be +-1");
+  PMW_CHECK_MSG(label_flip == 1 || label_flip == -1,
+                "label_flip must be +-1");
+}
+
+data::Row SignFlipLoss::Transform(const data::Row& x) const {
+  PMW_CHECK_EQ(x.features.size(), flips_.size());
+  data::Row t;
+  t.features.resize(x.features.size());
+  for (size_t j = 0; j < x.features.size(); ++j) {
+    t.features[j] = flips_[j] * x.features[j];
+  }
+  t.label = label_flip_ * x.label;
+  return t;
+}
+
+double SignFlipLoss::Value(const convex::Vec& theta,
+                           const data::Row& x) const {
+  return base_->Value(theta, Transform(x));
+}
+
+void SignFlipLoss::AddGradient(const convex::Vec& theta, const data::Row& x,
+                               double weight, convex::Vec* grad) const {
+  base_->AddGradient(theta, Transform(x), weight, grad);
+}
+
+std::string SignFlipLoss::name() const {
+  std::string bits;
+  for (int f : flips_) bits += (f == 1 ? '+' : '-');
+  return base_->name() + "[" + bits + (label_flip_ == 1 ? "|+" : "|-") + "]";
+}
+
+TikhonovLoss::TikhonovLoss(const convex::LossFunction* base, double sigma,
+                           convex::Vec center, double domain_radius)
+    : base_(base),
+      sigma_(sigma),
+      center_(std::move(center)),
+      domain_radius_(domain_radius) {
+  PMW_CHECK(base != nullptr);
+  PMW_CHECK_GT(sigma, 0.0);
+  PMW_CHECK_EQ(static_cast<int>(center_.size()), base->dim());
+  PMW_CHECK_GT(domain_radius, 0.0);
+}
+
+double TikhonovLoss::Value(const convex::Vec& theta,
+                           const data::Row& x) const {
+  double dist_sq = 0.0;
+  for (size_t j = 0; j < theta.size(); ++j) {
+    double diff = theta[j] - center_[j];
+    dist_sq += diff * diff;
+  }
+  return base_->Value(theta, x) + 0.5 * sigma_ * dist_sq;
+}
+
+void TikhonovLoss::AddGradient(const convex::Vec& theta, const data::Row& x,
+                               double weight, convex::Vec* grad) const {
+  base_->AddGradient(theta, x, weight, grad);
+  for (size_t j = 0; j < theta.size(); ++j) {
+    (*grad)[j] += weight * sigma_ * (theta[j] - center_[j]);
+  }
+}
+
+double TikhonovLoss::lipschitz() const {
+  double center_norm = 0.0;
+  for (double c : center_) center_norm += c * c;
+  center_norm = std::sqrt(center_norm);
+  return base_->lipschitz() + sigma_ * (domain_radius_ + center_norm);
+}
+
+std::string TikhonovLoss::name() const {
+  return base_->name() + "+tikhonov(sigma=" + std::to_string(sigma_) + ")";
+}
+
+}  // namespace losses
+}  // namespace pmw

@@ -1,0 +1,145 @@
+// Tests for the Table 1 bound calculators: formula spot checks, the
+// monotonicities the paper's narrative relies on (log k vs sqrt k), and
+// the Section 4.1 crossover.
+
+#include <cmath>
+
+#include "analysis/bounds.h"
+#include "gtest/gtest.h"
+
+namespace pmw {
+namespace analysis {
+namespace {
+
+BoundParams Base() {
+  BoundParams p;
+  p.alpha = 0.1;
+  p.beta = 0.05;
+  p.privacy = {1.0, 1e-6};
+  p.log_universe = std::log(1024.0);
+  p.dim = 8;
+  p.k = 1000;
+  p.sigma = 0.5;
+  p.scale = 2.0;
+  return p;
+}
+
+TEST(SingleQueryBoundsTest, FormulaSpotChecks) {
+  BoundParams p = Base();
+  EXPECT_NEAR(LinearSingleQueryN(p), 10.0, 1e-9);
+  EXPECT_NEAR(LipschitzSingleQueryN(p), std::sqrt(8.0) / 0.1, 1e-9);
+  EXPECT_NEAR(GlmSingleQueryN(p), 100.0, 1e-9);
+  EXPECT_NEAR(StronglyConvexSingleQueryN(p),
+              std::sqrt(8.0) / (std::sqrt(0.5) * 0.1), 1e-9);
+}
+
+TEST(SingleQueryBoundsTest, LipschitzGrowsWithSqrtD) {
+  BoundParams p = Base();
+  p.dim = 4;
+  double n4 = LipschitzSingleQueryN(p);
+  p.dim = 16;
+  double n16 = LipschitzSingleQueryN(p);
+  EXPECT_NEAR(n16 / n4, 2.0, 1e-9);
+}
+
+TEST(SingleQueryBoundsTest, GlmIndependentOfD) {
+  BoundParams p = Base();
+  p.dim = 4;
+  double n4 = GlmSingleQueryN(p);
+  p.dim = 400;
+  EXPECT_NEAR(GlmSingleQueryN(p), n4, 1e-9);
+}
+
+TEST(KQueryBoundsTest, GrowOnlyLogarithmicallyInK) {
+  BoundParams p = Base();
+  p.k = 100;
+  double n_small = LipschitzKQueriesN(p);
+  p.k = 100000;  // 1000x more queries
+  double n_large = LipschitzKQueriesN(p);
+  EXPECT_LT(n_large / n_small, 3.0);
+}
+
+TEST(KQueryBoundsTest, CompositionGrowsAsSqrtK) {
+  // In the strong-composition regime (k above ~8 log(2/delta)), the
+  // requirement grows like sqrt(k).
+  BoundParams p = Base();
+  double single = LipschitzSingleQueryN(p);
+  p.k = 1e4;
+  double n_small = CompositionKQueriesN(p, single);
+  p.k = 1e6;
+  double n_large = CompositionKQueriesN(p, single);
+  EXPECT_NEAR(n_large / n_small, 10.0, 1e-6);
+}
+
+TEST(KQueryBoundsTest, CompositionUsesBasicForTinyK) {
+  // For very small k, basic composition (factor k) beats the
+  // sqrt(8 k log(2/delta)) strong-composition factor.
+  BoundParams p = Base();
+  double single = LipschitzSingleQueryN(p);
+  p.k = 2;
+  EXPECT_NEAR(CompositionKQueriesN(p, single), 2.0 * single, 1e-9);
+}
+
+TEST(KQueryBoundsTest, StronglyConvexImprovesWithSigma) {
+  BoundParams p = Base();
+  p.k = 4;  // make the first max() term bind
+  p.sigma = 0.1;
+  double n_weak = StronglyConvexKQueriesN(p);
+  p.sigma = 1.0;
+  double n_strong = StronglyConvexKQueriesN(p);
+  EXPECT_LT(n_strong, n_weak);
+}
+
+TEST(KQueryBoundsTest, AllRowsIncreaseAsAlphaShrinks) {
+  BoundParams coarse = Base();
+  BoundParams fine = Base();
+  fine.alpha = 0.01;
+  EXPECT_GT(LinearKQueriesN(fine), LinearKQueriesN(coarse));
+  EXPECT_GT(LipschitzKQueriesN(fine), LipschitzKQueriesN(coarse));
+  EXPECT_GT(GlmKQueriesN(fine), GlmKQueriesN(coarse));
+  EXPECT_GT(StronglyConvexKQueriesN(fine), StronglyConvexKQueriesN(coarse));
+}
+
+TEST(TheoremBoundsTest, Theorem38TakesMaxWithOracleN) {
+  BoundParams p = Base();
+  double pmw_term = Theorem38N(p, 0.0);
+  EXPECT_NEAR(Theorem38N(p, pmw_term * 10.0), pmw_term * 10.0, 1e-9);
+  EXPECT_NEAR(Theorem38N(p, 1.0), pmw_term, 1e-9);
+}
+
+TEST(TheoremBoundsTest, Theorem31MatchesPrintedConstant) {
+  BoundParams p = Base();
+  double t = 16.0;
+  double expected = 256.0 * 2.0 * std::sqrt(16.0 * std::log(2.0 / 1e-6)) *
+                    std::log(4.0 * 1000.0 / 0.05) / (1.0 * 0.1);
+  EXPECT_NEAR(Theorem31N(p, t), expected, 1e-6);
+}
+
+TEST(TheoremBoundsTest, Figure3TMatchesFormula) {
+  BoundParams p = Base();
+  EXPECT_NEAR(Figure3UpdateBudget(p),
+              64.0 * 4.0 * p.log_universe / 0.01, 1e-6);
+}
+
+TEST(CrossoverTest, ExistsAndIsFinite) {
+  BoundParams p = Base();
+  double single = LipschitzSingleQueryN(p);
+  double k_star = CrossoverK(p, single);
+  EXPECT_GT(k_star, 1.0);
+  // Beyond the crossover, PMW requires less data than composition.
+  BoundParams at_k = p;
+  at_k.k = k_star * 4;
+  EXPECT_LT(Theorem38N(at_k, single), CompositionKQueriesN(at_k, single));
+}
+
+TEST(CrossoverTest, BeforeCrossoverCompositionWins) {
+  BoundParams p = Base();
+  double single = LipschitzSingleQueryN(p);
+  BoundParams at_2 = p;
+  at_2.k = 2;
+  EXPECT_GT(Theorem38N(at_2, single), CompositionKQueriesN(at_2, single));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pmw

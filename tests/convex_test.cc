@@ -1,0 +1,318 @@
+// Unit tests for the convex substrate: vector ops, domains/projections,
+// empirical objectives, and all four solvers against known optima.
+
+#include <cmath>
+
+#include "common/random.h"
+#include "convex/auto_solver.h"
+#include "convex/domain.h"
+#include "convex/empirical_loss.h"
+#include "convex/frank_wolfe.h"
+#include "convex/golden_section.h"
+#include "convex/gradient_descent.h"
+#include "convex/vector_ops.h"
+#include "gtest/gtest.h"
+
+namespace pmw {
+namespace convex {
+namespace {
+
+// A simple quadratic objective f(x) = ||x - target||^2 for solver tests.
+class QuadraticObjective : public Objective {
+ public:
+  explicit QuadraticObjective(Vec target) : target_(std::move(target)) {}
+  int dim() const override { return static_cast<int>(target_.size()); }
+  double Value(const Vec& theta) const override {
+    double acc = 0.0;
+    for (size_t i = 0; i < target_.size(); ++i) {
+      acc += (theta[i] - target_[i]) * (theta[i] - target_[i]);
+    }
+    return acc;
+  }
+  Vec Gradient(const Vec& theta) const override {
+    Vec g(target_.size());
+    for (size_t i = 0; i < target_.size(); ++i) {
+      g[i] = 2.0 * (theta[i] - target_[i]);
+    }
+    return g;
+  }
+
+ private:
+  Vec target_;
+};
+
+// Non-smooth convex: f(x) = sum |x_i - target_i|.
+class AbsObjective : public Objective {
+ public:
+  explicit AbsObjective(Vec target) : target_(std::move(target)) {}
+  int dim() const override { return static_cast<int>(target_.size()); }
+  double Value(const Vec& theta) const override {
+    double acc = 0.0;
+    for (size_t i = 0; i < target_.size(); ++i) {
+      acc += std::abs(theta[i] - target_[i]);
+    }
+    return acc;
+  }
+  Vec Gradient(const Vec& theta) const override {
+    Vec g(target_.size());
+    for (size_t i = 0; i < target_.size(); ++i) {
+      double diff = theta[i] - target_[i];
+      g[i] = diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0);
+    }
+    return g;
+  }
+
+ private:
+  Vec target_;
+};
+
+TEST(VectorOpsTest, DotAndNorms) {
+  Vec a = {1.0, 2.0, 2.0};
+  Vec b = {2.0, 0.0, 1.0};
+  EXPECT_NEAR(Dot(a, b), 4.0, 1e-12);
+  EXPECT_NEAR(Norm2(a), 3.0, 1e-12);
+  EXPECT_NEAR(Dist2(a, b), std::sqrt(1.0 + 4.0 + 1.0), 1e-12);
+}
+
+TEST(VectorOpsTest, AddSubScale) {
+  Vec a = {1.0, -1.0};
+  Vec b = {2.0, 3.0};
+  Vec sum = Add(a, b);
+  EXPECT_NEAR(sum[0], 3.0, 1e-12);
+  Vec diff = Sub(a, b);
+  EXPECT_NEAR(diff[1], -4.0, 1e-12);
+  Vec scaled = Scaled(a, -2.0);
+  EXPECT_NEAR(scaled[0], -2.0, 1e-12);
+  AddScaledInPlace(&a, b, 0.5);
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  ScaleInPlace(&a, 2.0);
+  EXPECT_NEAR(a[0], 4.0, 1e-12);
+}
+
+TEST(L2BallTest, ProjectionInsideIsIdentity) {
+  L2Ball ball(3);
+  Vec v = {0.1, 0.2, -0.3};
+  Vec w = v;
+  ball.Project(&w);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(w[i], v[i], 1e-12);
+}
+
+TEST(L2BallTest, ProjectionOutsideHitsBoundary) {
+  L2Ball ball(2);
+  Vec v = {3.0, 4.0};
+  ball.Project(&v);
+  EXPECT_NEAR(Norm2(v), 1.0, 1e-12);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+}
+
+TEST(L2BallTest, OffCenterProjection) {
+  L2Ball ball({1.0, 0.0}, 0.5);
+  Vec v = {3.0, 0.0};
+  ball.Project(&v);
+  EXPECT_NEAR(v[0], 1.5, 1e-12);
+  EXPECT_TRUE(ball.Contains(v, 1e-9));
+  EXPECT_NEAR(ball.Diameter(), 1.0, 1e-12);
+}
+
+TEST(BoxTest, ProjectionClamps) {
+  Box box({0.0, -1.0}, {1.0, 1.0});
+  Vec v = {2.0, -3.0};
+  box.Project(&v);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], -1.0, 1e-12);
+  EXPECT_TRUE(box.Contains(v, 1e-12));
+  EXPECT_NEAR(box.Diameter(), std::sqrt(1.0 + 4.0), 1e-12);
+}
+
+TEST(IntervalTest, Basics) {
+  Interval iv(0.0, 1.0);
+  Vec v = {1.7};
+  iv.Project(&v);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(iv.Center()[0], 0.5, 1e-12);
+  EXPECT_NEAR(iv.Diameter(), 1.0, 1e-12);
+}
+
+TEST(SimplexTest, ProjectionLandsOnSimplex) {
+  Simplex simplex(4);
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec v = rng.GaussianVector(4, 2.0);
+    simplex.Project(&v);
+    EXPECT_TRUE(simplex.Contains(v, 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(SimplexTest, ProjectionOfSimplexPointIsIdentity) {
+  Simplex simplex(3);
+  Vec v = {0.2, 0.3, 0.5};
+  Vec w = v;
+  simplex.Project(&w);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(w[i], v[i], 1e-9);
+}
+
+// Property: projection onto a convex set is the nearest point — no sampled
+// feasible point may be closer.
+TEST(ProjectionPropertyTest, ProjectionIsNearestPoint) {
+  Rng rng(17);
+  L2Ball ball(3);
+  Simplex simplex(3);
+  Box box({-0.5, -0.5, -0.5}, {0.5, 0.5, 0.5});
+  const Domain* domains[] = {&ball, &simplex, &box};
+  for (const Domain* domain : domains) {
+    for (int trial = 0; trial < 30; ++trial) {
+      Vec outside = rng.GaussianVector(3, 2.0);
+      Vec projected = outside;
+      domain->Project(&projected);
+      double best = Dist2(outside, projected);
+      for (int probe = 0; probe < 40; ++probe) {
+        Vec candidate = rng.GaussianVector(3, 1.0);
+        domain->Project(&candidate);
+        EXPECT_GE(Dist2(outside, candidate) + 1e-9, best)
+            << domain->name() << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(GradientDescentTest, SolvesUnconstrainedQuadratic) {
+  QuadraticObjective objective({0.3, -0.2});
+  L2Ball ball(2);
+  GradientDescentSolver solver;
+  SolverResult result = solver.Minimize(objective, ball);
+  EXPECT_NEAR(result.theta[0], 0.3, 1e-5);
+  EXPECT_NEAR(result.theta[1], -0.2, 1e-5);
+}
+
+TEST(GradientDescentTest, RespectsConstraint) {
+  QuadraticObjective objective({2.0, 0.0});  // optimum outside the ball
+  L2Ball ball(2);
+  GradientDescentSolver solver;
+  SolverResult result = solver.Minimize(objective, ball);
+  EXPECT_NEAR(result.theta[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.theta[1], 0.0, 1e-4);
+  EXPECT_LE(Norm2(result.theta), 1.0 + 1e-9);
+}
+
+TEST(GradientDescentTest, HandlesNonSmoothObjective) {
+  AbsObjective objective({0.25, -0.5});
+  L2Ball ball(2);
+  SolverOptions options;
+  options.max_iters = 2000;
+  GradientDescentSolver solver(options);
+  SolverResult result = solver.Minimize(objective, ball);
+  EXPECT_NEAR(result.value, 0.0, 0.01);
+}
+
+TEST(SubgradientSolverTest, MatchesGradientDescentOnQuadratic) {
+  QuadraticObjective objective({0.1, 0.4});
+  L2Ball ball(2);
+  SolverOptions options;
+  options.max_iters = 3000;
+  SubgradientSolver solver(options);
+  SolverResult result = solver.Minimize(objective, ball);
+  EXPECT_NEAR(result.value, 0.0, 5e-3);
+}
+
+TEST(FrankWolfeTest, LinearMinimizerBall) {
+  L2Ball ball(2);
+  Vec direction = {3.0, 4.0};
+  Vec s = LinearMinimizer(ball, direction);
+  EXPECT_NEAR(s[0], -0.6, 1e-12);
+  EXPECT_NEAR(s[1], -0.8, 1e-12);
+}
+
+TEST(FrankWolfeTest, LinearMinimizerSimplexAndInterval) {
+  Simplex simplex(3);
+  Vec s = LinearMinimizer(simplex, {0.5, -1.0, 2.0});
+  EXPECT_NEAR(s[1], 1.0, 1e-12);
+  Interval iv(0.0, 1.0);
+  Vec t = LinearMinimizer(iv, {-2.0});
+  EXPECT_NEAR(t[0], 1.0, 1e-12);
+}
+
+TEST(FrankWolfeTest, SolvesQuadraticOnBall) {
+  QuadraticObjective objective({0.3, 0.1});
+  L2Ball ball(2);
+  SolverOptions options;
+  options.max_iters = 4000;
+  FrankWolfeSolver solver(options);
+  SolverResult result = solver.Minimize(objective, ball);
+  EXPECT_NEAR(result.value, 0.0, 1e-3);
+}
+
+TEST(GoldenSectionTest, ExactOnConvex1D) {
+  QuadraticObjective objective({0.37});
+  Interval iv(0.0, 1.0);
+  GoldenSectionSolver solver;
+  SolverResult result = solver.Minimize(objective, iv);
+  EXPECT_NEAR(result.theta[0], 0.37, 1e-8);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(GoldenSectionTest, BoundaryOptimum) {
+  QuadraticObjective objective({1.8});
+  Interval iv(0.0, 1.0);
+  GoldenSectionSolver solver;
+  SolverResult result = solver.Minimize(objective, iv);
+  EXPECT_NEAR(result.theta[0], 1.0, 1e-7);
+}
+
+TEST(AutoSolverTest, DispatchesGoldenForInterval) {
+  QuadraticObjective objective({0.2});
+  Interval iv(0.0, 1.0);
+  AutoSolver solver;
+  SolverResult result = solver.Minimize(objective, iv);
+  EXPECT_NEAR(result.theta[0], 0.2, 1e-7);
+}
+
+TEST(AutoSolverTest, DispatchesGdForBall) {
+  QuadraticObjective objective({0.2, 0.3, -0.1});
+  L2Ball ball(3);
+  AutoSolver solver;
+  SolverResult result = solver.Minimize(objective, ball);
+  EXPECT_NEAR(result.value, 0.0, 1e-6);
+}
+
+TEST(PerturbedObjectiveTest, AddsLinearAndQuadraticTerms) {
+  QuadraticObjective base({0.0, 0.0});
+  PerturbedObjective perturbed(&base, {1.0, 0.0}, 2.0, {0.0, 1.0});
+  Vec theta = {0.5, 0.5};
+  // base = 0.5; linear = 0.5; quad = (2/2)*(0.25 + 0.25) = 0.5.
+  EXPECT_NEAR(perturbed.Value(theta), 0.5 + 0.5 + 0.5, 1e-12);
+  Vec g = perturbed.Gradient(theta);
+  // base grad = (1, 1); + (1, 0); + 2*(0.5, -0.5) = (3, 0).
+  EXPECT_NEAR(g[0], 3.0, 1e-12);
+  EXPECT_NEAR(g[1], 0.0, 1e-12);
+}
+
+// Property sweep: all three multi-dim solvers agree on random quadratics
+// over the unit ball.
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, AllSolversAgreeOnRandomQuadratics) {
+  Rng rng(1000 + GetParam());
+  Vec target = rng.GaussianVector(3, 0.8);
+  QuadraticObjective objective(target);
+  L2Ball ball(3);
+
+  SolverOptions options;
+  options.max_iters = 4000;
+  GradientDescentSolver gd(options);
+  SubgradientSolver sub(options);
+  FrankWolfeSolver fw(options);
+
+  double v_gd = gd.Minimize(objective, ball).value;
+  double v_sub = sub.Minimize(objective, ball).value;
+  double v_fw = fw.Minimize(objective, ball).value;
+  EXPECT_NEAR(v_gd, v_sub, 2e-2);
+  EXPECT_NEAR(v_gd, v_fw, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQuadratics, SolverAgreementTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace convex
+}  // namespace pmw

@@ -1,0 +1,304 @@
+// Unit tests for the data substrate: universes, datasets, histograms,
+// generators, and discretization.
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "data/binary_universe.h"
+#include "data/dataset.h"
+#include "data/discretize.h"
+#include "data/generators.h"
+#include "data/grid_universe.h"
+#include "data/histogram.h"
+#include "gtest/gtest.h"
+
+namespace pmw {
+namespace data {
+namespace {
+
+TEST(HypercubeUniverseTest, SizeAndNorms) {
+  HypercubeUniverse u(4);
+  EXPECT_EQ(u.size(), 16);
+  EXPECT_EQ(u.feature_dim(), 4);
+  for (int i = 0; i < u.size(); ++i) {
+    double norm_sq = 0.0;
+    for (double f : u.row(i).features) norm_sq += f * f;
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+    EXPECT_EQ(u.row(i).label, 0.0);
+  }
+  EXPECT_NEAR(u.MaxFeatureNorm(), 1.0, 1e-12);
+}
+
+TEST(HypercubeUniverseTest, IndexOfRoundTrips) {
+  HypercubeUniverse u(5);
+  for (int i = 0; i < u.size(); ++i) {
+    std::vector<int> signs(5);
+    for (int j = 0; j < 5; ++j) {
+      signs[j] = u.row(i).features[j] > 0 ? 1 : -1;
+    }
+    EXPECT_EQ(u.IndexOf(signs), i);
+  }
+}
+
+TEST(HypercubeUniverseTest, AllRowsDistinct) {
+  HypercubeUniverse u(6);
+  std::set<std::vector<double>> seen;
+  for (int i = 0; i < u.size(); ++i) seen.insert(u.row(i).features);
+  EXPECT_EQ(static_cast<int>(seen.size()), u.size());
+}
+
+TEST(LabeledHypercubeUniverseTest, SizeAndLabels) {
+  LabeledHypercubeUniverse u(3);
+  EXPECT_EQ(u.size(), 16);
+  int pos = 0;
+  for (int i = 0; i < u.size(); ++i) {
+    EXPECT_TRUE(u.row(i).label == 1.0 || u.row(i).label == -1.0);
+    if (u.row(i).label > 0) ++pos;
+  }
+  EXPECT_EQ(pos, 8);
+}
+
+TEST(LabeledHypercubeUniverseTest, IndexOfRoundTrips) {
+  LabeledHypercubeUniverse u(3);
+  for (int i = 0; i < u.size(); ++i) {
+    std::vector<int> signs(3);
+    for (int j = 0; j < 3; ++j) {
+      signs[j] = u.row(i).features[j] > 0 ? 1 : -1;
+    }
+    int label = u.row(i).label > 0 ? 1 : -1;
+    EXPECT_EQ(u.IndexOf(signs, label), i);
+  }
+}
+
+TEST(LabeledHypercubeUniverseTest, LogSize) {
+  LabeledHypercubeUniverse u(4);
+  EXPECT_NEAR(u.LogSize(), std::log(32.0), 1e-12);
+}
+
+TEST(GridUniverseTest, SizeAndBounds) {
+  GridUniverse u(2, 5, /*labeled=*/false);
+  EXPECT_EQ(u.size(), 25);
+  double max_norm = u.MaxFeatureNorm();
+  EXPECT_LE(max_norm, 1.0 + 1e-12);
+}
+
+TEST(GridUniverseTest, LabeledDoubling) {
+  GridUniverse u(2, 3, /*labeled=*/true);
+  EXPECT_EQ(u.size(), 18);
+}
+
+TEST(GridUniverseTest, IndexOfRoundTrips) {
+  GridUniverse u(2, 3, /*labeled=*/true);
+  for (int a0 = 0; a0 < 3; ++a0) {
+    for (int a1 = 0; a1 < 3; ++a1) {
+      for (int label : {-1, 1}) {
+        int idx = u.IndexOf({a0, a1}, label);
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, u.size());
+        EXPECT_EQ(u.row(idx).label, static_cast<double>(label));
+      }
+    }
+  }
+}
+
+TEST(DatasetTest, BasicAccess) {
+  HypercubeUniverse u(3);
+  Dataset d(&u, {0, 1, 1, 7});
+  EXPECT_EQ(d.n(), 4);
+  EXPECT_EQ(d.index(2), 1);
+  EXPECT_EQ(&d.universe(), &u);
+}
+
+TEST(DatasetTest, WithRowReplacedIsNeighbour) {
+  HypercubeUniverse u(3);
+  Dataset d(&u, {0, 1, 2, 3});
+  Dataset d2 = d.WithRowReplaced(1, 5);
+  EXPECT_EQ(d2.index(1), 5);
+  EXPECT_EQ(d.index(1), 1);  // original unchanged
+  int diffs = 0;
+  for (int i = 0; i < d.n(); ++i) {
+    if (d.index(i) != d2.index(i)) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST(HistogramTest, UniformSumsToOne) {
+  Histogram h = Histogram::Uniform(10);
+  double sum = 0.0;
+  for (int i = 0; i < h.size(); ++i) sum += h[i];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FromDatasetCounts) {
+  HypercubeUniverse u(2);
+  Dataset d(&u, {0, 0, 1, 3});
+  Histogram h = Histogram::FromDataset(d);
+  EXPECT_NEAR(h[0], 0.5, 1e-12);
+  EXPECT_NEAR(h[1], 0.25, 1e-12);
+  EXPECT_NEAR(h[2], 0.0, 1e-12);
+  EXPECT_NEAR(h[3], 0.25, 1e-12);
+}
+
+TEST(HistogramTest, NeighbourDatasetsCloseInL1) {
+  HypercubeUniverse u(3);
+  Dataset d(&u, std::vector<int>(50, 0));
+  Dataset d2 = d.WithRowReplaced(7, 3);
+  Histogram h1 = Histogram::FromDataset(d);
+  Histogram h2 = Histogram::FromDataset(d2);
+  EXPECT_NEAR(h1.L1Distance(h2), 2.0 / 50.0, 1e-12);
+}
+
+TEST(HistogramTest, ExpectationMatchesManualSum) {
+  Histogram h = Histogram::FromWeights({1.0, 3.0});
+  double e = h.Expectation([](int i) { return i == 0 ? 10.0 : 2.0; });
+  EXPECT_NEAR(e, 0.25 * 10.0 + 0.75 * 2.0, 1e-12);
+}
+
+TEST(HistogramTest, MultiplicativeUpdateDirection) {
+  Histogram h = Histogram::Uniform(4);
+  // Payoff favouring index 2 with positive eta should raise its mass.
+  Histogram h2 = h.MultiplicativeUpdate({0.0, 0.0, 1.0, 0.0}, 0.5);
+  EXPECT_GT(h2[2], h[2]);
+  EXPECT_LT(h2[0], h[0]);
+  double sum = 0.0;
+  for (int i = 0; i < h2.size(); ++i) sum += h2[i];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, MultiplicativeUpdateNegativeEtaFlips) {
+  Histogram h = Histogram::Uniform(4);
+  Histogram h2 = h.MultiplicativeUpdate({0.0, 0.0, 1.0, 0.0}, -0.5);
+  EXPECT_LT(h2[2], h[2]);
+}
+
+TEST(HistogramTest, MultiplicativeUpdateZeroEtaIsNoOp) {
+  Histogram h = Histogram::FromWeights({1.0, 2.0, 3.0});
+  Histogram h2 = h.MultiplicativeUpdate({5.0, -1.0, 0.5}, 0.0);
+  for (int i = 0; i < h.size(); ++i) EXPECT_NEAR(h2[i], h[i], 1e-12);
+}
+
+TEST(HistogramTest, MultiplicativeUpdateStableForHugePayoffs) {
+  Histogram h = Histogram::Uniform(3);
+  Histogram h2 = h.MultiplicativeUpdate({1000.0, 0.0, -1000.0}, 1.0);
+  EXPECT_NEAR(h2[0], 1.0, 1e-9);
+  EXPECT_FALSE(std::isnan(h2[1]));
+}
+
+TEST(HistogramTest, KlZeroOnIdentical) {
+  Histogram h = Histogram::FromWeights({1.0, 2.0, 3.0});
+  EXPECT_NEAR(h.Kl(h), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, SampleDatasetMatchesDistribution) {
+  HypercubeUniverse u(2);
+  Histogram h = Histogram::FromWeights({8.0, 1.0, 1.0, 0.0});
+  Rng rng(42);
+  Dataset d = h.SampleDataset(u, 20000, &rng);
+  Histogram emp = Histogram::FromDataset(d);
+  EXPECT_NEAR(emp[0], 0.8, 0.02);
+  EXPECT_NEAR(emp[3], 0.0, 1e-12);
+}
+
+TEST(GeneratorsTest, UniformDistributionIsUniform) {
+  HypercubeUniverse u(3);
+  Histogram h = UniformDistribution(u);
+  for (int i = 0; i < h.size(); ++i) EXPECT_NEAR(h[i], 1.0 / 8.0, 1e-12);
+}
+
+TEST(GeneratorsTest, ProductDistributionMarginals) {
+  LabeledHypercubeUniverse u(2);
+  Histogram h = ProductDistribution(u, {0.9, 0.5}, 0.7);
+  // P(coordinate 0 positive) should be 0.9.
+  double p0 = h.Expectation([&u](int i) {
+    return u.row(i).features[0] > 0 ? 1.0 : 0.0;
+  });
+  EXPECT_NEAR(p0, 0.9, 1e-12);
+  double p_label = h.Expectation([&u](int i) {
+    return u.row(i).label > 0 ? 1.0 : 0.0;
+  });
+  EXPECT_NEAR(p_label, 0.7, 1e-12);
+}
+
+TEST(GeneratorsTest, LogisticModelLabelCorrelatesWithMargin) {
+  LabeledHypercubeUniverse u(3);
+  std::vector<double> theta_star = {1.0, 1.0, 1.0};
+  Histogram h = LogisticModelDistribution(u, theta_star, {0.5, 0.5, 0.5},
+                                          /*temperature=*/0.2);
+  // Conditional P(y=+1 | margin > 0) must exceed 1/2 clearly.
+  double joint = h.Expectation([&u, &theta_star](int i) {
+    const Row& r = u.row(i);
+    double margin = 0.0;
+    for (size_t j = 0; j < r.features.size(); ++j) {
+      margin += theta_star[j] * r.features[j];
+    }
+    return (margin > 0 && r.label > 0) ? 1.0 : 0.0;
+  });
+  double marginal = h.Expectation([&u, &theta_star](int i) {
+    const Row& r = u.row(i);
+    double margin = 0.0;
+    for (size_t j = 0; j < r.features.size(); ++j) {
+      margin += theta_star[j] * r.features[j];
+    }
+    return margin > 0 ? 1.0 : 0.0;
+  });
+  EXPECT_GT(joint / marginal, 0.8);
+}
+
+TEST(GeneratorsTest, MixtureConcentratesNearCenters) {
+  HypercubeUniverse u(4);
+  std::vector<double> center(u.row(0).features);
+  Histogram h = MixtureDistribution(u, {center}, /*width=*/0.1);
+  // The centre row itself must be the modal row.
+  int argmax = 0;
+  for (int i = 1; i < h.size(); ++i) {
+    if (h[i] > h[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, 0);
+}
+
+TEST(GeneratorsTest, RoundedDatasetExactSizeAndClose) {
+  HypercubeUniverse u(3);
+  Histogram h = ProductDistribution(u, {0.3, 0.6, 0.5}, 0.5);
+  Dataset d = RoundedDataset(u, h, 100);
+  EXPECT_EQ(d.n(), 100);
+  Histogram emp = Histogram::FromDataset(d);
+  EXPECT_LE(emp.L1Distance(h), 2.0 * u.size() / 100.0);
+}
+
+TEST(DiscretizeTest, NearestRowExactOnGridPoints) {
+  HypercubeUniverse u(3);
+  for (int i = 0; i < u.size(); ++i) {
+    ContinuousRecord r{u.row(i).features, 0.0};
+    EXPECT_EQ(NearestRow(u, r), i);
+  }
+}
+
+TEST(DiscretizeTest, LabelBreaksTies) {
+  LabeledHypercubeUniverse u(2);
+  ContinuousRecord r{u.row(0).features, +1.0};
+  int idx = NearestRow(u, r);
+  EXPECT_GT(u.row(idx).label, 0.0);
+}
+
+TEST(DiscretizeTest, MaxRoundingDistanceBoundedByGridPitch) {
+  GridUniverse u(2, 9, /*labeled=*/false);
+  Rng rng(3);
+  std::vector<ContinuousRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    auto v = rng.InUnitBall(2);
+    for (double& x : v) x /= std::sqrt(2.0);  // stay within grid range
+    records.push_back({v, 0.0});
+  }
+  // Grid pitch per axis is 2r/(m-1) with r = 1/sqrt(2), m = 9; the rounding
+  // error is at most half the cell diagonal.
+  double pitch = 2.0 * (1.0 / std::sqrt(2.0)) / 8.0;
+  double bound = 0.5 * pitch * std::sqrt(2.0) + 1e-12;
+  EXPECT_LE(MaxRoundingDistance(u, records), bound);
+  Dataset d = DiscretizeDataset(u, records);
+  EXPECT_EQ(d.n(), 50);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace pmw

@@ -1,0 +1,100 @@
+// Tests for the BSSU15-style transfer-theorem arithmetic (Section 1.3)
+// and the measured generalization gap: DP answers on iid samples must
+// transfer to the population, including under adaptivity.
+
+#include <cmath>
+
+#include "analysis/generalization.h"
+#include "common/random.h"
+#include "core/analysts.h"
+#include "core/pmw_answerer.h"
+#include "core/pmw_cm.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "erm/noisy_gradient_oracle.h"
+#include "erm/nonprivate_oracle.h"
+#include "gtest/gtest.h"
+#include "losses/loss_family.h"
+
+namespace pmw {
+namespace analysis {
+namespace {
+
+TEST(TransferTheoremTest, ShrinksWithN) {
+  dp::PrivacyParams privacy{0.05, 1e-12};
+  double small_n = TransferredPopulationAccuracy(0.1, privacy, 1e3, 0.05);
+  double big_n = TransferredPopulationAccuracy(0.1, privacy, 1e7, 0.05);
+  EXPECT_LT(big_n, small_n);
+  // At huge n the bound approaches alpha + (e^eps - 1).
+  EXPECT_NEAR(big_n, 0.1 + (std::exp(0.05) - 1.0), 0.01);
+}
+
+TEST(TransferTheoremTest, EpsilonDominatesWhenLarge) {
+  dp::PrivacyParams loose{1.0, 1e-12};
+  dp::PrivacyParams tight{0.01, 1e-12};
+  EXPECT_GT(TransferredPopulationAccuracy(0.1, loose, 1e6, 0.05),
+            TransferredPopulationAccuracy(0.1, tight, 1e6, 0.05));
+}
+
+TEST(TransferTheoremTest, SufficientNFiniteWhenEpsSmall) {
+  dp::PrivacyParams privacy{0.02, 1e-12};
+  double n = GeneralizationSufficientN(0.1, privacy, 0.05);
+  EXPECT_GT(n, 0.0);
+  EXPECT_LE(TransferredPopulationAccuracy(0.1, privacy, n, 0.05), 0.2);
+}
+
+TEST(TransferTheoremTest, SufficientNUnreachableWhenEpsLarge) {
+  dp::PrivacyParams privacy{1.0, 1e-12};  // e^1 - 1 >> alpha
+  EXPECT_LT(GeneralizationSufficientN(0.1, privacy, 0.05), 0.0);
+}
+
+// Measured: answers from a DP mechanism on an iid sample generalize —
+// the max gap between sample and population excess risk over an
+// *adaptive* interaction stays near the iid sampling deviation, far
+// below the error scale itself.
+class MeasuredGeneralizationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeasuredGeneralizationTest, AdaptiveAnswersTransferToPopulation) {
+  const int d = 3;
+  const int n = 120000;
+  data::LabeledHypercubeUniverse universe(d);
+  data::Histogram population = data::LogisticModelDistribution(
+      universe, {0.8, -0.6, 0.3}, {0.5, 0.5, 0.5}, 0.3);
+  Rng data_rng(500 + GetParam());
+  data::Dataset sample = population.SampleDataset(universe, n, &data_rng);
+  data::Histogram sample_hist = data::Histogram::FromDataset(sample);
+  core::ErrorOracle measure(&universe);
+
+  erm::NoisyGradientOracle oracle;
+  core::PmwOptions options;
+  options.alpha = 0.15;
+  options.privacy = {1.0, 1e-6};
+  options.scale = 2.0 * (1.0 + 1.5 * 0.3);
+  options.override_updates = 16;
+  options.max_queries = 40;
+  core::PmwCm mechanism(&sample, &oracle, options, 600 + GetParam());
+  core::PmwAnswerer answerer(&mechanism);
+
+  losses::LipschitzFamily family(d);
+  core::AdaptiveRefinementAnalyst analyst(&family, 0.3, 0.5);
+  Rng rng(700 + GetParam());
+  double worst_gap = 0.0;
+  for (int j = 0; j < 40; ++j) {
+    convex::CmQuery query = analyst.NextQuery(&rng);
+    auto answer = answerer.Answer(query);
+    if (!answer.ok()) break;
+    analyst.ObserveAnswer(query, *answer);
+    worst_gap = std::max(
+        worst_gap, GeneralizationGap(measure, query, sample_hist,
+                                     population, *answer));
+  }
+  // Sampling deviation at n=120000 is ~0.006; allow generous slack.
+  EXPECT_LE(worst_gap, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeasuredGeneralizationTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pmw

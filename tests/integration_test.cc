@@ -1,0 +1,189 @@
+// Cross-module integration tests: full pipelines a downstream user would
+// run, wired end to end.
+//   1. Continuous records -> grid discretization -> Figure 3 -> accurate
+//      answers (the paper's Section 1.1 rounding story).
+//   2. Online Figure 3 vs offline variant on the same workload.
+//   3. Synthetic-data release round trip (Section 4.3 remark).
+//   4. Mixed workload: one mechanism serving all four Table 1 families.
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/error.h"
+#include "core/pmw_answerer.h"
+#include "core/pmw_cm.h"
+#include "core/pmw_offline.h"
+#include "data/discretize.h"
+#include "data/generators.h"
+#include "data/grid_universe.h"
+#include "data/binary_universe.h"
+#include "erm/noisy_gradient_oracle.h"
+#include "erm/nonprivate_oracle.h"
+#include "gtest/gtest.h"
+#include "losses/loss_family.h"
+
+namespace pmw {
+namespace {
+
+TEST(IntegrationTest, ContinuousDataThroughGridUniverseAndPmw) {
+  // Continuous records in the plane with a linear label rule, rounded
+  // onto a labeled 5x5 grid, then served by Figure 3.
+  data::GridUniverse universe(2, 5, /*labeled=*/true);
+  Rng rng(11);
+  std::vector<data::ContinuousRecord> records;
+  const int n = 80000;
+  records.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x = rng.InUnitBall(2);
+    for (double& v : x) v /= std::sqrt(2.0);
+    double margin = 2.0 * x[0] - x[1];
+    double label = rng.Bernoulli(1.0 / (1.0 + std::exp(-4.0 * margin)))
+                       ? 1.0
+                       : -1.0;
+    records.push_back({std::move(x), label});
+  }
+  data::Dataset dataset = data::DiscretizeDataset(universe, records);
+  ASSERT_EQ(dataset.n(), n);
+
+  core::ErrorOracle measure(&universe);
+  data::Histogram hist = data::Histogram::FromDataset(dataset);
+  erm::NoisyGradientOracle oracle;
+  core::PmwOptions options;
+  options.alpha = 0.15;
+  options.privacy = {2.0, 1e-6};
+  options.override_updates = 16;
+  options.max_queries = 60;
+  core::PmwCm mechanism(&dataset, &oracle, options, 12);
+
+  losses::LipschitzFamily family(2);
+  Rng qrng(13);
+  double max_err = 0.0;
+  for (int j = 0; j < 60; ++j) {
+    convex::CmQuery query = family.Next(&qrng);
+    auto answer = mechanism.AnswerQuery(query);
+    ASSERT_TRUE(answer.ok());
+    max_err = std::max(max_err,
+                       measure.AnswerError(query, hist, answer.value().theta));
+  }
+  EXPECT_LE(max_err, 0.2);
+}
+
+TEST(IntegrationTest, OnlineAndOfflineAgreeOnFixedWorkload) {
+  data::LabeledHypercubeUniverse universe(3);
+  data::Histogram dist = data::LogisticModelDistribution(
+      universe, {1.0, -0.8, 0.5}, {0.7, 0.4, 0.5}, 0.25);
+  data::Dataset dataset = data::RoundedDataset(universe, dist, 150000);
+  core::ErrorOracle measure(&universe);
+  data::Histogram hist = data::Histogram::FromDataset(dataset);
+
+  losses::LipschitzFamily family(3);
+  Rng rng(21);
+  auto workload = family.Generate(20, &rng);
+
+  // Online.
+  erm::NonPrivateOracle oracle;
+  core::PmwOptions online_options;
+  online_options.alpha = 0.15;
+  online_options.privacy = {2.0, 1e-6};
+  online_options.override_updates = 16;
+  online_options.max_queries = 20;
+  core::PmwCm online(&dataset, &oracle, online_options, 22);
+  double online_max = 0.0;
+  for (const auto& query : workload) {
+    auto answer = online.AnswerQuery(query);
+    ASSERT_TRUE(answer.ok());
+    online_max = std::max(
+        online_max, measure.AnswerError(query, hist, answer.value().theta));
+  }
+
+  // Offline on the identical workload.
+  core::PmwOfflineOptions offline_options;
+  offline_options.rounds = 12;
+  offline_options.privacy = {2.0, 1e-6};
+  offline_options.scale = family.scale();
+  core::PmwOfflineResult offline =
+      RunPmwOffline(dataset, workload, &oracle, offline_options, 23);
+  double offline_max = 0.0;
+  for (size_t q = 0; q < workload.size(); ++q) {
+    offline_max = std::max(
+        offline_max,
+        measure.AnswerError(workload[q], hist, offline.answers[q]));
+  }
+
+  EXPECT_LE(online_max, 0.2);
+  EXPECT_LE(offline_max, 0.25);
+}
+
+TEST(IntegrationTest, SyntheticReleaseAnswersWorkload) {
+  data::LabeledHypercubeUniverse universe(3);
+  data::Histogram dist = data::LogisticModelDistribution(
+      universe, {0.9, -0.6, 0.4}, {0.6, 0.45, 0.5}, 0.3);
+  data::Dataset dataset = data::RoundedDataset(universe, dist, 150000);
+  core::ErrorOracle measure(&universe);
+  data::Histogram hist = data::Histogram::FromDataset(dataset);
+
+  losses::LipschitzFamily family(3);
+  Rng rng(31);
+  auto workload = family.Generate(16, &rng);
+  erm::NonPrivateOracle oracle;
+  core::PmwOfflineOptions options;
+  options.rounds = 12;
+  options.privacy = {2.0, 1e-6};
+  options.scale = family.scale();
+  core::PmwOfflineResult release =
+      RunPmwOffline(dataset, workload, &oracle, options, 32);
+
+  // Sample a synthetic dataset and answer the workload *from it*.
+  Rng srng(33);
+  data::Dataset synthetic =
+      release.hypothesis.SampleDataset(universe, 60000, &srng);
+  data::Histogram synthetic_hist = data::Histogram::FromDataset(synthetic);
+  double worst = 0.0;
+  for (const auto& query : workload) {
+    worst = std::max(worst,
+                     measure.DatabaseError(query, hist, synthetic_hist));
+  }
+  EXPECT_LE(worst, 0.3);
+}
+
+TEST(IntegrationTest, OneMechanismServesAllFourFamilies) {
+  data::LabeledHypercubeUniverse universe(3);
+  data::Histogram dist = data::LogisticModelDistribution(
+      universe, {1.0, -0.8, 0.5}, {0.7, 0.4, 0.5}, 0.25);
+  data::Dataset dataset = data::RoundedDataset(universe, dist, 150000);
+  core::ErrorOracle measure(&universe);
+  data::Histogram hist = data::Histogram::FromDataset(dataset);
+
+  losses::LipschitzFamily lipschitz(3);
+  losses::GlmFamily glm(3);
+  losses::StronglyConvexFamily strongly_convex(3, 0.4);
+  losses::LinearQueryFamily linear(3, 2, true);
+  losses::QueryFamily* families[] = {&lipschitz, &glm, &strongly_convex,
+                                     &linear};
+
+  erm::NoisyGradientOracle oracle;
+  core::PmwOptions options;
+  options.alpha = 0.15;
+  options.privacy = {2.0, 1e-6};
+  // S must cover the widest family in the mix.
+  options.scale = strongly_convex.scale();
+  options.override_updates = 24;
+  options.max_queries = 80;
+  core::PmwCm mechanism(&dataset, &oracle, options, 41);
+
+  Rng rng(42);
+  double max_err = 0.0;
+  for (int j = 0; j < 80; ++j) {
+    losses::QueryFamily* family = families[j % 4];
+    convex::CmQuery query = family->Next(&rng);
+    auto answer = mechanism.AnswerQuery(query);
+    ASSERT_TRUE(answer.ok()) << "halted on " << query.label;
+    max_err = std::max(max_err,
+                       measure.AnswerError(query, hist, answer.value().theta));
+  }
+  EXPECT_LE(max_err, 0.25);
+  EXPECT_LE(mechanism.update_count(), 24);
+}
+
+}  // namespace
+}  // namespace pmw

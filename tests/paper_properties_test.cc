@@ -1,0 +1,260 @@
+// Property tests for the paper's analytic claims, checked directly as
+// inequalities on randomized instances:
+//   - Claim 3.5 (dual certificate): <u_t, D_hat - D> >= l_D(theta_hat) -
+//     l_D(theta_t);
+//   - Section 3.4.2 (sensitivity): err_l(., D_hat) is (3S/n)-sensitive,
+//     verified by exhaustive neighbour enumeration;
+//   - Lemma 3.4 (MW regret): adversarial payoff sequences cannot beat
+//     2 S sqrt(log|X| / T);
+//   - first-order optimality: <u_t, D_hat> >= 0 (equation (3)).
+
+#include <cmath>
+
+#include "common/random.h"
+#include "convex/cm_query.h"
+#include "convex/empirical_loss.h"
+#include "core/error.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "data/histogram.h"
+#include "gtest/gtest.h"
+#include "losses/loss_family.h"
+
+namespace pmw {
+namespace core {
+namespace {
+
+data::Histogram RandomHistogram(const data::Universe& universe, Rng* rng) {
+  std::vector<double> w(universe.size());
+  for (double& x : w) x = rng->Exponential(1.0);
+  return data::Histogram::FromWeights(std::move(w));
+}
+
+// The certificate vector of Figure 3.
+std::vector<double> Certificate(const data::Universe& universe,
+                                const convex::CmQuery& query,
+                                const convex::Vec& theta_hat,
+                                const convex::Vec& theta_t) {
+  convex::Vec direction = convex::Sub(theta_t, theta_hat);
+  std::vector<double> u(universe.size());
+  for (int x = 0; x < universe.size(); ++x) {
+    u[x] = convex::Dot(direction,
+                       query.loss->Gradient(theta_hat, universe.row(x)));
+  }
+  return u;
+}
+
+double InnerProduct(const std::vector<double>& u, const data::Histogram& h) {
+  double acc = 0.0;
+  for (int i = 0; i < h.size(); ++i) acc += u[i] * h[i];
+  return acc;
+}
+
+class DualCertificateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualCertificateTest, Claim35HoldsOnRandomInstances) {
+  data::LabeledHypercubeUniverse universe(3);
+  Rng rng(4000 + GetParam());
+  ErrorOracle error_oracle(&universe);
+  losses::LipschitzFamily family(3);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    data::Histogram d = RandomHistogram(universe, &rng);
+    data::Histogram d_hat = RandomHistogram(universe, &rng);
+    convex::CmQuery query = family.Next(&rng);
+
+    convex::Vec theta_hat = error_oracle.Minimize(query, d_hat);
+    convex::Vec theta_t = error_oracle.Minimize(query, d);
+    std::vector<double> u = Certificate(universe, query, theta_hat, theta_t);
+
+    double lhs = InnerProduct(u, d_hat) - InnerProduct(u, d);
+    double rhs = error_oracle.Loss(query, d, theta_hat) -
+                 error_oracle.Loss(query, d, theta_t);
+    EXPECT_GE(lhs + 1e-6, rhs) << query.label << " trial " << trial;
+  }
+}
+
+TEST_P(DualCertificateTest, FirstOrderOptimalityEquation3) {
+  // Equation (3): <u_t, D_hat> >= 0 because theta_hat minimizes over the
+  // convex domain and theta_t is feasible.
+  data::LabeledHypercubeUniverse universe(3);
+  Rng rng(5000 + GetParam());
+  ErrorOracle error_oracle(&universe);
+  losses::GlmFamily family(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    data::Histogram d = RandomHistogram(universe, &rng);
+    data::Histogram d_hat = RandomHistogram(universe, &rng);
+    convex::CmQuery query = family.Next(&rng);
+    convex::Vec theta_hat = error_oracle.Minimize(query, d_hat);
+    convex::Vec theta_t = error_oracle.Minimize(query, d);
+    std::vector<double> u = Certificate(universe, query, theta_hat, theta_t);
+    EXPECT_GE(InnerProduct(u, d_hat), -1e-5) << query.label;
+  }
+}
+
+TEST_P(DualCertificateTest, CertificateBoundedByScale) {
+  // |u_t(x)| <= S for every universe row (the scaling condition).
+  data::LabeledHypercubeUniverse universe(3);
+  Rng rng(6000 + GetParam());
+  ErrorOracle error_oracle(&universe);
+  losses::LipschitzFamily family(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    data::Histogram d = RandomHistogram(universe, &rng);
+    data::Histogram d_hat = RandomHistogram(universe, &rng);
+    convex::CmQuery query = family.Next(&rng);
+    convex::Vec theta_hat = error_oracle.Minimize(query, d_hat);
+    convex::Vec theta_t = error_oracle.Minimize(query, d);
+    std::vector<double> u = Certificate(universe, query, theta_hat, theta_t);
+    for (double value : u) {
+      EXPECT_LE(std::abs(value), family.scale() + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualCertificateTest, ::testing::Range(0, 5));
+
+class SensitivityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SensitivityTest, ErrorQueryIs3SOverNSensitive) {
+  // Section 3.4.2: |err_l(D, D_hat) - err_l(D', D_hat)| <= 3S/n over all
+  // neighbours D' of D. Exhaustive enumeration on a small universe.
+  data::LabeledHypercubeUniverse universe(2);  // |X| = 8
+  const int n = 12;
+  Rng rng(7000 + GetParam());
+  ErrorOracle error_oracle(&universe);
+  losses::LipschitzFamily family(2);
+  convex::CmQuery query = family.Next(&rng);
+  const double s = family.scale();
+
+  std::vector<int> indices(n);
+  for (int& idx : indices) idx = rng.UniformInt(universe.size());
+  data::Dataset dataset(&universe, indices);
+  data::Histogram d_hat = RandomHistogram(universe, &rng);
+
+  convex::Vec theta_hat = error_oracle.Minimize(query, d_hat);
+  double base_err = error_oracle.AnswerError(
+      query, data::Histogram::FromDataset(dataset), theta_hat);
+
+  double worst_change = 0.0;
+  for (int position = 0; position < n; ++position) {
+    for (int replacement = 0; replacement < universe.size(); ++replacement) {
+      data::Dataset neighbour = dataset.WithRowReplaced(position, replacement);
+      double err = error_oracle.AnswerError(
+          query, data::Histogram::FromDataset(neighbour), theta_hat);
+      worst_change = std::max(worst_change, std::abs(err - base_err));
+    }
+  }
+  // Small slack for inner-solver inexactness.
+  EXPECT_LE(worst_change, 3.0 * s / n + 5e-3) << query.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, SensitivityTest, ::testing::Range(0, 8));
+
+class RegretTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegretTest, Lemma34AdversarialPayoffsRespectBound) {
+  // MW with exponent -eta u/S against the greedy adversary that always
+  // plays u_t(x) = S sign(D_hat_t(x) - D(x)) — the payoff maximizing
+  // <u_t, D_hat_t - D>. Average payoff must respect 2 S sqrt(log|X|/T).
+  const int size = 1 << (3 + GetParam() % 3);  // 8, 16, 32
+  const double s = 2.0;
+  const int T = 50 + 25 * GetParam();
+  Rng rng(8000 + GetParam());
+
+  std::vector<double> w(size);
+  for (double& x : w) x = rng.Exponential(1.0);
+  data::Histogram target = data::Histogram::FromWeights(std::move(w));
+  data::Histogram hypothesis = data::Histogram::Uniform(size);
+
+  const double log_x = std::log(static_cast<double>(size));
+  const double eta = std::sqrt(log_x / T);
+
+  double total_payoff = 0.0;
+  for (int t = 0; t < T; ++t) {
+    std::vector<double> u(size);
+    for (int x = 0; x < size; ++x) {
+      u[x] = s * ((hypothesis[x] >= target[x]) ? 1.0 : -1.0);
+    }
+    double payoff = 0.0;
+    for (int x = 0; x < size; ++x) {
+      payoff += u[x] * (hypothesis[x] - target[x]);
+    }
+    total_payoff += payoff;
+    hypothesis = hypothesis.MultiplicativeUpdate(u, -eta / s);
+  }
+  EXPECT_LE(total_payoff / T, 2.0 * s * std::sqrt(log_x / T) + 1e-9);
+}
+
+TEST_P(RegretTest, RandomPayoffsAlsoRespectBound) {
+  const int size = 16;
+  const double s = 1.5;
+  const int T = 100 + 10 * GetParam();
+  Rng rng(9000 + GetParam());
+  data::Histogram target = data::Histogram::Uniform(size);
+  std::vector<double> w(size);
+  for (double& x : w) x = rng.Exponential(1.0);
+  target = data::Histogram::FromWeights(std::move(w));
+  data::Histogram hypothesis = data::Histogram::Uniform(size);
+  const double log_x = std::log(static_cast<double>(size));
+  const double eta = std::sqrt(log_x / T);
+  double total = 0.0;
+  for (int t = 0; t < T; ++t) {
+    std::vector<double> u(size);
+    for (double& x : u) x = rng.Uniform(-s, s);
+    for (int x = 0; x < size; ++x) total += u[x] * (hypothesis[x] - target[x]);
+    hypothesis = hypothesis.MultiplicativeUpdate(u, -eta / s);
+  }
+  EXPECT_LE(total / T, 2.0 * s * std::sqrt(log_x / T) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Runs, RegretTest, ::testing::Range(0, 6));
+
+// The update-count invariant behind Claim 3.7: an update only happens when
+// the hypothesis truly errs, so after enough updates driven by a single
+// query family the hypothesis cannot keep erring. Checked empirically: on
+// a fixed pool of queries, the number of updates is far below the number
+// of queries answered.
+TEST(UpdateEconomyTest, UpdatesAreSparseOnRepeatedQueries) {
+  data::LabeledHypercubeUniverse universe(3);
+  data::Histogram dist = data::LogisticModelDistribution(
+      universe, {1.0, -0.8, 0.5}, {0.7, 0.4, 0.5}, 0.25);
+  data::Dataset dataset = data::RoundedDataset(universe, dist, 4096);
+  ErrorOracle error_oracle(&universe);
+  data::Histogram data_hist = data::Histogram::FromDataset(dataset);
+  data::Histogram hypothesis = data::Histogram::Uniform(universe.size());
+
+  losses::LipschitzFamily family(3);
+  Rng rng(1234);
+  auto pool = family.Generate(10, &rng);
+  const double s = family.scale();
+  const double alpha = 0.1;
+  const double eta = 0.3;
+
+  int updates = 0;
+  int answered = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (const auto& query : pool) {
+      ++answered;
+      convex::Vec theta_hat = error_oracle.Minimize(query, hypothesis);
+      double err = error_oracle.AnswerError(query, data_hist, theta_hat);
+      if (err <= alpha) continue;
+      convex::Vec theta_t = error_oracle.Minimize(query, data_hist);
+      std::vector<double> u =
+          Certificate(universe, query, theta_hat, theta_t);
+      hypothesis = hypothesis.MultiplicativeUpdate(u, -eta / s);
+      ++updates;
+    }
+  }
+  EXPECT_LT(updates, answered / 3);
+  // And the final hypothesis answers the whole pool within alpha-ish.
+  double max_err = 0.0;
+  for (const auto& query : pool) {
+    max_err = std::max(
+        max_err, error_oracle.DatabaseError(query, data_hist, hypothesis));
+  }
+  EXPECT_LE(max_err, 2.0 * alpha);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pmw

@@ -1,0 +1,139 @@
+// Empirical differential-privacy verification (Definition 2.1, measured).
+//
+// For mechanisms with discrete or discretizable output we estimate the
+// privacy loss directly: run the mechanism many times on a pair of
+// neighbouring datasets, histogram the outputs, and check
+//     Pr[M(D) in S] <= e^eps Pr[M(D') in S] + delta + statistical slack
+// over a family of events S. This catches sign errors in noise
+// calibration that unit tests on scales alone would miss.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "dp/mechanisms.h"
+#include "dp/sparse_vector.h"
+#include "gtest/gtest.h"
+
+namespace pmw {
+namespace dp {
+namespace {
+
+// Empirical max log-ratio over binned outputs of two runs.
+double EmpiricalEpsilon(const std::vector<double>& runs_d,
+                        const std::vector<double>& runs_d_prime,
+                        double bin_width, double delta_slack) {
+  std::map<long long, double> hist_d, hist_d_prime;
+  const double inv_n_d = 1.0 / runs_d.size();
+  const double inv_n_dp = 1.0 / runs_d_prime.size();
+  for (double v : runs_d) {
+    hist_d[static_cast<long long>(std::floor(v / bin_width))] += inv_n_d;
+  }
+  for (double v : runs_d_prime) {
+    hist_d_prime[static_cast<long long>(std::floor(v / bin_width))] +=
+        inv_n_dp;
+  }
+  double worst = 0.0;
+  for (const auto& [bin, p] : hist_d) {
+    if (p < delta_slack) continue;  // ignore tail events below slack
+    auto it = hist_d_prime.find(bin);
+    double q = it == hist_d_prime.end() ? 0.0 : it->second;
+    if (q < delta_slack) continue;
+    worst = std::max(worst, std::abs(std::log(p / q)));
+  }
+  return worst;
+}
+
+TEST(EmpiricalPrivacyTest, LaplaceMechanismRespectsEpsilon) {
+  // Counting query q(D) = 3, q(D') = 4, sensitivity 1, eps = 0.5.
+  const double eps = 0.5;
+  const int trials = 400000;
+  Rng rng(91);
+  std::vector<double> runs_d(trials), runs_d_prime(trials);
+  for (int i = 0; i < trials; ++i) {
+    runs_d[i] = LaplaceMechanism(3.0, 1.0, eps, &rng);
+    runs_d_prime[i] = LaplaceMechanism(4.0, 1.0, eps, &rng);
+  }
+  double measured = EmpiricalEpsilon(runs_d, runs_d_prime, 0.5, 2e-4);
+  // Allow modest statistical slack above the theoretical eps.
+  EXPECT_LE(measured, eps * 1.25);
+  // And the mechanism must actually discriminate a little (sanity).
+  EXPECT_GT(measured, eps * 0.2);
+}
+
+TEST(EmpiricalPrivacyTest, GaussianMechanismRespectsEpsilonDelta) {
+  PrivacyParams params{1.0, 1e-5};
+  const int trials = 400000;
+  Rng rng(92);
+  std::vector<double> runs_d(trials), runs_d_prime(trials);
+  for (int i = 0; i < trials; ++i) {
+    runs_d[i] = GaussianMechanism(0.0, 1.0, params, &rng);
+    runs_d_prime[i] = GaussianMechanism(1.0, 1.0, params, &rng);
+  }
+  double measured = EmpiricalEpsilon(runs_d, runs_d_prime, 1.0, 2e-4);
+  EXPECT_LE(measured, params.epsilon * 1.25);
+}
+
+TEST(EmpiricalPrivacyTest, ExponentialMechanismRespectsEpsilon) {
+  // Two candidates; neighbouring datasets move each score by the
+  // sensitivity. Output distribution ratio must respect eps.
+  const double eps = 0.8;
+  const double sens = 1.0;
+  const int trials = 300000;
+  Rng rng(93);
+  std::vector<double> scores_d = {0.0, 1.0};
+  std::vector<double> scores_d_prime = {1.0, 0.0};  // worst-case shift
+  int count_d = 0, count_d_prime = 0;
+  for (int i = 0; i < trials; ++i) {
+    count_d += ExponentialMechanism(scores_d, sens, eps, &rng);
+    count_d_prime += ExponentialMechanism(scores_d_prime, sens, eps, &rng);
+  }
+  double p = static_cast<double>(count_d) / trials;
+  double q = static_cast<double>(count_d_prime) / trials;
+  // The two score vectors differ by 2x sensitivity in the gap, so the
+  // guarantee here is 2*eps ... the canonical 2-sensitivity worst case.
+  EXPECT_LE(std::abs(std::log(p / q)), 2.0 * eps * 1.1);
+  EXPECT_LE(std::abs(std::log((1 - p) / (1 - q))), 2.0 * eps * 1.1);
+}
+
+TEST(EmpiricalPrivacyTest, SparseVectorFirstAnswerDistributionClose) {
+  // One AboveThreshold epoch on neighbouring streams: the probability of
+  // kTop on the first query must differ by at most e^eps (+slack). The
+  // query value moves by the full sensitivity between D and D'.
+  SparseVector::Options options;
+  options.max_top_answers = 1;
+  options.alpha = 0.2;
+  options.sensitivity = 0.05;
+  options.privacy = {1.0, 0.0};  // pure DP, single epoch
+  const int trials = 200000;
+  int tops_d = 0, tops_d_prime = 0;
+  for (int i = 0; i < trials; ++i) {
+    SparseVector sv_d(options, 10000 + i);
+    SparseVector sv_dp(options, 10000 + i);  // same coins
+    // Same coins + shifted value isolates the mechanism's sensitivity
+    // handling; use value at the threshold where the decision is most
+    // sensitive.
+    if (*sv_d.Process(0.15) == SparseVector::Answer::kTop) ++tops_d;
+    if (*sv_dp.Process(0.15 + options.sensitivity) ==
+        SparseVector::Answer::kTop) {
+      ++tops_d_prime;
+    }
+  }
+  // Distinct coins estimate: rerun D' with different seeds.
+  tops_d_prime = 0;
+  for (int i = 0; i < trials; ++i) {
+    SparseVector sv_dp(options, 500000 + i);
+    if (*sv_dp.Process(0.15 + options.sensitivity) ==
+        SparseVector::Answer::kTop) {
+      ++tops_d_prime;
+    }
+  }
+  double p = static_cast<double>(tops_d) / trials;
+  double q = static_cast<double>(tops_d_prime) / trials;
+  EXPECT_LE(std::abs(std::log(p / q)), options.privacy.epsilon * 1.15);
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace pmw

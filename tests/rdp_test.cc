@@ -1,0 +1,163 @@
+// Tests for the RDP accountant and the private Frank-Wolfe oracle (the
+// optional extensions beyond the paper's own toolbox).
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "convex/cm_query.h"
+#include "core/error.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "dp/rdp_accountant.h"
+#include "erm/private_frank_wolfe_oracle.h"
+#include "gtest/gtest.h"
+#include "losses/linear_query_loss.h"
+#include "losses/margin_losses.h"
+
+namespace pmw {
+namespace dp {
+namespace {
+
+TEST(RdpAccountantTest, SingleGaussianMatchesClosedForm) {
+  RdpAccountant accountant({2.0});
+  accountant.AddGaussian(/*noise_multiplier=*/4.0);
+  // RDP(2) = 2 / (2 * 16) = 1/16.
+  EXPECT_NEAR(accountant.rdp()[0], 1.0 / 16.0, 1e-12);
+}
+
+TEST(RdpAccountantTest, CompositionAddsOrderwise) {
+  RdpAccountant one;
+  one.AddGaussian(2.0);
+  RdpAccountant many;
+  many.AddGaussian(2.0, 10);
+  for (size_t i = 0; i < one.rdp().size(); ++i) {
+    EXPECT_NEAR(many.rdp()[i], 10.0 * one.rdp()[i], 1e-12);
+  }
+}
+
+TEST(RdpAccountantTest, EpsilonDecreasesWithNoise) {
+  RdpAccountant loud, quiet;
+  loud.AddGaussian(1.0, 50);
+  quiet.AddGaussian(4.0, 50);
+  EXPECT_LT(quiet.EpsilonAt(1e-6), loud.EpsilonAt(1e-6));
+}
+
+TEST(RdpAccountantTest, BeatsStrongCompositionForManyReleases) {
+  // The motivation for the accountant: at T = 200 Gaussian releases, RDP
+  // reports a (much) smaller epsilon than DRV10 strong composition.
+  const double noise_multiplier = 8.0;
+  const int count = 200;
+  const double delta = 1e-6;
+  RdpAccountant accountant;
+  accountant.AddGaussian(noise_multiplier, count);
+  double rdp_eps = accountant.EpsilonAt(delta);
+  double strong_eps = RdpAccountant::StrongCompositionEpsilon(
+      noise_multiplier, count, delta);
+  EXPECT_LT(rdp_eps, strong_eps);
+  EXPECT_LT(rdp_eps, 0.75 * strong_eps);  // a substantive gap
+}
+
+TEST(RdpAccountantTest, PureDpBoundCapsAtEpsilon) {
+  RdpAccountant accountant({1000.0});
+  accountant.AddPureDp(0.1);
+  EXPECT_LE(accountant.rdp()[0], 0.1 + 1e-12);
+}
+
+TEST(RdpAccountantTest, EpsilonMonotoneInDelta) {
+  RdpAccountant accountant;
+  accountant.AddGaussian(2.0, 20);
+  EXPECT_GE(accountant.EpsilonAt(1e-9), accountant.EpsilonAt(1e-3));
+}
+
+}  // namespace
+}  // namespace dp
+
+namespace erm {
+namespace {
+
+TEST(PrivateFrankWolfeTest, AccurateOnBallAtGenerousBudget) {
+  data::LabeledHypercubeUniverse universe(3);
+  data::Histogram dist = data::LogisticModelDistribution(
+      universe, {1.0, -0.5, 0.2}, {0.5, 0.5, 0.5}, 0.3);
+  data::Dataset dataset = data::RoundedDataset(universe, dist, 20000);
+  core::ErrorOracle measure(&universe);
+  data::Histogram hist = data::Histogram::FromDataset(dataset);
+
+  losses::LogisticLoss loss(3);
+  convex::L2Ball ball(3);
+  convex::CmQuery query{&loss, &ball, "logistic"};
+  PrivateFrankWolfeOracle oracle;
+  Rng rng(61);
+  OracleContext context;
+  context.privacy = {4.0, 1e-6};
+  auto answer = oracle.Solve(query, dataset, context, &rng);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_LE(measure.AnswerError(query, hist, *answer), 0.1);
+}
+
+TEST(PrivateFrankWolfeTest, WorksOnIntervalDomain) {
+  data::LabeledHypercubeUniverse universe(3);
+  data::Histogram dist = data::ProductDistribution(
+      universe, {0.5, 0.5, 0.5}, 0.8);
+  data::Dataset dataset = data::RoundedDataset(universe, dist, 20000);
+  core::ErrorOracle measure(&universe);
+  data::Histogram hist = data::Histogram::FromDataset(dataset);
+
+  losses::LinearQueryLoss loss(
+      [](const data::Row& r) { return r.label > 0 ? 1.0 : 0.0; }, "label");
+  convex::Interval interval(0.0, 1.0);
+  convex::CmQuery query{&loss, &interval, "linq"};
+  PrivateFrankWolfeOracle oracle;
+  Rng rng(62);
+  OracleContext context;
+  context.privacy = {4.0, 1e-6};
+  auto answer = oracle.Solve(query, dataset, context, &rng);
+  ASSERT_TRUE(answer.ok());
+  // Minimizer is E[p] = 0.8; FW averages vertices {0,1} toward it.
+  EXPECT_NEAR((*answer)[0], 0.8, 0.15);
+}
+
+TEST(PrivateFrankWolfeTest, RejectsPureDp) {
+  data::LabeledHypercubeUniverse universe(2);
+  data::Dataset dataset(&universe, {0, 1, 2, 3});
+  losses::LogisticLoss loss(2);
+  convex::L2Ball ball(2);
+  convex::CmQuery query{&loss, &ball, "q"};
+  PrivateFrankWolfeOracle oracle;
+  Rng rng(63);
+  OracleContext context;
+  context.privacy = {1.0, 0.0};
+  EXPECT_FALSE(oracle.Solve(query, dataset, context, &rng).ok());
+}
+
+TEST(PrivateFrankWolfeTest, ErrorShrinksWithBudget) {
+  data::LabeledHypercubeUniverse universe(3);
+  data::Histogram dist = data::LogisticModelDistribution(
+      universe, {1.0, -0.5, 0.2}, {0.5, 0.5, 0.5}, 0.3);
+  data::Dataset dataset = data::RoundedDataset(universe, dist, 20000);
+  core::ErrorOracle measure(&universe);
+  data::Histogram hist = data::Histogram::FromDataset(dataset);
+  losses::SquaredLoss loss(3);
+  convex::L2Ball ball(3);
+  convex::CmQuery query{&loss, &ball, "squared"};
+  PrivateFrankWolfeOracle oracle;
+  RunningStats tight, generous;
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(70 + seed);
+    OracleContext context;
+    context.privacy = {0.05, 1e-6};
+    tight.Add(measure.AnswerError(query, hist,
+                                  *oracle.Solve(query, dataset, context,
+                                                &rng)));
+    context.privacy = {4.0, 1e-6};
+    generous.Add(measure.AnswerError(query, hist,
+                                     *oracle.Solve(query, dataset, context,
+                                                   &rng)));
+  }
+  EXPECT_LE(generous.mean(), tight.mean() + 0.05);
+}
+
+}  // namespace
+}  // namespace erm
+}  // namespace pmw
