@@ -37,6 +37,31 @@ Vec HistogramObjective::Gradient(const Vec& theta) const {
   return grad;
 }
 
+SupportObjective::SupportObjective(const LossFunction* loss,
+                                   const data::Universe* universe,
+                                   const data::HistogramSupport* support)
+    : loss_(loss), universe_(universe), support_(support) {
+  PMW_CHECK(loss != nullptr);
+  PMW_CHECK(universe != nullptr);
+  PMW_CHECK(support != nullptr);
+}
+
+double SupportObjective::Value(const Vec& theta) const {
+  double acc = 0.0;
+  for (const auto& [index, mass] : *support_) {
+    acc += mass * loss_->Value(theta, universe_->row(index));
+  }
+  return acc;
+}
+
+Vec SupportObjective::Gradient(const Vec& theta) const {
+  Vec grad = Zeros(loss_->dim());
+  for (const auto& [index, mass] : *support_) {
+    loss_->AddGradient(theta, universe_->row(index), mass, &grad);
+  }
+  return grad;
+}
+
 DatasetObjective::DatasetObjective(const LossFunction* loss,
                                    const data::Dataset* dataset)
     : loss_(loss), dataset_(dataset) {

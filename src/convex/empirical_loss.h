@@ -40,6 +40,26 @@ class HistogramObjective : public Objective {
   const data::Histogram* histogram_;
 };
 
+/// l_D(theta) over a precomputed histogram support. Sums the same
+/// (mass, row) terms in the same order as HistogramObjective over the
+/// histogram that produced the support, so the two agree bit-for-bit; this
+/// variant just skips the dense zero-mass scan. The serving layer compacts
+/// the hypothesis once per batch and evaluates every query through this.
+class SupportObjective : public Objective {
+ public:
+  SupportObjective(const LossFunction* loss, const data::Universe* universe,
+                   const data::HistogramSupport* support);
+
+  int dim() const override { return loss_->dim(); }
+  double Value(const Vec& theta) const override;
+  Vec Gradient(const Vec& theta) const override;
+
+ private:
+  const LossFunction* loss_;
+  const data::Universe* universe_;
+  const data::HistogramSupport* support_;
+};
+
 /// l_D(theta) for a dataset: f(theta) = (1/n) sum_i l(theta; x_i). Evaluated
 /// through per-universe-row counts, so repeated rows cost nothing extra.
 class DatasetObjective : public Objective {

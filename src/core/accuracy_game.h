@@ -25,8 +25,8 @@ class Analyst {
  public:
   virtual ~Analyst() = default;
   virtual convex::CmQuery NextQuery(Rng* rng) = 0;
-  virtual void ObserveAnswer(const convex::CmQuery& query,
-                             const convex::Vec& answer) {}
+  virtual void ObserveAnswer(const convex::CmQuery& /*query*/,
+                             const convex::Vec& /*answer*/) {}
   virtual std::string name() const = 0;
 };
 

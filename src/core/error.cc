@@ -44,6 +44,33 @@ double ErrorOracle::AnswerError(const convex::CmQuery& query,
   return std::max(excess, 0.0);
 }
 
+convex::Vec ErrorOracle::Minimize(const convex::CmQuery& query,
+                                  const data::HistogramSupport& support) const {
+  convex::SupportObjective objective(query.loss, universe_, &support);
+  return solver_.Minimize(objective, *query.domain).theta;
+}
+
+double ErrorOracle::MinimumValue(const convex::CmQuery& query,
+                                 const data::HistogramSupport& support) const {
+  convex::SupportObjective objective(query.loss, universe_, &support);
+  return solver_.Minimize(objective, *query.domain).value;
+}
+
+double ErrorOracle::Loss(const convex::CmQuery& query,
+                         const data::HistogramSupport& support,
+                         const convex::Vec& theta) const {
+  convex::SupportObjective objective(query.loss, universe_, &support);
+  return objective.Value(theta);
+}
+
+double ErrorOracle::AnswerError(const convex::CmQuery& query,
+                                const data::HistogramSupport& support,
+                                const convex::Vec& theta_hat) const {
+  double excess =
+      Loss(query, support, theta_hat) - MinimumValue(query, support);
+  return std::max(excess, 0.0);
+}
+
 double ErrorOracle::DatabaseError(const convex::CmQuery& query,
                                   const data::Histogram& histogram,
                                   const data::Histogram& surrogate) const {

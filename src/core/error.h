@@ -44,6 +44,20 @@ class ErrorOracle {
                      const data::Histogram& histogram,
                      const convex::Vec& theta_hat) const;
 
+  /// Support-based variants: identical mathematics over a precomputed
+  /// compacted support (see data::HistogramSupport). Callers that evaluate
+  /// many queries against one histogram compact it once and use these.
+  convex::Vec Minimize(const convex::CmQuery& query,
+                       const data::HistogramSupport& support) const;
+  double MinimumValue(const convex::CmQuery& query,
+                      const data::HistogramSupport& support) const;
+  double Loss(const convex::CmQuery& query,
+              const data::HistogramSupport& support,
+              const convex::Vec& theta) const;
+  double AnswerError(const convex::CmQuery& query,
+                     const data::HistogramSupport& support,
+                     const convex::Vec& theta_hat) const;
+
   /// Definition 2.3: err_l(D, D') = l_D(argmin l_D') - min l_D.
   double DatabaseError(const convex::CmQuery& query,
                        const data::Histogram& histogram,

@@ -65,7 +65,7 @@ PmwCm::PmwCm(const data::Dataset* dataset, erm::Oracle* oracle,
       options_(options),
       schedule_(PmwSchedule::Compute(options, dataset->universe().LogSize())),
       error_oracle_(&dataset->universe(), options.solver),
-      data_histogram_(data::Histogram::FromDataset(*dataset)),
+      data_support_(data::Histogram::FromDataset(*dataset).CompactSupport()),
       hypothesis_(data::Histogram::Uniform(dataset->universe().size())),
       rng_(seed) {
   PMW_CHECK(oracle != nullptr);
@@ -82,6 +82,38 @@ PmwCm::PmwCm(const data::Dataset* dataset, erm::Oracle* oracle,
 }
 
 Result<PmwAnswer> PmwCm::AnswerQuery(const convex::CmQuery& query) {
+  if (WillReject()) {
+    // Rejected before the plan would be consulted; skip the solves.
+    return AnswerPrepared(query, PreparedQuery{});
+  }
+  return AnswerPrepared(query, Prepare(query));
+}
+
+HypothesisSnapshot PmwCm::SnapshotHypothesis() const {
+  return {hypothesis_.CompactSupport(), update_count_};
+}
+
+PreparedQuery PmwCm::Prepare(const convex::CmQuery& query) const {
+  return Prepare(query, SnapshotHypothesis());
+}
+
+PreparedQuery PmwCm::Prepare(const convex::CmQuery& query,
+                             const HypothesisSnapshot& snapshot) const {
+  PMW_CHECK(query.loss != nullptr);
+  PMW_CHECK(query.domain != nullptr);
+
+  PreparedQuery prepared;
+  // theta_hat_t = argmin over the public hypothesis (no privacy cost).
+  prepared.theta_hat = error_oracle_.Minimize(query, snapshot.support);
+  // q_j(D) = err_l(D, D_hat_t) = l_D(theta_hat) - min l_D.
+  prepared.query_value =
+      error_oracle_.AnswerError(query, data_support_, prepared.theta_hat);
+  prepared.hypothesis_version = snapshot.version;
+  return prepared;
+}
+
+Result<PmwAnswer> PmwCm::AnswerPrepared(const convex::CmQuery& query,
+                                        const PreparedQuery& prepared) {
   PMW_CHECK(query.loss != nullptr);
   PMW_CHECK(query.domain != nullptr);
   if (halted()) {
@@ -92,13 +124,20 @@ Result<PmwAnswer> PmwCm::AnswerQuery(const convex::CmQuery& query) {
   }
   ++queries_answered_;
 
-  // theta_hat_t = argmin over the public hypothesis (no privacy cost).
-  convex::Vec theta_hat = error_oracle_.Minimize(query, hypothesis_);
+  convex::Vec theta_hat;
+  double query_value;
+  if (prepared.hypothesis_version == update_count_) {
+    theta_hat = prepared.theta_hat;
+    query_value = prepared.query_value;
+  } else {
+    // Stale plan (prepared before an MW update): recompute.
+    PreparedQuery fresh = Prepare(query);
+    theta_hat = std::move(fresh.theta_hat);
+    query_value = fresh.query_value;
+  }
 
-  // q_j(D) = err_l(D, D_hat_t) = l_D(theta_hat) - min l_D; the only access
-  // to D here flows through the sparse vector's noisy threshold test.
-  double query_value =
-      error_oracle_.AnswerError(query, data_histogram_, theta_hat);
+  // The only access to D flows through the sparse vector's noisy threshold
+  // test on the precomputed query value.
   Result<dp::SparseVector::Answer> sv_answer =
       sparse_vector_->Process(query_value);
   if (!sv_answer.ok()) return sv_answer.status();

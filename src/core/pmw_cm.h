@@ -90,6 +90,30 @@ struct PmwAnswer {
   bool was_update = false;
 };
 
+/// A compacted copy of the hypothesis histogram tagged with the
+/// hypothesis_version() it was taken at. Batch callers snapshot once and
+/// prepare many queries against it; the version tag travels into every
+/// PreparedQuery so staleness is always detectable.
+struct HypothesisSnapshot {
+  data::HistogramSupport support;
+  int version = 0;
+};
+
+/// The deterministic, data-independent-randomness part of answering one
+/// query: the hypothesis minimizer theta_hat_t and the error-query value
+/// q_j(D) fed to the sparse vector. Computing it touches no mechanism
+/// state and draws no randomness, so a serving layer may precompute and
+/// reuse it for repeated queries — it stays valid until the hypothesis
+/// histogram changes (i.e. while hypothesis_version() is unchanged).
+struct PreparedQuery {
+  convex::Vec theta_hat;
+  double query_value = 0.0;
+  /// The snapshot version this plan was computed against. Defaults to -1
+  /// (never a real version) so a default-constructed plan is always
+  /// treated as stale and recomputed, never trusted.
+  int hypothesis_version = -1;
+};
+
 /// The interactive mechanism. One instance serves one dataset and up to
 /// max_queries adaptively chosen CM queries.
 class PmwCm {
@@ -102,7 +126,40 @@ class PmwCm {
   /// Answers the next query; Status kHalted when the sparse vector has
   /// exhausted its T updates (Theorem 3.8 guarantees this cannot happen
   /// at the theorem's n; at practical parameters it is observable).
+  /// Equivalent to AnswerPrepared(query, Prepare(query)).
   Result<PmwAnswer> AnswerQuery(const convex::CmQuery& query);
+
+  /// One compaction pass over the current hypothesis, tagged with its
+  /// version. The serving layer snapshots once per batch instead of once
+  /// per query.
+  HypothesisSnapshot SnapshotHypothesis() const;
+
+  /// Computes theta_hat_t and the error-query value for `query` against the
+  /// given hypothesis snapshot (or a fresh one). Deterministic and const:
+  /// answering with the result via AnswerPrepared is indistinguishable from
+  /// AnswerQuery. The plan inherits the snapshot's version, so preparing
+  /// against a stale snapshot yields a plan AnswerPrepared will recompute
+  /// rather than trust.
+  PreparedQuery Prepare(const convex::CmQuery& query) const;
+  PreparedQuery Prepare(const convex::CmQuery& query,
+                        const HypothesisSnapshot& snapshot) const;
+
+  /// Answers using a precomputed PreparedQuery. If `prepared` was computed
+  /// at an older hypothesis_version() it is ignored and recomputed, so a
+  /// stale cache costs time, never correctness.
+  Result<PmwAnswer> AnswerPrepared(const convex::CmQuery& query,
+                                   const PreparedQuery& prepared);
+
+  /// True when the next AnswerQuery call would be rejected (halted sparse
+  /// vector or exhausted k-query budget); lets callers skip Prepare work
+  /// for queries that cannot be served.
+  bool WillReject() const {
+    return halted() || queries_answered_ >= options_.max_queries;
+  }
+
+  /// Increments exactly when the hypothesis histogram changes (one MW
+  /// update per kTop answer); keys PreparedQuery caches.
+  int hypothesis_version() const { return update_count_; }
 
   /// The public hypothesis histogram (also a synthetic dataset release;
   /// see the paper's Section 4.3 remark).
@@ -125,7 +182,9 @@ class PmwCm {
   PmwOptions options_;
   PmwSchedule schedule_;
   ErrorOracle error_oracle_;
-  data::Histogram data_histogram_;
+  /// Compacted once at construction; the data histogram never changes, so
+  /// only its support is kept.
+  data::HistogramSupport data_support_;
   data::Histogram hypothesis_;
   std::unique_ptr<dp::SparseVector> sparse_vector_;
   dp::PrivacyLedger ledger_;

@@ -24,6 +24,10 @@ PmwOfflineResult RunPmwOffline(const data::Dataset& dataset,
   const data::Universe& universe = dataset.universe();
   ErrorOracle error_oracle(&universe, options.solver);
   data::Histogram data_hist = data::Histogram::FromDataset(dataset);
+  // Compact once: the data histogram is fixed, and the hypothesis only
+  // changes between rounds — every per-query evaluation below runs on a
+  // support instead of rescanning the dense histograms.
+  const data::HistogramSupport data_support = data_hist.CompactSupport();
   const double n = static_cast<double>(dataset.n());
   const double eta = options.override_eta > 0.0
                          ? options.override_eta
@@ -44,12 +48,13 @@ PmwOfflineResult RunPmwOffline(const data::Dataset& dataset,
     // (3S/n)-sensitive in the dataset (Section 3.4.2).
     std::vector<double> scores(queries.size());
     std::vector<convex::Vec> hypothesis_argmins(queries.size());
+    const data::HistogramSupport hypothesis_support =
+        result.hypothesis.CompactSupport();
     for (size_t q = 0; q < queries.size(); ++q) {
       hypothesis_argmins[q] =
-          error_oracle.Minimize(queries[q], result.hypothesis);
-      scores[q] =
-          error_oracle.AnswerError(queries[q], data_hist,
-                                   hypothesis_argmins[q]);
+          error_oracle.Minimize(queries[q], hypothesis_support);
+      scores[q] = error_oracle.AnswerError(queries[q], data_support,
+                                           hypothesis_argmins[q]);
     }
     int chosen = dp::ExponentialMechanism(
         scores, 3.0 * options.scale / n, select_budget.epsilon, &rng);
@@ -80,9 +85,10 @@ PmwOfflineResult RunPmwOffline(const data::Dataset& dataset,
   }
 
   result.answers.reserve(queries.size());
+  const data::HistogramSupport final_support =
+      result.hypothesis.CompactSupport();
   for (const convex::CmQuery& query : queries) {
-    result.answers.push_back(
-        error_oracle.Minimize(query, result.hypothesis));
+    result.answers.push_back(error_oracle.Minimize(query, final_support));
   }
   return result;
 }

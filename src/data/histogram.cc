@@ -70,6 +70,21 @@ Histogram Histogram::MultiplicativeUpdate(const std::vector<double>& payoff,
   return FromWeights(std::move(w));
 }
 
+HistogramSupport Histogram::CompactSupport() const {
+  // Count first so long-lived supports hold exactly their size, not the
+  // dense histogram's capacity.
+  size_t support_size = 0;
+  for (int i = 0; i < size(); ++i) {
+    if (p_[i] > 0.0) ++support_size;
+  }
+  HistogramSupport support;
+  support.reserve(support_size);
+  for (int i = 0; i < size(); ++i) {
+    if (p_[i] > 0.0) support.emplace_back(i, p_[i]);
+  }
+  return support;
+}
+
 int Histogram::SampleIndex(Rng* rng) const {
   PMW_CHECK(rng != nullptr);
   return rng->Categorical(p_);

@@ -6,6 +6,7 @@
 #define PMWCM_DATA_HISTOGRAM_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -13,6 +14,14 @@
 
 namespace pmw {
 namespace data {
+
+/// The strictly-positive entries of a histogram as (index, mass) pairs in
+/// ascending index order. Iterating a support gives bit-identical sums to
+/// iterating the dense histogram and skipping zero-mass rows, so objectives
+/// built on either representation agree exactly; the support just avoids
+/// re-testing every row. The batched serving path compacts once per batch
+/// instead of once per query.
+using HistogramSupport = std::vector<std::pair<int, double>>;
 
 /// A normalized distribution over universe indices {0, ..., size-1}.
 class Histogram {
@@ -46,6 +55,9 @@ class Histogram {
   /// entry per universe element.
   Histogram MultiplicativeUpdate(const std::vector<double>& payoff,
                                  double eta) const;
+
+  /// One pass over the histogram collecting its strictly-positive entries.
+  HistogramSupport CompactSupport() const;
 
   /// Samples a universe index from the distribution (synthetic data).
   int SampleIndex(Rng* rng) const;

@@ -1,0 +1,112 @@
+#include "serve/pmw_service.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace pmw {
+namespace serve {
+
+double ServeStats::OverallQueriesPerSec() const {
+  double total_ms = batch_latency_ms.sum();
+  if (total_ms <= 0.0) return 0.0;
+  return static_cast<double>(queries) / (total_ms / 1e3);
+}
+
+std::string ServeStats::Report() const {
+  std::string report;
+  report += "serve: " + std::to_string(queries) + " queries in " +
+            std::to_string(batches) + " batches\n";
+  report += "  bottom=" + std::to_string(bottom_answers) +
+            " updates=" + std::to_string(updates) +
+            " cache_hits=" + std::to_string(prepare_cache_hits) +
+            " errors=" + std::to_string(errors) + "\n";
+  report += "  batch latency ms: " + batch_latency_ms.Summary() + "\n";
+  report += "  batch queries/sec: " + batch_queries_per_sec.Summary() + "\n";
+  report += "  overall queries/sec: " + std::to_string(OverallQueriesPerSec());
+  return report;
+}
+
+PmwService::PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
+                       const core::PmwOptions& options, uint64_t seed)
+    : cm_(dataset, oracle, options, seed) {}
+
+void PmwService::RefreshSnapshot() {
+  if (snapshot_valid_ && snapshot_.version == cm_.hypothesis_version()) {
+    return;
+  }
+  snapshot_ = cm_.SnapshotHypothesis();
+  snapshot_valid_ = true;
+  // Plans computed against an older hypothesis are useless (AnswerPrepared
+  // would recompute them anyway); drop them so lookups stay hits-only.
+  prepared_.clear();
+}
+
+std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
+    std::span<const convex::CmQuery> queries) {
+  WallTimer timer;
+  // The prepared cache is per-batch: reuse within a batch is what the
+  // single-writer loop amortizes; across batches the working set is
+  // unbounded, so we start fresh.
+  prepared_.clear();
+  snapshot_valid_ = false;
+
+  std::vector<Result<convex::Vec>> results;
+  results.reserve(queries.size());
+  for (const convex::CmQuery& query : queries) {
+    PMW_CHECK(query.loss != nullptr);
+    PMW_CHECK(query.domain != nullptr);
+
+    if (cm_.WillReject()) {
+      // The mechanism will refuse (halted / k exhausted) before consulting
+      // any plan; don't burn solver time preparing one.
+      Result<core::PmwAnswer> rejected =
+          cm_.AnswerPrepared(query, core::PreparedQuery{});
+      PMW_CHECK(!rejected.ok());
+      ++stats_.errors;
+      results.push_back(rejected.status());
+      continue;
+    }
+    RefreshSnapshot();
+
+    QueryKey key{query.loss, query.domain};
+    auto it = prepared_.find(key);
+    if (it == prepared_.end()) {
+      it = prepared_.emplace(key, cm_.Prepare(query, snapshot_)).first;
+    } else {
+      ++stats_.prepare_cache_hits;
+    }
+
+    Result<core::PmwAnswer> answer = cm_.AnswerPrepared(query, it->second);
+    if (answer.ok()) {
+      if (answer.value().was_update) {
+        ++stats_.updates;
+      } else {
+        ++stats_.bottom_answers;
+      }
+      results.push_back(std::move(answer.value().theta));
+    } else {
+      ++stats_.errors;
+      results.push_back(answer.status());
+    }
+  }
+
+  double elapsed_ms = timer.ElapsedMillis();
+  ++stats_.batches;
+  stats_.queries += static_cast<long long>(queries.size());
+  stats_.batch_latency_ms.Add(elapsed_ms);
+  if (elapsed_ms > 0.0 && !queries.empty()) {
+    stats_.batch_queries_per_sec.Add(static_cast<double>(queries.size()) /
+                                     (elapsed_ms / 1e3));
+  }
+  return results;
+}
+
+Result<convex::Vec> PmwService::Answer(const convex::CmQuery& query) {
+  std::vector<Result<convex::Vec>> results = AnswerBatch({&query, 1});
+  return std::move(results.front());
+}
+
+}  // namespace serve
+}  // namespace pmw

@@ -1,0 +1,115 @@
+// Batched serving front-end for the PMW-CM mechanism: the first piece of
+// the heavy-traffic serving stack (ROADMAP north star). Queries arrive in
+// batches; the service amortizes the per-query hypothesis work across each
+// batch and keeps latency/throughput counters for capacity planning.
+//
+// Threading model: mutex-free single-writer. A PmwService instance is owned
+// by exactly one serving thread, which drains a request queue and feeds
+// batches to AnswerBatch; the mechanism state (hypothesis histogram, sparse
+// vector, ledger) is only ever touched from that thread, so there are no
+// locks anywhere on the answer path. Fan-in from many client threads
+// belongs in front of the writer loop (an MPSC queue), not inside it.
+//
+// What batching buys on the bottom-answer (cache-hit) path:
+//   * one hypothesis compaction/normalization pass per batch instead of
+//     one per query (PmwCm::SnapshotHypothesis + Prepare's snapshot
+//     argument), and
+//   * one solve per *distinct* query per batch: repeated queries reuse the
+//     PreparedQuery, which is sound because Prepare is deterministic and
+//     state-free — the transcript is query-for-query identical to calling
+//     PmwCm::AnswerQuery sequentially (tests/serve_test.cc asserts this,
+//     including the privacy ledger).
+// An MW update mid-batch bumps hypothesis_version(), which invalidates the
+// snapshot and the cache for the remainder of the batch.
+
+#ifndef PMWCM_SERVE_PMW_SERVICE_H_
+#define PMWCM_SERVE_PMW_SERVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/pmw_cm.h"
+
+namespace pmw {
+namespace serve {
+
+/// Serving counters. Latency/throughput moments use common/stats.h's
+/// RunningStats; totals are plain counters (single-writer, so no atomics).
+struct ServeStats {
+  RunningStats batch_latency_ms;
+  RunningStats batch_queries_per_sec;
+  long long queries = 0;
+  long long batches = 0;
+  /// kBottom answers: served from the hypothesis, no privacy cost.
+  long long bottom_answers = 0;
+  /// kTop answers: oracle call + MW update.
+  long long updates = 0;
+  /// Queries whose PreparedQuery was reused from an earlier query in the
+  /// same batch (same loss/domain, unchanged hypothesis).
+  long long prepare_cache_hits = 0;
+  /// Error statuses returned to clients (halted / budget exhausted).
+  long long errors = 0;
+
+  double OverallQueriesPerSec() const;
+  std::string Report() const;
+};
+
+class PmwService {
+ public:
+  /// `dataset` and `oracle` must outlive the service (same contract as
+  /// PmwCm, which the service constructs and owns).
+  PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
+             const core::PmwOptions& options, uint64_t seed);
+
+  /// Answers `queries` in order. The result vector is positionally aligned
+  /// with the input; each entry is the released theta or the per-query
+  /// error status (kHalted / kResourceExhausted), exactly as the sequential
+  /// mechanism would have produced it.
+  std::vector<Result<convex::Vec>> AnswerBatch(
+      std::span<const convex::CmQuery> queries);
+
+  /// Convenience: a batch of one.
+  Result<convex::Vec> Answer(const convex::CmQuery& query);
+
+  core::PmwCm& mechanism() { return cm_; }
+  const core::PmwCm& mechanism() const { return cm_; }
+  const ServeStats& stats() const { return stats_; }
+
+ private:
+  /// Identity of a CM query: the loss/domain objects (families own them and
+  /// keep them alive; equal pointers <=> same mathematical query).
+  struct QueryKey {
+    const void* loss;
+    const void* domain;
+    bool operator==(const QueryKey& other) const {
+      return loss == other.loss && domain == other.domain;
+    }
+  };
+  struct QueryKeyHash {
+    size_t operator()(const QueryKey& key) const {
+      size_t h = std::hash<const void*>()(key.loss);
+      return h ^ (std::hash<const void*>()(key.domain) + 0x9e3779b9 +
+                  (h << 6) + (h >> 2));
+    }
+  };
+
+  /// Recompacts the hypothesis snapshot if an MW update invalidated it and
+  /// drops PreparedQuery entries from the old version.
+  void RefreshSnapshot();
+
+  core::PmwCm cm_;
+  core::HypothesisSnapshot snapshot_;
+  bool snapshot_valid_ = false;
+  std::unordered_map<QueryKey, core::PreparedQuery, QueryKeyHash> prepared_;
+  ServeStats stats_;
+};
+
+}  // namespace serve
+}  // namespace pmw
+
+#endif  // PMWCM_SERVE_PMW_SERVICE_H_

@@ -10,7 +10,9 @@
 #include "convex/frank_wolfe.h"
 #include "convex/golden_section.h"
 #include "convex/gradient_descent.h"
+#include "convex/loss_function.h"
 #include "convex/vector_ops.h"
+#include "data/binary_universe.h"
 #include "gtest/gtest.h"
 
 namespace pmw {
@@ -285,6 +287,63 @@ TEST(PerturbedObjectiveTest, AddsLinearAndQuadraticTerms) {
   // base grad = (1, 1); + (1, 0); + 2*(0.5, -0.5) = (3, 0).
   EXPECT_NEAR(g[0], 3.0, 1e-12);
   EXPECT_NEAR(g[1], 0.0, 1e-12);
+}
+
+// A record-dependent loss for empirical-objective tests:
+// l(theta; x) = ||theta - x.features||^2.
+class RecordQuadraticLoss : public LossFunction {
+ public:
+  explicit RecordQuadraticLoss(int dim) : dim_(dim) {}
+  int dim() const override { return dim_; }
+  double Value(const Vec& theta, const data::Row& x) const override {
+    double acc = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+      acc += (theta[i] - x.features[i]) * (theta[i] - x.features[i]);
+    }
+    return acc;
+  }
+  void AddGradient(const Vec& theta, const data::Row& x, double weight,
+                   Vec* grad) const override {
+    for (int i = 0; i < dim_; ++i) {
+      (*grad)[i] += weight * 2.0 * (theta[i] - x.features[i]);
+    }
+  }
+  double lipschitz() const override { return 4.0; }
+  std::string name() const override { return "record-quadratic"; }
+
+ private:
+  int dim_;
+};
+
+TEST(SupportObjectiveTest, BitIdenticalToHistogramObjective) {
+  // The serving layer relies on SupportObjective(CompactSupport(h)) and
+  // HistogramObjective(h) agreeing exactly — same terms, same order —
+  // so a batched transcript is indistinguishable from a sequential one.
+  data::HypercubeUniverse universe(3);
+  RecordQuadraticLoss loss(3);
+  // A histogram with zero-mass rows (indices 2 and 5 absent).
+  data::Dataset dataset(&universe, {0, 0, 1, 3, 4, 6, 7, 7, 7});
+  data::Histogram histogram = data::Histogram::FromDataset(dataset);
+  data::HistogramSupport support = histogram.CompactSupport();
+  ASSERT_LT(support.size(), static_cast<size_t>(universe.size()));
+
+  HistogramObjective dense(&loss, &universe, &histogram);
+  SupportObjective compact(&loss, &universe, &support);
+  EXPECT_EQ(compact.dim(), dense.dim());
+
+  Rng rng(424242);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec theta = {rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0),
+                 rng.Uniform(-2.0, 2.0)};
+    // Exact equality, not near-equality: identical arithmetic.
+    EXPECT_EQ(compact.Value(theta), dense.Value(theta));
+    Vec dense_grad = dense.Gradient(theta);
+    Vec compact_grad = compact.Gradient(theta);
+    ASSERT_EQ(compact_grad.size(), dense_grad.size());
+    for (size_t i = 0; i < dense_grad.size(); ++i) {
+      EXPECT_EQ(compact_grad[i], dense_grad[i]);
+    }
+  }
 }
 
 // Property sweep: all three multi-dim solvers agree on random quadratics

@@ -140,6 +140,30 @@ TEST(HistogramTest, FromDatasetCounts) {
   EXPECT_NEAR(h[3], 0.25, 1e-12);
 }
 
+TEST(HistogramTest, CompactSupportSkipsZerosInIndexOrder) {
+  HypercubeUniverse u(2);
+  Dataset d(&u, {0, 0, 1, 3});
+  Histogram h = Histogram::FromDataset(d);
+  HistogramSupport support = h.CompactSupport();
+  ASSERT_EQ(support.size(), 3u);
+  EXPECT_EQ(support[0].first, 0);
+  EXPECT_EQ(support[0].second, h[0]);
+  EXPECT_EQ(support[1].first, 1);
+  EXPECT_EQ(support[1].second, h[1]);
+  EXPECT_EQ(support[2].first, 3);
+  EXPECT_EQ(support[2].second, h[3]);
+}
+
+TEST(HistogramTest, CompactSupportOfDenseHistogramIsFull) {
+  Histogram h = Histogram::Uniform(8);
+  HistogramSupport support = h.CompactSupport();
+  ASSERT_EQ(support.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(support[i].first, i);
+    EXPECT_EQ(support[i].second, h[i]);
+  }
+}
+
 TEST(HistogramTest, NeighbourDatasetsCloseInL1) {
   HypercubeUniverse u(3);
   Dataset d(&u, std::vector<int>(50, 0));
