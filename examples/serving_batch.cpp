@@ -1,10 +1,12 @@
 // Serving: answer query traffic in batches through serve::PmwService.
 //
-// A serving thread owns the service (mutex-free single-writer) and drains
-// request batches; the service amortizes hypothesis work across each batch
-// and keeps throughput counters. Repeated queries inside a batch — the
-// common case when many clients ask overlapping questions — are prepared
-// once and reused, with answers identical to the sequential mechanism.
+// A serving thread owns the service (the single writer) and drains
+// request batches; a pool of workers prepares each batch's queries in
+// parallel against an immutable per-epoch hypothesis snapshot, and the
+// writer commits answers in arrival order. Repeated queries inside a
+// shard — the common case when many clients ask overlapping questions —
+// are prepared once and reused. Answers and the privacy ledger are
+// bit-identical to the sequential mechanism at any thread count.
 //
 // Build & run:  ./build/serving_batch
 
@@ -36,7 +38,10 @@ int main() {
   options.scale = 2.0;
   options.max_queries = 100000;
   options.override_updates = 16;
-  serve::PmwService service(&dataset, &oracle, options, /*seed=*/1);
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = 4;  // shard each batch across 4 workers
+  serve::PmwService service(&dataset, &oracle, options, /*seed=*/1,
+                            serve_options);
 
   // Traffic: 512 requests cycling 16 distinct losses, served in batches
   // of 64 (what a front-end queue would hand the serving thread).

@@ -1,0 +1,59 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace pmw {
+
+ThreadPool::ThreadPool(int num_threads) {
+  PMW_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+long long ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PMW_CHECK_MSG(!shutting_down_, "ThreadPool::Submit after shutdown began");
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Shutdown drains: workers only exit once the queue is empty, so
+      // every task submitted before the destructor ran is completed.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are captured by the packaged_task wrapper
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+  }
+}
+
+}  // namespace pmw

@@ -1,0 +1,81 @@
+// A fixed-size thread pool: the concurrency substrate for the serving
+// stack (ROADMAP scaling arc). Deliberately minimal — a locked deque, a
+// condition variable, and N worker threads — because the serving layer's
+// determinism argument wants scheduling to be irrelevant: work items must
+// be pure functions of their inputs, so *which* worker runs one never
+// matters, only that all of them finish (futures provide the join).
+//
+// Shutdown ordering: the destructor stops accepting new work, lets the
+// workers drain every task already queued, then joins. A task submitted
+// before destruction begins therefore always runs to completion; Submit
+// after destruction has begun is a programmer error (PMW_CHECKed).
+//
+// Exceptions: tasks run inside std::packaged_task, so anything a task
+// throws is captured into its future and rethrown from future::get() on
+// the caller's thread — a worker never dies and never takes the process
+// down with it.
+
+#ifndef PMWCM_COMMON_THREAD_POOL_H_
+#define PMWCM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pmw {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains all queued tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks that have finished running (for tests and load reporting).
+  /// Bumped by the worker *after* the task's future becomes ready, so it
+  /// can momentarily lag a caller that just observed the result.
+  long long tasks_completed() const;
+
+  /// Schedules `task` on some worker and returns the future for its
+  /// result. Exceptions escape through future::get(), never a worker.
+  template <typename F>
+  auto Submit(F&& task)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables; shared_ptr bridges the two.
+    auto packaged = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    Enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::deque<std::function<void()>> queue_;
+  long long completed_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pmw
+
+#endif  // PMWCM_COMMON_THREAD_POOL_H_

@@ -112,8 +112,9 @@ PreparedQuery PmwCm::Prepare(const convex::CmQuery& query,
   return prepared;
 }
 
-Result<PmwAnswer> PmwCm::AnswerPrepared(const convex::CmQuery& query,
-                                        const PreparedQuery& prepared) {
+Result<PmwAnswer> PmwCm::AnswerPrepared(
+    const convex::CmQuery& query, const PreparedQuery& prepared,
+    const HypothesisSnapshot* current_snapshot) {
   PMW_CHECK(query.loss != nullptr);
   PMW_CHECK(query.domain != nullptr);
   if (halted()) {
@@ -130,8 +131,17 @@ Result<PmwAnswer> PmwCm::AnswerPrepared(const convex::CmQuery& query,
     theta_hat = prepared.theta_hat;
     query_value = prepared.query_value;
   } else {
-    // Stale plan (prepared before an MW update): recompute.
-    PreparedQuery fresh = Prepare(query);
+    // Stale plan (prepared before an MW update): recompute. Prepare is
+    // deterministic, so the recompute path is transcript-identical to a
+    // fresh plan; a caller-held snapshot at the live version just skips
+    // the compaction pass.
+    PreparedQuery fresh;
+    if (current_snapshot != nullptr &&
+        current_snapshot->version == update_count_) {
+      fresh = Prepare(query, *current_snapshot);
+    } else {
+      fresh = Prepare(query);
+    }
     theta_hat = std::move(fresh.theta_hat);
     query_value = fresh.query_value;
   }

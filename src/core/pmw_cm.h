@@ -20,6 +20,7 @@
 #ifndef PMWCM_CORE_PMW_CM_H_
 #define PMWCM_CORE_PMW_CM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
@@ -140,21 +141,40 @@ class PmwCm {
   /// AnswerQuery. The plan inherits the snapshot's version, so preparing
   /// against a stale snapshot yields a plan AnswerPrepared will recompute
   /// rather than trust.
+  ///
+  /// Thread safety: Prepare draws no randomness and touches only state
+  /// that is immutable after construction (the error oracle, the data
+  /// support) plus the caller-supplied snapshot, so any number of threads
+  /// may Prepare concurrently against const snapshots — the epoch-read
+  /// path of serve::PmwService. The snapshot-less overload reads the live
+  /// hypothesis and is NOT safe concurrently with AnswerPrepared; neither
+  /// is any concurrent call to AnswerPrepared itself (single writer).
   PreparedQuery Prepare(const convex::CmQuery& query) const;
   PreparedQuery Prepare(const convex::CmQuery& query,
                         const HypothesisSnapshot& snapshot) const;
 
   /// Answers using a precomputed PreparedQuery. If `prepared` was computed
   /// at an older hypothesis_version() it is ignored and recomputed, so a
-  /// stale cache costs time, never correctness.
+  /// stale cache costs time, never correctness. A non-null
+  /// `current_snapshot` at the live version serves that recompute without
+  /// a fresh compaction pass (the serving layer always has one in hand);
+  /// a stale or null one falls back to snapshotting internally.
   Result<PmwAnswer> AnswerPrepared(const convex::CmQuery& query,
-                                   const PreparedQuery& prepared);
+                                   const PreparedQuery& prepared,
+                                   const HypothesisSnapshot* current_snapshot =
+                                       nullptr);
 
   /// True when the next AnswerQuery call would be rejected (halted sparse
   /// vector or exhausted k-query budget); lets callers skip Prepare work
   /// for queries that cannot be served.
   bool WillReject() const {
     return halted() || queries_answered_ >= options_.max_queries;
+  }
+
+  /// Queries left in the k-query budget (0 when exhausted); lets batch
+  /// callers cap how many plans are worth preparing.
+  long long queries_remaining() const {
+    return std::max(options_.max_queries - queries_answered_, 0LL);
   }
 
   /// Increments exactly when the hypothesis histogram changes (one MW

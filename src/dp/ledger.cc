@@ -9,13 +9,27 @@
 namespace pmw {
 namespace dp {
 
-void PrivacyLedger::Record(const std::string& label,
-                           const PrivacyParams& params) {
+long long PrivacyLedger::Record(const std::string& label,
+                                const PrivacyParams& params) {
   ValidatePrivacyParams(params);
-  events_.push_back({label, params});
+  std::lock_guard<std::mutex> lock(mutex_);
+  long long sequence = static_cast<long long>(events_.size());
+  events_.push_back({sequence, label, params});
+  return sequence;
+}
+
+int PrivacyLedger::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(events_.size());
+}
+
+std::vector<PrivacyLedger::Event> PrivacyLedger::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
 }
 
 PrivacyParams PrivacyLedger::BasicTotal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   PrivacyParams total{0.0, 0.0};
   for (const Event& e : events_) {
     total.epsilon += e.params.epsilon;
@@ -26,6 +40,7 @@ PrivacyParams PrivacyLedger::BasicTotal() const {
 
 PrivacyParams PrivacyLedger::GroupedStrongTotal(
     double delta_prime_per_group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::pair<double, double>, int> groups;
   for (const Event& e : events_) {
     groups[{e.params.epsilon, e.params.delta}] += 1;
@@ -42,6 +57,7 @@ PrivacyParams PrivacyLedger::GroupedStrongTotal(
 }
 
 int PrivacyLedger::CountWithPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int count = 0;
   for (const Event& e : events_) {
     if (e.label.rfind(prefix, 0) == 0) ++count;
@@ -50,12 +66,16 @@ int PrivacyLedger::CountWithPrefix(const std::string& prefix) const {
 }
 
 std::string PrivacyLedger::Report() const {
+  std::vector<Event> snapshot = events();
   std::ostringstream oss;
-  oss << "PrivacyLedger: " << events_.size() << " events\n";
-  for (const Event& e : events_) {
-    oss << "  " << e.label << " " << e.params.ToString() << "\n";
+  oss << "PrivacyLedger: " << snapshot.size() << " events\n";
+  PrivacyParams basic{0.0, 0.0};
+  for (const Event& e : snapshot) {
+    oss << "  #" << e.sequence << " " << e.label << " "
+        << e.params.ToString() << "\n";
+    basic.epsilon += e.params.epsilon;
+    basic.delta += e.params.delta;
   }
-  PrivacyParams basic = BasicTotal();
   oss << "  basic total: " << basic.ToString() << "\n";
   return oss.str();
 }

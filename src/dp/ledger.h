@@ -2,10 +2,19 @@
 // algorithm makes and reports the total privacy cost under basic or strong
 // composition. Used by tests to audit that the PMW implementation spends
 // exactly the budget the paper's analysis (Section 3.4) claims.
+//
+// Thread safety: Record and every accessor take an internal mutex, so the
+// ledger can be shared between a serving writer and concurrent auditors
+// (stats scrapers, budget monitors). Each event is stamped with a
+// monotonically increasing sequence number at append time — the *commit
+// order* — so two transcripts are comparable event-for-event: the serving
+// layer's determinism tests assert that the parallel engine commits the
+// exact sequence the sequential mechanism does (tests/serve_parallel_test).
 
 #ifndef PMWCM_DP_LEDGER_H_
 #define PMWCM_DP_LEDGER_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,10 +25,27 @@ namespace dp {
 
 class PrivacyLedger {
  public:
-  /// Records one (eps, delta)-DP release.
-  void Record(const std::string& label, const PrivacyParams& params);
+  /// One committed (eps, delta)-DP release. `sequence` is the 0-based
+  /// commit position: assigned under the ledger lock, dense, monotone.
+  struct Event {
+    long long sequence = 0;
+    std::string label;
+    PrivacyParams params;
+  };
 
-  int event_count() const { return static_cast<int>(events_.size()); }
+  PrivacyLedger() = default;
+  // The mutex pins the ledger in place; nothing in the library copies or
+  // moves one (audits take snapshots via events()).
+  PrivacyLedger(const PrivacyLedger&) = delete;
+  PrivacyLedger& operator=(const PrivacyLedger&) = delete;
+
+  /// Records one (eps, delta)-DP release; returns its commit sequence.
+  long long Record(const std::string& label, const PrivacyParams& params);
+
+  int event_count() const;
+
+  /// A snapshot of the committed events in commit order.
+  std::vector<Event> events() const;
 
   /// Total under basic composition (sum of epsilons and deltas).
   PrivacyParams BasicTotal() const;
@@ -36,10 +62,7 @@ class PrivacyLedger {
   std::string Report() const;
 
  private:
-  struct Event {
-    std::string label;
-    PrivacyParams params;
-  };
+  mutable std::mutex mutex_;
   std::vector<Event> events_;
 };
 

@@ -1,0 +1,30 @@
+#include "serve/epoch_state.h"
+
+#include <utility>
+
+namespace pmw {
+namespace serve {
+
+std::shared_ptr<const Epoch> EpochState::Publish(const core::PmwCm& cm) {
+  // Snapshot outside the lock: it is the expensive part (one compaction
+  // pass) and touches only writer-owned state, not ours.
+  auto epoch = std::make_shared<Epoch>();
+  epoch->snapshot = cm.SnapshotHypothesis();
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch->sequence = published_++;
+  current_ = epoch;
+  return current_;
+}
+
+std::shared_ptr<const Epoch> EpochState::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+long long EpochState::epochs_published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+}  // namespace serve
+}  // namespace pmw

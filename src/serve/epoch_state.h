@@ -1,0 +1,58 @@
+// Epoch-snapshotted reads for the serving stack.
+//
+// PMW-CM only mutates its hypothesis when the sparse vector fires a hard
+// (kTop) round; between updates the hypothesis is frozen. An *epoch* is
+// one such frozen interval, captured as an immutable compacted snapshot
+// tagged with the hypothesis version that produced it. Readers (shard
+// workers preparing queries) hold a shared_ptr to the epoch for as long
+// as they need it; the single writer publishes a new epoch after every MW
+// update. Old epochs stay alive until their last reader drops them, so a
+// publish never invalidates in-flight reads — the classic RCU shape,
+// with shared_ptr as the grace period.
+
+#ifndef PMWCM_SERVE_EPOCH_STATE_H_
+#define PMWCM_SERVE_EPOCH_STATE_H_
+
+#include <memory>
+#include <mutex>
+
+#include "core/pmw_cm.h"
+
+namespace pmw {
+namespace serve {
+
+/// One immutable serving epoch. `snapshot.version` is the mechanism's
+/// hypothesis_version() at capture; `sequence` counts publishes (a batch
+/// republishes at its start, so sequence can advance without a version
+/// change — it orders publishes, the version keys plan freshness).
+struct Epoch {
+  core::HypothesisSnapshot snapshot;
+  long long sequence = 0;
+};
+
+/// Single-writer, many-reader holder of the current epoch.
+///
+/// Thread safety: Publish must only be called by the serving writer (it
+/// snapshots the live mechanism, which the writer alone may mutate);
+/// Current may be called from any thread at any time.
+class EpochState {
+ public:
+  /// Captures the mechanism's current hypothesis as a new epoch and makes
+  /// it current. Returns the published epoch.
+  std::shared_ptr<const Epoch> Publish(const core::PmwCm& cm);
+
+  /// The most recently published epoch; null before the first Publish.
+  std::shared_ptr<const Epoch> Current() const;
+
+  long long epochs_published() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Epoch> current_;
+  long long published_ = 0;
+};
+
+}  // namespace serve
+}  // namespace pmw
+
+#endif  // PMWCM_SERVE_EPOCH_STATE_H_

@@ -1,5 +1,6 @@
 #include "serve/pmw_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -17,11 +18,14 @@ double ServeStats::OverallQueriesPerSec() const {
 std::string ServeStats::Report() const {
   std::string report;
   report += "serve: " + std::to_string(queries) + " queries in " +
-            std::to_string(batches) + " batches\n";
+            std::to_string(batches) + " batches (threads=" +
+            std::to_string(threads) + ")\n";
   report += "  bottom=" + std::to_string(bottom_answers) +
             " updates=" + std::to_string(updates) +
             " cache_hits=" + std::to_string(prepare_cache_hits) +
             " errors=" + std::to_string(errors) + "\n";
+  report += "  epochs=" + std::to_string(epochs) +
+            " reprepared=" + std::to_string(reprepared) + "\n";
   report += "  batch latency ms: " + batch_latency_ms.Summary() + "\n";
   report += "  batch queries/sec: " + batch_queries_per_sec.Summary() + "\n";
   report += "  overall queries/sec: " + std::to_string(OverallQueriesPerSec());
@@ -29,38 +33,61 @@ std::string ServeStats::Report() const {
 }
 
 PmwService::PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
-                       const core::PmwOptions& options, uint64_t seed)
-    : cm_(dataset, oracle, options, seed) {}
+                       const core::PmwOptions& options, uint64_t seed,
+                       const ServeOptions& serve_options)
+    : cm_(dataset, oracle, options, seed),
+      pool_(serve_options.num_threads > 1
+                ? std::make_unique<ThreadPool>(serve_options.num_threads)
+                : nullptr),
+      executor_(pool_.get(), &cm_) {
+  stats_.threads = pool_ != nullptr ? pool_->size() : 1;
+}
 
-void PmwService::RefreshSnapshot() {
-  if (snapshot_valid_ && snapshot_.version == cm_.hypothesis_version()) {
-    return;
-  }
-  snapshot_ = cm_.SnapshotHypothesis();
-  snapshot_valid_ = true;
-  // Plans computed against an older hypothesis are useless (AnswerPrepared
-  // would recompute them anyway); drop them so lookups stay hits-only.
-  prepared_.clear();
+std::shared_ptr<const Epoch> PmwService::PublishAndPrepare(
+    std::span<const convex::CmQuery> queries, size_t begin, size_t end,
+    ShardExecutor::PrepareResult* prepared) {
+  std::shared_ptr<const Epoch> epoch = epochs_.Publish(cm_);
+  stats_.epochs = epochs_.epochs_published();
+  *prepared = executor_.PrepareRange(queries, begin, end, *epoch);
+  stats_.prepare_cache_hits += prepared->cache_hits;
+  return epoch;
 }
 
 std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     std::span<const convex::CmQuery> queries) {
   WallTimer timer;
-  // The prepared cache is per-batch: reuse within a batch is what the
-  // single-writer loop amortizes; across batches the working set is
-  // unbounded, so we start fresh.
-  prepared_.clear();
-  snapshot_valid_ = false;
+  const size_t n = queries.size();
 
+  // Read phase: prepare every query in parallel against one epoch
+  // snapshot. Skipped when the mechanism would reject the whole batch
+  // anyway (halted / k exhausted) — rejections never consult a plan, so
+  // there is no point burning solver time on one. Plans stay
+  // deduplicated: query j's plan is prepared.plans[plan_of[j -
+  // prepared_begin]], never deep-copied per position.
+  // Ranges are capped at the remaining k-query budget: every committed
+  // query consumes one budget slot, so positions past the cap are
+  // guaranteed rejections and their plans would never be consulted.
+  ShardExecutor::PrepareResult prepared;
+  size_t prepared_begin = 0;
+  std::shared_ptr<const Epoch> epoch;
+  if (n > 0 && !cm_.WillReject()) {
+    size_t prep_end =
+        std::min(n, static_cast<size_t>(cm_.queries_remaining()));
+    epoch = PublishAndPrepare(queries, 0, prep_end, &prepared);
+  }
+
+  // Commit phase: the single writer replays queries in arrival order.
+  // All mechanism state — sparse-vector draws, oracle randomness, MW
+  // updates, ledger appends — mutates only here, in canonical order,
+  // which is what keeps the transcript bit-identical to sequential PmwCm.
   std::vector<Result<convex::Vec>> results;
-  results.reserve(queries.size());
-  for (const convex::CmQuery& query : queries) {
+  results.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    const convex::CmQuery& query = queries[j];
     PMW_CHECK(query.loss != nullptr);
     PMW_CHECK(query.domain != nullptr);
 
     if (cm_.WillReject()) {
-      // The mechanism will refuse (halted / k exhausted) before consulting
-      // any plan; don't burn solver time preparing one.
       Result<core::PmwAnswer> rejected =
           cm_.AnswerPrepared(query, core::PreparedQuery{});
       PMW_CHECK(!rejected.ok());
@@ -68,36 +95,44 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
       results.push_back(rejected.status());
       continue;
     }
-    RefreshSnapshot();
 
-    QueryKey key{query.loss, query.domain};
-    auto it = prepared_.find(key);
-    if (it == prepared_.end()) {
-      it = prepared_.emplace(key, cm_.Prepare(query, snapshot_)).first;
-    } else {
-      ++stats_.prepare_cache_hits;
-    }
-
-    Result<core::PmwAnswer> answer = cm_.AnswerPrepared(query, it->second);
-    if (answer.ok()) {
-      if (answer.value().was_update) {
-        ++stats_.updates;
-      } else {
-        ++stats_.bottom_answers;
-      }
-      results.push_back(std::move(answer.value().theta));
-    } else {
+    // A null epoch means the read phase was skipped; the stale default
+    // plan is never trusted by AnswerPrepared.
+    static const core::PreparedQuery kStalePlan;
+    const core::PreparedQuery& plan =
+        epoch != nullptr ? prepared.plans[prepared.plan_of[j - prepared_begin]]
+                         : kStalePlan;
+    Result<core::PmwAnswer> answer = cm_.AnswerPrepared(
+        query, plan, epoch != nullptr ? &epoch->snapshot : nullptr);
+    if (!answer.ok()) {
       ++stats_.errors;
       results.push_back(answer.status());
+      continue;
     }
+    if (answer.value().was_update) {
+      ++stats_.updates;
+      // Hard round: the hypothesis changed, so every remaining plan is
+      // stale. Advance the epoch and re-prepare the suffix in parallel
+      // (bounded by T such rounds over the mechanism's lifetime).
+      if (j + 1 < n && !cm_.WillReject()) {
+        size_t prep_end = std::min(
+            n, j + 1 + static_cast<size_t>(cm_.queries_remaining()));
+        epoch = PublishAndPrepare(queries, j + 1, prep_end, &prepared);
+        prepared_begin = j + 1;
+        stats_.reprepared += static_cast<long long>(prepared.plans.size());
+      }
+    } else {
+      ++stats_.bottom_answers;
+    }
+    results.push_back(std::move(answer.value().theta));
   }
 
   double elapsed_ms = timer.ElapsedMillis();
   ++stats_.batches;
-  stats_.queries += static_cast<long long>(queries.size());
+  stats_.queries += static_cast<long long>(n);
   stats_.batch_latency_ms.Add(elapsed_ms);
-  if (elapsed_ms > 0.0 && !queries.empty()) {
-    stats_.batch_queries_per_sec.Add(static_cast<double>(queries.size()) /
+  if (elapsed_ms > 0.0 && n > 0) {
+    stats_.batch_queries_per_sec.Add(static_cast<double>(n) /
                                      (elapsed_ms / 1e3));
   }
   return results;

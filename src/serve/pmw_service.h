@@ -1,45 +1,61 @@
-// Batched serving front-end for the PMW-CM mechanism: the first piece of
-// the heavy-traffic serving stack (ROADMAP north star). Queries arrive in
-// batches; the service amortizes the per-query hypothesis work across each
-// batch and keeps latency/throughput counters for capacity planning.
+// Concurrent sharded serving front-end for the PMW-CM mechanism (v2 of
+// the heavy-traffic serving stack; ROADMAP north star).
 //
-// Threading model: mutex-free single-writer. A PmwService instance is owned
-// by exactly one serving thread, which drains a request queue and feeds
-// batches to AnswerBatch; the mechanism state (hypothesis histogram, sparse
-// vector, ledger) is only ever touched from that thread, so there are no
-// locks anywhere on the answer path. Fan-in from many client threads
-// belongs in front of the writer loop (an MPSC queue), not inside it.
+// Threading model: epoch-snapshotted reads, single-writer commits.
 //
-// What batching buys on the bottom-answer (cache-hit) path:
-//   * one hypothesis compaction/normalization pass per batch instead of
-//     one per query (PmwCm::SnapshotHypothesis + Prepare's snapshot
-//     argument), and
-//   * one solve per *distinct* query per batch: repeated queries reuse the
-//     PreparedQuery, which is sound because Prepare is deterministic and
-//     state-free — the transcript is query-for-query identical to calling
-//     PmwCm::AnswerQuery sequentially (tests/serve_test.cc asserts this,
-//     including the privacy ledger).
-// An MW update mid-batch bumps hypothesis_version(), which invalidates the
-// snapshot and the cache for the remainder of the batch.
+//   * Read path (parallel). At batch start the writer publishes an
+//     *epoch*: an immutable compacted snapshot of the hypothesis
+//     (serve/epoch_state.h). A ShardExecutor partitions the batch into
+//     contiguous shards — one per thread-pool worker — and each worker
+//     prepares its shard's queries against that snapshot
+//     (PmwCm::Prepare: const, deterministic, no randomness). This is the
+//     embarrassingly parallel part: in steady state the sparse vector
+//     answers kBottom and preparation is all the work there is.
+//   * Write path (sequential). The single writer then commits queries in
+//     arrival order through PmwCm::AnswerPrepared — sparse-vector noise
+//     draws, oracle calls, MW updates, and ledger appends all happen
+//     here, in canonical order. When a commit fires a hard round (MW
+//     update) the epoch advances: the writer publishes a new snapshot
+//     and re-prepares the batch's remaining suffix in parallel before
+//     continuing. Updates are bounded by the schedule's T, so re-prepares
+//     are rare and the amortization survives.
+//
+// Determinism: plans are pure functions of (query, snapshot) and every
+// stateful step is replayed in arrival order by one thread, so answers
+// and the privacy ledger are bit-identical to running sequential PmwCm
+// under the same seed — regardless of thread count, shard layout, or
+// scheduling. tests/serve_parallel_test.cc asserts this property-style;
+// the TSan CI job keeps the data-race argument honest.
 
 #ifndef PMWCM_SERVE_PMW_SERVICE_H_
 #define PMWCM_SERVE_PMW_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/pmw_cm.h"
+#include "serve/epoch_state.h"
+#include "serve/shard_executor.h"
 
 namespace pmw {
 namespace serve {
 
+/// Serving-layer configuration (mechanism parameters live in PmwOptions).
+struct ServeOptions {
+  /// Worker threads preparing queries. <= 1 runs every shard inline on
+  /// the serving thread (no pool) — the PR 1 configuration.
+  int num_threads = 1;
+};
+
 /// Serving counters. Latency/throughput moments use common/stats.h's
-/// RunningStats; totals are plain counters (single-writer, so no atomics).
+/// RunningStats; totals are plain counters (only the serving writer
+/// mutates them, so no atomics).
 struct ServeStats {
   RunningStats batch_latency_ms;
   RunningStats batch_queries_per_sec;
@@ -49,11 +65,21 @@ struct ServeStats {
   long long bottom_answers = 0;
   /// kTop answers: oracle call + MW update.
   long long updates = 0;
-  /// Queries whose PreparedQuery was reused from an earlier query in the
-  /// same batch (same loss/domain, unchanged hypothesis).
+  /// Queries whose PreparedQuery was shared with an earlier identical
+  /// query in the same prepared range (same loss/domain, same epoch);
+  /// dedup happens before sharding, so repeats amortize identically at
+  /// every thread count.
   long long prepare_cache_hits = 0;
   /// Error statuses returned to clients (halted / budget exhausted).
   long long errors = 0;
+  /// Epochs published (one per batch start + one per mid-batch update).
+  /// Mirrors EpochState::epochs_published(), the authoritative counter.
+  long long epochs = 0;
+  /// Distinct plans recomputed in parallel after a mid-batch epoch
+  /// advance (repeats of an already-recomputed query are cache hits).
+  long long reprepared = 0;
+  /// Worker threads serving shards (1 = inline).
+  int threads = 1;
 
   double OverallQueriesPerSec() const;
   std::string Report() const;
@@ -64,12 +90,17 @@ class PmwService {
   /// `dataset` and `oracle` must outlive the service (same contract as
   /// PmwCm, which the service constructs and owns).
   PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
-             const core::PmwOptions& options, uint64_t seed);
+             const core::PmwOptions& options, uint64_t seed,
+             const ServeOptions& serve_options = ServeOptions{});
 
   /// Answers `queries` in order. The result vector is positionally aligned
   /// with the input; each entry is the released theta or the per-query
   /// error status (kHalted / kResourceExhausted), exactly as the sequential
   /// mechanism would have produced it.
+  ///
+  /// Must be called from one serving thread at a time (the single
+  /// writer); fan-in from many client threads belongs in a queue in
+  /// front of it.
   std::vector<Result<convex::Vec>> AnswerBatch(
       std::span<const convex::CmQuery> queries);
 
@@ -79,33 +110,22 @@ class PmwService {
   core::PmwCm& mechanism() { return cm_; }
   const core::PmwCm& mechanism() const { return cm_; }
   const ServeStats& stats() const { return stats_; }
+  /// The epoch holder (exposed for tests and future async front-ends).
+  const EpochState& epochs() const { return epochs_; }
 
  private:
-  /// Identity of a CM query: the loss/domain objects (families own them and
-  /// keep them alive; equal pointers <=> same mathematical query).
-  struct QueryKey {
-    const void* loss;
-    const void* domain;
-    bool operator==(const QueryKey& other) const {
-      return loss == other.loss && domain == other.domain;
-    }
-  };
-  struct QueryKeyHash {
-    size_t operator()(const QueryKey& key) const {
-      size_t h = std::hash<const void*>()(key.loss);
-      return h ^ (std::hash<const void*>()(key.domain) + 0x9e3779b9 +
-                  (h << 6) + (h >> 2));
-    }
-  };
-
-  /// Recompacts the hypothesis snapshot if an MW update invalidated it and
-  /// drops PreparedQuery entries from the old version.
-  void RefreshSnapshot();
+  /// Publishes a fresh epoch and prepares queries[begin, end) against it,
+  /// folding executor counters into stats_. Returns the epoch;
+  /// `*prepared` receives the deduplicated plans + position index for
+  /// the range.
+  std::shared_ptr<const Epoch> PublishAndPrepare(
+      std::span<const convex::CmQuery> queries, size_t begin, size_t end,
+      ShardExecutor::PrepareResult* prepared);
 
   core::PmwCm cm_;
-  core::HypothesisSnapshot snapshot_;
-  bool snapshot_valid_ = false;
-  std::unordered_map<QueryKey, core::PreparedQuery, QueryKeyHash> prepared_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
+  ShardExecutor executor_;
+  EpochState epochs_;
   ServeStats stats_;
 };
 

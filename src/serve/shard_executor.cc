@@ -1,0 +1,101 @@
+#include "serve/shard_executor.h"
+
+#include <algorithm>
+#include <future>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace serve {
+
+ShardExecutor::ShardExecutor(ThreadPool* pool, const core::PmwCm* cm)
+    : pool_(pool), cm_(cm) {
+  PMW_CHECK(cm != nullptr);
+}
+
+void ShardExecutor::PrepareShard(std::span<const convex::CmQuery> queries,
+                                 const std::vector<size_t>& positions,
+                                 size_t lo, size_t hi, const Epoch& epoch,
+                                 core::PreparedQuery* plans) const {
+  for (size_t u = lo; u < hi; ++u) {
+    plans[u] = cm_->Prepare(queries[positions[u]], epoch.snapshot);
+  }
+}
+
+ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
+    std::span<const convex::CmQuery> queries, size_t begin, size_t end,
+    const Epoch& epoch) const {
+  PMW_CHECK_LE(begin, end);
+  PMW_CHECK_LE(end, queries.size());
+  PrepareResult result;
+  const size_t count = end - begin;
+  if (count == 0) return result;
+
+  // Dedup pass (cheap: pointer-identity hashing) on the calling thread.
+  // plan_of[i] maps position begin+i to its plan slot; positions[u] maps
+  // plan slot u back to the first position that asked for it.
+  std::unordered_map<QueryKey, size_t, QueryKeyHash> slot_of;
+  slot_of.reserve(count);
+  result.plan_of.resize(count);
+  std::vector<size_t> positions;
+  positions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const convex::CmQuery& query = queries[begin + i];
+    PMW_CHECK(query.loss != nullptr);
+    PMW_CHECK(query.domain != nullptr);
+    QueryKey key{query.loss, query.domain};
+    auto [it, inserted] = slot_of.emplace(key, positions.size());
+    if (inserted) positions.push_back(begin + i);
+    result.plan_of[i] = it->second;
+  }
+  const size_t distinct = positions.size();
+  result.cache_hits = static_cast<long long>(count - distinct);
+
+  // Fan the distinct queries out; each worker writes a disjoint slice of
+  // result.plans, sharing nothing but the const snapshot. The futures'
+  // wait/get below both joins a shard and publishes its writes
+  // (happens-before) back to this thread.
+  result.plans.resize(distinct);
+  const size_t max_shards =
+      pool_ != nullptr ? static_cast<size_t>(pool_->size()) : 1;
+  const size_t shards = std::min(max_shards, distinct);
+  if (shards <= 1) {
+    result.shards = 1;
+    PrepareShard(queries, positions, 0, distinct, epoch,
+                 result.plans.data());
+    return result;
+  }
+
+  const size_t chunk = (distinct + shards - 1) / shards;
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards);
+  core::PreparedQuery* plans = result.plans.data();
+  try {
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t lo = s * chunk;
+      const size_t hi = std::min(lo + chunk, distinct);
+      if (lo >= hi) break;
+      pending.push_back(pool_->Submit(
+          [this, queries, &positions, lo, hi, &epoch, plans] {
+            PrepareShard(queries, positions, lo, hi, epoch, plans);
+          }));
+    }
+  } catch (...) {
+    // Submit threw (allocation): in-flight shards still reference this
+    // frame's positions/epoch/plans — join them before unwinding.
+    for (std::future<void>& f : pending) f.wait();
+    throw;
+  }
+  // Ceil-division chunking can finish early, so count what actually ran.
+  result.shards = static_cast<int>(pending.size());
+  // Join every shard unconditionally before get() may rethrow a task
+  // exception: unwinding with shards in flight would free the buffers
+  // they write.
+  for (std::future<void>& f : pending) f.wait();
+  for (std::future<void>& f : pending) f.get();
+  return result;
+}
+
+}  // namespace serve
+}  // namespace pmw

@@ -1,0 +1,97 @@
+// Shards a query batch across thread-pool workers and prepares every
+// query against one immutable epoch snapshot.
+//
+// Why this is safe to parallelize: PmwCm::Prepare is const, deterministic,
+// and draws no randomness — each plan is a pure function of (query,
+// snapshot). Sharding therefore cannot change any plan's value, only the
+// wall-clock to compute them; the single-writer commit loop that consumes
+// the plans (serve::PmwService) replays the mechanism's stateful part
+// (sparse-vector draws, oracle calls, MW updates, ledger appends) in
+// canonical arrival order, which is what makes the parallel transcript
+// bit-identical to the sequential one.
+//
+// Dedup happens *before* sharding: one cheap pointer-identity pass over
+// the range collects the distinct queries (PR 1's batch cache, hoisted),
+// the distinct set is sharded contiguously across workers, and each
+// plan is scattered back to every position that asked for it. Cycling
+// workloads — many clients asking overlapping questions — therefore
+// amortize identically at every thread count, and workers never compute
+// the same plan twice regardless of how repeats straddle shards.
+
+#ifndef PMWCM_SERVE_SHARD_EXECUTOR_H_
+#define PMWCM_SERVE_SHARD_EXECUTOR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "convex/cm_query.h"
+#include "core/pmw_cm.h"
+#include "serve/epoch_state.h"
+
+namespace pmw {
+namespace serve {
+
+/// Identity of a CM query: the loss/domain objects (families own them and
+/// keep them alive; equal pointers <=> same mathematical query).
+struct QueryKey {
+  const void* loss;
+  const void* domain;
+  bool operator==(const QueryKey& other) const {
+    return loss == other.loss && domain == other.domain;
+  }
+};
+struct QueryKeyHash {
+  size_t operator()(const QueryKey& key) const {
+    size_t h = std::hash<const void*>()(key.loss);
+    return h ^ (std::hash<const void*>()(key.domain) + 0x9e3779b9 + (h << 6) +
+                (h >> 2));
+  }
+};
+
+class ShardExecutor {
+ public:
+  /// `pool` may be null: every range then runs inline on the caller's
+  /// thread as a single shard (the sequential service configuration).
+  /// `cm` must outlive the executor.
+  ShardExecutor(ThreadPool* pool, const core::PmwCm* cm);
+
+  struct PrepareResult {
+    /// One plan per *distinct* query in the range, in first-appearance
+    /// order. Kept deduplicated — consumers index through plan_of —
+    /// so a repeat-heavy batch never deep-copies plans per position.
+    std::vector<core::PreparedQuery> plans;
+    /// plan_of[i] is the plans index answering queries[begin + i].
+    std::vector<size_t> plan_of;
+    /// Queries whose plan was shared with an earlier identical query in
+    /// the range (range size minus distinct queries).
+    long long cache_hits = 0;
+    /// Shards actually dispatched for this range.
+    int shards = 0;
+  };
+
+  /// Prepares queries[begin, end) against `epoch`'s snapshot, fanning the
+  /// distinct queries out across the pool. Blocks until every shard
+  /// finishes.
+  PrepareResult PrepareRange(std::span<const convex::CmQuery> queries,
+                             size_t begin, size_t end,
+                             const Epoch& epoch) const;
+
+ private:
+  /// Prepares distinct queries[positions[lo, hi)] into plans[lo, hi);
+  /// runs on a worker (or inline). Reads only const state: the
+  /// mechanism's Prepare path and the epoch snapshot.
+  void PrepareShard(std::span<const convex::CmQuery> queries,
+                    const std::vector<size_t>& positions, size_t lo,
+                    size_t hi, const Epoch& epoch,
+                    core::PreparedQuery* plans) const;
+
+  ThreadPool* pool_;
+  const core::PmwCm* cm_;
+};
+
+}  // namespace serve
+}  // namespace pmw
+
+#endif  // PMWCM_SERVE_SHARD_EXECUTOR_H_

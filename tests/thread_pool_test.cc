@@ -1,0 +1,143 @@
+// ThreadPool unit + concurrency stress tests: result delivery, FIFO order
+// on a single worker, exception propagation through futures, shutdown
+// draining, and a many-producers / many-tasks stress run. The TSan CI job
+// rebuilds this binary with -fsanitize=thread, so every synchronization
+// claim in common/thread_pool.h is machine-checked, not just argued.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pmw {
+namespace {
+
+TEST(ThreadPoolTest, DeliversResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCallerNotWorker) {
+  ThreadPool pool(2);
+  std::future<int> bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+
+  // The worker that ran the throwing task is still alive and serving.
+  std::future<int> good = pool.Submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, ExceptionMessageSurvivesTheHop) {
+  ThreadPool pool(1);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("detail: shard 3"); });
+  try {
+    f.get();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "detail: shard 3");
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsEveryQueuedTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      // Fire-and-forget: futures dropped on purpose; the shutdown
+      // contract alone must guarantee completion.
+      pool.Submit([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs here: stop accepting, drain, join.
+  }
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPoolTest, StressThousandsOfTasksManyProducers) {
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 1000;
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksPerProducer);
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        futures.push_back(pool.Submit([&sum, p, i] {
+          sum.fetch_add(p * kTasksPerProducer + i,
+                        std::memory_order_relaxed);
+        }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  const long long n = static_cast<long long>(kProducers) * kTasksPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  // tasks_completed lags future readiness by design; wait for quiescence.
+  while (pool.tasks_completed() < n) std::this_thread::yield();
+  EXPECT_EQ(pool.tasks_completed(), n);
+}
+
+TEST(ThreadPoolTest, TwoWorkersCanBlockOnEachOther) {
+  ThreadPool pool(2);
+  // Two tasks that each wait for the other to have started: they can only
+  // both finish if two workers run them concurrently.
+  std::promise<void> a_started, b_started;
+  std::shared_future<void> a_ready = a_started.get_future().share();
+  std::shared_future<void> b_ready = b_started.get_future().share();
+  std::future<void> a = pool.Submit([&a_started, b_ready] {
+    a_started.set_value();
+    b_ready.wait();
+  });
+  std::future<void> b = pool.Submit([&b_started, a_ready] {
+    b_started.set_value();
+    a_ready.wait();
+  });
+  EXPECT_EQ(a.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(b.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  a.get();
+  b.get();
+}
+
+}  // namespace
+}  // namespace pmw
