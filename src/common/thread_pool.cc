@@ -1,10 +1,12 @@
 #include "common/thread_pool.h"
 
+#include <stdexcept>
+
 #include "common/check.h"
 
 namespace pmw {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   PMW_CHECK_GE(num_threads, 1);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -12,13 +14,21 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
-  }
-  task_ready_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  // call_once serializes the join: repeat calls return once the first
+  // completes, so Shutdown-then-destructor (or two racing Shutdowns) is
+  // safe and every caller observes a fully drained pool.
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutting_down_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  });
 }
 
 long long ThreadPool::tasks_completed() const {
@@ -29,7 +39,10 @@ long long ThreadPool::tasks_completed() const {
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    PMW_CHECK_MSG(!shutting_down_, "ThreadPool::Submit after shutdown began");
+    if (shutting_down_) {
+      throw std::runtime_error(
+          "ThreadPool::Submit after shutdown began: nothing was scheduled");
+    }
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();
@@ -43,7 +56,7 @@ void ThreadPool::WorkerLoop() {
       task_ready_.wait(
           lock, [this] { return shutting_down_ || !queue_.empty(); });
       // Shutdown drains: workers only exit once the queue is empty, so
-      // every task submitted before the destructor ran is completed.
+      // every task submitted before shutdown began is completed.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -5,10 +5,14 @@
 // be pure functions of their inputs, so *which* worker runs one never
 // matters, only that all of them finish (futures provide the join).
 //
-// Shutdown ordering: the destructor stops accepting new work, lets the
-// workers drain every task already queued, then joins. A task submitted
-// before destruction begins therefore always runs to completion; Submit
-// after destruction has begun is a programmer error (PMW_CHECKed).
+// Shutdown ordering: Shutdown() (which the destructor calls) stops
+// accepting new work, lets the workers drain every task already queued,
+// then joins. A task submitted before shutdown began therefore always
+// runs to completion. Submit after shutdown has begun is an explicit,
+// documented error: it throws std::runtime_error and schedules nothing —
+// consistent with the pool's exception story (task errors already travel
+// through futures as exceptions) and testable without a death test
+// (tests/thread_pool_test.cc covers it).
 //
 // Exceptions: tasks run inside std::packaged_task, so anything a task
 // throws is captured into its future and rethrown from future::get() on
@@ -36,13 +40,17 @@ class ThreadPool {
   /// Starts `num_threads` workers (>= 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains all queued tasks, then joins every worker.
+  /// Equivalent to Shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int size() const { return static_cast<int>(workers_.size()); }
+  /// Stops accepting work, drains every queued task, joins every worker.
+  /// Idempotent; after it returns, Submit throws (see class comment).
+  void Shutdown();
+
+  int size() const { return num_threads_; }
 
   /// Tasks that have finished running (for tests and load reporting).
   /// Bumped by the worker *after* the task's future becomes ready, so it
@@ -51,6 +59,8 @@ class ThreadPool {
 
   /// Schedules `task` on some worker and returns the future for its
   /// result. Exceptions escape through future::get(), never a worker.
+  /// Throws std::runtime_error if shutdown has begun (documented error;
+  /// nothing is scheduled).
   template <typename F>
   auto Submit(F&& task)
       -> std::future<std::invoke_result_t<std::decay_t<F>>> {
@@ -73,6 +83,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   long long completed_ = 0;
   bool shutting_down_ = false;
+  std::once_flag shutdown_once_;
+  int num_threads_ = 0;  // fixed at construction; survives Shutdown
   std::vector<std::thread> workers_;
 };
 

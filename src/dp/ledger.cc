@@ -1,7 +1,9 @@
 #include "dp/ledger.h"
 
+#include <limits>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "dp/composition.h"
@@ -63,6 +65,44 @@ int PrivacyLedger::CountWithPrefix(const std::string& prefix) const {
     if (e.label.rfind(prefix, 0) == 0) ++count;
   }
   return count;
+}
+
+PrivacyParams PrivacyLedger::BasicTotalWithPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PrivacyParams total{0.0, 0.0};
+  for (const Event& e : events_) {
+    if (e.label.rfind(prefix, 0) != 0) continue;
+    total.epsilon += e.params.epsilon;
+    total.delta += e.params.delta;
+  }
+  return total;
+}
+
+BudgetView::BudgetView(const PrivacyLedger* ledger, std::string label_prefix,
+                       long long max_events)
+    : ledger_(ledger),
+      prefix_(std::move(label_prefix)),
+      max_events_(max_events) {
+  PMW_CHECK(ledger != nullptr);
+}
+
+long long BudgetView::consumed() const {
+  return ledger_->CountWithPrefix(prefix_);
+}
+
+long long BudgetView::remaining() const {
+  if (max_events_ <= 0) return std::numeric_limits<long long>::max();
+  long long left = max_events_ - consumed();
+  return left > 0 ? left : 0;
+}
+
+bool BudgetView::exhausted() const {
+  return max_events_ > 0 && consumed() >= max_events_;
+}
+
+PrivacyParams BudgetView::Spent() const {
+  return ledger_->BasicTotalWithPrefix(prefix_);
 }
 
 std::string PrivacyLedger::Report() const {

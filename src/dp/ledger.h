@@ -59,11 +59,45 @@ class PrivacyLedger {
   /// Events carrying the given label prefix.
   int CountWithPrefix(const std::string& prefix) const;
 
+  /// Basic-composition total over events with the given label prefix
+  /// (e.g. "oracle:" isolates what the ERM oracle calls have spent).
+  PrivacyParams BasicTotalWithPrefix(const std::string& prefix) const;
+
   std::string Report() const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<Event> events_;
+};
+
+/// A read-only quota view over a ledger: consumption of a fixed event
+/// budget, restricted to a label prefix. The serving front-end's
+/// admission control (frontend::QuotaManager) consults views like
+/// {"oracle:", schedule.T} to reject work *before* it can cost privacy:
+/// the ledger is the single source of truth for what has been spent, and
+/// its internal lock makes every view accessor safe from any thread while
+/// the serving writer keeps recording.
+class BudgetView {
+ public:
+  /// `ledger` must outlive the view. `max_events` <= 0 means unlimited.
+  BudgetView(const PrivacyLedger* ledger, std::string label_prefix,
+             long long max_events);
+
+  long long consumed() const;
+  /// Events left before the budget is exhausted (0 when spent; a very
+  /// large value when unlimited).
+  long long remaining() const;
+  bool exhausted() const;
+  /// Basic-composition privacy cost of the consumed events.
+  PrivacyParams Spent() const;
+
+  const std::string& label_prefix() const { return prefix_; }
+  long long max_events() const { return max_events_; }
+
+ private:
+  const PrivacyLedger* ledger_;
+  std::string prefix_;
+  long long max_events_;
 };
 
 }  // namespace dp

@@ -1,0 +1,148 @@
+#include "frontend/dispatcher.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace frontend {
+
+Dispatcher::Dispatcher(serve::PmwService* service, QuotaManager* quota,
+                       PlanCache* plan_cache,
+                       const DispatcherOptions& options)
+    : service_(service),
+      quota_(quota),
+      plan_cache_(plan_cache),
+      options_(options),
+      queue_(options.queue_capacity) {
+  PMW_CHECK(service != nullptr);
+  PMW_CHECK_GE(options.max_batch, size_t{1});
+  if (plan_cache_ != nullptr) service_->set_plan_cache(plan_cache_);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+Dispatcher::~Dispatcher() { Shutdown(); }
+
+std::future<Result<convex::Vec>> Dispatcher::Submit(
+    const std::string& analyst_id, const convex::CmQuery& query,
+    uint64_t* request_id) {
+  Request request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.analyst_id = analyst_id;
+  request.query = query;
+  std::future<Result<convex::Vec>> future = request.promise.get_future();
+  if (request_id != nullptr) *request_id = request.id;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+
+  if (shutdown_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.shutdown_rejected;
+    request.promise.set_value(
+        Status::FailedPrecondition("frontend: dispatcher is shut down"));
+    return future;
+  }
+
+  // Admission control before the queue: a rejected request never reaches
+  // the mechanism, so it cannot consume privacy budget or a query slot.
+  if (quota_ != nullptr) {
+    Status admit = quota_->Admit(analyst_id);
+    if (!admit.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.quota_rejected;
+      }
+      request.promise.set_value(std::move(admit));
+      return future;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.admitted;
+  }
+  // Push moves from `request` only on success, so a close raced between
+  // the shutdown check above and here still leaves us the promise to
+  // resolve with the typed error — and the quota slot to hand back (the
+  // mechanism never saw the query, so the analyst must not stay charged).
+  if (!queue_.Push(request)) {
+    if (quota_ != nullptr) quota_->Refund(analyst_id);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.admitted;
+    ++stats_.shutdown_rejected;
+    request.promise.set_value(
+        Status::FailedPrecondition("frontend: dispatcher is shut down"));
+  }
+  return future;
+}
+
+void Dispatcher::DispatchLoop() {
+  std::vector<Request> batch;
+  std::vector<convex::CmQuery> queries;
+  std::vector<std::string> tags;
+  for (;;) {
+    batch.clear();
+    queries.clear();
+    tags.clear();
+    if (!queue_.PopBatch(&batch, options_.max_batch, options_.max_wait)) {
+      return;  // closed and drained
+    }
+    for (const Request& request : batch) {
+      queries.push_back(request.query);
+      tags.push_back(request.analyst_id);
+    }
+    // The single-writer serving call. Arrival order == queue FIFO order
+    // == the order results are committed and promises resolved below.
+    std::vector<Result<convex::Vec>> results =
+        service_->AnswerBatch(queries, tags);
+    PMW_CHECK_EQ(results.size(), batch.size());
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.batch_fill.Add(static_cast<double>(batch.size()));
+      if (options_.record_arrival_log) {
+        for (const Request& request : batch) {
+          arrival_log_.push_back(request.id);
+        }
+      }
+    }
+    for (size_t j = 0; j < batch.size(); ++j) {
+      batch[j].promise.set_value(std::move(results[j]));
+    }
+  }
+}
+
+void Dispatcher::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shutdown_.store(true, std::memory_order_release);
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (plan_cache_ != nullptr && service_->plan_cache() == plan_cache_) {
+    service_->set_plan_cache(nullptr);
+  }
+}
+
+std::vector<uint64_t> Dispatcher::ArrivalLog() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return arrival_log_;
+}
+
+DispatcherStats Dispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+AnalystSession::AnalystSession(Dispatcher* dispatcher, std::string analyst_id)
+    : dispatcher_(dispatcher), analyst_id_(std::move(analyst_id)) {
+  PMW_CHECK(dispatcher != nullptr);
+}
+
+std::future<Result<convex::Vec>> AnalystSession::Submit(
+    const convex::CmQuery& query, uint64_t* request_id) {
+  return dispatcher_->Submit(analyst_id_, query, request_id);
+}
+
+}  // namespace frontend
+}  // namespace pmw

@@ -1,0 +1,154 @@
+// The asynchronous multi-analyst front door of the serving stack.
+//
+//   analysts --Submit--> MpscQueue --PopBatch--> Dispatcher thread
+//        --AnswerBatch--> serve::PmwService --> futures resolve
+//
+// Many analyst threads call Submit concurrently; each admitted request
+// enters a bounded MPSC queue (common/mpsc_queue.h) and comes back as a
+// std::future. One dispatcher thread drains the queue into
+// dynamically-sized batches — flushing when max_batch requests have
+// coalesced or the max_wait deadline passes, whichever is first — and
+// feeds them to PmwService::AnswerBatch, which preserves arrival order
+// through its single-writer commit loop. The composition keeps the PR 2
+// guarantee end to end: the transcript (answers + privacy ledger) is
+// bit-identical to feeding the same arrival-ordered sequence through
+// sequential PmwCm (tests/frontend_test.cc replays the recorded arrival
+// log to prove it).
+//
+// Admission control happens in Submit, before the queue: a
+// QuotaManager rejection resolves the future immediately with a typed
+// error and costs zero privacy budget. A PlanCache attached at
+// construction extends plan reuse across batches (epoch-keyed; see
+// frontend/plan_cache.h).
+
+#ifndef PMWCM_FRONTEND_DISPATCHER_H_
+#define PMWCM_FRONTEND_DISPATCHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "convex/cm_query.h"
+#include "frontend/plan_cache.h"
+#include "frontend/quota_manager.h"
+#include "serve/pmw_service.h"
+
+namespace pmw {
+namespace frontend {
+
+struct DispatcherOptions {
+  /// Bound on queued (admitted, not yet served) requests; full-queue
+  /// submits block — backpressure, never unbounded growth.
+  size_t queue_capacity = 1024;
+  /// Flush a batch at this many requests...
+  size_t max_batch = 64;
+  /// ...or this long after the first queued request, whichever is first.
+  std::chrono::microseconds max_wait{500};
+  /// Record the ids of committed requests in commit order (ArrivalLog);
+  /// tests replay the log through sequential PmwCm.
+  bool record_arrival_log = false;
+};
+
+struct DispatcherStats {
+  long long submitted = 0;
+  long long admitted = 0;
+  /// Rejected by the QuotaManager before entering the queue.
+  long long quota_rejected = 0;
+  /// Rejected because the dispatcher had already shut down.
+  long long shutdown_rejected = 0;
+  long long batches = 0;
+  /// Requests per dispatched batch (how well the deadline coalesces).
+  RunningStats batch_fill;
+};
+
+class Dispatcher {
+ public:
+  /// `service` must outlive the dispatcher and must not be driven by
+  /// anyone else while the dispatcher runs (it is the single writer).
+  /// `quota` and `plan_cache` are optional (null disables the feature)
+  /// and not owned; `plan_cache` is attached to the service here and
+  /// detached on Shutdown. The dispatcher thread starts immediately.
+  Dispatcher(serve::PmwService* service, QuotaManager* quota,
+             PlanCache* plan_cache, const DispatcherOptions& options = {});
+
+  /// Shutdown().
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Submits one query on behalf of `analyst_id`. Thread-safe; blocks
+  /// only when the queue is full. The future resolves with the released
+  /// theta or a typed error (quota rejection, mechanism kHalted /
+  /// kResourceExhausted, or shutdown). If `request_id` is non-null it
+  /// receives the request's unique id (what ArrivalLog records).
+  std::future<Result<convex::Vec>> Submit(const std::string& analyst_id,
+                                          const convex::CmQuery& query,
+                                          uint64_t* request_id = nullptr);
+
+  /// Stops accepting work, serves everything already queued, joins the
+  /// dispatcher thread, and detaches the plan cache from the service.
+  /// Idempotent and safe to call from any thread.
+  void Shutdown();
+
+  /// Ids of committed requests in commit (arrival) order. Complete only
+  /// after Shutdown; empty unless options.record_arrival_log.
+  std::vector<uint64_t> ArrivalLog() const;
+
+  DispatcherStats stats() const;
+  serve::PmwService& service() { return *service_; }
+
+ private:
+  struct Request {
+    uint64_t id = 0;
+    std::string analyst_id;
+    convex::CmQuery query;
+    std::promise<Result<convex::Vec>> promise;
+  };
+
+  void DispatchLoop();
+
+  serve::PmwService* service_;
+  QuotaManager* quota_;
+  PlanCache* plan_cache_;
+  const DispatcherOptions options_;
+  MpscQueue<Request> queue_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mutex_;  // serializes Shutdown callers
+  mutable std::mutex stats_mutex_;
+  DispatcherStats stats_;
+  std::vector<uint64_t> arrival_log_;
+  std::thread dispatcher_;  // last member: starts in the constructor
+};
+
+/// A named handle binding one analyst's identity to a dispatcher — what
+/// client code holds. Sessions are cheap; one per analyst thread.
+class AnalystSession {
+ public:
+  /// `dispatcher` must outlive the session.
+  AnalystSession(Dispatcher* dispatcher, std::string analyst_id);
+
+  /// Submit under this session's identity (see Dispatcher::Submit).
+  std::future<Result<convex::Vec>> Submit(const convex::CmQuery& query,
+                                          uint64_t* request_id = nullptr);
+
+  const std::string& analyst_id() const { return analyst_id_; }
+
+ private:
+  Dispatcher* dispatcher_;
+  std::string analyst_id_;
+};
+
+}  // namespace frontend
+}  // namespace pmw
+
+#endif  // PMWCM_FRONTEND_DISPATCHER_H_

@@ -1,0 +1,70 @@
+#include "frontend/plan_cache.h"
+
+#include "common/check.h"
+
+namespace pmw {
+namespace frontend {
+
+PlanCache::PlanCache(size_t max_entries) : max_entries_(max_entries) {
+  PMW_CHECK_GE(max_entries, size_t{1});
+}
+
+bool PlanCache::Lookup(const serve::QueryKey& key, int version,
+                       core::PreparedQuery* plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version != version_) {
+    // Defensive: the service publishes (and so invalidates) before it
+    // probes, so a version mismatch here means a forged epoch — never
+    // serve across versions regardless.
+    ++stats_.misses;
+    return false;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  *plan = it->second;
+  ++stats_.hits;
+  return true;
+}
+
+void PlanCache::Insert(const serve::QueryKey& key,
+                       const core::PreparedQuery& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A plan from another version would be served never (Lookup checks) or
+  // wrongly (if versions collided later); refuse it outright.
+  if (plan.hypothesis_version != version_) return;
+  if (entries_.size() >= max_entries_ && entries_.find(key) == entries_.end()) {
+    entries_.erase(entries_.begin());
+    ++stats_.evicted;
+  }
+  entries_[key] = plan;
+  ++stats_.insertions;
+}
+
+void PlanCache::OnEpochPublish(int version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version == version_) return;  // same hypothesis: entries stay valid
+  stats_.invalidated += static_cast<long long>(entries_.size());
+  entries_.clear();
+  version_ = version;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+int PlanCache::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+}  // namespace frontend
+}  // namespace pmw

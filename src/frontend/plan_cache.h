@@ -1,0 +1,90 @@
+// Epoch-keyed cross-batch plan cache (serve::PlanCacheHook
+// implementation). PR 1/2 deduplicated repeated queries *within* one
+// prepared range; this cache extends the amortization across the whole
+// request stream: a query answered in batch 1 costs no solver work in
+// batch 400, as long as the hypothesis has not moved. Entries are keyed
+// by (query fingerprint, hypothesis version); when the serving writer
+// publishes an epoch at a new version every cached plan is permanently
+// stale (the hypothesis only moves forward), so the cache invalidates
+// wholesale — the correctness argument stays trivial: a plan is served
+// only at the exact version it was computed at, where it is
+// byte-identical to a recompute (PmwCm::Prepare is deterministic).
+//
+// Lifetime contract: keys are the loss/domain pointer fingerprints of
+// serve::QueryKey, so the cache *extends* the repo's pointer-identity
+// convention ("families own the losses and keep them alive") from one
+// batch to the cache's whole lifetime. The query families feeding a
+// dispatcher must therefore outlive the cache — destroying a family and
+// reusing its allocations while cached plans for it are still resident
+// could alias a new query onto an old plan. Every current caller (one
+// family per serving session) satisfies this by construction; if query
+// churn ever becomes a workload, key by content fingerprint instead.
+//
+// Threading: the serving writer is the only caller of
+// Lookup/Insert/OnEpochPublish (serve::PlanCacheHook's contract); the
+// internal mutex exists so stats scrapers and tests may read counters
+// concurrently, not to enable concurrent mutation.
+
+#ifndef PMWCM_FRONTEND_PLAN_CACHE_H_
+#define PMWCM_FRONTEND_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/pmw_cm.h"
+#include "serve/shard_executor.h"
+
+namespace pmw {
+namespace frontend {
+
+class PlanCache : public serve::PlanCacheHook {
+ public:
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long insertions = 0;
+    /// Entries dropped by epoch invalidation.
+    long long invalidated = 0;
+    /// Entries dropped to respect max_entries.
+    long long evicted = 0;
+
+    double HitRate() const {
+      long long lookups = hits + misses;
+      return lookups > 0
+                 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                 : 0.0;
+    }
+  };
+
+  /// Caps resident plans at `max_entries` (>= 1); overflow evicts an
+  /// arbitrary entry (plans are cheap to recompute and die wholesale at
+  /// the next epoch anyway, so LRU bookkeeping would buy little).
+  explicit PlanCache(size_t max_entries = 4096);
+
+  bool Lookup(const serve::QueryKey& key, int version,
+              core::PreparedQuery* plan) override;
+  void Insert(const serve::QueryKey& key,
+              const core::PreparedQuery& plan) override;
+  void OnEpochPublish(int version) override;
+
+  Stats stats() const;
+  size_t size() const;
+  /// The hypothesis version current entries belong to (-1 before the
+  /// first epoch publish).
+  int version() const;
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  int version_ = -1;
+  std::unordered_map<serve::QueryKey, core::PreparedQuery,
+                     serve::QueryKeyHash>
+      entries_;
+  Stats stats_;
+};
+
+}  // namespace frontend
+}  // namespace pmw
+
+#endif  // PMWCM_FRONTEND_PLAN_CACHE_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/table_printer.h"
 #include "common/timer.h"
 
 namespace pmw {
@@ -15,20 +16,53 @@ double ServeStats::OverallQueriesPerSec() const {
   return static_cast<double>(queries) / (total_ms / 1e3);
 }
 
+double ServeStats::CrossBatchHitRate() const {
+  if (cross_batch_cache_lookups <= 0) return 0.0;
+  return static_cast<double>(cross_batch_cache_hits) /
+         static_cast<double>(cross_batch_cache_lookups);
+}
+
+std::vector<std::string> ServeStats::TableHeader() {
+  return {"queries", "batches", "threads", "bottom",  "updates", "errors",
+          "epochs",  "dedup",   "xb_hits", "xb_rate", "q/s"};
+}
+
+std::vector<std::string> ServeStats::TableRow() const {
+  return {TablePrinter::FmtInt(queries),
+          TablePrinter::FmtInt(batches),
+          TablePrinter::FmtInt(threads),
+          TablePrinter::FmtInt(bottom_answers),
+          TablePrinter::FmtInt(updates),
+          TablePrinter::FmtInt(errors),
+          TablePrinter::FmtInt(epochs),
+          TablePrinter::FmtInt(prepare_cache_hits),
+          TablePrinter::FmtInt(cross_batch_cache_hits),
+          TablePrinter::Fmt(CrossBatchHitRate(), 3),
+          TablePrinter::Fmt(OverallQueriesPerSec(), 1)};
+}
+
+std::string ServeStats::ToString() const {
+  TablePrinter table(TableHeader());
+  table.AddRow(TableRow());
+  return table.ToString();
+}
+
 std::string ServeStats::Report() const {
-  std::string report;
-  report += "serve: " + std::to_string(queries) + " queries in " +
-            std::to_string(batches) + " batches (threads=" +
-            std::to_string(threads) + ")\n";
-  report += "  bottom=" + std::to_string(bottom_answers) +
-            " updates=" + std::to_string(updates) +
-            " cache_hits=" + std::to_string(prepare_cache_hits) +
-            " errors=" + std::to_string(errors) + "\n";
-  report += "  epochs=" + std::to_string(epochs) +
-            " reprepared=" + std::to_string(reprepared) + "\n";
-  report += "  batch latency ms: " + batch_latency_ms.Summary() + "\n";
-  report += "  batch queries/sec: " + batch_queries_per_sec.Summary() + "\n";
-  report += "  overall queries/sec: " + std::to_string(OverallQueriesPerSec());
+  std::string report = ToString();
+  report += "reprepared=" + std::to_string(reprepared) +
+            " cross_batch_lookups=" +
+            std::to_string(cross_batch_cache_lookups) + "\n";
+  report += "batch latency ms: " + batch_latency_ms.Summary() + "\n";
+  report += "batch queries/sec: " + batch_queries_per_sec.Summary();
+  if (!per_analyst.empty()) {
+    TablePrinter analysts({"analyst", "queries", "updates", "errors"});
+    for (const auto& [analyst, counters] : per_analyst) {
+      analysts.AddRow({analyst, TablePrinter::FmtInt(counters.queries),
+                       TablePrinter::FmtInt(counters.updates),
+                       TablePrinter::FmtInt(counters.errors)});
+    }
+    report += "\n" + analysts.ToString();
+  }
   return report;
 }
 
@@ -48,15 +82,31 @@ std::shared_ptr<const Epoch> PmwService::PublishAndPrepare(
     ShardExecutor::PrepareResult* prepared) {
   std::shared_ptr<const Epoch> epoch = epochs_.Publish(cm_);
   stats_.epochs = epochs_.epochs_published();
-  *prepared = executor_.PrepareRange(queries, begin, end, *epoch);
+  // Invalidate before any probe: entries from older hypothesis versions
+  // are permanently stale once this epoch exists.
+  if (plan_cache_ != nullptr) {
+    plan_cache_->OnEpochPublish(epoch->snapshot.version);
+  }
+  *prepared = executor_.PrepareRange(queries, begin, end, *epoch,
+                                     plan_cache_);
   stats_.prepare_cache_hits += prepared->cache_hits;
+  stats_.cross_batch_cache_lookups += prepared->cross_batch_lookups;
+  stats_.cross_batch_cache_hits += prepared->cross_batch_hits;
   return epoch;
 }
 
 std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     std::span<const convex::CmQuery> queries) {
+  return AnswerBatch(queries, {});
+}
+
+std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
+    std::span<const convex::CmQuery> queries,
+    std::span<const std::string> analyst_ids) {
   WallTimer timer;
   const size_t n = queries.size();
+  PMW_CHECK_MSG(analyst_ids.empty() || analyst_ids.size() == n,
+                "analyst_ids must be empty or aligned with queries");
 
   // Read phase: prepare every query in parallel against one epoch
   // snapshot. Skipped when the mechanism would reject the whole batch
@@ -86,12 +136,16 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     const convex::CmQuery& query = queries[j];
     PMW_CHECK(query.loss != nullptr);
     PMW_CHECK(query.domain != nullptr);
+    ServeStats::AnalystCounters* analyst =
+        analyst_ids.empty() ? nullptr : &stats_.per_analyst[analyst_ids[j]];
+    if (analyst != nullptr) ++analyst->queries;
 
     if (cm_.WillReject()) {
       Result<core::PmwAnswer> rejected =
           cm_.AnswerPrepared(query, core::PreparedQuery{});
       PMW_CHECK(!rejected.ok());
       ++stats_.errors;
+      if (analyst != nullptr) ++analyst->errors;
       results.push_back(rejected.status());
       continue;
     }
@@ -106,11 +160,13 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
         query, plan, epoch != nullptr ? &epoch->snapshot : nullptr);
     if (!answer.ok()) {
       ++stats_.errors;
+      if (analyst != nullptr) ++analyst->errors;
       results.push_back(answer.status());
       continue;
     }
     if (answer.value().was_update) {
       ++stats_.updates;
+      if (analyst != nullptr) ++analyst->updates;
       // Hard round: the hypothesis changed, so every remaining plan is
       // stale. Advance the epoch and re-prepare the suffix in parallel
       // (bounded by T such rounds over the mechanism's lifetime).

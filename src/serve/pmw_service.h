@@ -31,6 +31,7 @@
 #define PMWCM_SERVE_PMW_SERVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -57,6 +58,16 @@ struct ServeOptions {
 /// RunningStats; totals are plain counters (only the serving writer
 /// mutates them, so no atomics).
 struct ServeStats {
+  /// Per-analyst slice of the counters, keyed by the tags a front-end
+  /// passes to AnswerBatch (empty when serving untagged traffic).
+  struct AnalystCounters {
+    long long queries = 0;
+    /// Hard rounds this analyst's queries triggered (privacy-relevant:
+    /// each one is an oracle call).
+    long long updates = 0;
+    long long errors = 0;
+  };
+
   RunningStats batch_latency_ms;
   RunningStats batch_queries_per_sec;
   long long queries = 0;
@@ -78,10 +89,33 @@ struct ServeStats {
   /// Distinct plans recomputed in parallel after a mid-batch epoch
   /// advance (repeats of an already-recomputed query are cache hits).
   long long reprepared = 0;
+  /// Cross-batch plan cache: distinct queries probed / served from a
+  /// PlanCacheHook (zero when no cache is attached). Unlike
+  /// prepare_cache_hits these survive between AnswerBatch calls — the
+  /// whole point of the front-end's epoch-keyed cache.
+  long long cross_batch_cache_lookups = 0;
+  long long cross_batch_cache_hits = 0;
   /// Worker threads serving shards (1 = inline).
   int threads = 1;
+  /// Per-analyst counters (populated by the tagged AnswerBatch overload).
+  std::map<std::string, AnalystCounters> per_analyst;
 
   double OverallQueriesPerSec() const;
+  /// Fraction of cross-batch lookups served from the cache (0 when the
+  /// cache saw no traffic).
+  double CrossBatchHitRate() const;
+
+  /// One row per service for comparative tables (benches print several
+  /// services side by side). Header and row are aligned column-for-column
+  /// so callers never hand-format counters again.
+  static std::vector<std::string> TableHeader();
+  std::vector<std::string> TableRow() const;
+  /// The single-service table: TableHeader + this service's TableRow,
+  /// rendered with common/table_printer.
+  std::string ToString() const;
+
+  /// Multi-line report: the table plus latency moments and the
+  /// per-analyst breakdown.
   std::string Report() const;
 };
 
@@ -100,12 +134,28 @@ class PmwService {
   ///
   /// Must be called from one serving thread at a time (the single
   /// writer); fan-in from many client threads belongs in a queue in
-  /// front of it.
+  /// front of it (frontend::Dispatcher).
   std::vector<Result<convex::Vec>> AnswerBatch(
       std::span<const convex::CmQuery> queries);
 
+  /// Tagged overload: `analyst_ids` is positionally aligned with
+  /// `queries` (same size, or empty for untagged) and attributes each
+  /// query's outcome to its analyst in stats().per_analyst. Tags never
+  /// influence answers — they are bookkeeping only.
+  std::vector<Result<convex::Vec>> AnswerBatch(
+      std::span<const convex::CmQuery> queries,
+      std::span<const std::string> analyst_ids);
+
   /// Convenience: a batch of one.
   Result<convex::Vec> Answer(const convex::CmQuery& query);
+
+  /// Attaches a cross-batch plan cache (not owned; may be null to
+  /// detach). The service probes it during every prepare phase and
+  /// notifies it of each epoch publish, extending the intra-batch dedup
+  /// across the whole request stream. Set from the serving thread while
+  /// no batch is in flight.
+  void set_plan_cache(PlanCacheHook* cache) { plan_cache_ = cache; }
+  PlanCacheHook* plan_cache() const { return plan_cache_; }
 
   core::PmwCm& mechanism() { return cm_; }
   const core::PmwCm& mechanism() const { return cm_; }
@@ -127,6 +177,7 @@ class PmwService {
   ShardExecutor executor_;
   EpochState epochs_;
   ServeStats stats_;
+  PlanCacheHook* plan_cache_ = nullptr;  // not owned
 };
 
 }  // namespace serve

@@ -16,16 +16,18 @@ ShardExecutor::ShardExecutor(ThreadPool* pool, const core::PmwCm* cm)
 
 void ShardExecutor::PrepareShard(std::span<const convex::CmQuery> queries,
                                  const std::vector<size_t>& positions,
-                                 size_t lo, size_t hi, const Epoch& epoch,
+                                 const std::vector<size_t>& slots, size_t lo,
+                                 size_t hi, const Epoch& epoch,
                                  core::PreparedQuery* plans) const {
   for (size_t u = lo; u < hi; ++u) {
-    plans[u] = cm_->Prepare(queries[positions[u]], epoch.snapshot);
+    const size_t slot = slots[u];
+    plans[slot] = cm_->Prepare(queries[positions[slot]], epoch.snapshot);
   }
 }
 
 ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
     std::span<const convex::CmQuery> queries, size_t begin, size_t end,
-    const Epoch& epoch) const {
+    const Epoch& epoch, PlanCacheHook* cache) const {
   PMW_CHECK_LE(begin, end);
   PMW_CHECK_LE(end, queries.size());
   PrepareResult result;
@@ -51,49 +53,84 @@ ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
   }
   const size_t distinct = positions.size();
   result.cache_hits = static_cast<long long>(count - distinct);
-
-  // Fan the distinct queries out; each worker writes a disjoint slice of
-  // result.plans, sharing nothing but the const snapshot. The futures'
-  // wait/get below both joins a shard and publishes its writes
-  // (happens-before) back to this thread.
   result.plans.resize(distinct);
+
+  // Cross-batch cache probe, still on the calling thread: slots the cache
+  // fills need no solver work at all; only the misses are sharded out. A
+  // cached plan at the epoch's version equals the recompute byte-for-byte
+  // (Prepare is deterministic), so the transcript cannot depend on hits.
+  std::vector<size_t> miss_slots;
+  miss_slots.reserve(distinct);
+  if (cache != nullptr) {
+    result.cross_batch_lookups = static_cast<long long>(distinct);
+    for (size_t slot = 0; slot < distinct; ++slot) {
+      const convex::CmQuery& query = queries[positions[slot]];
+      QueryKey key{query.loss, query.domain};
+      if (cache->Lookup(key, epoch.snapshot.version, &result.plans[slot])) {
+        ++result.cross_batch_hits;
+      } else {
+        miss_slots.push_back(slot);
+      }
+    }
+  } else {
+    for (size_t slot = 0; slot < distinct; ++slot) {
+      miss_slots.push_back(slot);
+    }
+  }
+  const size_t misses = miss_slots.size();
+  if (misses == 0) return result;
+
+  // Fan the missed queries out; each worker writes a disjoint set of
+  // result.plans slots, sharing nothing but the const snapshot. The
+  // futures' wait/get below both joins a shard and publishes its writes
+  // (happens-before) back to this thread.
   const size_t max_shards =
       pool_ != nullptr ? static_cast<size_t>(pool_->size()) : 1;
-  const size_t shards = std::min(max_shards, distinct);
+  const size_t shards = std::min(max_shards, misses);
+  core::PreparedQuery* plans = result.plans.data();
   if (shards <= 1) {
     result.shards = 1;
-    PrepareShard(queries, positions, 0, distinct, epoch,
-                 result.plans.data());
-    return result;
+    PrepareShard(queries, positions, miss_slots, 0, misses, epoch, plans);
+  } else {
+    const size_t chunk = (misses + shards - 1) / shards;
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards);
+    try {
+      for (size_t s = 0; s < shards; ++s) {
+        const size_t lo = s * chunk;
+        const size_t hi = std::min(lo + chunk, misses);
+        if (lo >= hi) break;
+        pending.push_back(pool_->Submit(
+            [this, queries, &positions, &miss_slots, lo, hi, &epoch, plans] {
+              PrepareShard(queries, positions, miss_slots, lo, hi, epoch,
+                           plans);
+            }));
+      }
+    } catch (...) {
+      // Submit threw (allocation / pool shutdown): in-flight shards still
+      // reference this frame's positions/epoch/plans — join them before
+      // unwinding.
+      for (std::future<void>& f : pending) f.wait();
+      throw;
+    }
+    // Ceil-division chunking can finish early, so count what actually ran.
+    result.shards = static_cast<int>(pending.size());
+    // Join every shard unconditionally before get() may rethrow a task
+    // exception: unwinding with shards in flight would free the buffers
+    // they write.
+    for (std::future<void>& f : pending) f.wait();
+    for (std::future<void>& f : pending) f.get();
   }
 
-  const size_t chunk = (distinct + shards - 1) / shards;
-  std::vector<std::future<void>> pending;
-  pending.reserve(shards);
-  core::PreparedQuery* plans = result.plans.data();
-  try {
-    for (size_t s = 0; s < shards; ++s) {
-      const size_t lo = s * chunk;
-      const size_t hi = std::min(lo + chunk, distinct);
-      if (lo >= hi) break;
-      pending.push_back(pool_->Submit(
-          [this, queries, &positions, lo, hi, &epoch, plans] {
-            PrepareShard(queries, positions, lo, hi, epoch, plans);
-          }));
+  // Publish the fresh plans (writer thread, after the join, so the cache
+  // never observes a half-written plan).
+  if (cache != nullptr) {
+    for (size_t u = 0; u < misses; ++u) {
+      const size_t slot = miss_slots[u];
+      const convex::CmQuery& query = queries[positions[slot]];
+      cache->Insert(QueryKey{query.loss, query.domain}, result.plans[slot]);
     }
-  } catch (...) {
-    // Submit threw (allocation): in-flight shards still reference this
-    // frame's positions/epoch/plans — join them before unwinding.
-    for (std::future<void>& f : pending) f.wait();
-    throw;
   }
-  // Ceil-division chunking can finish early, so count what actually ran.
-  result.shards = static_cast<int>(pending.size());
-  // Join every shard unconditionally before get() may rethrow a task
-  // exception: unwinding with shards in flight would free the buffers
-  // they write.
-  for (std::future<void>& f : pending) f.wait();
-  for (std::future<void>& f : pending) f.get();
   return result;
 }
 

@@ -50,6 +50,36 @@ struct QueryKeyHash {
   }
 };
 
+/// A cross-batch plan cache the executor consults before computing plans
+/// and feeds after (frontend::PlanCache implements it). Entries are keyed
+/// by (query fingerprint, hypothesis version): a cached plan at the
+/// epoch's version is byte-identical to what Prepare would recompute
+/// (Prepare is deterministic), so serving from the cache can never change
+/// a transcript — only the wall-clock.
+///
+/// Threading contract: every method is called from the serving writer
+/// thread only (PrepareRange probes before fanning work out and inserts
+/// after joining the shards). Implementations may add internal locking so
+/// other threads can scrape stats, but correctness never relies on it.
+class PlanCacheHook {
+ public:
+  virtual ~PlanCacheHook() = default;
+
+  /// Copies the cached plan for `key` at hypothesis `version` into
+  /// `*plan` and returns true, or returns false on a miss.
+  virtual bool Lookup(const QueryKey& key, int version,
+                      core::PreparedQuery* plan) = 0;
+
+  /// Offers a freshly computed plan (already tagged with its version).
+  virtual void Insert(const QueryKey& key,
+                      const core::PreparedQuery& plan) = 0;
+
+  /// The writer published the epoch for hypothesis `version`; entries at
+  /// any other version are permanently stale (the hypothesis only moves
+  /// forward) and must never be served again.
+  virtual void OnEpochPublish(int version) = 0;
+};
+
 class ShardExecutor {
  public:
   /// `pool` may be null: every range then runs inline on the caller's
@@ -67,25 +97,35 @@ class ShardExecutor {
     /// Queries whose plan was shared with an earlier identical query in
     /// the range (range size minus distinct queries).
     long long cache_hits = 0;
+    /// Distinct queries probed against the cross-batch plan cache (0
+    /// when no cache was supplied).
+    long long cross_batch_lookups = 0;
+    /// Distinct queries served from the cross-batch cache instead of
+    /// being recomputed.
+    long long cross_batch_hits = 0;
     /// Shards actually dispatched for this range.
     int shards = 0;
   };
 
   /// Prepares queries[begin, end) against `epoch`'s snapshot, fanning the
   /// distinct queries out across the pool. Blocks until every shard
-  /// finishes.
+  /// finishes. A non-null `cache` is probed per distinct query before any
+  /// solver runs (hits skip computation entirely) and fed every fresh
+  /// plan after the shards join — both on the calling thread.
   PrepareResult PrepareRange(std::span<const convex::CmQuery> queries,
-                             size_t begin, size_t end,
-                             const Epoch& epoch) const;
+                             size_t begin, size_t end, const Epoch& epoch,
+                             PlanCacheHook* cache = nullptr) const;
 
  private:
-  /// Prepares distinct queries[positions[lo, hi)] into plans[lo, hi);
-  /// runs on a worker (or inline). Reads only const state: the
-  /// mechanism's Prepare path and the epoch snapshot.
+  /// Prepares the cache-missed queries whose plan slots are
+  /// slots[lo, hi): plans[slots[u]] receives the plan for
+  /// queries[positions[slots[u]]]. Runs on a worker (or inline). Reads
+  /// only const state: the mechanism's Prepare path and the epoch
+  /// snapshot.
   void PrepareShard(std::span<const convex::CmQuery> queries,
-                    const std::vector<size_t>& positions, size_t lo,
-                    size_t hi, const Epoch& epoch,
-                    core::PreparedQuery* plans) const;
+                    const std::vector<size_t>& positions,
+                    const std::vector<size_t>& slots, size_t lo, size_t hi,
+                    const Epoch& epoch, core::PreparedQuery* plans) const;
 
   ThreadPool* pool_;
   const core::PmwCm* cm_;

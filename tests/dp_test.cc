@@ -265,6 +265,53 @@ TEST(LedgerTest, GroupedStrongBeatsBasicForManyEvents) {
   EXPECT_LT(strong_eps, basic_eps);
 }
 
+TEST(LedgerTest, BasicTotalWithPrefixIsolatesLabelFamilies) {
+  PrivacyLedger ledger;
+  ledger.Record("sparse-vector", {0.5, 1e-7});
+  ledger.Record("oracle:gd", {0.1, 1e-8});
+  ledger.Record("oracle:gd", {0.1, 1e-8});
+  PrivacyParams oracle_total = ledger.BasicTotalWithPrefix("oracle:");
+  EXPECT_NEAR(oracle_total.epsilon, 0.2, 1e-12);
+  EXPECT_NEAR(oracle_total.delta, 2e-8, 1e-20);
+  PrivacyParams none = ledger.BasicTotalWithPrefix("nothing:");
+  EXPECT_EQ(none.epsilon, 0.0);
+  EXPECT_EQ(none.delta, 0.0);
+}
+
+TEST(BudgetViewTest, TracksConsumptionAgainstAnEventBudget) {
+  // The quota view the serving front-end uses: "oracle:" events against
+  // the schedule's T. It must track the ledger live — the ledger is the
+  // single source of truth, the view holds no state of its own.
+  PrivacyLedger ledger;
+  BudgetView view(&ledger, "oracle:", 3);
+  EXPECT_EQ(view.consumed(), 0);
+  EXPECT_EQ(view.remaining(), 3);
+  EXPECT_FALSE(view.exhausted());
+
+  ledger.Record("sparse-vector", {0.5, 1e-7});  // other labels don't count
+  EXPECT_EQ(view.consumed(), 0);
+
+  for (int i = 0; i < 3; ++i) ledger.Record("oracle:gd", {0.1, 1e-8});
+  EXPECT_EQ(view.consumed(), 3);
+  EXPECT_EQ(view.remaining(), 0);
+  EXPECT_TRUE(view.exhausted());
+  EXPECT_NEAR(view.Spent().epsilon, 0.3, 1e-12);
+
+  // Over-consumption (shouldn't happen, but the view must stay sane).
+  ledger.Record("oracle:gd", {0.1, 1e-8});
+  EXPECT_EQ(view.remaining(), 0);
+  EXPECT_TRUE(view.exhausted());
+}
+
+TEST(BudgetViewTest, NonPositiveMaxMeansUnlimited) {
+  PrivacyLedger ledger;
+  BudgetView view(&ledger, "oracle:", 0);
+  for (int i = 0; i < 10; ++i) ledger.Record("oracle:gd", {0.1, 1e-8});
+  EXPECT_EQ(view.consumed(), 10);
+  EXPECT_FALSE(view.exhausted());
+  EXPECT_GT(view.remaining(), 1LL << 40);
+}
+
 }  // namespace
 }  // namespace dp
 }  // namespace pmw

@@ -116,6 +116,40 @@ TEST(ThreadPoolTest, StressThousandsOfTasksManyProducers) {
   EXPECT_EQ(pool.tasks_completed(), n);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownThrowsAndSchedulesNothing) {
+  // The contract is explicit (common/thread_pool.h): Submit after
+  // shutdown began is a documented error — std::runtime_error, nothing
+  // scheduled — not undefined behavior.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit(
+        [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  pool.Shutdown();
+  // Everything accepted before shutdown ran to completion...
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 16);
+
+  // ...and late work is refused loudly, without scheduling.
+  EXPECT_THROW(pool.Submit([&ran] { ran.fetch_add(1); }), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(pool.tasks_completed(), 16);
+  // size() reports the construction-time width even after the join.
+  EXPECT_EQ(pool.size(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([] { return 5; });
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op, not a crash or double-join
+  EXPECT_EQ(f.get(), 5);
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+  // Destructor runs afterwards: a third (implicit) shutdown.
+}
+
 TEST(ThreadPoolTest, TwoWorkersCanBlockOnEachOther) {
   ThreadPool pool(2);
   // Two tasks that each wait for the other to have started: they can only
