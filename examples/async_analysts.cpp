@@ -1,13 +1,17 @@
 // Async serving: many analysts, one private dataset, one front door.
 //
-// Four analyst threads submit convex-minimization queries concurrently
-// through frontend::Dispatcher: each Submit returns a std::future, a
-// bounded MPSC queue fixes the arrival order, and a dispatcher thread
-// coalesces requests into batches for the single-writer PmwService.
-// A QuotaManager rejects over-quota analysts at the door (typed error,
-// zero privacy cost — the ledger never sees rejected queries), and an
-// epoch-keyed PlanCache reuses per-query solver work across batches
-// until a hard round moves the hypothesis.
+// Four analyst threads call the api concurrently: each Call travels the
+// in-process transport into the ServerEndpoint, where a QuotaManager
+// admits or rejects at the door (typed kQuotaExceeded, zero privacy
+// cost — the ledger never sees rejected queries), a bounded MPSC queue
+// fixes the arrival order, and a dispatcher thread coalesces requests
+// into batches for the single-writer serving engine. An epoch-keyed plan
+// cache reuses per-query solver work across batches until a hard round
+// moves the hypothesis.
+//
+// One analyst is latency-sensitive and stamps a deadline on every call:
+// requests that would wait too long resolve kDeadlineExpired — also at
+// zero privacy cost.
 //
 // Build & run:  ./build/async_analysts
 
@@ -16,71 +20,63 @@
 #include <thread>
 #include <vector>
 
-#include "common/random.h"
+#include "api/pmw_api.h"
 #include "data/binary_universe.h"
 #include "data/generators.h"
-#include "erm/noisy_gradient_oracle.h"
-#include "frontend/dispatcher.h"
-#include "frontend/plan_cache.h"
-#include "frontend/quota_manager.h"
-#include "losses/loss_family.h"
-#include "serve/pmw_service.h"
 
 int main() {
   using namespace pmw;
 
-  // Universe, sensitive dataset, oracle: as in the quickstart.
+  // Universe, sensitive dataset: as in the quickstart.
   data::LabeledHypercubeUniverse universe(5);
   data::Histogram truth = data::LogisticModelDistribution(
       universe, /*theta_star=*/{1.0, -0.6, 0.4, 0.0, 0.8},
       /*coordinate_biases=*/{0.5, 0.6, 0.4, 0.5, 0.5}, /*temperature=*/0.3);
   data::Dataset dataset = data::RoundedDataset(universe, truth, 100000);
 
-  erm::NoisyGradientOracle oracle;
-  core::PmwOptions options;
-  options.alpha = 0.15;
-  options.privacy = {1.0, 1e-6};
-  options.scale = 2.0;
-  options.max_queries = 100000;
-  options.override_updates = 16;
-  serve::ServeOptions serve_options;
-  serve_options.num_threads = 2;  // shard each batch across 2 workers
-  serve::PmwService service(&dataset, &oracle, options, /*seed=*/1,
-                            serve_options);
+  // A 16-query catalog every analyst shares.
+  api::QueryCatalog catalog;
+  api::WorkloadSpec workload;
+  workload.family = api::WorkloadSpec::Family::kLipschitz;
+  workload.dim = 5;
+  auto names = catalog.Populate(workload, 16, /*seed=*/2, "pool/");
 
-  // Front door: 40-query per-analyst quota, cross-batch plan cache, and
-  // a dispatcher that flushes at 32 requests or 500us, whichever first.
-  frontend::QuotaOptions quota_options;
-  quota_options.per_analyst_queries = 40;
-  frontend::QuotaManager quota(&service, quota_options);
-  frontend::PlanCache cache;
-  frontend::DispatcherOptions dispatcher_options;
-  dispatcher_options.max_batch = 32;
-  dispatcher_options.max_wait = std::chrono::microseconds(500);
-  frontend::Dispatcher dispatcher(&service, &quota, &cache,
-                                  dispatcher_options);
+  // Front door: 40-query per-analyst quota, 2 prepare workers, and a
+  // dispatcher that flushes at 32 requests or 500us, whichever first.
+  api::ServerOptions options;
+  options.mechanism.alpha = 0.15;
+  options.mechanism.privacy = {1.0, 1e-6};
+  options.mechanism.scale = catalog.scale();
+  options.mechanism.max_queries = 100000;
+  options.mechanism.override_updates = 16;
+  options.serve.num_threads = 2;
+  options.quota.per_analyst_queries = 40;
+  options.dispatcher.max_batch = 32;
+  options.dispatcher.max_wait = std::chrono::microseconds(500);
+  api::ServerEndpoint server(&dataset, &catalog, options, /*seed=*/1);
+  api::InProcessTransport transport(&server);
 
-  // Traffic: 4 analysts, each cycling its slice of a 16-loss pool. The
+  // Traffic: 4 analysts, each cycling its slice of the catalog. The
   // "greedy" analyst submits 64 — everything past its 40-query quota
-  // comes back as a typed kResourceExhausted, costing no privacy.
-  losses::LipschitzFamily family(5);
-  Rng rng(2);
-  std::vector<convex::CmQuery> pool = family.Generate(16, &rng);
-
+  // comes back as a typed kQuotaExceeded, costing no privacy. Analyst 3
+  // is latency-sensitive: a 50ms deadline on every call.
   std::vector<std::thread> analysts;
-  std::vector<int> answered(4, 0);
-  std::vector<int> rejected(4, 0);
+  std::vector<int> answered(4, 0), rejected(4, 0), expired(4, 0);
   for (int a = 0; a < 4; ++a) {
-    analysts.emplace_back([a, &dispatcher, &pool, &answered, &rejected] {
+    analysts.emplace_back([a, &transport, &names, &answered, &rejected,
+                           &expired] {
       const int submissions = a == 0 ? 64 : 40;  // analyst 0 is greedy
-      frontend::AnalystSession session(
-          &dispatcher, a == 0 ? "greedy" : "analyst-" + std::to_string(a));
+      api::Client client(
+          &transport, a == 0 ? "greedy" : "analyst-" + std::to_string(a));
+      const auto deadline = a == 3 ? std::chrono::microseconds(50000)
+                                   : std::chrono::microseconds(0);
       for (int j = 0; j < submissions; ++j) {
-        Result<convex::Vec> answer =
-            session.Submit(pool[static_cast<size_t>(a + 3 * j) % pool.size()])
-                .get();
-        if (answer.ok()) {
+        api::AnswerEnvelope reply = client.Call(
+            names[static_cast<size_t>(a + 3 * j) % names.size()], deadline);
+        if (reply.ok()) {
           ++answered[static_cast<size_t>(a)];
+        } else if (reply.error == api::ErrorCode::kDeadlineExpired) {
+          ++expired[static_cast<size_t>(a)];
         } else {
           ++rejected[static_cast<size_t>(a)];
         }
@@ -88,21 +84,16 @@ int main() {
     });
   }
   for (std::thread& t : analysts) t.join();
-  dispatcher.Shutdown();
+  server.Shutdown();
 
   for (int a = 0; a < 4; ++a) {
-    std::printf("analyst %d: %d answered, %d rejected\n", a,
+    std::printf("analyst %d: %d answered, %d rejected, %d expired\n", a,
                 answered[static_cast<size_t>(a)],
-                rejected[static_cast<size_t>(a)]);
+                rejected[static_cast<size_t>(a)],
+                expired[static_cast<size_t>(a)]);
   }
-  std::printf("%s\n", service.stats().Report().c_str());
-  frontend::PlanCache::Stats cache_stats = cache.stats();
-  std::printf("plan cache: %.0f%% hit rate (%lld hits, %lld invalidated)\n",
-              100.0 * cache_stats.HitRate(), cache_stats.hits,
-              cache_stats.invalidated);
-  std::printf("hard rounds remaining: %lld of %d\n",
-              quota.HardRoundsRemaining(), service.mechanism().schedule().T);
-  std::printf("privacy spent (basic): eps=%.3f\n",
-              service.mechanism().ledger().BasicTotal().epsilon);
+  std::printf("\n%s\n", server.Report().c_str());
+  std::printf("hard rounds remaining: %lld\n",
+              server.quota().HardRoundsRemaining());
   return 0;
 }

@@ -1,23 +1,24 @@
 // Quickstart: answer many convex-minimization queries on a sensitive
-// dataset with one (eps, delta) budget, via the paper's Figure 3 mechanism.
+// dataset with one (eps, delta) budget — through the api front door,
+// which is the stack's one public serving surface.
 //
-//   1. enumerate a finite data universe X (features + label),
-//   2. load/synthesize the sensitive dataset D in X^n,
-//   3. construct PmwCm with a single-query oracle A',
-//   4. ask adaptively chosen losses; each answer theta minimizes the
-//      empirical loss to within alpha.
+//   1. enumerate a finite data universe X (features + label) and
+//      synthesize the sensitive dataset D in X^n,
+//   2. build a QueryCatalog of named CM queries (the server owns the
+//      losses; clients refer to queries by name),
+//   3. stand up an api::ServerEndpoint — it runs the paper's Figure 3
+//      mechanism behind an admission-controlled async dispatcher,
+//   4. Call() named queries through an api::Client; every reply carries
+//      the private minimizer plus serving metadata (hard/soft round,
+//      epoch, remaining hard-round budget, privacy spent).
 //
-// Build & run:  ./build/examples/example_quickstart
+// Build & run:  ./build/quickstart
 
 #include <cstdio>
 
-#include "common/random.h"
-#include "core/error.h"
-#include "core/pmw_cm.h"
+#include "api/pmw_api.h"
 #include "data/binary_universe.h"
 #include "data/generators.h"
-#include "erm/noisy_gradient_oracle.h"
-#include "losses/loss_family.h"
 
 int main() {
   using namespace pmw;
@@ -31,37 +32,41 @@ int main() {
       /*coordinate_biases=*/{0.5, 0.6, 0.4, 0.5, 0.5}, /*temperature=*/0.3);
   data::Dataset dataset = data::RoundedDataset(universe, truth, 100000);
 
-  // The single-query oracle A' (BST14-style noisy gradient descent) and
-  // the mechanism. One privacy budget covers ALL queries.
-  erm::NoisyGradientOracle oracle;
-  core::PmwOptions options;
-  options.alpha = 0.15;               // target excess empirical risk
-  options.privacy = {1.0, 1e-6};      // total (eps, delta)
-  options.scale = 2.0;                // S for 1-Lipschitz losses, unit ball
-  options.max_queries = 1000;
-  options.override_updates = 16;      // practical T (HLM12 regime)
-  core::PmwCm mechanism(&dataset, &oracle, options, /*seed=*/1);
+  // The catalog: 12 named Lipschitz losses (logistic, hinge, squared,
+  // absolute — randomly recoded). The catalog owns every loss.
+  api::QueryCatalog catalog;
+  api::WorkloadSpec workload;
+  workload.family = api::WorkloadSpec::Family::kLipschitz;
+  workload.dim = 5;
+  auto names = catalog.Populate(workload, 12, /*seed=*/2, "query/");
 
-  // Ask a few queries: logistic regression, SVM, least squares.
-  losses::LipschitzFamily family(5);
-  core::ErrorOracle measure(&universe);
-  data::Histogram data_hist = data::Histogram::FromDataset(dataset);
-  Rng rng(2);
+  // The server: one privacy budget covers ALL queries, however many
+  // analysts ask them.
+  api::ServerOptions options;
+  options.mechanism.alpha = 0.15;           // target excess empirical risk
+  options.mechanism.privacy = {1.0, 1e-6};  // total (eps, delta)
+  options.mechanism.scale = catalog.scale();
+  options.mechanism.max_queries = 1000;
+  options.mechanism.override_updates = 16;  // practical T (HLM12 regime)
+  api::ServerEndpoint server(&dataset, &catalog, options, /*seed=*/1);
 
-  std::printf("query                         excess-risk  via-update\n");
-  for (int j = 0; j < 12; ++j) {
-    convex::CmQuery query = family.Next(&rng);
-    Result<core::PmwAnswer> answer = mechanism.AnswerQuery(query);
-    if (!answer.ok()) {
-      std::printf("mechanism halted: %s\n", answer.status().ToString().c_str());
+  // The client: in-process zero-copy transport, one analyst identity.
+  api::InProcessTransport transport(&server);
+  api::Client client(&transport, "quickstart-analyst");
+
+  std::printf("query       round  epoch  T-left  eps-spent\n");
+  for (const auto& name : names) {
+    api::AnswerEnvelope reply = client.Call(name);
+    if (!reply.ok()) {
+      std::printf("%s failed: [%s] %s\n", name.c_str(),
+                  api::ErrorCodeName(reply.error), reply.message.c_str());
       return 1;
     }
-    double err = measure.AnswerError(query, data_hist, answer.value().theta);
-    std::printf("%-28s  %8.4f     %s\n", query.label.c_str(), err,
-                answer.value().was_update ? "yes" : "no");
+    std::printf("%-10s  %-5s  %5llu  %6lld  %9.4f\n", name.c_str(),
+                reply.meta.hard_round ? "hard" : "soft",
+                static_cast<unsigned long long>(reply.meta.epoch),
+                reply.meta.hard_rounds_remaining, reply.meta.epsilon_spent);
   }
-  std::printf("\nMW updates spent: %d of %d; privacy events: %d\n",
-              mechanism.update_count(), mechanism.schedule().T,
-              mechanism.ledger().event_count());
+  std::printf("\nfront-door stats:\n%s\n", server.Report().c_str());
   return 0;
 }

@@ -1,28 +1,30 @@
-// A multi-analyst private regression service — the scenario motivating the
-// paper's introduction: "the same data is often analyzed repeatedly...
-// many different analysts together need answers to a large number of
-// distinct CM queries."
+// A multi-analyst private regression service over a real wire — the
+// scenario motivating the paper's introduction: "the same data is often
+// analyzed repeatedly... many different analysts together need answers
+// to a large number of distinct CM queries."
 //
 // Scenario: a health registry holds n patient records (5 binary risk
-// factors + an outcome label). Three teams independently run their own
-// analyses against the same registry: a least-squares team, a robust
-// (Huber) team, and a ridge team. The service answers all of them through
-// ONE PmwCm instance with one (eps, delta) budget, and we compare against
-// the naive approach of paying for every query with fresh composition.
+// factors + an outcome label) and serves a Unix-domain socket. Three
+// teams connect as separate clients — a GLM team fitting generalized
+// linear models, a robust team running Lipschitz losses, and a ridge
+// team with strongly convex objectives. Every request crosses the
+// binary wire protocol (length-prefixed frames, version negotiation,
+// typed error taxonomy), and ONE PmwCm privacy budget covers all three
+// teams' traffic; accuracy degrades only with the number of *hard*
+// rounds, not the number of teams.
+//
+// Build & run:  ./build/regression_service
+
+#include <unistd.h>
 
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
-#include "common/random.h"
-#include "core/composition_baseline.h"
-#include "core/error.h"
-#include "core/pmw_answerer.h"
-#include "core/pmw_cm.h"
+#include "api/pmw_api.h"
 #include "data/binary_universe.h"
 #include "data/generators.h"
-#include "erm/noisy_gradient_oracle.h"
-#include "losses/margin_losses.h"
-#include "losses/transforms.h"
 
 int main() {
   using namespace pmw;
@@ -35,83 +37,74 @@ int main() {
       universe, {0.9, -0.7, 0.5, 0.2, -0.3}, {0.55, 0.45, 0.5, 0.6, 0.5},
       0.3);
   data::Dataset registry = data::RoundedDataset(universe, truth, n);
-  data::Histogram registry_hist = data::Histogram::FromDataset(registry);
-  core::ErrorOracle measure(&universe);
 
-  // The three teams' base losses plus per-team sign-flip "feature
-  // recodings" (each recoded query is a distinct CM query).
-  losses::SquaredLoss squared(d);
-  losses::HuberLoss huber(d, 1.0);
-  losses::SquaredLoss ridge_base(d);
-  convex::L2Ball ball(d);
+  // Each team's workload goes into one shared catalog under its own
+  // prefix; the catalog's scale() tells the mechanism the family-wide S.
+  api::QueryCatalog catalog;
+  api::WorkloadSpec glm{.family = api::WorkloadSpec::Family::kGlm,
+                        .dim = d};
+  api::WorkloadSpec robust{.family = api::WorkloadSpec::Family::kLipschitz,
+                           .dim = d};
+  api::WorkloadSpec ridge{
+      .family = api::WorkloadSpec::Family::kStronglyConvex,
+      .dim = d,
+      .sigma = 0.4};
+  catalog.Populate(glm, queries_per_team, /*seed=*/12, "glm/");
+  catalog.Populate(robust, queries_per_team, /*seed=*/13, "robust/");
+  catalog.Populate(ridge, queries_per_team, /*seed=*/14, "ridge/");
 
-  erm::NoisyGradientOracle oracle;
-  core::PmwOptions options;
-  options.alpha = 0.15;
-  options.privacy = {1.0, 1e-6};
-  options.scale = 2.0 * (1.0 + 1.5 * 0.4);  // covers the ridge team's S
-  options.max_queries = 3 * queries_per_team;
-  options.override_updates = 20;
-  core::PmwCm service(&registry, &oracle, options, 10);
+  api::ServerOptions options;
+  options.mechanism.alpha = 0.15;
+  options.mechanism.privacy = {1.0, 1e-6};
+  options.mechanism.scale = catalog.scale();
+  options.mechanism.max_queries = 3 * queries_per_team;
+  options.mechanism.override_updates = 20;
+  options.serve.num_threads = 2;
+  api::ServerEndpoint endpoint(&registry, &catalog, options, /*seed=*/10);
 
-  core::CompositionBaseline::Options naive_options;
-  naive_options.privacy = {1.0, 1e-6};
-  naive_options.max_queries = 3 * queries_per_team;
-  core::CompositionBaseline naive(&registry, &oracle, naive_options, 11);
+  const std::string socket_path =
+      "/tmp/pmw_registry_" + std::to_string(::getpid()) + ".sock";
+  api::SocketServer server(&endpoint, socket_path);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("server failed to start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "health registry: n=%d records, |X|=%d, budget (1.0, 1e-6), "
+      "%d total queries, serving on %s\n\n",
+      n, universe.size(), 3 * queries_per_team, socket_path.c_str());
 
-  Rng rng(12);
-  std::vector<std::unique_ptr<convex::LossFunction>> owned;
-  double service_worst = 0.0, naive_worst = 0.0;
-
-  auto run_team = [&](const char* team, const convex::LossFunction* base,
-                      double sigma) {
-    double team_service = 0.0, team_naive = 0.0;
-    for (int q = 0; q < queries_per_team; ++q) {
-      std::vector<int> flips(d);
-      for (int j = 0; j < d; ++j) flips[j] = rng.Bernoulli(0.5) ? 1 : -1;
-      auto flipped = std::make_unique<losses::SignFlipLoss>(
-          base, flips, rng.Bernoulli(0.5) ? 1 : -1);
-      const convex::LossFunction* loss = flipped.get();
-      owned.push_back(std::move(flipped));
-      if (sigma > 0) {
-        auto reg = std::make_unique<losses::TikhonovLoss>(
-            loss, sigma, convex::Zeros(d));
-        loss = reg.get();
-        owned.push_back(std::move(reg));
+  // Three teams, three connections, concurrent closed-loop traffic.
+  const std::vector<std::string> teams = {"glm", "robust", "ridge"};
+  std::vector<int> answered(teams.size(), 0), hard_rounds(teams.size(), 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < teams.size(); ++t) {
+    threads.emplace_back([t, &teams, &socket_path, &answered,
+                          &hard_rounds] {
+      api::SocketTransport transport(socket_path);
+      if (!transport.status().ok()) return;
+      api::Client client(&transport, teams[t] + "-team");
+      for (int q = 0; q < queries_per_team; ++q) {
+        api::AnswerEnvelope reply =
+            client.Call(teams[t] + "/" + std::to_string(q));
+        if (reply.ok()) {
+          ++answered[t];
+          if (reply.meta.hard_round) ++hard_rounds[t];
+        }
       }
-      convex::CmQuery query{loss, &ball, std::string(team)};
+      transport.Close();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.Shutdown();
+  endpoint.Shutdown();
 
-      auto service_answer = service.AnswerQuery(query);
-      auto naive_answer = naive.Answer(query);
-      if (service_answer.ok()) {
-        team_service = std::max(
-            team_service, measure.AnswerError(query, registry_hist,
-                                              service_answer.value().theta));
-      }
-      if (naive_answer.ok()) {
-        team_naive = std::max(team_naive,
-                              measure.AnswerError(query, registry_hist,
-                                                  *naive_answer));
-      }
-    }
-    std::printf("%-22s worst excess risk: pmw-service %.4f | naive %.4f\n",
-                team, team_service, team_naive);
-    service_worst = std::max(service_worst, team_service);
-    naive_worst = std::max(naive_worst, team_naive);
-  };
-
-  std::printf("health registry: n=%d records, |X|=%d, budget (1.0, 1e-6), "
-              "%d total queries\n\n",
-              n, universe.size(), 3 * queries_per_team);
-  run_team("least-squares team", &squared, 0.0);
-  run_team("robust (huber) team", &huber, 0.0);
-  run_team("ridge team (sigma=.4)", &ridge_base, 0.4);
-
-  std::printf("\noverall worst error:  pmw-service %.4f | naive composition "
-              "%.4f\n",
-              service_worst, naive_worst);
-  std::printf("pmw-service spent %d MW updates; per-query naive budget "
-              "eps=%.4f\n",
-              service.update_count(), naive.per_query_budget().epsilon);
+  for (size_t t = 0; t < teams.size(); ++t) {
+    std::printf("%-7s team: %2d/%d answered, %d hard rounds triggered\n",
+                teams[t].c_str(), answered[t], queries_per_team,
+                hard_rounds[t]);
+  }
+  std::printf("\n%s\n", endpoint.Report().c_str());
   return 0;
 }

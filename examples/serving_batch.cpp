@@ -1,69 +1,82 @@
-// Serving: answer query traffic in batches through serve::PmwService.
+// Serving query traffic in coalesced batches — through the api layer.
 //
-// A serving thread owns the service (the single writer) and drains
-// request batches; a pool of workers prepares each batch's queries in
-// parallel against an immutable per-epoch hypothesis snapshot, and the
-// writer commits answers in arrival order. Repeated queries inside a
-// shard — the common case when many clients ask overlapping questions —
-// are prepared once and reused. Answers and the privacy ledger are
-// bit-identical to the sequential mechanism at any thread count.
+// One client keeps a window of CallAsync() requests in flight; behind
+// the front door the dispatcher coalesces them into dynamic batches for
+// the sharded serving engine: a pool of workers prepares each batch's
+// queries in parallel against an immutable per-epoch hypothesis
+// snapshot, and the single writer commits answers in arrival order.
+// Repeated names are prepared once per batch and reused across batches
+// by the epoch-keyed plan cache. Answers and the privacy ledger are
+// bit-identical to the sequential mechanism at any thread count or
+// window size.
 //
 // Build & run:  ./build/serving_batch
 
 #include <cstdio>
-#include <span>
+#include <deque>
+#include <future>
 #include <vector>
 
-#include "common/random.h"
+#include "api/pmw_api.h"
 #include "data/binary_universe.h"
 #include "data/generators.h"
-#include "erm/noisy_gradient_oracle.h"
-#include "losses/loss_family.h"
-#include "serve/pmw_service.h"
 
 int main() {
   using namespace pmw;
 
-  // Universe, sensitive dataset, oracle: as in the quickstart.
+  // Universe, sensitive dataset: as in the quickstart.
   data::LabeledHypercubeUniverse universe(5);
   data::Histogram truth = data::LogisticModelDistribution(
       universe, /*theta_star=*/{1.0, -0.6, 0.4, 0.0, 0.8},
       /*coordinate_biases=*/{0.5, 0.6, 0.4, 0.5, 0.5}, /*temperature=*/0.3);
   data::Dataset dataset = data::RoundedDataset(universe, truth, 100000);
 
-  erm::NoisyGradientOracle oracle;
-  core::PmwOptions options;
-  options.alpha = 0.15;
-  options.privacy = {1.0, 1e-6};
-  options.scale = 2.0;
-  options.max_queries = 100000;
-  options.override_updates = 16;
-  serve::ServeOptions serve_options;
-  serve_options.num_threads = 4;  // shard each batch across 4 workers
-  serve::PmwService service(&dataset, &oracle, options, /*seed=*/1,
-                            serve_options);
+  // Traffic: 512 requests cycling 16 named losses.
+  api::QueryCatalog catalog;
+  api::WorkloadSpec workload;
+  workload.family = api::WorkloadSpec::Family::kLipschitz;
+  workload.dim = 5;
+  auto names = catalog.Populate(workload, 16, /*seed=*/2, "pool/");
 
-  // Traffic: 512 requests cycling 16 distinct losses, served in batches
-  // of 64 (what a front-end queue would hand the serving thread).
-  losses::LipschitzFamily family(5);
-  Rng rng(2);
-  std::vector<convex::CmQuery> pool = family.Generate(16, &rng);
-  std::vector<convex::CmQuery> traffic;
-  for (int j = 0; j < 512; ++j) traffic.push_back(pool[j % pool.size()]);
+  api::ServerOptions options;
+  options.mechanism.alpha = 0.15;
+  options.mechanism.privacy = {1.0, 1e-6};
+  options.mechanism.scale = catalog.scale();
+  options.mechanism.max_queries = 100000;
+  options.mechanism.override_updates = 16;
+  options.serve.num_threads = 4;  // shard each batch across 4 workers
+  options.dispatcher.max_batch = 64;
+  api::ServerEndpoint server(&dataset, &catalog, options, /*seed=*/1);
+  api::InProcessTransport transport(&server);
+  api::Client client(&transport, "batch-client");
 
-  constexpr size_t kBatch = 64;
+  // Pipeline: keep up to 64 calls in flight so the dispatcher has
+  // something to coalesce (a synchronous loop would serve batches of 1).
+  constexpr size_t kWindow = 64;
+  constexpr int kRequests = 512;
+  std::deque<std::future<api::AnswerEnvelope>> in_flight;
   int answered = 0;
-  for (size_t start = 0; start < traffic.size(); start += kBatch) {
-    size_t count = std::min(kBatch, traffic.size() - start);
-    std::span<const convex::CmQuery> batch(&traffic[start], count);
-    for (const auto& result : service.AnswerBatch(batch)) {
-      if (result.ok()) ++answered;
+  for (int j = 0; j < kRequests; ++j) {
+    in_flight.push_back(
+        client.CallAsync(names[static_cast<size_t>(j) % names.size()]));
+    if (in_flight.size() >= kWindow) {
+      if (in_flight.front().get().ok()) ++answered;
+      in_flight.pop_front();
     }
   }
+  double eps_spent = 0.0;
+  while (!in_flight.empty()) {
+    api::AnswerEnvelope reply = in_flight.front().get();
+    in_flight.pop_front();
+    if (reply.ok()) {
+      ++answered;
+      eps_spent = reply.meta.epsilon_spent;
+    }
+  }
+  server.Shutdown();
 
-  std::printf("%d/%zu requests answered\n", answered, traffic.size());
-  std::printf("%s\n", service.stats().Report().c_str());
-  std::printf("privacy spent (basic): eps=%.3f\n",
-              service.mechanism().ledger().BasicTotal().epsilon);
+  std::printf("%d/%d requests answered\n", answered, kRequests);
+  std::printf("%s\n", server.Report().c_str());
+  std::printf("privacy spent (basic): eps=%.3f\n", eps_spent);
   return 0;
 }

@@ -1,0 +1,65 @@
+#include "api/catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace pmw {
+namespace api {
+
+bool QueryCatalog::Register(const std::string& name,
+                            const convex::CmQuery& query) {
+  PMW_CHECK(query.loss != nullptr);
+  PMW_CHECK(query.domain != nullptr);
+  auto [it, inserted] = by_name_.emplace(name, query);
+  if (!inserted) return false;
+  names_.push_back(name);
+  scale_ = std::max(scale_, convex::ScaleBound(query));
+  return true;
+}
+
+std::vector<std::string> QueryCatalog::Populate(const WorkloadSpec& spec,
+                                                int count, uint64_t seed,
+                                                const std::string& prefix) {
+  PMW_CHECK_GE(count, 0);
+  std::unique_ptr<losses::QueryFamily> family;
+  switch (spec.family) {
+    case WorkloadSpec::Family::kLipschitz:
+      family = std::make_unique<losses::LipschitzFamily>(spec.dim);
+      break;
+    case WorkloadSpec::Family::kGlm:
+      family = std::make_unique<losses::GlmFamily>(spec.dim);
+      break;
+    case WorkloadSpec::Family::kStronglyConvex:
+      family = std::make_unique<losses::StronglyConvexFamily>(spec.dim,
+                                                              spec.sigma);
+      break;
+    case WorkloadSpec::Family::kLinearQueries:
+      family = std::make_unique<losses::LinearQueryFamily>(
+          spec.dim, spec.max_width, spec.include_label);
+      break;
+  }
+  scale_ = std::max(scale_, family->scale());
+  Rng rng(seed);
+  std::vector<std::string> registered;
+  registered.reserve(static_cast<size_t>(count));
+  for (int j = 0; j < count; ++j) {
+    const convex::CmQuery query = family->Next(&rng);
+    const std::string name = prefix + std::to_string(j);
+    PMW_CHECK_MSG(Register(name, query),
+                  "catalog name collision: " << name);
+    registered.push_back(name);
+  }
+  families_.push_back(std::move(family));
+  return registered;
+}
+
+const convex::CmQuery* QueryCatalog::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it != by_name_.end() ? &it->second : nullptr;
+}
+
+}  // namespace api
+}  // namespace pmw

@@ -1,0 +1,47 @@
+#include "api/client.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace api {
+
+namespace {
+/// Process-unique serial per Client instance: the id namespace.
+std::atomic<uint64_t> g_client_serial{0};
+}  // namespace
+
+Client::Client(Transport* transport, std::string analyst_id)
+    : transport_(transport),
+      analyst_id_(std::move(analyst_id)),
+      next_request_id_(
+          (g_client_serial.fetch_add(1, std::memory_order_relaxed) << 32) |
+          1) {
+  PMW_CHECK(transport != nullptr);
+}
+
+std::future<AnswerEnvelope> Client::CallAsync(
+    const std::string& query_name, std::chrono::microseconds deadline) {
+  QueryRequest request;
+  request.version = kProtocolVersion;
+  request.analyst_id = analyst_id_;
+  request.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  // 0 means no deadline; a NEGATIVE budget means "already expired" and
+  // must behave like one (the smallest real deadline), not like forever.
+  request.deadline_micros =
+      deadline.count() > 0
+          ? static_cast<uint64_t>(deadline.count())
+          : (deadline.count() < 0 ? uint64_t{1} : uint64_t{0});
+  request.query_name = query_name;
+  return transport_->Send(std::move(request));
+}
+
+AnswerEnvelope Client::Call(const std::string& query_name,
+                            std::chrono::microseconds deadline) {
+  return CallAsync(query_name, deadline).get();
+}
+
+}  // namespace api
+}  // namespace pmw

@@ -1,0 +1,64 @@
+// api::Client — what analyst code holds: an identity bound to a
+// transport, with correlation ids and protocol versioning handled.
+//
+//   api::Client client(&transport, "analyst-7");
+//   api::AnswerEnvelope reply = client.Call("lipschitz/3");
+//   if (reply.ok()) { use reply.answer; }  // else switch on reply.error
+//
+// Call() is synchronous; CallAsync() returns the envelope future so one
+// client can keep many requests in flight (the transports pipeline).
+// Thread-safe: sessions are cheap, but a single Client may also be
+// shared across threads.
+
+#ifndef PMWCM_API_CLIENT_H_
+#define PMWCM_API_CLIENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "api/envelope.h"
+#include "api/transport.h"
+
+namespace pmw {
+namespace api {
+
+class Client {
+ public:
+  /// `transport` must outlive the client.
+  Client(Transport* transport, std::string analyst_id);
+
+  /// Asks the named catalog query; blocks for the reply. A non-zero
+  /// `deadline` bounds how long the request may wait server-side before
+  /// resolving kDeadlineExpired at zero privacy cost.
+  AnswerEnvelope Call(const std::string& query_name,
+                      std::chrono::microseconds deadline =
+                          std::chrono::microseconds{0});
+
+  /// Fire-and-collect variant; the future resolves with the envelope.
+  /// Collect with get() (or wait()): over the in-process transport the
+  /// future is DEFERRED (the envelope is assembled on the collecting
+  /// thread), so wait_for/wait_until report future_status::deferred
+  /// rather than ready — never poll with them.
+  std::future<AnswerEnvelope> CallAsync(
+      const std::string& query_name,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  const std::string& analyst_id() const { return analyst_id_; }
+
+ private:
+  Transport* transport_;
+  std::string analyst_id_;
+  /// Correlation ids are namespaced per client instance (a
+  /// process-unique serial in the high 32 bits, a sequence number in the
+  /// low 32): many Clients may share one correlating transport (a
+  /// SocketTransport connection) without id collisions.
+  std::atomic<uint64_t> next_request_id_;
+};
+
+}  // namespace api
+}  // namespace pmw
+
+#endif  // PMWCM_API_CLIENT_H_

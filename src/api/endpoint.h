@@ -1,0 +1,156 @@
+// api::ServerEndpoint — the server half of the protocol, and the one
+// front door of the serving stack.
+//
+//   transport --QueryRequest--> ServerEndpoint::Handle
+//     --resolve catalog name--> frontend::Dispatcher (admission, queue,
+//     batching, single-writer serve) --> AnswerEnvelope back out
+//
+// The endpoint owns the whole serving stack behind it: the ERM oracle,
+// the sharded serve::PmwService, the frontend::QuotaManager, the
+// epoch-keyed PlanCache, and the Dispatcher thread. Handle() is
+// thread-safe (any number of transports / connection handlers may call
+// it); everything stateful funnels through the dispatcher's MPSC queue,
+// which preserves the PR 2/3 transcript guarantee end to end — replaying
+// the endpoint's recorded arrival log through sequential core::PmwCm
+// reproduces answers and the privacy ledger bit-identically
+// (tests/api_test.cc proves it through a real socket).
+
+#ifndef PMWCM_API_ENDPOINT_H_
+#define PMWCM_API_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/catalog.h"
+#include "api/envelope.h"
+#include "data/dataset.h"
+#include "erm/oracle.h"
+#include "frontend/dispatcher.h"
+#include "frontend/plan_cache.h"
+#include "frontend/quota_manager.h"
+#include "serve/pmw_service.h"
+
+namespace pmw {
+namespace api {
+
+/// Which single-query ERM oracle A' the endpoint runs. Examples select by
+/// kind so they never include erm/ headers; tests may inject an external
+/// oracle through the second constructor instead.
+enum class OracleKind {
+  kNoisyGradient,  // BST14-style noisy gradient descent (the default)
+  kGlm,            // JT14 route for generalized linear models
+  kNonPrivate,     // baseline/testing oracle (no DP noise)
+};
+
+/// Everything behind the front door, in one bag. `mechanism.scale` must
+/// cover the catalog's scale() bound, exactly as with a bare PmwCm.
+struct ServerOptions {
+  core::PmwOptions mechanism;
+  serve::ServeOptions serve;
+  frontend::QuotaOptions quota;
+  frontend::DispatcherOptions dispatcher;
+  OracleKind oracle = OracleKind::kNoisyGradient;
+  bool enable_plan_cache = true;
+  /// Record (analyst, client request id, query name) per committed
+  /// request, in commit order — the replayable transcript log.
+  bool record_arrival_log = false;
+};
+
+/// Codec/transport traffic counters, incremented by the transports and
+/// server loops that move this endpoint's frames (the endpoint itself
+/// never encodes). Atomic so connection threads and stats scrapers never
+/// race.
+struct CodecCounters {
+  std::atomic<long long> frames_encoded{0};
+  std::atomic<long long> frames_decoded{0};
+  std::atomic<long long> decode_errors{0};
+  std::atomic<long long> bytes_in{0};
+  std::atomic<long long> bytes_out{0};
+};
+
+class ServerEndpoint {
+ public:
+  /// `dataset` and `catalog` must outlive the endpoint; the oracle is
+  /// constructed from options.oracle and owned. The dispatcher thread
+  /// starts immediately.
+  ServerEndpoint(const data::Dataset* dataset, const QueryCatalog* catalog,
+                 const ServerOptions& options, uint64_t seed);
+
+  /// Test/bench constructor injecting an external oracle (not owned;
+  /// options.oracle is ignored).
+  ServerEndpoint(const data::Dataset* dataset, erm::Oracle* oracle,
+                 const QueryCatalog* catalog, const ServerOptions& options,
+                 uint64_t seed);
+
+  /// Shutdown().
+  ~ServerEndpoint();
+
+  ServerEndpoint(const ServerEndpoint&) = delete;
+  ServerEndpoint& operator=(const ServerEndpoint&) = delete;
+
+  /// Serves one decoded request: version gate, catalog resolution,
+  /// admission via the quota manager, then the dispatcher queue. Never
+  /// blocks on serving (only on queue backpressure); the returned future
+  /// resolves with the complete envelope — typed taxonomy error or
+  /// answer + serving metadata. Thread-safe.
+  ///
+  /// The future is DEFERRED (std::async deferred adapter): envelope
+  /// assembly runs on the thread that get()s/wait()s it, and
+  /// wait_for/wait_until report future_status::deferred, never ready —
+  /// collect with get(), don't poll.
+  std::future<AnswerEnvelope> Handle(QueryRequest request);
+
+  /// Handle + wait: for transports and tests that want the envelope now.
+  AnswerEnvelope HandleSync(QueryRequest request);
+
+  /// Stops accepting work, drains the queue, joins the dispatcher.
+  /// Idempotent.
+  void Shutdown();
+
+  /// One committed request, in commit (arrival) order. Complete only
+  /// after Shutdown; empty unless options.record_arrival_log.
+  struct ArrivalRecord {
+    std::string analyst_id;
+    uint64_t client_request_id = 0;
+    std::string query_name;
+  };
+  std::vector<ArrivalRecord> ArrivalLog() const;
+
+  serve::PmwService& service() { return *service_; }
+  const serve::PmwService& service() const { return *service_; }
+  frontend::QuotaManager& quota() { return *quota_; }
+  const QueryCatalog& catalog() const { return *catalog_; }
+  CodecCounters& codec_counters() { return codec_counters_; }
+
+  /// Front-door stats: the DispatcherStats table extended with this
+  /// endpoint's codec/transport counters, plus the serving report.
+  std::string Report() const;
+
+ private:
+  AnswerEnvelope Finish(uint8_t version, uint64_t request_id,
+                        uint64_t dispatch_id, frontend::Served served);
+  std::future<AnswerEnvelope> Ready(AnswerEnvelope envelope);
+
+  const QueryCatalog* catalog_;
+  const ServerOptions options_;
+  std::unique_ptr<erm::Oracle> owned_oracle_;  // null when injected
+  std::unique_ptr<serve::PmwService> service_;
+  std::unique_ptr<frontend::QuotaManager> quota_;
+  std::unique_ptr<frontend::PlanCache> plan_cache_;  // null when disabled
+  CodecCounters codec_counters_;
+  mutable std::mutex arrivals_mutex_;
+  std::unordered_map<uint64_t, ArrivalRecord> arrivals_;  // by dispatch id
+  /// Last stack member: its thread starts consuming in the constructor.
+  std::unique_ptr<frontend::Dispatcher> dispatcher_;
+};
+
+}  // namespace api
+}  // namespace pmw
+
+#endif  // PMWCM_API_ENDPOINT_H_

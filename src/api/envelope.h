@@ -1,0 +1,92 @@
+// The versioned request/response envelopes of the pmw::api protocol —
+// the one public serving surface in front of the stack
+// (api::Client -> Transport -> api::ServerEndpoint -> frontend::Dispatcher).
+//
+// Queries travel by *catalog name*, not by value: a convex::CmQuery is a
+// non-owning (loss, domain) view whose objects live server-side (loss
+// families own them), so the protocol references entries of the server's
+// api::QueryCatalog. This is also what keeps the wire format independent
+// of the loss-family implementation.
+//
+// Envelopes are plain structs; api/codec.h owns the binary wire layout.
+
+#ifndef PMWCM_API_ENVELOPE_H_
+#define PMWCM_API_ENVELOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/error.h"
+
+namespace pmw {
+namespace api {
+
+/// Protocol versions this build can speak. A frame's version must lie in
+/// [kMinProtocolVersion, kProtocolVersion]; anything newer decodes to
+/// kVersionMismatch (the layout is unknowable), anything at or below the
+/// current version decodes with unknown fields skipped (forward
+/// compatibility for same-major additions).
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kMinProtocolVersion = 1;
+
+/// One analyst query, self-describing: everything the server needs to
+/// admit, order, and answer it.
+struct QueryRequest {
+  /// Protocol version the client speaks (stamped by api::Client).
+  uint8_t version = kProtocolVersion;
+  /// Identity the quota ledger charges; also tags per-analyst stats.
+  std::string analyst_id;
+  /// Client-assigned correlation id, echoed verbatim in the answer (what
+  /// lets one connection carry many in-flight requests).
+  uint64_t request_id = 0;
+  /// Relative deadline in microseconds from server admission; 0 means
+  /// none. A request whose deadline passes while queued resolves with
+  /// kDeadlineExpired at zero privacy cost.
+  uint64_t deadline_micros = 0;
+  /// Catalog key of the CM query to answer.
+  std::string query_name;
+};
+
+/// Serving metadata riding back with every answer: where in the
+/// mechanism's life the answer was produced and what budget remains.
+struct ServingMeta {
+  /// Hypothesis version (epoch) the answer was served at.
+  uint64_t epoch = 0;
+  /// True when this query triggered an oracle call + MW update (a hard
+  /// round, the privacy-relevant event); false for free kBottom answers.
+  bool hard_round = false;
+  /// True when the query's plan came from the cross-batch plan cache.
+  bool cache_hit = false;
+  /// Hard rounds left before the sparse vector halts (-1 when unknown,
+  /// e.g. on errors minted before admission).
+  long long hard_rounds_remaining = -1;
+  /// Basic-composition privacy spent so far, the remaining-budget view
+  /// an analyst dashboards.
+  double epsilon_spent = 0.0;
+  double delta_spent = 0.0;
+};
+
+/// The reply to one QueryRequest.
+struct AnswerEnvelope {
+  uint8_t version = kProtocolVersion;
+  /// Echo of QueryRequest::request_id (0 when the request could not be
+  /// decoded far enough to recover it).
+  uint64_t request_id = 0;
+  /// kOk, or the taxonomy code explaining why `answer` is empty.
+  ErrorCode error = ErrorCode::kOk;
+  /// Human-readable error detail (empty on success).
+  std::string message;
+  /// The released theta (empty on error).
+  std::vector<double> answer;
+  ServingMeta meta;
+
+  bool ok() const { return error == ErrorCode::kOk; }
+  /// The envelope's error as a Status (Ok for successful answers).
+  Status status() const { return ToStatus(error, message); }
+};
+
+}  // namespace api
+}  // namespace pmw
+
+#endif  // PMWCM_API_ENVELOPE_H_

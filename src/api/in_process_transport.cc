@@ -1,0 +1,64 @@
+#include "api/in_process_transport.h"
+
+#include <string>
+#include <utility>
+
+#include "api/codec.h"
+#include "common/check.h"
+
+namespace pmw {
+namespace api {
+
+InProcessTransport::InProcessTransport(ServerEndpoint* endpoint,
+                                       bool verify_codec)
+    : endpoint_(endpoint), verify_codec_(verify_codec) {
+  PMW_CHECK(endpoint != nullptr);
+}
+
+std::future<AnswerEnvelope> InProcessTransport::Send(QueryRequest request) {
+  if (!verify_codec_) {
+    return endpoint_->Handle(std::move(request));
+  }
+  // Verify-codec mode: the request crosses the real byte format both
+  // ways. Decode failures surface exactly as the socket server would
+  // surface them — a typed error envelope, never an exception.
+  CodecCounters& counters = endpoint_->codec_counters();
+  std::string wire;
+  EncodeRequest(request, &wire);
+  counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
+  counters.bytes_in.fetch_add(static_cast<long long>(wire.size()),
+                              std::memory_order_relaxed);
+  Result<QueryRequest> decoded = DecodeRequest(wire);
+  if (!decoded.ok()) {
+    counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    envelope.error = ClassifyStatus(decoded.status());
+    envelope.message = decoded.status().message();
+    std::promise<AnswerEnvelope> promise;
+    promise.set_value(std::move(envelope));
+    return promise.get_future();
+  }
+  counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+  std::future<AnswerEnvelope> served =
+      endpoint_->Handle(std::move(decoded).value());
+  return std::async(
+      std::launch::deferred,
+      [&counters, inner = std::move(served)]() mutable {
+        AnswerEnvelope envelope = inner.get();
+        std::string reply;
+        EncodeAnswer(envelope, &reply);
+        counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
+        counters.bytes_out.fetch_add(static_cast<long long>(reply.size()),
+                                     std::memory_order_relaxed);
+        Result<AnswerEnvelope> decoded_reply = DecodeAnswer(reply);
+        PMW_CHECK_MSG(decoded_reply.ok(),
+                      "answer failed to round-trip the codec: "
+                          << decoded_reply.status().ToString());
+        counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+        return std::move(decoded_reply).value();
+      });
+}
+
+}  // namespace api
+}  // namespace pmw

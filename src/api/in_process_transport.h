@@ -1,0 +1,43 @@
+// Zero-copy loopback transport: Client and ServerEndpoint in one process.
+//
+// The fast path hands the QueryRequest struct straight to the endpoint —
+// no serialization, no copy of the answer vector on the way back (the
+// future is the endpoint's own). This is the deployment an embedded
+// analyst library uses, and the baseline the bench gate measures protocol
+// overhead against (bench_frontend: api layer within 10% of direct
+// Dispatcher::Submit).
+//
+// verify_codec mode additionally round-trips every request and reply
+// through the binary codec (encode -> decode -> serve -> encode ->
+// decode), so tests exercise the exact byte path the socket transport
+// uses without a socket; codec traffic lands in the endpoint's
+// CodecCounters either way a frame is actually produced.
+
+#ifndef PMWCM_API_IN_PROCESS_TRANSPORT_H_
+#define PMWCM_API_IN_PROCESS_TRANSPORT_H_
+
+#include <future>
+
+#include "api/endpoint.h"
+#include "api/transport.h"
+
+namespace pmw {
+namespace api {
+
+class InProcessTransport : public Transport {
+ public:
+  /// `endpoint` must outlive the transport.
+  explicit InProcessTransport(ServerEndpoint* endpoint,
+                              bool verify_codec = false);
+
+  std::future<AnswerEnvelope> Send(QueryRequest request) override;
+
+ private:
+  ServerEndpoint* endpoint_;
+  const bool verify_codec_;
+};
+
+}  // namespace api
+}  // namespace pmw
+
+#endif  // PMWCM_API_IN_PROCESS_TRANSPORT_H_

@@ -1,0 +1,26 @@
+// Umbrella header for the pmw::api serving surface — the one include
+// client programs need besides data/ (dataset construction).
+//
+// The protocol in one breath: build a QueryCatalog (named CM queries),
+// stand up a ServerEndpoint over a sensitive dataset, connect a
+// Transport (in-process or Unix socket), and Call() named queries
+// through a Client; answers come back as AnswerEnvelopes carrying the
+// released theta, a typed ErrorCode, and serving metadata (epoch,
+// hard/soft round, cache-hit flag, remaining budget). See README's
+// "API layer & wire protocol" section for the frame layout and the
+// error taxonomy table.
+
+#ifndef PMWCM_API_PMW_API_H_
+#define PMWCM_API_PMW_API_H_
+
+#include "api/catalog.h"              // IWYU pragma: export
+#include "api/client.h"               // IWYU pragma: export
+#include "api/codec.h"                // IWYU pragma: export
+#include "api/endpoint.h"             // IWYU pragma: export
+#include "api/envelope.h"             // IWYU pragma: export
+#include "api/error.h"                // IWYU pragma: export
+#include "api/in_process_transport.h" // IWYU pragma: export
+#include "api/socket_transport.h"     // IWYU pragma: export
+#include "api/transport.h"            // IWYU pragma: export
+
+#endif  // PMWCM_API_PMW_API_H_

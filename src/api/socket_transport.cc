@@ -1,0 +1,469 @@
+#include "api/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "api/codec.h"
+#include "common/check.h"
+
+namespace pmw {
+namespace api {
+namespace {
+
+/// send(2) until done; false on any unrecoverable error. MSG_NOSIGNAL:
+/// a peer that hung up must surface as EPIPE here, not as a SIGPIPE that
+/// kills the whole serving process.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Appends up to 64 KiB to *buffer; returns bytes read (0 on orderly
+/// EOF, -1 on error).
+ssize_t ReadSome(int fd, std::string* buffer) {
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0) buffer->append(chunk, static_cast<size_t>(n));
+    return n;
+  }
+}
+
+/// Walks every complete frame at the front of `buffer`, invoking
+/// on_frame(frame_bytes) per frame; returns the bytes consumed (trim
+/// once, after the walk) and leaves the terminal framing state in
+/// *final (kNeedMore: wait for bytes; kMalformed: drop the connection).
+/// Shared by the server and client read loops so framing policy cannot
+/// diverge between the two sides.
+template <typename OnFrame>
+size_t WalkFrames(std::string_view buffer, FrameStatus* final,
+                  OnFrame&& on_frame) {
+  size_t offset = 0;
+  size_t frame_size = 0;
+  while ((*final = ExtractFrame(buffer.substr(offset), &frame_size)) ==
+         FrameStatus::kFrame) {
+    on_frame(buffer.substr(offset, frame_size));
+    offset += frame_size;
+  }
+  return offset;
+}
+
+Status FillAddress(const std::string& path, sockaddr_un* address) {
+  std::memset(address, 0, sizeof(*address));
+  address->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(address->sun_path)) {
+    return MakeStatus(ErrorCode::kTransportError,
+                      "socket path empty or longer than sun_path: " + path);
+  }
+  std::memcpy(address->sun_path, path.data(), path.size());
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketServer
+// ---------------------------------------------------------------------------
+
+SocketServer::SocketServer(ServerEndpoint* endpoint, std::string socket_path)
+    : endpoint_(endpoint), path_(std::move(socket_path)) {
+  PMW_CHECK(endpoint != nullptr);
+}
+
+SocketServer::~SocketServer() { Shutdown(); }
+
+Status SocketServer::Start() {
+  sockaddr_un address;
+  Status addressed = FillAddress(path_, &address);
+  if (!addressed.ok()) return addressed;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return MakeStatus(ErrorCode::kTransportError,
+                      "socket() failed: " + std::string(strerror(errno)));
+  }
+  ::unlink(path_.c_str());  // a stale path from a crashed predecessor
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return MakeStatus(ErrorCode::kTransportError,
+                      "bind/listen on " + path_ + " failed: " + why);
+  }
+  bound_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void SocketServer::ReapFinished() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->active.load(std::memory_order_acquire) == 0) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      if ((*it)->writer.joinable()) (*it)->writer.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    // Poll with a timeout instead of blocking in accept(): departed
+    // connections get reaped within ~500ms even when no new client ever
+    // connects, not only on the next accept.
+    pollfd listener{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&listener, 1, /*timeout_ms=*/500);
+    ReapFinished();
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;  // timeout: reap-only pass
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (shutdown) or fatal: stop accepting
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriteLoop(raw); });
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void SocketServer::ReadLoop(Connection* connection) {
+  CodecCounters& counters = endpoint_->codec_counters();
+  std::string buffer;
+  bool drop = false;
+  while (!drop) {
+    const ssize_t n = ReadSome(connection->fd, &buffer);
+    if (n <= 0) break;  // EOF or error: client hung up
+    counters.bytes_in.fetch_add(n, std::memory_order_relaxed);
+    FrameStatus framing;
+    const size_t consumed = WalkFrames(
+        buffer, &framing, [&](std::string_view frame) {
+          std::future<AnswerEnvelope> reply;
+          Result<QueryRequest> request = DecodeRequest(frame);
+          if (request.ok()) {
+            counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+            reply = endpoint_->Handle(std::move(request).value());
+          } else {
+            // Typed decode error (malformed fields, foreign version):
+            // answer it like any other request instead of killing the
+            // connection.
+            counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+            AnswerEnvelope envelope;
+            envelope.error = ClassifyStatus(request.status());
+            envelope.message = request.status().message();
+            std::promise<AnswerEnvelope> ready;
+            ready.set_value(std::move(envelope));
+            reply = ready.get_future();
+          }
+          {
+            std::lock_guard<std::mutex> lock(connection->mutex);
+            connection->pending.push_back(std::move(reply));
+          }
+          connection->cv.notify_one();
+        });
+    buffer.erase(0, consumed);
+    if (framing == FrameStatus::kMalformed) {
+      // The length prefix itself is garbage: no way to resynchronize.
+      counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      drop = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(connection->mutex);
+    connection->reader_done = true;
+  }
+  connection->cv.notify_one();
+  connection->active.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void SocketServer::WriteLoop(Connection* connection) {
+  CodecCounters& counters = endpoint_->codec_counters();
+  std::string wire;
+  for (;;) {
+    std::future<AnswerEnvelope> next;
+    {
+      std::unique_lock<std::mutex> lock(connection->mutex);
+      connection->cv.wait(lock, [connection] {
+        return !connection->pending.empty() || connection->reader_done;
+      });
+      if (connection->pending.empty()) break;  // reader done and drained
+      next = std::move(connection->pending.front());
+      connection->pending.pop_front();
+    }
+    AnswerEnvelope envelope = next.get();
+    wire.clear();
+    EncodeAnswer(envelope, &wire);
+    if (wire.size() > kMaxFramePayload + 4) {
+      // The peer's ExtractFrame would reject this frame and drop the
+      // whole connection; fail only the one reply instead.
+      AnswerEnvelope oversized;
+      oversized.request_id = envelope.request_id;
+      oversized.error = ErrorCode::kInternal;
+      oversized.message = "endpoint: answer exceeds the frame size limit";
+      oversized.meta = envelope.meta;
+      wire.clear();
+      EncodeAnswer(oversized, &wire);
+    }
+    counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteAll(connection->fd, wire.data(), wire.size())) break;
+    counters.bytes_out.fetch_add(static_cast<long long>(wire.size()),
+                                 std::memory_order_relaxed);
+  }
+  // Wakes a reader still blocked in read(); the reader is always the
+  // other live thread, so `active` cannot reach 0 before it exits too.
+  ::shutdown(connection->fd, SHUT_RDWR);
+  connection->active.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void SocketServer::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) {
+    // Wake accept() and join the acceptor before closing, so the fd
+    // number cannot be reused under it.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto& connection : connections_) {
+    // Stop the reader (no new requests); the writer drains what's
+    // pending — those replies resolve as long as the endpoint is still
+    // up, which is why servers shut down before endpoints.
+    ::shutdown(connection->fd, SHUT_RD);
+    if (connection->reader.joinable()) connection->reader.join();
+    if (connection->writer.joinable()) connection->writer.join();
+    ::close(connection->fd);
+  }
+  connections_.clear();
+  // Only remove the path this server actually bound: a failed Start must
+  // not delete a healthy sibling's socket file.
+  if (bound_) ::unlink(path_.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+SocketTransport::SocketTransport(const std::string& socket_path) {
+  sockaddr_un address;
+  connect_status_ = FillAddress(socket_path, &address);
+  if (!connect_status_.ok()) return;
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    connect_status_ = MakeStatus(
+        ErrorCode::kTransportError,
+        "socket() failed: " + std::string(strerror(errno)));
+    return;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    connect_status_ = MakeStatus(
+        ErrorCode::kTransportError,
+        "connect(" + socket_path + ") failed: " + strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  reader_ = std::thread([this] { ReadLoop(); });
+}
+
+SocketTransport::~SocketTransport() { Close(); }
+
+AnswerEnvelope SocketTransport::TransportError(
+    uint64_t request_id, const std::string& why) const {
+  AnswerEnvelope envelope;
+  envelope.request_id = request_id;
+  envelope.error = ErrorCode::kTransportError;
+  envelope.message = "socket transport: " + why;
+  return envelope;
+}
+
+std::future<AnswerEnvelope> SocketTransport::Send(QueryRequest request) {
+  std::promise<AnswerEnvelope> promise;
+  std::future<AnswerEnvelope> future = promise.get_future();
+  if (!connect_status_.ok() || closed_.load(std::memory_order_acquire) ||
+      broken_.load(std::memory_order_acquire)) {
+    promise.set_value(TransportError(
+        request.request_id,
+        !connect_status_.ok() ? connect_status_.message()
+        : closed_.load(std::memory_order_acquire)
+            ? "channel is closed"
+            : "connection is broken (no reader to resolve replies)"));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    auto [it, inserted] =
+        pending_.emplace(request.request_id, std::move(promise));
+    if (!inserted) {
+      // Correlation ids must be unique among in-flight calls (api::Client
+      // guarantees it); refuse rather than cross wires.
+      std::promise<AnswerEnvelope> duplicate;
+      future = duplicate.get_future();
+      duplicate.set_value(TransportError(request.request_id,
+                                         "duplicate in-flight request id"));
+      return future;
+    }
+  }
+  std::string wire;
+  EncodeRequest(request, &wire);
+  if (wire.size() > kMaxFramePayload + 4) {
+    // The server's ExtractFrame would reject the frame and drop the
+    // connection, killing every pipelined call; refuse just this one.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    auto it = pending_.find(request.request_id);
+    if (it != pending_.end()) {
+      std::promise<AnswerEnvelope> oversized = std::move(it->second);
+      pending_.erase(it);
+      oversized.set_value(TransportError(
+          request.request_id, "request exceeds the frame size limit"));
+    }
+    return future;
+  }
+  bool written = false;
+  {
+    // fd_ is only written (closed) under this lock, after the reader has
+    // joined — so the descriptor cannot be closed or reused mid-write.
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (fd_ >= 0 && !closed_.load(std::memory_order_acquire)) {
+      written = WriteAll(fd_, wire.data(), wire.size());
+    }
+  }
+  if (!written || broken_.load(std::memory_order_acquire)) {
+    // Either the write failed, or the reader died while this request was
+    // being registered (its FailAllPending sweep may have missed us) —
+    // in both cases nothing will ever resolve the promise.
+    std::promise<AnswerEnvelope> orphan;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(request.request_id);
+      if (it == pending_.end()) return future;  // reader already resolved
+      orphan = std::move(it->second);
+      pending_.erase(it);
+    }
+    orphan.set_value(TransportError(
+        request.request_id,
+        written ? "connection is broken" : "write failed"));
+  }
+  return future;
+}
+
+void SocketTransport::ReadLoop() {
+  std::string buffer;
+  for (;;) {
+    const ssize_t n = ReadSome(fd_, &buffer);
+    if (n <= 0) break;
+    FrameStatus framing;
+    bool decode_failed = false;
+    const size_t consumed = WalkFrames(
+        buffer, &framing, [this, &decode_failed](std::string_view frame) {
+          Result<AnswerEnvelope> decoded = DecodeAnswer(frame);
+          if (!decoded.ok()) {
+            // A well-framed but undecodable reply (corrupt fields,
+            // foreign version): its call could never be resolved, and
+            // the blocked caller is often the only thread that would
+            // ever Close() — treat the stream as dead so FailAllPending
+            // below unblocks everyone with a typed error.
+            decode_failed = true;
+            return;
+          }
+          AnswerEnvelope envelope = std::move(decoded).value();
+          std::promise<AnswerEnvelope> resolved;
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            auto it = pending_.find(envelope.request_id);
+            if (it == pending_.end() && envelope.request_id == 0 &&
+                pending_.size() == 1) {
+              // The server could not recover the id (undecodable
+              // request). With exactly one call in flight the reply is
+              // unambiguous; with more we must not guess — the calls
+              // resolve at Close().
+              it = pending_.begin();
+            }
+            if (it != pending_.end()) {
+              resolved = std::move(it->second);
+              pending_.erase(it);
+              found = true;
+            }
+          }
+          if (found) resolved.set_value(std::move(envelope));
+        });
+    buffer.erase(0, consumed);
+    if (framing == FrameStatus::kMalformed || decode_failed) break;
+  }
+  // Publish "no reply can ever arrive" BEFORE failing what's pending:
+  // a Send racing this sweep observes broken_ and fails its own promise.
+  broken_.store(true, std::memory_order_release);
+  FailAllPending("connection closed");
+}
+
+void SocketTransport::FailAllPending(const std::string& why) {
+  std::unordered_map<uint64_t, std::promise<AnswerEnvelope>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, promise] : orphans) {
+    promise.set_value(TransportError(id, why));
+  }
+}
+
+void SocketTransport::Close() {
+  std::lock_guard<std::mutex> close_lock(close_mutex_);
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // shutdown() (not close) wakes the reader and any blocked writer while
+  // keeping the descriptor number reserved; the actual close happens
+  // under write_mutex_ so a concurrent Send can never write into a
+  // closed — or worse, reused — descriptor.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  FailAllPending("channel is closed");
+}
+
+}  // namespace api
+}  // namespace pmw

@@ -1,0 +1,144 @@
+// The wire deployment of the pmw::api protocol: codec frames over a Unix
+// domain socket.
+//
+//   SocketTransport (client)                SocketServer (server)
+//   Send: encode frame, register            accept loop -> per-connection
+//   promise by request id, write            reader (decode -> endpoint
+//   under the write lock; a reader          Handle, enqueue reply future)
+//   thread decodes reply frames and         + writer (wait FIFO, encode,
+//   resolves the matching promise           write back)
+//
+// Many requests may be in flight on one connection in both directions:
+// the client correlates replies by the request id the envelope echoes,
+// and the server's writer waits on reply futures in arrival (FIFO)
+// order — which costs nothing, because the dispatcher resolves them in
+// exactly that order. Malformed frames never crash either side: the
+// server answers a decodable-but-invalid request with a typed error
+// envelope and drops the connection only on unrecoverable framing
+// (length prefix out of bounds); the client surfaces channel failures as
+// kTransportError envelopes.
+//
+// Deliberately Unix-domain only: the serving story is a local sidecar /
+// same-host daemon. A TCP listener would add nothing to the protocol and
+// a lot to the threat model.
+
+#ifndef PMWCM_API_SOCKET_TRANSPORT_H_
+#define PMWCM_API_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "api/endpoint.h"
+#include "api/transport.h"
+#include "common/result.h"
+
+namespace pmw {
+namespace api {
+
+/// Serves one ServerEndpoint on a Unix-domain socket path. Start() spawns
+/// the accept loop; every accepted connection gets a reader thread
+/// (decode -> Handle) and a writer thread (encode replies as their
+/// futures resolve). Shut the server down BEFORE the endpoint so pending
+/// replies can still be served and written back.
+class SocketServer {
+ public:
+  /// `endpoint` must outlive the server.
+  SocketServer(ServerEndpoint* endpoint, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Typed error on failure (path
+  /// too long, bind refused).
+  Status Start();
+
+  /// Stops accepting, closes every connection after its pending replies
+  /// are written, joins all threads, unlinks the socket path. Idempotent.
+  void Shutdown();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mutex;
+    std::condition_variable cv;
+    /// Reply futures in request-arrival order (the order the dispatcher
+    /// resolves them).
+    std::deque<std::future<AnswerEnvelope>> pending;
+    bool reader_done = false;
+    /// Live threads (reader + writer); 0 means the connection is over
+    /// and the acceptor may reap it.
+    std::atomic<int> active{2};
+  };
+
+  void AcceptLoop();
+  void ReadLoop(Connection* connection);
+  void WriteLoop(Connection* connection);
+  /// Joins, closes, and erases connections whose threads have exited —
+  /// a long-lived daemon must not accumulate one fd + two threads per
+  /// departed client until Shutdown.
+  void ReapFinished();
+
+  ServerEndpoint* endpoint_;
+  const std::string path_;
+  int listen_fd_ = -1;
+  /// True once Start() has bound the path (what Shutdown may unlink).
+  bool bound_ = false;
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mutex_;  // serializes Shutdown callers
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+/// Client-side transport over one Unix-domain connection.
+class SocketTransport : public Transport {
+ public:
+  /// Connects immediately; check status() before first use.
+  explicit SocketTransport(const std::string& socket_path);
+  ~SocketTransport() override;
+
+  /// Ok once connected; the connect error otherwise.
+  Status status() const { return connect_status_; }
+
+  std::future<AnswerEnvelope> Send(QueryRequest request) override;
+  void Close() override;
+
+ private:
+  void ReadLoop();
+  /// Fails every registered promise with kTransportError.
+  void FailAllPending(const std::string& why);
+  AnswerEnvelope TransportError(uint64_t request_id,
+                                const std::string& why) const;
+
+  Status connect_status_;
+  int fd_ = -1;
+  std::atomic<bool> closed_{false};
+  /// Set by ReadLoop when the connection dies (EOF, error, malformed
+  /// stream): no reply can ever arrive, so Send must stop registering
+  /// promises that nothing would resolve.
+  std::atomic<bool> broken_{false};
+  std::mutex close_mutex_;  // serializes Close callers
+  std::mutex write_mutex_;
+  std::mutex pending_mutex_;
+  std::unordered_map<uint64_t, std::promise<AnswerEnvelope>> pending_;
+  std::thread reader_;  // last: started once fd_ is live
+};
+
+}  // namespace api
+}  // namespace pmw
+
+#endif  // PMWCM_API_SOCKET_TRANSPORT_H_

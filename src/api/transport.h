@@ -1,0 +1,43 @@
+// The client-side channel abstraction of the pmw::api protocol.
+//
+// A Transport moves one QueryRequest to a ServerEndpoint and one
+// AnswerEnvelope back; api::Client supplies identity and correlation ids
+// on top. Two implementations ship:
+//
+//   * InProcessTransport (api/in_process_transport.h) — zero-copy
+//     loopback straight into a ServerEndpoint in this process; an
+//     optional verify-codec mode round-trips every message through the
+//     binary codec to keep the wire path honest in tests.
+//   * SocketTransport (api/socket_transport.h) — frames over a Unix
+//     domain socket to a SocketServer, with client-side request
+//     correlation so many calls may be in flight on one connection.
+
+#ifndef PMWCM_API_TRANSPORT_H_
+#define PMWCM_API_TRANSPORT_H_
+
+#include <future>
+
+#include "api/envelope.h"
+
+namespace pmw {
+namespace api {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships `request` and resolves with the reply envelope. Never throws
+  /// for protocol or channel failures — those come back as envelopes
+  /// carrying taxonomy errors (kTransportError when the channel itself
+  /// broke). Thread-safe; any number of calls may be in flight.
+  virtual std::future<AnswerEnvelope> Send(QueryRequest request) = 0;
+
+  /// Closes the channel; in-flight calls resolve with kTransportError.
+  /// Idempotent.
+  virtual void Close() {}
+};
+
+}  // namespace api
+}  // namespace pmw
+
+#endif  // PMWCM_API_TRANSPORT_H_

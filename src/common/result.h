@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kHalted = 4,
   kNotConverged = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Status of an operation: kOk or a code with a human-readable message.
@@ -50,6 +51,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

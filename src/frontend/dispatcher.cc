@@ -2,10 +2,33 @@
 
 #include <utility>
 
+#include "api/error.h"
 #include "common/check.h"
+#include "common/table_printer.h"
 
 namespace pmw {
 namespace frontend {
+
+std::vector<std::string> DispatcherStats::TableHeader() {
+  return {"submitted", "admitted", "quota_rej", "shutdown_rej",
+          "deadline",  "batches",  "fill_mean"};
+}
+
+std::vector<std::string> DispatcherStats::TableRow() const {
+  return {TablePrinter::FmtInt(submitted),
+          TablePrinter::FmtInt(admitted),
+          TablePrinter::FmtInt(quota_rejected),
+          TablePrinter::FmtInt(shutdown_rejected),
+          TablePrinter::FmtInt(deadline_expired),
+          TablePrinter::FmtInt(batches),
+          TablePrinter::Fmt(batch_fill.mean(), 2)};
+}
+
+std::string DispatcherStats::ToString() const {
+  TablePrinter table(TableHeader());
+  table.AddRow(TableRow());
+  return table.ToString();
+}
 
 Dispatcher::Dispatcher(serve::PmwService* service, QuotaManager* quota,
                        PlanCache* plan_cache,
@@ -23,14 +46,15 @@ Dispatcher::Dispatcher(serve::PmwService* service, QuotaManager* quota,
 
 Dispatcher::~Dispatcher() { Shutdown(); }
 
-std::future<Result<convex::Vec>> Dispatcher::Submit(
+std::future<Served> Dispatcher::Submit(
     const std::string& analyst_id, const convex::CmQuery& query,
-    uint64_t* request_id) {
+    uint64_t* request_id, std::chrono::steady_clock::time_point deadline) {
   Request request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.analyst_id = analyst_id;
   request.query = query;
-  std::future<Result<convex::Vec>> future = request.promise.get_future();
+  request.deadline = deadline;
+  std::future<Served> future = request.promise.get_future();
   if (request_id != nullptr) *request_id = request.id;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -40,8 +64,8 @@ std::future<Result<convex::Vec>> Dispatcher::Submit(
   if (shutdown_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.shutdown_rejected;
-    request.promise.set_value(
-        Status::FailedPrecondition("frontend: dispatcher is shut down"));
+    request.promise.set_value(Served(api::MakeStatus(
+        api::ErrorCode::kShutdown, "frontend: dispatcher is shut down")));
     return future;
   }
 
@@ -54,7 +78,7 @@ std::future<Result<convex::Vec>> Dispatcher::Submit(
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.quota_rejected;
       }
-      request.promise.set_value(std::move(admit));
+      request.promise.set_value(Served(std::move(admit)));
       return future;
     }
   }
@@ -72,44 +96,84 @@ std::future<Result<convex::Vec>> Dispatcher::Submit(
     std::lock_guard<std::mutex> lock(stats_mutex_);
     --stats_.admitted;
     ++stats_.shutdown_rejected;
-    request.promise.set_value(
-        Status::FailedPrecondition("frontend: dispatcher is shut down"));
+    request.promise.set_value(Served(api::MakeStatus(
+        api::ErrorCode::kShutdown, "frontend: dispatcher is shut down")));
   }
   return future;
 }
 
 void Dispatcher::DispatchLoop() {
   std::vector<Request> batch;
+  std::vector<Request> live;
   std::vector<convex::CmQuery> queries;
   std::vector<std::string> tags;
+  std::vector<serve::QueryOutcome> outcomes;
   for (;;) {
     batch.clear();
+    live.clear();
     queries.clear();
     tags.clear();
     if (!queue_.PopBatch(&batch, options_.max_batch, options_.max_wait)) {
       return;  // closed and drained
     }
-    for (const Request& request : batch) {
+    // Deadline sweep at the last instant before serving: a request whose
+    // deadline passed while queued resolves with kDeadlineExpired and is
+    // dropped from the batch — the mechanism never sees it, so expiry is
+    // free (no ledger event, no k-query slot) and the quota slot goes
+    // back to the analyst.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Request> expired;
+    for (Request& request : batch) {
+      if (request.deadline != std::chrono::steady_clock::time_point{} &&
+          request.deadline < now) {
+        if (quota_ != nullptr) quota_->Refund(request.analyst_id);
+        expired.push_back(std::move(request));
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    if (!expired.empty()) {
+      {
+        // Count before resolving, so an awoken waiter always observes
+        // its own expiry in stats().
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.deadline_expired += static_cast<long long>(expired.size());
+      }
+      for (Request& request : expired) {
+        request.promise.set_value(Served(api::MakeStatus(
+            api::ErrorCode::kDeadlineExpired,
+            "frontend: deadline expired after " +
+                std::to_string(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        now - request.deadline)
+                        .count()) +
+                "us in queue")));
+      }
+    }
+    if (live.empty()) continue;
+    for (const Request& request : live) {
       queries.push_back(request.query);
       tags.push_back(request.analyst_id);
     }
     // The single-writer serving call. Arrival order == queue FIFO order
     // == the order results are committed and promises resolved below.
     std::vector<Result<convex::Vec>> results =
-        service_->AnswerBatch(queries, tags);
-    PMW_CHECK_EQ(results.size(), batch.size());
+        service_->AnswerBatch(queries, tags, &outcomes);
+    PMW_CHECK_EQ(results.size(), live.size());
+    PMW_CHECK_EQ(outcomes.size(), live.size());
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.batches;
-      stats_.batch_fill.Add(static_cast<double>(batch.size()));
+      stats_.batch_fill.Add(static_cast<double>(live.size()));
       if (options_.record_arrival_log) {
-        for (const Request& request : batch) {
+        for (const Request& request : live) {
           arrival_log_.push_back(request.id);
         }
       }
     }
-    for (size_t j = 0; j < batch.size(); ++j) {
-      batch[j].promise.set_value(std::move(results[j]));
+    for (size_t j = 0; j < live.size(); ++j) {
+      live[j].promise.set_value(
+          Served(std::move(results[j]), outcomes[j]));
     }
   }
 }
@@ -139,9 +203,10 @@ AnalystSession::AnalystSession(Dispatcher* dispatcher, std::string analyst_id)
   PMW_CHECK(dispatcher != nullptr);
 }
 
-std::future<Result<convex::Vec>> AnalystSession::Submit(
-    const convex::CmQuery& query, uint64_t* request_id) {
-  return dispatcher_->Submit(analyst_id_, query, request_id);
+std::future<Served> AnalystSession::Submit(
+    const convex::CmQuery& query, uint64_t* request_id,
+    std::chrono::steady_clock::time_point deadline) {
+  return dispatcher_->Submit(analyst_id_, query, request_id, deadline);
 }
 
 }  // namespace frontend

@@ -1,4 +1,10 @@
-// The asynchronous multi-analyst front door of the serving stack.
+// INTERNAL — the asynchronous multi-analyst engine behind the public
+// pmw::api surface. Since PR 4 the one public serving surface is
+// api::Client / api::ServerEndpoint (src/api/); examples and external
+// callers must not include this header or call Submit directly (CI's
+// examples-smoke job enforces the include rule). Tests and benchmarks
+// may, to pin the engine's behavior and measure the api layer's overhead
+// against it.
 //
 //   analysts --Submit--> MpscQueue --PopBatch--> Dispatcher thread
 //        --AnswerBatch--> serve::PmwService --> futures resolve
@@ -64,9 +70,34 @@ struct DispatcherStats {
   long long quota_rejected = 0;
   /// Rejected because the dispatcher had already shut down.
   long long shutdown_rejected = 0;
+  /// Admitted requests whose deadline passed while queued; resolved with
+  /// kDeadlineExpired at zero privacy cost (quota slot refunded, never
+  /// served, never logged as an arrival).
+  long long deadline_expired = 0;
   long long batches = 0;
   /// Requests per dispatched batch (how well the deadline coalesces).
   RunningStats batch_fill;
+
+  /// One row per dispatcher for comparative tables, same convention as
+  /// ServeStats. api::ServerEndpoint::Report() extends the row with
+  /// codec/transport counters.
+  static std::vector<std::string> TableHeader();
+  std::vector<std::string> TableRow() const;
+  /// TableHeader + this dispatcher's TableRow via common/table_printer.
+  std::string ToString() const;
+};
+
+/// What a Submit future resolves with: the released theta (or typed
+/// error) plus the serving metadata the api layer forwards to clients.
+struct Served {
+  Result<convex::Vec> answer;
+  /// Meaningful only when the request reached the service (default
+  /// elsewhere, e.g. quota/deadline/shutdown rejections).
+  serve::QueryOutcome outcome;
+
+  Served(Result<convex::Vec> a) : answer(std::move(a)) {}  // NOLINT
+  Served(Result<convex::Vec> a, serve::QueryOutcome o)
+      : answer(std::move(a)), outcome(o) {}
 };
 
 class Dispatcher {
@@ -87,12 +118,18 @@ class Dispatcher {
 
   /// Submits one query on behalf of `analyst_id`. Thread-safe; blocks
   /// only when the queue is full. The future resolves with the released
-  /// theta or a typed error (quota rejection, mechanism kHalted /
-  /// kResourceExhausted, or shutdown). If `request_id` is non-null it
-  /// receives the request's unique id (what ArrivalLog records).
-  std::future<Result<convex::Vec>> Submit(const std::string& analyst_id,
-                                          const convex::CmQuery& query,
-                                          uint64_t* request_id = nullptr);
+  /// theta or a typed error (quota rejection, deadline expiry, mechanism
+  /// kHalted / kResourceExhausted, or shutdown). If `request_id` is
+  /// non-null it receives the request's unique id (what ArrivalLog
+  /// records). A non-default `deadline` bounds how long the request may
+  /// wait in the queue: if it expires before the dispatcher hands the
+  /// request to the service, the future resolves with kDeadlineExpired,
+  /// the quota slot is refunded, and the mechanism never sees the query
+  /// (zero privacy cost).
+  std::future<Served> Submit(
+      const std::string& analyst_id, const convex::CmQuery& query,
+      uint64_t* request_id = nullptr,
+      std::chrono::steady_clock::time_point deadline = {});
 
   /// Stops accepting work, serves everything already queued, joins the
   /// dispatcher thread, and detaches the plan cache from the service.
@@ -111,7 +148,9 @@ class Dispatcher {
     uint64_t id = 0;
     std::string analyst_id;
     convex::CmQuery query;
-    std::promise<Result<convex::Vec>> promise;
+    /// steady_clock epoch (the default) means no deadline.
+    std::chrono::steady_clock::time_point deadline{};
+    std::promise<Served> promise;
   };
 
   void DispatchLoop();
@@ -138,8 +177,9 @@ class AnalystSession {
   AnalystSession(Dispatcher* dispatcher, std::string analyst_id);
 
   /// Submit under this session's identity (see Dispatcher::Submit).
-  std::future<Result<convex::Vec>> Submit(const convex::CmQuery& query,
-                                          uint64_t* request_id = nullptr);
+  std::future<Served> Submit(
+      const convex::CmQuery& query, uint64_t* request_id = nullptr,
+      std::chrono::steady_clock::time_point deadline = {});
 
   const std::string& analyst_id() const { return analyst_id_; }
 

@@ -103,6 +103,13 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
 std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     std::span<const convex::CmQuery> queries,
     std::span<const std::string> analyst_ids) {
+  return AnswerBatch(queries, analyst_ids, nullptr);
+}
+
+std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
+    std::span<const convex::CmQuery> queries,
+    std::span<const std::string> analyst_ids,
+    std::vector<QueryOutcome>* outcomes) {
   WallTimer timer;
   const size_t n = queries.size();
   PMW_CHECK_MSG(analyst_ids.empty() || analyst_ids.size() == n,
@@ -132,6 +139,10 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
   // which is what keeps the transcript bit-identical to sequential PmwCm.
   std::vector<Result<convex::Vec>> results;
   results.reserve(n);
+  if (outcomes != nullptr) {
+    outcomes->clear();
+    outcomes->resize(n);
+  }
   for (size_t j = 0; j < n; ++j) {
     const convex::CmQuery& query = queries[j];
     PMW_CHECK(query.loss != nullptr);
@@ -139,6 +150,8 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     ServeStats::AnalystCounters* analyst =
         analyst_ids.empty() ? nullptr : &stats_.per_analyst[analyst_ids[j]];
     if (analyst != nullptr) ++analyst->queries;
+    QueryOutcome* outcome = outcomes != nullptr ? &(*outcomes)[j] : nullptr;
+    if (outcome != nullptr) outcome->epoch = cm_.hypothesis_version();
 
     if (cm_.WillReject()) {
       Result<core::PmwAnswer> rejected =
@@ -153,11 +166,16 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     // A null epoch means the read phase was skipped; the stale default
     // plan is never trusted by AnswerPrepared.
     static const core::PreparedQuery kStalePlan;
+    const size_t plan_slot =
+        epoch != nullptr ? prepared.plan_of[j - prepared_begin] : 0;
     const core::PreparedQuery& plan =
-        epoch != nullptr ? prepared.plans[prepared.plan_of[j - prepared_begin]]
-                         : kStalePlan;
+        epoch != nullptr ? prepared.plans[plan_slot] : kStalePlan;
+    if (outcome != nullptr && epoch != nullptr) {
+      outcome->cache_hit = prepared.plan_from_cache[plan_slot] != 0;
+    }
     Result<core::PmwAnswer> answer = cm_.AnswerPrepared(
         query, plan, epoch != nullptr ? &epoch->snapshot : nullptr);
+    if (outcome != nullptr) outcome->epoch = cm_.hypothesis_version();
     if (!answer.ok()) {
       ++stats_.errors;
       if (analyst != nullptr) ++analyst->errors;
@@ -167,6 +185,7 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     if (answer.value().was_update) {
       ++stats_.updates;
       if (analyst != nullptr) ++analyst->updates;
+      if (outcome != nullptr) outcome->hard_round = true;
       // Hard round: the hypothesis changed, so every remaining plan is
       // stale. Advance the epoch and re-prepare the suffix in parallel
       // (bounded by T such rounds over the mechanism's lifetime).

@@ -119,6 +119,19 @@ struct ServeStats {
   std::string Report() const;
 };
 
+/// Per-query serving outcome, positionally aligned with AnswerBatch's
+/// result vector. Pure bookkeeping — outcomes never influence answers —
+/// but the api layer forwards them to clients as ServingMeta (epoch,
+/// hard/soft round, cache-hit flag).
+struct QueryOutcome {
+  /// Hypothesis version the query was committed at.
+  int epoch = 0;
+  /// True when the query triggered an oracle call + MW update.
+  bool hard_round = false;
+  /// True when the query's plan was served from the cross-batch cache.
+  bool cache_hit = false;
+};
+
 class PmwService {
  public:
   /// `dataset` and `oracle` must outlive the service (same contract as
@@ -145,6 +158,14 @@ class PmwService {
   std::vector<Result<convex::Vec>> AnswerBatch(
       std::span<const convex::CmQuery> queries,
       std::span<const std::string> analyst_ids);
+
+  /// Full overload: a non-null `outcomes` additionally receives one
+  /// QueryOutcome per query (cleared and refilled), what the api layer
+  /// ships back as serving metadata.
+  std::vector<Result<convex::Vec>> AnswerBatch(
+      std::span<const convex::CmQuery> queries,
+      std::span<const std::string> analyst_ids,
+      std::vector<QueryOutcome>* outcomes);
 
   /// Convenience: a batch of one.
   Result<convex::Vec> Answer(const convex::CmQuery& query);

@@ -54,6 +54,7 @@ ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
   const size_t distinct = positions.size();
   result.cache_hits = static_cast<long long>(count - distinct);
   result.plans.resize(distinct);
+  result.plan_from_cache.assign(distinct, 0);
 
   // Cross-batch cache probe, still on the calling thread: slots the cache
   // fills need no solver work at all; only the misses are sharded out. A
@@ -68,6 +69,7 @@ ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
       QueryKey key{query.loss, query.domain};
       if (cache->Lookup(key, epoch.snapshot.version, &result.plans[slot])) {
         ++result.cross_batch_hits;
+        result.plan_from_cache[slot] = 1;
       } else {
         miss_slots.push_back(slot);
       }

@@ -94,6 +94,10 @@ class ShardExecutor {
     std::vector<core::PreparedQuery> plans;
     /// plan_of[i] is the plans index answering queries[begin + i].
     std::vector<size_t> plan_of;
+    /// plan_from_cache[u] is 1 when plans[u] was served from the
+    /// cross-batch cache instead of recomputed (feeds the per-query
+    /// cache-hit flag the api layer reports).
+    std::vector<uint8_t> plan_from_cache;
     /// Queries whose plan was shared with an earlier identical query in
     /// the range (range size minus distinct queries).
     long long cache_hits = 0;

@@ -1,0 +1,269 @@
+// Property-style fuzz coverage for the api wire codec (api/codec.h):
+//
+//   (a) encode ∘ decode is the identity on QueryRequest and
+//       AnswerEnvelope — including adversarial field contents (embedded
+//       NULs, arbitrary bytes, NaN/Inf coordinates, compared bitwise).
+//   (b) Decode is *total* on adversarial bytes: truncated buffers,
+//       corrupted length prefixes, random byte flips, and empty input
+//       return typed errors (kMalformedRequest / kVersionMismatch) or a
+//       valid message — never a crash. The ASan/UBSan CI job runs this
+//       binary, so "never crashes" includes "never reads out of bounds".
+//   (c) Version negotiation: future-version frames are rejected with
+//       kVersionMismatch; unknown fields inside an accepted version are
+//       skipped (forward compatibility).
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/envelope.h"
+#include "api/error.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace pmw {
+namespace api {
+namespace {
+
+std::string RandomBytes(Rng* rng, int max_len) {
+  const int len = rng->UniformInt(max_len + 1);
+  std::string bytes(static_cast<size_t>(len), '\0');
+  for (char& b : bytes) b = static_cast<char>(rng->UniformInt(256));
+  return bytes;
+}
+
+QueryRequest RandomRequest(Rng* rng) {
+  QueryRequest request;
+  request.analyst_id = RandomBytes(rng, 24);
+  request.request_id = rng->NextSeed();
+  request.deadline_micros = rng->Bernoulli(0.5) ? rng->NextSeed() : 0;
+  request.query_name = RandomBytes(rng, 40);
+  if (request.query_name.empty()) request.query_name = "q";  // required
+  return request;
+}
+
+double RandomDouble(Rng* rng) {
+  switch (rng->UniformInt(6)) {
+    case 0:
+      return std::numeric_limits<double>::infinity();
+    case 1:
+      return -std::numeric_limits<double>::quiet_NaN();
+    case 2:
+      return 0.0;
+    default:
+      return rng->Gaussian(0.0, 1e6);
+  }
+}
+
+AnswerEnvelope RandomEnvelope(Rng* rng) {
+  AnswerEnvelope envelope;
+  envelope.request_id = rng->NextSeed();
+  envelope.error = static_cast<ErrorCode>(rng->UniformInt(12));
+  envelope.message = RandomBytes(rng, 60);
+  const int dim = rng->UniformInt(16);
+  for (int i = 0; i < dim; ++i) envelope.answer.push_back(RandomDouble(rng));
+  envelope.meta.epoch = rng->NextSeed();
+  envelope.meta.hard_round = rng->Bernoulli(0.5);
+  envelope.meta.cache_hit = rng->Bernoulli(0.5);
+  envelope.meta.hard_rounds_remaining =
+      static_cast<long long>(rng->UniformInt(1000)) - 1;
+  envelope.meta.epsilon_spent = RandomDouble(rng);
+  envelope.meta.delta_spent = RandomDouble(rng);
+  return envelope;
+}
+
+/// Bitwise double equality (NaN payloads must survive the wire).
+bool SameBits(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+void ExpectTypedDecodeFailure(std::string_view frame) {
+  Result<QueryRequest> request = DecodeRequest(frame);
+  if (request.ok()) return;  // a mutation can leave the frame valid
+  const ErrorCode code = ClassifyStatus(request.status());
+  EXPECT_TRUE(code == ErrorCode::kMalformedRequest ||
+              code == ErrorCode::kVersionMismatch)
+      << ErrorCodeName(code) << ": " << request.status().ToString();
+}
+
+TEST(ApiCodecTest, RequestRoundTripIsIdentity) {
+  Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 500; ++trial) {
+    const QueryRequest request = RandomRequest(&rng);
+    std::string wire;
+    EncodeRequest(request, &wire);
+
+    size_t frame_size = 0;
+    ASSERT_EQ(ExtractFrame(wire, &frame_size), FrameStatus::kFrame);
+    ASSERT_EQ(frame_size, wire.size());
+    ASSERT_EQ(PeekMsgType(wire), kMsgTypeRequest);
+
+    Result<QueryRequest> decoded = DecodeRequest(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().version, kProtocolVersion);
+    EXPECT_EQ(decoded.value().analyst_id, request.analyst_id);
+    EXPECT_EQ(decoded.value().request_id, request.request_id);
+    EXPECT_EQ(decoded.value().deadline_micros, request.deadline_micros);
+    EXPECT_EQ(decoded.value().query_name, request.query_name);
+  }
+}
+
+TEST(ApiCodecTest, AnswerRoundTripIsIdentity) {
+  Rng rng(0xC0DEC + 1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const AnswerEnvelope envelope = RandomEnvelope(&rng);
+    std::string wire;
+    EncodeAnswer(envelope, &wire);
+    ASSERT_EQ(PeekMsgType(wire), kMsgTypeAnswer);
+
+    Result<AnswerEnvelope> decoded = DecodeAnswer(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    const AnswerEnvelope& got = decoded.value();
+    EXPECT_EQ(got.request_id, envelope.request_id);
+    EXPECT_EQ(got.error, envelope.error);
+    EXPECT_EQ(got.message, envelope.message);
+    ASSERT_EQ(got.answer.size(), envelope.answer.size());
+    for (size_t i = 0; i < envelope.answer.size(); ++i) {
+      EXPECT_TRUE(SameBits(got.answer[i], envelope.answer[i])) << i;
+    }
+    EXPECT_EQ(got.meta.epoch, envelope.meta.epoch);
+    EXPECT_EQ(got.meta.hard_round, envelope.meta.hard_round);
+    EXPECT_EQ(got.meta.cache_hit, envelope.meta.cache_hit);
+    EXPECT_EQ(got.meta.hard_rounds_remaining,
+              envelope.meta.hard_rounds_remaining);
+    EXPECT_TRUE(SameBits(got.meta.epsilon_spent, envelope.meta.epsilon_spent));
+    EXPECT_TRUE(SameBits(got.meta.delta_spent, envelope.meta.delta_spent));
+  }
+}
+
+TEST(ApiCodecTest, EveryTruncationIsTypedNeverACrash) {
+  Rng rng(0xC0DEC + 2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string wire;
+    EncodeRequest(RandomRequest(&rng), &wire);
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+      const std::string_view prefix(wire.data(), cut);
+      // Stream framing reports "wait for more bytes"...
+      size_t frame_size = 0;
+      EXPECT_EQ(ExtractFrame(prefix, &frame_size), FrameStatus::kNeedMore);
+      // ...and decoding the truncation as if complete is a typed error.
+      Result<QueryRequest> decoded = DecodeRequest(prefix);
+      ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+      EXPECT_EQ(ClassifyStatus(decoded.status()),
+                ErrorCode::kMalformedRequest)
+          << "cut=" << cut;
+    }
+  }
+}
+
+TEST(ApiCodecTest, CorruptedBytesAreTypedNeverACrash) {
+  Rng rng(0xC0DEC + 3);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string wire;
+    if (rng.Bernoulli(0.5)) {
+      EncodeRequest(RandomRequest(&rng), &wire);
+    } else {
+      AnswerEnvelope envelope = RandomEnvelope(&rng);
+      EncodeAnswer(envelope, &wire);
+    }
+    // 1..8 random byte mutations anywhere, length prefix included.
+    const int flips = 1 + rng.UniformInt(8);
+    for (int f = 0; f < flips; ++f) {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(static_cast<int>(wire.size())));
+      wire[at] = static_cast<char>(rng.UniformInt(256));
+    }
+    ExpectTypedDecodeFailure(wire);
+    Result<AnswerEnvelope> answer = DecodeAnswer(wire);
+    if (!answer.ok()) {
+      const ErrorCode code = ClassifyStatus(answer.status());
+      EXPECT_TRUE(code == ErrorCode::kMalformedRequest ||
+                  code == ErrorCode::kVersionMismatch);
+    }
+  }
+}
+
+TEST(ApiCodecTest, HostileLengthPrefixesAreRejected) {
+  // An adversarial length prefix must not drive allocation or reads.
+  std::string wire;
+  EncodeRequest(QueryRequest{.query_name = "q"}, &wire);
+  std::string huge = wire;
+  const uint32_t bogus = 0xFFFFFFFF;
+  std::memcpy(huge.data(), &bogus, sizeof(bogus));
+  size_t frame_size = 0;
+  EXPECT_EQ(ExtractFrame(huge, &frame_size), FrameStatus::kMalformed);
+  EXPECT_FALSE(DecodeRequest(huge).ok());
+  // Empty / sub-header inputs.
+  EXPECT_EQ(ExtractFrame(std::string_view(), &frame_size),
+            FrameStatus::kNeedMore);
+  EXPECT_FALSE(DecodeRequest(std::string_view()).ok());
+  EXPECT_EQ(PeekMsgType(std::string_view()), 0);
+}
+
+TEST(ApiCodecTest, FutureVersionFramesAreVersionMismatch) {
+  Rng rng(0xC0DEC + 4);
+  for (int version = kProtocolVersion + 1; version < 256; version += 37) {
+    std::string wire;
+    EncodeRequest(RandomRequest(&rng), &wire);
+    wire[6] = static_cast<char>(version);  // the header's version byte
+    Result<QueryRequest> decoded = DecodeRequest(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(ClassifyStatus(decoded.status()), ErrorCode::kVersionMismatch);
+  }
+  // Version 0 predates kMinProtocolVersion: nothing speaks it.
+  std::string wire;
+  EncodeRequest(RandomRequest(&rng), &wire);
+  wire[6] = 0;
+  Result<QueryRequest> decoded = DecodeRequest(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(ClassifyStatus(decoded.status()), ErrorCode::kVersionMismatch);
+}
+
+TEST(ApiCodecTest, EmptyQueryNameDecodesSoTheReplyKeepsItsRequestId) {
+  // A nameless request is the ENDPOINT's problem (kUnknownQuery): if the
+  // codec rejected it the reply would carry request id 0 and a
+  // pipelining client could not correlate it.
+  QueryRequest request;
+  request.analyst_id = "a";
+  request.request_id = 42;
+  std::string wire;
+  EncodeRequest(request, &wire);
+  Result<QueryRequest> decoded = DecodeRequest(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().request_id, 42u);
+  EXPECT_TRUE(decoded.value().query_name.empty());
+}
+
+TEST(ApiCodecTest, UnknownFieldsAreSkippedForForwardCompatibility) {
+  QueryRequest request;
+  request.analyst_id = "a";
+  request.request_id = 7;
+  request.query_name = "q";
+  std::string wire;
+  EncodeRequest(request, &wire);
+  // Append a field a future same-version peer might add: tag 200 with 5
+  // payload bytes, then patch the frame's length prefix.
+  wire.push_back(static_cast<char>(200));
+  const uint32_t extra_len = 5;
+  wire.append(reinterpret_cast<const char*>(&extra_len), 4);
+  wire.append("extra", 5);
+  const uint32_t payload_len = static_cast<uint32_t>(wire.size() - 4);
+  std::memcpy(wire.data(), &payload_len, sizeof(payload_len));
+
+  Result<QueryRequest> decoded = DecodeRequest(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().analyst_id, "a");
+  EXPECT_EQ(decoded.value().request_id, 7u);
+  EXPECT_EQ(decoded.value().query_name, "q");
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace pmw

@@ -1,0 +1,401 @@
+// Acceptance tests for the pmw::api front door (src/api/):
+//
+//   (a) End-to-end transcript equivalence THROUGH THE WIRE: N client
+//       threads, each on its own SocketTransport connection, drive a
+//       SocketServer -> ServerEndpoint -> Dispatcher -> PmwService; the
+//       endpoint's recorded arrival log is replayed through sequential
+//       core::PmwCm under the same seed, and answers + the privacy
+//       ledger must be bit-identical. The codec, the socket loops, the
+//       queue, and the sharded service may only ever change wall-clock.
+//   (b) The error taxonomy is lossless: every Status the lower layers
+//       emit classifies to exactly one ErrorCode, canonical statuses
+//       round-trip exactly, and protocol-level rejections (unknown
+//       query, version mismatch, quota) are typed and cost zero privacy.
+//   (c) Serving metadata rides along: epochs, hard/soft rounds,
+//       cache-hit flags, and the remaining-budget view are consistent
+//       with the mechanism's own accounting.
+//
+// The TSan CI job rebuilds this binary: the socket reader/writer threads
+// and the deferred envelope assembly run under the race detector.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/catalog.h"
+#include "api/client.h"
+#include "api/codec.h"
+#include "api/endpoint.h"
+#include "api/envelope.h"
+#include "api/error.h"
+#include "api/in_process_transport.h"
+#include "api/socket_transport.h"
+#include "core/pmw_cm.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "erm/noisy_gradient_oracle.h"
+#include "gtest/gtest.h"
+
+namespace pmw {
+namespace api {
+namespace {
+
+core::PmwOptions PracticalOptions() {
+  core::PmwOptions options;
+  options.alpha = 0.15;
+  options.beta = 0.05;
+  options.privacy = {2.0, 1e-6};
+  options.scale = 2.0;
+  options.max_queries = 400;
+  options.override_updates = 24;
+  return options;
+}
+
+class ApiTest : public ::testing::Test {
+ protected:
+  ApiTest() : universe_(3) {
+    data::Histogram dist = data::LogisticModelDistribution(
+        universe_, {1.0, -0.8, 0.5}, {0.7, 0.4, 0.5}, 0.25);
+    dataset_ = std::make_unique<data::Dataset>(
+        data::RoundedDataset(universe_, dist, 60000));
+    WorkloadSpec spec;
+    spec.family = WorkloadSpec::Family::kLipschitz;
+    spec.dim = 3;
+    names_ = catalog_.Populate(spec, 8, /*seed=*/424242, "lip/");
+  }
+
+  ServerOptions DefaultServerOptions() const {
+    ServerOptions options;
+    options.mechanism = PracticalOptions();
+    options.dispatcher.max_batch = 16;
+    options.dispatcher.max_wait = std::chrono::microseconds(2000);
+    return options;
+  }
+
+  data::LabeledHypercubeUniverse universe_;
+  QueryCatalog catalog_;
+  std::vector<std::string> names_;
+  std::unique_ptr<data::Dataset> dataset_;
+};
+
+TEST(ApiErrorTest, TaxonomyIsLosslessOverCanonicalStatuses) {
+  for (int raw = 0; raw <= static_cast<int>(ErrorCode::kInternal); ++raw) {
+    const ErrorCode code = static_cast<ErrorCode>(raw);
+    if (code == ErrorCode::kOk) continue;
+    const Status status = MakeStatus(code, "detail text");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), LegacyCode(code)) << ErrorCodeName(code);
+    // Exact recovery from the canonical tag.
+    EXPECT_EQ(ClassifyStatus(status), code) << ErrorCodeName(code);
+    // And across a wire round trip of (code, message).
+    const Status rebuilt = ToStatus(code, status.message());
+    EXPECT_EQ(ClassifyStatus(rebuilt), code) << ErrorCodeName(code);
+    EXPECT_EQ(rebuilt.message(), status.message());
+  }
+  EXPECT_EQ(ClassifyStatus(Status::Ok()), ErrorCode::kOk);
+}
+
+TEST(ApiErrorTest, LegacyStatusesClassifyAsDocumented) {
+  // What the lower layers emit today, verbatim.
+  EXPECT_EQ(ClassifyStatus(
+                Status::Halted("pmw-cm: sparse vector exhausted its T updates")),
+            ErrorCode::kHalted);
+  EXPECT_EQ(ClassifyStatus(
+                Status::ResourceExhausted("pmw-cm: k queries already answered")),
+            ErrorCode::kBudgetExhausted);
+  EXPECT_EQ(ClassifyStatus(Status::ResourceExhausted(
+                "quota: analyst 'a' exhausted its 3-query quota")),
+            ErrorCode::kQuotaExceeded);
+  EXPECT_EQ(ClassifyStatus(Status::InvalidArgument(
+                "glm oracle requires a GLM loss")),
+            ErrorCode::kMalformedRequest);
+  EXPECT_EQ(ClassifyStatus(Status::FailedPrecondition(
+                "frontend: dispatcher is shut down")),
+            ErrorCode::kShutdown);
+  EXPECT_EQ(ClassifyStatus(Status::NotConverged("solver stalled")),
+            ErrorCode::kNotConverged);
+  EXPECT_EQ(ClassifyStatus(Status::DeadlineExceeded("late")),
+            ErrorCode::kDeadlineExpired);
+  EXPECT_EQ(ClassifyStatus(Status::Internal("bug")), ErrorCode::kInternal);
+}
+
+TEST_F(ApiTest, InProcessCallsMatchSequentialMechanismBitForBit) {
+  constexpr uint64_t kSeed = 777;
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options,
+                          kSeed);
+  // verify_codec: every call crosses the real byte format both ways.
+  InProcessTransport transport(&endpoint, /*verify_codec=*/true);
+  Client client(&transport, "analyst-0");
+
+  erm::NoisyGradientOracle replay_oracle;
+  core::PmwCm sequential(dataset_.get(), &replay_oracle,
+                         options.mechanism, kSeed);
+
+  for (int j = 0; j < 40; ++j) {
+    const std::string& name = names_[static_cast<size_t>(j * 3) %
+                                     names_.size()];
+    AnswerEnvelope reply = client.Call(name);
+    Result<core::PmwAnswer> want =
+        sequential.AnswerQuery(*catalog_.Find(name));
+    ASSERT_EQ(reply.ok(), want.ok()) << "call " << j;
+    if (!want.ok()) {
+      EXPECT_EQ(reply.error, ClassifyStatus(want.status()));
+      continue;
+    }
+    ASSERT_EQ(reply.answer.size(), want.value().theta.size());
+    for (size_t i = 0; i < reply.answer.size(); ++i) {
+      EXPECT_EQ(reply.answer[i], want.value().theta[i])
+          << "call " << j << " coord " << i;
+    }
+    // Serving metadata is consistent with the sequential mechanism.
+    EXPECT_EQ(reply.meta.hard_round, want.value().was_update) << j;
+    EXPECT_EQ(reply.meta.epoch,
+              static_cast<uint64_t>(sequential.hypothesis_version()))
+        << j;
+    EXPECT_EQ(reply.meta.hard_rounds_remaining,
+              sequential.schedule().T - sequential.update_count())
+        << j;
+    EXPECT_EQ(reply.meta.epsilon_spent,
+              sequential.ledger().BasicTotal().epsilon)
+        << j;
+  }
+  endpoint.Shutdown();
+  EXPECT_EQ(endpoint.service().mechanism().ledger().Report(),
+            sequential.ledger().Report());
+  // The verify-codec loopback really produced frames.
+  EXPECT_EQ(endpoint.codec_counters().frames_encoded.load(), 2 * 40);
+  EXPECT_EQ(endpoint.codec_counters().frames_decoded.load(), 2 * 40);
+  EXPECT_EQ(endpoint.codec_counters().decode_errors.load(), 0);
+  // And the combined stats table surfaces them.
+  const std::string report = endpoint.Report();
+  EXPECT_NE(report.find("enc"), std::string::npos);
+  EXPECT_NE(report.find("80"), std::string::npos);
+}
+
+TEST_F(ApiTest, ProtocolRejectionsAreTypedAndFree) {
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.quota.per_analyst_queries = 2;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options, 5);
+  InProcessTransport transport(&endpoint);
+  Client client(&transport, "bounded");
+
+  EXPECT_TRUE(client.Call(names_[0]).ok());
+  EXPECT_TRUE(client.Call(names_[1]).ok());
+  const int events = endpoint.service().mechanism().ledger().event_count();
+  const long long answered =
+      endpoint.service().mechanism().queries_answered();
+
+  // Quota: typed, echoes the request id, costs nothing.
+  AnswerEnvelope over = client.Call(names_[2]);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error, ErrorCode::kQuotaExceeded);
+  // Ids are namespaced per client (serial << 32 | sequence); this is the
+  // client's third call.
+  EXPECT_EQ(over.request_id & 0xffffffffu, 3u);
+  EXPECT_NE(over.message.find("quota"), std::string::npos);
+
+  // Unknown catalog name: never admitted, never queued.
+  AnswerEnvelope unknown = client.Call("no-such-query");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error, ErrorCode::kUnknownQuery);
+
+  // Foreign protocol version: rejected before the catalog lookup.
+  QueryRequest alien;
+  alien.version = 99;
+  alien.analyst_id = "bounded";
+  alien.request_id = 1234;
+  alien.query_name = names_[0];
+  AnswerEnvelope mismatched = endpoint.HandleSync(alien);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.error, ErrorCode::kVersionMismatch);
+  EXPECT_EQ(mismatched.request_id, 1234u);
+
+  // None of the three rejections touched the mechanism.
+  EXPECT_EQ(endpoint.service().mechanism().ledger().event_count(), events);
+  EXPECT_EQ(endpoint.service().mechanism().queries_answered(), answered);
+  EXPECT_EQ(endpoint.quota().admitted("bounded"), 2);
+}
+
+struct ClientOutcome {
+  std::string analyst_id;
+  uint64_t request_id = 0;
+  AnswerEnvelope envelope;
+};
+
+TEST_F(ApiTest, SocketTranscriptMatchesSequentialReplayOfArrivalLog) {
+  constexpr int kAnalysts = 4;
+  constexpr int kCallsPerAnalyst = 30;
+  constexpr uint64_t kSeed = 555;
+
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.serve.num_threads = 2;
+  options.record_arrival_log = true;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options,
+                          kSeed);
+  const std::string path =
+      "/tmp/pmw_api_test_" + std::to_string(::getpid()) + ".sock";
+  SocketServer server(&endpoint, path);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Each analyst drives its own connection, closed-loop, from its own
+  // thread; the MPSC queue behind the endpoint fixes the interleaving
+  // and the arrival log records it.
+  std::mutex outcomes_mutex;
+  std::vector<ClientOutcome> outcomes;
+  std::vector<std::thread> analysts;
+  for (int a = 0; a < kAnalysts; ++a) {
+    analysts.emplace_back([this, a, &path, &outcomes_mutex, &outcomes] {
+      SocketTransport transport(path);
+      ASSERT_TRUE(transport.status().ok())
+          << transport.status().ToString();
+      Client client(&transport, "analyst-" + std::to_string(a));
+      for (int j = 0; j < kCallsPerAnalyst; ++j) {
+        const std::string& name =
+            names_[static_cast<size_t>(a * 7 + j * 3) % names_.size()];
+        ClientOutcome outcome;
+        outcome.analyst_id = client.analyst_id();
+        outcome.envelope = client.Call(name);
+        outcome.request_id = outcome.envelope.request_id;
+        std::lock_guard<std::mutex> lock(outcomes_mutex);
+        outcomes.push_back(std::move(outcome));
+      }
+      transport.Close();
+    });
+  }
+  for (std::thread& t : analysts) t.join();
+  server.Shutdown();
+  endpoint.Shutdown();
+
+  const std::vector<ServerEndpoint::ArrivalRecord> arrivals =
+      endpoint.ArrivalLog();
+  ASSERT_EQ(arrivals.size(),
+            static_cast<size_t>(kAnalysts * kCallsPerAnalyst));
+
+  std::map<std::pair<std::string, uint64_t>, const ClientOutcome*> by_key;
+  for (const ClientOutcome& outcome : outcomes) {
+    by_key[{outcome.analyst_id, outcome.request_id}] = &outcome;
+  }
+
+  // Replay the recorded interleaving through the sequential mechanism.
+  erm::NoisyGradientOracle replay_oracle;
+  core::PmwCm sequential(dataset_.get(), &replay_oracle,
+                         options.mechanism, kSeed);
+  for (size_t position = 0; position < arrivals.size(); ++position) {
+    const ServerEndpoint::ArrivalRecord& record = arrivals[position];
+    auto it = by_key.find({record.analyst_id, record.client_request_id});
+    ASSERT_NE(it, by_key.end()) << "position " << position;
+    const AnswerEnvelope& got = it->second->envelope;
+    Result<core::PmwAnswer> want =
+        sequential.AnswerQuery(*catalog_.Find(record.query_name));
+    ASSERT_EQ(got.ok(), want.ok()) << "position " << position;
+    if (!want.ok()) {
+      EXPECT_EQ(got.error, ClassifyStatus(want.status()));
+      continue;
+    }
+    ASSERT_EQ(got.answer.size(), want.value().theta.size());
+    for (size_t i = 0; i < got.answer.size(); ++i) {
+      // Exact, not NEAR: the claim is bit-identical transcripts, across
+      // a real socket and the binary codec.
+      EXPECT_EQ(got.answer[i], want.value().theta[i])
+          << "position " << position << " coord " << i;
+    }
+    EXPECT_EQ(got.meta.hard_round, want.value().was_update)
+        << "position " << position;
+  }
+
+  // The scenario exercised hard rounds, and the ledgers agree
+  // event-for-event (labels, params, commit sequence numbers).
+  EXPECT_GT(sequential.update_count(), 0);
+  EXPECT_EQ(endpoint.service().mechanism().ledger().Report(),
+            sequential.ledger().Report());
+  EXPECT_EQ(endpoint.service().mechanism().queries_answered(),
+            sequential.queries_answered());
+
+  // Wire accounting: one decoded request and one encoded reply per call.
+  EXPECT_EQ(endpoint.codec_counters().frames_decoded.load(),
+            kAnalysts * kCallsPerAnalyst);
+  EXPECT_EQ(endpoint.codec_counters().frames_encoded.load(),
+            kAnalysts * kCallsPerAnalyst);
+  EXPECT_EQ(endpoint.codec_counters().decode_errors.load(), 0);
+  EXPECT_GT(endpoint.codec_counters().bytes_in.load(), 0);
+  EXPECT_GT(endpoint.codec_counters().bytes_out.load(), 0);
+}
+
+TEST_F(ApiTest, SocketServerAnswersMalformedFramesWithTypedEnvelopes) {
+  erm::NoisyGradientOracle oracle;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_,
+                          DefaultServerOptions(), 9);
+  const std::string path =
+      "/tmp/pmw_api_mal_" + std::to_string(::getpid()) + ".sock";
+  SocketServer server(&endpoint, path);
+  ASSERT_TRUE(server.Start().ok());
+  SocketTransport transport(path);
+  ASSERT_TRUE(transport.status().ok());
+  Client client(&transport, "prober");
+
+  // A healthy call first, proving the channel works...
+  EXPECT_TRUE(client.Call(names_[0]).ok());
+
+  // ...then a future-version frame over a RAW socket: the server must
+  // answer with a typed kVersionMismatch envelope (request id 0 — the id
+  // was unrecoverable) instead of crashing or going silent.
+  QueryRequest alien;
+  alien.analyst_id = "prober";
+  alien.request_id = 99;
+  alien.query_name = names_[0];
+  std::string wire;
+  EncodeRequest(alien, &wire);
+  wire[6] = 42;  // foreign version byte
+
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(address.sun_path));
+  std::memcpy(address.sun_path, path.data(), path.size());
+  const int raw_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(raw_fd, 0);
+  ASSERT_EQ(::connect(raw_fd, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  ASSERT_EQ(::write(raw_fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  std::string reply_bytes;
+  size_t frame_size = 0;
+  while (ExtractFrame(reply_bytes, &frame_size) == FrameStatus::kNeedMore) {
+    char chunk[4096];
+    const ssize_t n = ::read(raw_fd, chunk, sizeof(chunk));
+    ASSERT_GT(n, 0) << "server closed without answering";
+    reply_bytes.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(raw_fd);
+  Result<AnswerEnvelope> reply =
+      DecodeAnswer(std::string_view(reply_bytes).substr(0, frame_size));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().error, ErrorCode::kVersionMismatch);
+  EXPECT_EQ(reply.value().request_id, 0u);
+
+  transport.Close();
+  server.Shutdown();
+  endpoint.Shutdown();
+  // The healthy call is the only mechanism traffic; the malformed frame
+  // cost one decode error and zero privacy.
+  EXPECT_EQ(endpoint.service().mechanism().queries_answered(), 1);
+  EXPECT_EQ(endpoint.codec_counters().decode_errors.load(), 1);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace pmw

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/error.h"
 #include "common/random.h"
 #include "core/pmw_cm.h"
 #include "data/binary_universe.h"
@@ -78,7 +79,7 @@ struct SubmittedRequest {
   uint64_t id = 0;
   size_t pool_index = 0;
   std::string analyst;
-  std::future<Result<convex::Vec>> future;
+  std::future<Served> future;
 };
 
 TEST_F(FrontendTest, TranscriptMatchesSequentialReplayOfArrivalLog) {
@@ -149,7 +150,7 @@ TEST_F(FrontendTest, TranscriptMatchesSequentialReplayOfArrivalLog) {
     SubmittedRequest& request = *it->second;
     Result<core::PmwAnswer> want =
         sequential.AnswerQuery(pool_[request.pool_index]);
-    Result<convex::Vec> got = request.future.get();
+    Result<convex::Vec> got = request.future.get().answer;
     ASSERT_EQ(got.ok(), want.ok()) << "position " << position;
     if (!want.ok()) {
       EXPECT_EQ(got.status().code(), want.status().code());
@@ -204,7 +205,7 @@ TEST_F(FrontendTest, QuotaRejectionConsumesZeroPrivacyBudget) {
   // First 3 are admitted and served.
   for (int j = 0; j < 3; ++j) {
     Result<convex::Vec> answer =
-        session.Submit(pool_[static_cast<size_t>(j)]).get();
+        session.Submit(pool_[static_cast<size_t>(j)]).get().answer;
     EXPECT_TRUE(answer.ok()) << answer.status().ToString();
   }
   const int events_before = service.mechanism().ledger().event_count();
@@ -214,7 +215,7 @@ TEST_F(FrontendTest, QuotaRejectionConsumesZeroPrivacyBudget) {
 
   // The next 5 are rejected at the front door with a typed error...
   for (int j = 0; j < 5; ++j) {
-    Result<convex::Vec> rejected = session.Submit(pool_[0]).get();
+    Result<convex::Vec> rejected = session.Submit(pool_[0]).get().answer;
     ASSERT_FALSE(rejected.ok());
     EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
     EXPECT_NE(rejected.status().message().find("quota"), std::string::npos);
@@ -268,7 +269,7 @@ TEST_F(FrontendTest, GlobalQuotaAppliesAcrossAnalysts) {
   for (int a = 0; a < 3; ++a) {
     AnalystSession session(&dispatcher, "a" + std::to_string(a));
     for (int j = 0; j < 2; ++j) {
-      Result<convex::Vec> answer = session.Submit(pool_[0]).get();
+      Result<convex::Vec> answer = session.Submit(pool_[0]).get().answer;
       if (answer.ok()) {
         ++served;
       } else {
@@ -363,12 +364,59 @@ TEST_F(FrontendTest, SubmitAfterShutdownResolvesWithTypedError) {
   dispatcher.Shutdown();
 
   Result<convex::Vec> result =
-      dispatcher.Submit("late-analyst", pool_[0]).get();
+      dispatcher.Submit("late-analyst", pool_[0]).get().answer;
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(dispatcher.stats().shutdown_rejected, 1);
   // Shutdown is idempotent.
   dispatcher.Shutdown();
+}
+
+TEST_F(FrontendTest, ExpiredDeadlineResolvesTypedAtZeroPrivacyCost) {
+  erm::NoisyGradientOracle oracle;
+  serve::PmwService service(dataset_.get(), &oracle, PracticalOptions(), 21);
+  QuotaOptions quota_options;
+  quota_options.per_analyst_queries = 4;
+  QuotaManager quota(&service, quota_options);
+  Dispatcher dispatcher(&service, &quota, nullptr);
+  AnalystSession session(&dispatcher, "deadline-analyst");
+
+  // Warm the mechanism so the ledger is non-trivial before the expiry.
+  ASSERT_TRUE(session.Submit(pool_[0]).get().answer.ok());
+  const int events_before = service.mechanism().ledger().event_count();
+  const dp::PrivacyParams spent_before =
+      service.mechanism().ledger().BasicTotal();
+  const long long answered_before = service.mechanism().queries_answered();
+  const long long admitted_before = quota.admitted("deadline-analyst");
+
+  // A deadline already in the past when the dispatcher pops the request:
+  // it expires in-queue with the typed taxonomy error.
+  const auto already_expired =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  Result<convex::Vec> late =
+      session.Submit(pool_[1], nullptr, already_expired).get().answer;
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(api::ClassifyStatus(late.status()),
+            api::ErrorCode::kDeadlineExpired);
+
+  // ...at zero privacy cost: the mechanism never saw the query (no
+  // ledger event, no k-query slot) and the quota slot was refunded.
+  EXPECT_EQ(service.mechanism().ledger().event_count(), events_before);
+  EXPECT_EQ(service.mechanism().ledger().BasicTotal().epsilon,
+            spent_before.epsilon);
+  EXPECT_EQ(service.mechanism().ledger().BasicTotal().delta,
+            spent_before.delta);
+  EXPECT_EQ(service.mechanism().queries_answered(), answered_before);
+  EXPECT_EQ(quota.admitted("deadline-analyst"), admitted_before);
+  EXPECT_EQ(dispatcher.stats().deadline_expired, 1);
+
+  // A roomy deadline serves normally (and still counts one expiry only).
+  const auto roomy =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  EXPECT_TRUE(session.Submit(pool_[2], nullptr, roomy).get().answer.ok());
+  dispatcher.Shutdown();
+  EXPECT_EQ(dispatcher.stats().deadline_expired, 1);
 }
 
 TEST_F(FrontendTest, BackpressureOnTinyQueueStillServesEverything) {
@@ -395,7 +443,8 @@ TEST_F(FrontendTest, BackpressureOnTinyQueueStillServesEverything) {
         Result<convex::Vec> answer =
             session
                 .Submit(pool_[static_cast<size_t>(a + j) % pool_.size()])
-                .get();
+                .get()
+                .answer;
         if (answer.ok()) ok_count.fetch_add(1, std::memory_order_relaxed);
       }
     });
