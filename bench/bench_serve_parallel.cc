@@ -1,23 +1,36 @@
-// Throughput of the sharded serving path (serve v2) versus thread count,
-// on a hypothesis-heavy workload: a near-uniform dataset keeps the sparse
-// vector answering kBottom, so per-query cost is dominated by preparation
-// (two solves against the hypothesis snapshot) — exactly the
-// embarrassingly parallel work the shard executor fans out. Queries are
-// all distinct so shard-local dedup cannot mask the scaling.
+// Two serving-layer scaling gates in one binary:
 //
-// The acceptance gate for the concurrency substrate is >= 2.5x
-// queries/sec at 4 threads over 1 thread. The gate needs hardware to
-// scale on: with fewer than 4 cores the run still prints the table (the
-// numbers are useful for spotting locking overhead) but exits SKIP
-// instead of FAIL, since no scheduler can conjure parallel speedup out
-// of one core. CI runs this on 4-vCPU runners.
+// 1. Prepare path (PR 2, default mode): throughput versus thread count
+//    on a hypothesis-heavy workload — a near-uniform dataset keeps the
+//    sparse vector answering kBottom, so per-query cost is dominated by
+//    preparation (two solves against the hypothesis snapshot), the
+//    embarrassingly parallel work the shard executor fans out. Gate:
+//    >= 2.5x queries/sec at 4 threads over 1 thread.
 //
-// Transcript safety is asserted, not assumed: every configuration must
-// produce the same bottom/update/error counts (same seed => same
-// transcript; serve_parallel_test checks value-level identity).
+// 2. MW-update path (PR 5, also via --shards=K): the domain-sharded
+//    hypothesis. A point-mass dataset makes the uniform hypothesis
+//    maximally wrong, so the sparse vector fires kTop round after round
+//    and the cost that matters is the MW-update path — the
+//    dual-certificate payoff over all of X plus the sharded
+//    reweigh/renormalize — which serve::ShardRouter fans across the
+//    pool. The measured quantity is core::MwUpdateTiming (the update
+//    path alone; oracle solves and prepares excluded — they are the
+//    sequential part sharding cannot touch). Gate: >= 2x MW-update-path
+//    throughput at --shards=4 over --shards=1. Updates per config must
+//    be identical (sharding is bit-invariant), so the ratio is pure
+//    wall-clock.
+//
+// Both gates need hardware to scale on: with fewer than 4 cores the run
+// still prints the tables but exits SKIP instead of FAIL, since no
+// scheduler can conjure parallel speedup out of one core. CI runs this
+// on 4-vCPU runners. Transcript safety is asserted, not assumed: every
+// configuration must produce the same bottom/update/error counts
+// (serve_sharded_test checks value-level identity).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <span>
 #include <thread>
 #include <vector>
@@ -39,6 +52,13 @@ constexpr int kDim = 6;
 constexpr int kRecords = 200000;
 constexpr int kTotalQueries = 768;
 constexpr size_t kBatchSize = 256;
+
+// MW-update-path (sharded) mode parameters: a bigger universe so one
+// update is real work, a point-mass dataset so updates actually fire.
+constexpr int kMwDim = 12;  // |X| = 2^13 = 8192
+constexpr int kMwQueries = 96;
+constexpr int kMwUpdates = 64;
+constexpr int kMwThreads = 4;
 
 struct BenchResult {
   double queries_per_sec = 0.0;
@@ -84,6 +104,138 @@ BenchResult RunAtThreads(const data::Dataset& dataset,
   result.updates = service.stats().updates;
   result.errors = service.stats().errors;
   return result;
+}
+
+struct MwBenchResult {
+  long long updates = 0;
+  long long bottom = 0;
+  long long errors = 0;
+  double mw_ms = 0.0;
+  double updates_per_sec = 0.0;
+};
+
+/// One sharded configuration of the MW-update-path bench: fixed thread
+/// pool, varying domain-shard count. Batches of 1 so re-prepares never
+/// pollute the measurement — the gate is about the update path.
+MwBenchResult RunMwAtShards(const data::Dataset& dataset,
+                            const std::vector<convex::CmQuery>& workload,
+                            int num_shards) {
+  erm::NonPrivateOracle oracle;
+  core::PmwOptions options;
+  options.alpha = 0.02;  // low threshold: the point-mass data fires kTop
+  options.beta = 0.05;
+  options.privacy = {8.0, 1e-6};
+  options.max_queries = 2 * kMwQueries;
+  options.override_updates = kMwUpdates;
+  options.solver.max_iters = 40;  // bound the (unsharded) prepare cost
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = kMwThreads;
+  serve_options.num_shards = num_shards;
+  serve::PmwService service(&dataset, &oracle, options, /*seed=*/4321,
+                            serve_options);
+
+  for (const convex::CmQuery& query : workload) {
+    Result<convex::Vec> result = service.Answer(query);
+    if (!result.ok() && result.status().code() != StatusCode::kHalted) {
+      std::fprintf(stderr, "serve error: %s\n",
+                   result.status().ToString().c_str());
+      return {};
+    }
+  }
+
+  MwBenchResult result;
+  result.updates = service.stats().updates;
+  result.bottom = service.stats().bottom_answers;
+  result.errors = service.stats().errors;
+  result.mw_ms = service.stats().mw_update_ms;
+  result.updates_per_sec =
+      result.mw_ms > 0.0
+          ? static_cast<double>(result.updates) / (result.mw_ms / 1e3)
+          : 0.0;
+  return result;
+}
+
+/// The sharded MW-update-path phase; returns the process exit code.
+/// `gate_shards` <= 1 runs the default sweep {1, 2, 4} and gates 4 vs 1.
+int RunMwPhase(int gate_shards, unsigned cores) {
+  data::LabeledHypercubeUniverse universe(kMwDim);
+  // Point mass: the uniform initial hypothesis is maximally wrong, so
+  // hard rounds fire until the update budget is spent — the MW-heavy
+  // steady state the shard gate measures.
+  std::vector<double> weights(static_cast<size_t>(universe.size()), 1e-12);
+  weights[0] = 1.0;
+  data::Histogram point_mass = data::Histogram::FromWeights(weights);
+  data::Dataset dataset =
+      data::RoundedDataset(universe, point_mass, kRecords);
+
+  losses::LipschitzFamily family(kMwDim);
+  Rng rng(77);
+  std::vector<convex::CmQuery> workload = family.Generate(kMwQueries, &rng);
+
+  std::printf(
+      "\nMW-update path (domain-sharded): |X|=%d, n=%d, queries=%d, "
+      "T=%d, threads=%d\n",
+      universe.size(), kRecords, kMwQueries, kMwUpdates, kMwThreads);
+
+  // --shards=K runs {1, K} ({1} alone for K=1: the baseline-only
+  // invocation); the default sweep is {1, 2, 4}.
+  std::vector<int> shard_counts;
+  if (gate_shards == 1) {
+    shard_counts = {1};
+  } else if (gate_shards > 1) {
+    shard_counts = {1, gate_shards};
+  } else {
+    shard_counts = {1, 2, 4};
+  }
+  TablePrinter table({"shards", "updates", "mw_ms", "mw_upd/s"});
+  MwBenchResult baseline;
+  MwBenchResult gated;
+  bool transcripts_agree = true;
+  for (int shards : shard_counts) {
+    MwBenchResult result = RunMwAtShards(dataset, workload, shards);
+    if (shards == 1) baseline = result;
+    if (shards == shard_counts.back()) gated = result;
+    transcripts_agree = transcripts_agree &&
+                        result.updates == baseline.updates &&
+                        result.bottom == baseline.bottom &&
+                        result.errors == baseline.errors;
+    table.AddRow({std::to_string(shards), std::to_string(result.updates),
+                  TablePrinter::Fmt(result.mw_ms, 2),
+                  TablePrinter::Fmt(result.updates_per_sec, 1)});
+  }
+  table.Print();
+
+  if (!transcripts_agree) {
+    std::printf("RESULT: FAIL (transcript counters diverged across shard "
+                "counts)\n");
+    return 1;
+  }
+  const int top = shard_counts.back();
+  double speedup = baseline.updates_per_sec > 0.0
+                       ? gated.updates_per_sec / baseline.updates_per_sec
+                       : 0.0;
+  std::printf(
+      "MW-update-path speedup at shards=%d vs shards=1: %.2fx "
+      "(gate: >= 2x at shards=4)\n",
+      top, speedup);
+  if (cores < 4) {
+    std::printf("RESULT: SKIP (only %u hardware core(s); the >= 2x gate "
+                "needs 4)\n",
+                cores);
+    return 0;
+  }
+  if (top < 4) {
+    std::printf("RESULT: SKIP (gate applies at --shards=4)\n");
+    return 0;
+  }
+  if (baseline.updates < kMwUpdates / 4) {
+    std::printf("RESULT: FAIL (only %lld hard rounds fired; the MW gate "
+                "needs a hot update path)\n",
+                baseline.updates);
+    return 1;
+  }
+  std::printf(speedup >= 2.0 ? "RESULT: PASS\n" : "RESULT: FAIL\n");
+  return speedup >= 2.0 ? 0 : 1;
 }
 
 int Main() {
@@ -149,4 +301,27 @@ int Main() {
 }  // namespace
 }  // namespace pmw
 
-int main() { return pmw::Main(); }
+int main(int argc, char** argv) {
+  // --shards=K runs only the MW-update-path phase at {1, K} (the PR 5
+  // gate invocation is `--shards=4`); no argument runs both phases.
+  int gate_shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      gate_shards = std::atoi(argv[i] + 9);
+      if (gate_shards < 1) {
+        std::fprintf(stderr, "bad --shards value: %s\n", argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards=K]\n", argv[0]);
+      return 2;
+    }
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (gate_shards > 0) {
+    return pmw::RunMwPhase(gate_shards, cores);
+  }
+  const int prepare_code = pmw::Main();
+  const int mw_code = pmw::RunMwPhase(0, cores);
+  return prepare_code != 0 ? prepare_code : mw_code;
+}

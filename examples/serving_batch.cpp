@@ -1,14 +1,18 @@
-// Serving query traffic in coalesced batches — through the api layer.
+// Serving query traffic in coalesced batches — through the api layer,
+// over a domain-sharded hypothesis.
 //
 // One client keeps a window of CallAsync() requests in flight; behind
 // the front door the dispatcher coalesces them into dynamic batches for
 // the sharded serving engine: a pool of workers prepares each batch's
 // queries in parallel against an immutable per-epoch hypothesis
 // snapshot, and the single writer commits answers in arrival order.
+// With serve.num_shards > 1 the hypothesis itself is partitioned into
+// domain shards, so each hard round's MW update also fans across the
+// pool (ServingMeta reports the shard count back with every answer).
 // Repeated names are prepared once per batch and reused across batches
 // by the epoch-keyed plan cache. Answers and the privacy ledger are
-// bit-identical to the sequential mechanism at any thread count or
-// window size.
+// bit-identical to the sequential mechanism at any shard count, thread
+// count, or window size.
 //
 // Build & run:  ./build/serving_batch
 
@@ -45,6 +49,7 @@ int main() {
   options.mechanism.max_queries = 100000;
   options.mechanism.override_updates = 16;
   options.serve.num_threads = 4;  // shard each batch across 4 workers
+  options.serve.num_shards = 4;   // partition the hypothesis 4 ways too
   options.dispatcher.max_batch = 64;
   api::ServerEndpoint server(&dataset, &catalog, options, /*seed=*/1);
   api::InProcessTransport transport(&server);
@@ -65,17 +70,21 @@ int main() {
     }
   }
   double eps_spent = 0.0;
+  unsigned shards = 0;
   while (!in_flight.empty()) {
     api::AnswerEnvelope reply = in_flight.front().get();
     in_flight.pop_front();
     if (reply.ok()) {
       ++answered;
       eps_spent = reply.meta.epsilon_spent;
+      shards = reply.meta.shards;
     }
   }
   server.Shutdown();
 
-  std::printf("%d/%d requests answered\n", answered, kRequests);
+  std::printf("%d/%d requests answered (hypothesis served from %u domain "
+              "shards)\n",
+              answered, kRequests, shards);
   std::printf("%s\n", server.Report().c_str());
   std::printf("privacy spent (basic): eps=%.3f\n", eps_spent);
   return 0;

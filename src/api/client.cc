@@ -43,5 +43,45 @@ AnswerEnvelope Client::Call(const std::string& query_name,
   return CallAsync(query_name, deadline).get();
 }
 
+std::vector<std::future<AnswerEnvelope>> Client::CallBatchAsync(
+    const std::vector<std::string>& query_names,
+    std::chrono::microseconds deadline) {
+  if (query_names.empty()) return {};
+  QueryRequest request;
+  request.version = kProtocolVersion;
+  request.analyst_id = analyst_id_;
+  // Reserve the whole id run: reply i correlates as request_id + i.
+  request.request_id = next_request_id_.fetch_add(
+      query_names.size(), std::memory_order_relaxed);
+  request.deadline_micros =
+      deadline.count() > 0
+          ? static_cast<uint64_t>(deadline.count())
+          : (deadline.count() < 0 ? uint64_t{1} : uint64_t{0});
+  request.query_names = query_names;
+  return transport_->SendBatch(std::move(request));
+}
+
+std::vector<AnswerEnvelope> Client::CallBatch(
+    const std::vector<std::string>& query_names,
+    std::chrono::microseconds deadline) {
+  std::vector<std::future<AnswerEnvelope>> replies =
+      CallBatchAsync(query_names, deadline);
+  std::vector<AnswerEnvelope> envelopes;
+  envelopes.reserve(replies.size());
+  for (std::future<AnswerEnvelope>& reply : replies) {
+    envelopes.push_back(reply.get());
+  }
+  return envelopes;
+}
+
+AnswerEnvelope Client::Stats() {
+  StatsRequest request;
+  request.version = kProtocolVersion;
+  request.analyst_id = analyst_id_;
+  request.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  return transport_->SendStats(std::move(request)).get();
+}
+
 }  // namespace api
 }  // namespace pmw

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <future>
 #include <string>
+#include <vector>
 
 #include "api/envelope.h"
 #include "api/transport.h"
@@ -45,6 +46,28 @@ class Client {
   std::future<AnswerEnvelope> CallAsync(
       const std::string& query_name,
       std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  /// Batched wire call: asks every named query with ONE request frame
+  /// (the socket transport pays one write syscall for the whole batch)
+  /// and blocks for all replies — one envelope per name, positionally.
+  /// The names occupy consecutive request ids, reserved here, so replies
+  /// correlate even when pipelined with other calls.
+  std::vector<AnswerEnvelope> CallBatch(
+      const std::vector<std::string>& query_names,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  /// Fire-and-collect variant of CallBatch (same deferred-future caveat
+  /// as CallAsync over the in-process transport).
+  std::vector<std::future<AnswerEnvelope>> CallBatchAsync(
+      const std::vector<std::string>& query_names,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  /// Typed stats/budget poll (zero privacy cost): the reply's message is
+  /// the server's Report() text and its meta carries the live
+  /// remaining-budget view — hard rounds left, eps/delta spent, epoch,
+  /// shard count. What a remote analyst dashboards instead of the
+  /// C++-only accessors.
+  AnswerEnvelope Stats();
 
   const std::string& analyst_id() const { return analyst_id_; }
 

@@ -13,6 +13,9 @@ constexpr uint8_t kReqAnalystId = 1;
 constexpr uint8_t kReqRequestId = 2;
 constexpr uint8_t kReqDeadline = 3;
 constexpr uint8_t kReqQueryName = 4;
+// Batched names (one frame, many catalog names): appended within v1, so
+// pre-batch decoders skip it under the unknown-field rule.
+constexpr uint8_t kReqQueryNames = 5;
 
 // Answer field tags.
 constexpr uint8_t kAnsRequestId = 1;
@@ -21,7 +24,15 @@ constexpr uint8_t kAnsMessage = 3;
 constexpr uint8_t kAnsAnswer = 4;
 constexpr uint8_t kAnsMeta = 5;
 
+// Stats-request field tags.
+constexpr uint8_t kStatsAnalystId = 1;
+constexpr uint8_t kStatsRequestId = 2;
+
+// The v1 baseline serving-metadata layout; later same-version fields
+// (the shard count) append after it and pre-shard decoders ignore the
+// tail, exactly like unknown tagged fields.
 constexpr size_t kMetaBytes = 8 + 1 + 1 + 8 + 8 + 8;
+constexpr size_t kMetaShardsBytes = kMetaBytes + 4;
 
 // --- little-endian scalar append/read helpers -----------------------------
 
@@ -167,6 +178,24 @@ void EncodeRequest(const QueryRequest& request, std::string* out) {
     AppendScalarField(kReqDeadline, request.deadline_micros, out);
   }
   AppendField(kReqQueryName, request.query_name, out);
+  if (!request.query_names.empty()) {
+    // Batched names: u32 count, then (u32 len | bytes) per name.
+    std::string payload;
+    AppendScalar<uint32_t>(
+        static_cast<uint32_t>(request.query_names.size()), &payload);
+    for (const std::string& name : request.query_names) {
+      AppendScalar<uint32_t>(static_cast<uint32_t>(name.size()), &payload);
+      payload.append(name);
+    }
+    AppendField(kReqQueryNames, payload, out);
+  }
+  EndFrame(prefix_at, out);
+}
+
+void EncodeStatsRequest(const StatsRequest& request, std::string* out) {
+  const size_t prefix_at = BeginFrame(kMsgTypeStats, request.version, out);
+  AppendField(kStatsAnalystId, request.analyst_id, out);
+  AppendScalarField(kStatsRequestId, request.request_id, out);
   EndFrame(prefix_at, out);
 }
 
@@ -194,6 +223,7 @@ void EncodeAnswer(const AnswerEnvelope& envelope, std::string* out) {
     AppendScalar<int64_t>(envelope.meta.hard_rounds_remaining, &payload);
     AppendScalar<double>(envelope.meta.epsilon_spent, &payload);
     AppendScalar<double>(envelope.meta.delta_spent, &payload);
+    AppendScalar<uint32_t>(envelope.meta.shards, &payload);
     AppendField(kAnsMeta, payload, out);
   }
   EndFrame(prefix_at, out);
@@ -243,6 +273,34 @@ Result<QueryRequest> DecodeRequest(std::string_view frame) {
       case kReqQueryName:
         request.query_name.assign(payload.data(), payload.size());
         break;
+      case kReqQueryNames: {
+        if (payload.size() < 4) {
+          return Malformed("batched names shorter than the count");
+        }
+        const uint32_t count = ReadScalar<uint32_t>(payload.data());
+        // Each name costs at least its 4-byte length header; an
+        // adversarial count cannot drive allocation past the frame.
+        if (size_t{count} > (payload.size() - 4) / 4) {
+          return Malformed("batched-name count exceeds the field");
+        }
+        request.query_names.clear();
+        request.query_names.reserve(count);
+        size_t offset = 4;
+        for (uint32_t i = 0; i < count; ++i) {
+          if (payload.size() - offset < 4) {
+            return Malformed("truncated batched-name length");
+          }
+          const uint32_t len =
+              ReadScalar<uint32_t>(payload.data() + offset);
+          offset += 4;
+          if (payload.size() - offset < len) {
+            return Malformed("truncated batched name");
+          }
+          request.query_names.emplace_back(payload.data() + offset, len);
+          offset += len;
+        }
+        break;
+      }
       default:
         break;  // unknown field: skip (forward compatibility)
     }
@@ -250,6 +308,35 @@ Result<QueryRequest> DecodeRequest(std::string_view frame) {
   // An empty/missing query_name is left to the endpoint (kUnknownQuery):
   // rejecting it here would lose the request id and force the reply to
   // carry id 0, which a pipelining client cannot correlate.
+  return request;
+}
+
+Result<StatsRequest> DecodeStatsRequest(std::string_view frame) {
+  std::string_view fields;
+  Status header = OpenFrame(frame, kMsgTypeStats, &fields);
+  if (!header.ok()) return header;
+  StatsRequest request;
+  request.version = static_cast<uint8_t>(frame[6]);
+  FieldCursor cursor(fields);
+  while (!cursor.Done()) {
+    uint8_t tag;
+    std::string_view payload;
+    if (!cursor.Next(&tag, &payload)) {
+      return Malformed("truncated stats field");
+    }
+    switch (tag) {
+      case kStatsAnalystId:
+        request.analyst_id.assign(payload.data(), payload.size());
+        break;
+      case kStatsRequestId:
+        if (!ReadExactScalar(payload, &request.request_id)) {
+          return Malformed("stats request_id is not a u64");
+        }
+        break;
+      default:
+        break;  // unknown field: skip (forward compatibility)
+    }
+  }
   return request;
 }
 
@@ -311,6 +398,11 @@ Result<AnswerEnvelope> DecodeAnswer(std::string_view frame) {
         envelope.meta.hard_rounds_remaining = ReadScalar<int64_t>(p + 10);
         envelope.meta.epsilon_spent = ReadScalar<double>(p + 18);
         envelope.meta.delta_spent = ReadScalar<double>(p + 26);
+        // Appended within v1: pre-shard peers emit (and expect) only the
+        // baseline layout, so the tail is optional on decode.
+        if (payload.size() >= kMetaShardsBytes) {
+          envelope.meta.shards = ReadScalar<uint32_t>(p + 34);
+        }
         break;
       }
       default:

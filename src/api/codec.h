@@ -6,7 +6,8 @@
 //   ---- payload ----
 //   u16  magic = 0x4d50       "PM"
 //   u8   version              protocol version of the sender
-//   u8   msg_type             1 = QueryRequest, 2 = AnswerEnvelope
+//   u8   msg_type             1 = QueryRequest, 2 = AnswerEnvelope,
+//                             3 = StatsRequest
 //   field*                    tagged fields, any order
 //
 //   field := u8 tag | u32 len | len bytes
@@ -42,10 +43,15 @@ inline constexpr size_t kMaxFramePayload = size_t{1} << 24;
 
 inline constexpr uint8_t kMsgTypeRequest = 1;
 inline constexpr uint8_t kMsgTypeAnswer = 2;
+inline constexpr uint8_t kMsgTypeStats = 3;
 
-/// Appends one complete frame (length prefix included) to *out.
+/// Appends one complete frame (length prefix included) to *out. A
+/// request with a non-empty query_names vector encodes the batched
+/// tagged field (one frame, many names) — still a v1 frame that older
+/// same-version decoders skip field-wise.
 void EncodeRequest(const QueryRequest& request, std::string* out);
 void EncodeAnswer(const AnswerEnvelope& envelope, std::string* out);
+void EncodeStatsRequest(const StatsRequest& request, std::string* out);
 
 /// Stream framing: is a complete frame sitting at the front of `buffer`?
 enum class FrameStatus {
@@ -63,6 +69,7 @@ uint8_t PeekMsgType(std::string_view frame);
 /// kProtocolVersion], kMalformedRequest for everything else.
 Result<QueryRequest> DecodeRequest(std::string_view frame);
 Result<AnswerEnvelope> DecodeAnswer(std::string_view frame);
+Result<StatsRequest> DecodeStatsRequest(std::string_view frame);
 
 }  // namespace api
 }  // namespace pmw

@@ -137,6 +137,57 @@ std::future<AnswerEnvelope> ServerEndpoint::Handle(QueryRequest request) {
       });
 }
 
+std::vector<std::future<AnswerEnvelope>> ServerEndpoint::HandleBatch(
+    QueryRequest request) {
+  std::vector<std::future<AnswerEnvelope>> replies;
+  if (request.query_names.empty()) {
+    replies.push_back(Handle(std::move(request)));
+    return replies;
+  }
+  replies.reserve(request.query_names.size());
+  for (size_t i = 0; i < request.query_names.size(); ++i) {
+    QueryRequest single;
+    single.version = request.version;
+    single.analyst_id = request.analyst_id;
+    single.request_id = request.request_id + i;
+    single.deadline_micros = request.deadline_micros;
+    single.query_name = request.query_names[i];
+    replies.push_back(Handle(std::move(single)));
+  }
+  return replies;
+}
+
+AnswerEnvelope ServerEndpoint::HandleStats(const StatsRequest& request) {
+  AnswerEnvelope envelope;
+  envelope.request_id = request.request_id;
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
+    envelope.error = ErrorCode::kVersionMismatch;
+    envelope.message =
+        "endpoint: stats request speaks protocol version " +
+        std::to_string(request.version) + "; this endpoint speaks [" +
+        std::to_string(kMinProtocolVersion) + ", " +
+        std::to_string(kProtocolVersion) + "]";
+    return envelope;
+  }
+  envelope.version = request.version;
+  envelope.message = Report();
+  // The live budget view, through the same locked reads Finish uses.
+  envelope.meta.hard_rounds_remaining = quota_->HardRoundsRemaining();
+  const dp::PrivacyParams spent =
+      service_->mechanism().ledger().BasicTotal();
+  envelope.meta.epsilon_spent = spent.epsilon;
+  envelope.meta.delta_spent = spent.delta;
+  envelope.meta.shards = static_cast<uint32_t>(service_->num_shards());
+  // The epoch holder is the mutex-guarded view of the hypothesis
+  // version (the live counter belongs to the serving writer).
+  std::shared_ptr<const serve::Epoch> epoch = service_->epochs().Current();
+  if (epoch != nullptr) {
+    envelope.meta.epoch = static_cast<uint64_t>(epoch->snapshot.version);
+  }
+  return envelope;
+}
+
 AnswerEnvelope ServerEndpoint::HandleSync(QueryRequest request) {
   return Handle(std::move(request)).get();
 }
@@ -194,12 +245,14 @@ AnswerEnvelope ServerEndpoint::Finish(uint8_t version, uint64_t request_id,
   // The remaining-budget view: what the ledger says has been spent, and
   // how many hard rounds are left before the sparse vector halts. Both
   // reads go through the ledger's own lock, so any completion thread may
-  // assemble envelopes while the writer keeps serving.
+  // assemble envelopes while the writer keeps serving. The shard count
+  // is fixed at construction, so reading it here is race-free too.
   envelope.meta.hard_rounds_remaining = quota_->HardRoundsRemaining();
   const dp::PrivacyParams spent =
       service_->mechanism().ledger().BasicTotal();
   envelope.meta.epsilon_spent = spent.epsilon;
   envelope.meta.delta_spent = spent.delta;
+  envelope.meta.shards = static_cast<uint32_t>(service_->num_shards());
   return envelope;
 }
 
@@ -232,7 +285,9 @@ std::string ServerEndpoint::Report() const {
   row.push_back(TablePrinter::FmtInt(codec_counters_.bytes_out.load()));
   TablePrinter table(std::move(header));
   table.AddRow(std::move(row));
-  return table.ToString() + service_->stats().Report();
+  // The snapshot, not the live counters: Report() is also the payload of
+  // the stats RPC, which runs while the writer keeps serving.
+  return table.ToString() + service_->stats_snapshot().Report();
 }
 
 }  // namespace api

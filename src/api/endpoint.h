@@ -50,6 +50,10 @@ enum class OracleKind {
 
 /// Everything behind the front door, in one bag. `mechanism.scale` must
 /// cover the catalog's scale() bound, exactly as with a bare PmwCm.
+/// `serve.num_shards` is the hypothesis-sharding knob: > 1 partitions
+/// the MW hypothesis into domain shards served behind this same front
+/// door (ServingMeta reports the count back to clients); transcripts are
+/// bit-identical at every setting.
 struct ServerOptions {
   core::PmwOptions mechanism;
   serve::ServeOptions serve;
@@ -105,6 +109,22 @@ class ServerEndpoint {
   /// wait_for/wait_until report future_status::deferred, never ready —
   /// collect with get(), don't poll.
   std::future<AnswerEnvelope> Handle(QueryRequest request);
+
+  /// Serves a possibly-batched request: with query_names empty this is
+  /// exactly {Handle(request)}; otherwise one sub-request per name is
+  /// submitted in order (so a batch occupies consecutive arrival slots
+  /// per its own names, interleaving with other analysts at the queue)
+  /// at consecutive request ids request_id, request_id + 1, ... — the
+  /// correlation contract of the batched wire call. Thread-safe.
+  std::vector<std::future<AnswerEnvelope>> HandleBatch(QueryRequest request);
+
+  /// Serves a typed stats/budget poll: the reply envelope's message is
+  /// Report() and its meta carries the live remaining-budget view
+  /// (hard rounds left, eps/delta spent, epoch, shard count). Zero
+  /// privacy cost — stats never touch the mechanism. Thread-safe; may
+  /// be called while the writer keeps serving (all reads go through
+  /// locks or atomics).
+  AnswerEnvelope HandleStats(const StatsRequest& request);
 
   /// Handle + wait: for transports and tests that want the envelope now.
   AnswerEnvelope HandleSync(QueryRequest request);

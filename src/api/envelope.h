@@ -46,6 +46,27 @@ struct QueryRequest {
   uint64_t deadline_micros = 0;
   /// Catalog key of the CM query to answer.
   std::string query_name;
+  /// Batched form (api::Client::CallBatch): when non-empty this ONE
+  /// frame asks for every named query in order — one AnswerEnvelope
+  /// comes back per name, correlated by consecutive request ids
+  /// request_id, request_id + 1, ... (the client reserves the id run).
+  /// `query_name` is ignored for batched requests. Travels as a new
+  /// tagged field inside protocol v1 (decoders that predate it skip it
+  /// under the unknown-field rule); cuts per-frame syscall overhead on
+  /// the socket transport to one write per batch.
+  std::vector<std::string> query_names;
+};
+
+/// A typed stats/budget poll (api::Client::Stats): resolves with an
+/// AnswerEnvelope whose message is the endpoint's Report() text and
+/// whose ServingMeta carries the live remaining-budget view — what a
+/// remote analyst dashboards without C++ access to dp::BudgetView.
+/// Costs zero privacy: stats never touch the mechanism.
+struct StatsRequest {
+  uint8_t version = kProtocolVersion;
+  std::string analyst_id;
+  /// Client-assigned correlation id, echoed in the reply envelope.
+  uint64_t request_id = 0;
 };
 
 /// Serving metadata riding back with every answer: where in the
@@ -65,6 +86,10 @@ struct ServingMeta {
   /// an analyst dashboards.
   double epsilon_spent = 0.0;
   double delta_spent = 0.0;
+  /// Domain shards the server's hypothesis is partitioned into (0 when
+  /// unknown, e.g. on errors minted before admission). Purely
+  /// informational: sharding never changes answers.
+  uint32_t shards = 0;
 };
 
 /// The reply to one QueryRequest.

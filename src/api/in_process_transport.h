@@ -17,6 +17,7 @@
 #define PMWCM_API_IN_PROCESS_TRANSPORT_H_
 
 #include <future>
+#include <vector>
 
 #include "api/endpoint.h"
 #include "api/transport.h"
@@ -32,7 +33,21 @@ class InProcessTransport : public Transport {
 
   std::future<AnswerEnvelope> Send(QueryRequest request) override;
 
+  /// Batched loopback: the whole batch is handed (or, in verify-codec
+  /// mode, encoded as the ONE batched frame then decoded) to
+  /// ServerEndpoint::HandleBatch — the same single-frame shape the
+  /// socket transport puts on the wire.
+  std::vector<std::future<AnswerEnvelope>> SendBatch(
+      QueryRequest request) override;
+
+  std::future<AnswerEnvelope> SendStats(StatsRequest request) override;
+
  private:
+  /// Wraps a served reply future so collecting it round-trips the
+  /// envelope through the binary codec (verify-codec mode).
+  std::future<AnswerEnvelope> VerifyReply(
+      std::future<AnswerEnvelope> served);
+
   ServerEndpoint* endpoint_;
   const bool verify_codec_;
 };

@@ -171,26 +171,52 @@ void SocketServer::ReadLoop(Connection* connection) {
     FrameStatus framing;
     const size_t consumed = WalkFrames(
         buffer, &framing, [&](std::string_view frame) {
-          std::future<AnswerEnvelope> reply;
-          Result<QueryRequest> request = DecodeRequest(frame);
-          if (request.ok()) {
-            counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
-            reply = endpoint_->Handle(std::move(request).value());
-          } else {
-            // Typed decode error (malformed fields, foreign version):
-            // answer it like any other request instead of killing the
-            // connection.
-            counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
-            AnswerEnvelope envelope;
-            envelope.error = ClassifyStatus(request.status());
-            envelope.message = request.status().message();
+          std::vector<std::future<AnswerEnvelope>> replies;
+          if (PeekMsgType(frame) == kMsgTypeStats) {
+            // Typed stats poll: answered synchronously (it only reads
+            // counters), one normal answer frame back.
+            Result<StatsRequest> stats = DecodeStatsRequest(frame);
             std::promise<AnswerEnvelope> ready;
-            ready.set_value(std::move(envelope));
-            reply = ready.get_future();
+            if (stats.ok()) {
+              counters.frames_decoded.fetch_add(1,
+                                                std::memory_order_relaxed);
+              ready.set_value(endpoint_->HandleStats(stats.value()));
+            } else {
+              counters.decode_errors.fetch_add(1,
+                                               std::memory_order_relaxed);
+              AnswerEnvelope envelope;
+              envelope.error = ClassifyStatus(stats.status());
+              envelope.message = stats.status().message();
+              ready.set_value(std::move(envelope));
+            }
+            replies.push_back(ready.get_future());
+          } else {
+            Result<QueryRequest> request = DecodeRequest(frame);
+            if (request.ok()) {
+              counters.frames_decoded.fetch_add(1,
+                                                std::memory_order_relaxed);
+              // HandleBatch serves single and batched frames alike: one
+              // reply future per named query, in order.
+              replies = endpoint_->HandleBatch(std::move(request).value());
+            } else {
+              // Typed decode error (malformed fields, foreign version):
+              // answer it like any other request instead of killing the
+              // connection.
+              counters.decode_errors.fetch_add(1,
+                                               std::memory_order_relaxed);
+              AnswerEnvelope envelope;
+              envelope.error = ClassifyStatus(request.status());
+              envelope.message = request.status().message();
+              std::promise<AnswerEnvelope> ready;
+              ready.set_value(std::move(envelope));
+              replies.push_back(ready.get_future());
+            }
           }
           {
             std::lock_guard<std::mutex> lock(connection->mutex);
-            connection->pending.push_back(std::move(reply));
+            for (std::future<AnswerEnvelope>& reply : replies) {
+              connection->pending.push_back(std::move(reply));
+            }
           }
           connection->cv.notify_one();
         });
@@ -315,47 +341,68 @@ AnswerEnvelope SocketTransport::TransportError(
   return envelope;
 }
 
-std::future<AnswerEnvelope> SocketTransport::Send(QueryRequest request) {
-  std::promise<AnswerEnvelope> promise;
-  std::future<AnswerEnvelope> future = promise.get_future();
+std::vector<std::future<AnswerEnvelope>> SocketTransport::ShipFrame(
+    const std::string& wire, uint64_t first_id, size_t count) {
+  std::vector<std::future<AnswerEnvelope>> futures;
+  futures.reserve(count);
   if (!connect_status_.ok() || closed_.load(std::memory_order_acquire) ||
       broken_.load(std::memory_order_acquire)) {
-    promise.set_value(TransportError(
-        request.request_id,
+    const std::string why =
         !connect_status_.ok() ? connect_status_.message()
         : closed_.load(std::memory_order_acquire)
             ? "channel is closed"
-            : "connection is broken (no reader to resolve replies)"));
-    return future;
+            : "connection is broken (no reader to resolve replies)";
+    for (size_t i = 0; i < count; ++i) {
+      std::promise<AnswerEnvelope> failed;
+      futures.push_back(failed.get_future());
+      failed.set_value(TransportError(first_id + i, why));
+    }
+    return futures;
   }
+  // Register the whole id run before the single write: replies may start
+  // arriving for early ids while later ones are still being registered
+  // otherwise. Correlation ids must be unique among in-flight calls
+  // (api::Client reserves whole runs); refuse duplicates rather than
+  // cross wires.
+  std::vector<uint64_t> registered;
+  registered.reserve(count);
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    auto [it, inserted] =
-        pending_.emplace(request.request_id, std::move(promise));
-    if (!inserted) {
-      // Correlation ids must be unique among in-flight calls (api::Client
-      // guarantees it); refuse rather than cross wires.
-      std::promise<AnswerEnvelope> duplicate;
-      future = duplicate.get_future();
-      duplicate.set_value(TransportError(request.request_id,
-                                         "duplicate in-flight request id"));
-      return future;
+    for (size_t i = 0; i < count; ++i) {
+      std::promise<AnswerEnvelope> promise;
+      futures.push_back(promise.get_future());
+      auto [it, inserted] =
+          pending_.try_emplace(first_id + i, std::move(promise));
+      if (!inserted) {
+        // try_emplace left `promise` untouched on failure; it would have
+        // been moved into the map otherwise.
+        std::promise<AnswerEnvelope> duplicate;
+        futures.back() = duplicate.get_future();
+        duplicate.set_value(TransportError(first_id + i,
+                                           "duplicate in-flight request id"));
+      } else {
+        registered.push_back(first_id + i);
+      }
     }
   }
-  std::string wire;
-  EncodeRequest(request, &wire);
+  const auto fail_registered = [this, &registered](const std::string& why) {
+    for (uint64_t id : registered) {
+      std::promise<AnswerEnvelope> orphan;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        auto it = pending_.find(id);
+        if (it == pending_.end()) continue;  // reader already resolved
+        orphan = std::move(it->second);
+        pending_.erase(it);
+      }
+      orphan.set_value(TransportError(id, why));
+    }
+  };
   if (wire.size() > kMaxFramePayload + 4) {
     // The server's ExtractFrame would reject the frame and drop the
     // connection, killing every pipelined call; refuse just this one.
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    auto it = pending_.find(request.request_id);
-    if (it != pending_.end()) {
-      std::promise<AnswerEnvelope> oversized = std::move(it->second);
-      pending_.erase(it);
-      oversized.set_value(TransportError(
-          request.request_id, "request exceeds the frame size limit"));
-    }
-    return future;
+    fail_registered("request exceeds the frame size limit");
+    return futures;
   }
   bool written = false;
   {
@@ -367,22 +414,35 @@ std::future<AnswerEnvelope> SocketTransport::Send(QueryRequest request) {
     }
   }
   if (!written || broken_.load(std::memory_order_acquire)) {
-    // Either the write failed, or the reader died while this request was
-    // being registered (its FailAllPending sweep may have missed us) —
-    // in both cases nothing will ever resolve the promise.
-    std::promise<AnswerEnvelope> orphan;
-    {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      auto it = pending_.find(request.request_id);
-      if (it == pending_.end()) return future;  // reader already resolved
-      orphan = std::move(it->second);
-      pending_.erase(it);
-    }
-    orphan.set_value(TransportError(
-        request.request_id,
-        written ? "connection is broken" : "write failed"));
+    // Either the write failed, or the reader died while these requests
+    // were being registered (its FailAllPending sweep may have missed
+    // them) — in both cases nothing will ever resolve the promises.
+    fail_registered(written ? "connection is broken" : "write failed");
   }
-  return future;
+  return futures;
+}
+
+std::future<AnswerEnvelope> SocketTransport::Send(QueryRequest request) {
+  std::string wire;
+  EncodeRequest(request, &wire);
+  return std::move(ShipFrame(wire, request.request_id, 1).front());
+}
+
+std::vector<std::future<AnswerEnvelope>> SocketTransport::SendBatch(
+    QueryRequest request) {
+  if (request.query_names.empty()) return {};
+  const size_t count = request.query_names.size();
+  // The batch's whole point: ONE frame, ONE write syscall, N replies.
+  std::string wire;
+  EncodeRequest(request, &wire);
+  return ShipFrame(wire, request.request_id, count);
+}
+
+std::future<AnswerEnvelope> SocketTransport::SendStats(
+    StatsRequest request) {
+  std::string wire;
+  EncodeStatsRequest(request, &wire);
+  return std::move(ShipFrame(wire, request.request_id, 1).front());
 }
 
 void SocketTransport::ReadLoop() {

@@ -36,6 +36,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "api/endpoint.h"
 #include "api/transport.h"
@@ -115,10 +116,27 @@ class SocketTransport : public Transport {
   Status status() const { return connect_status_; }
 
   std::future<AnswerEnvelope> Send(QueryRequest request) override;
+
+  /// One batched frame, one write syscall, N pipelined replies (the
+  /// server answers each name with its own envelope at consecutive
+  /// request ids — the existing correlation path resolves them).
+  std::vector<std::future<AnswerEnvelope>> SendBatch(
+      QueryRequest request) override;
+
+  /// Stats polls ride the same connection; the reply is a normal answer
+  /// frame correlated by request id.
+  std::future<AnswerEnvelope> SendStats(StatsRequest request) override;
+
   void Close() override;
 
  private:
   void ReadLoop();
+  /// Registers promises for ids [first_id, first_id + count), encodes
+  /// `wire` (already framed), and writes it once; on any failure every
+  /// registered promise resolves with a typed kTransportError envelope.
+  /// The shared trunk of Send/SendBatch/SendStats.
+  std::vector<std::future<AnswerEnvelope>> ShipFrame(
+      const std::string& wire, uint64_t first_id, size_t count);
   /// Fails every registered promise with kTransportError.
   void FailAllPending(const std::string& why);
   AnswerEnvelope TransportError(uint64_t request_id,

@@ -16,6 +16,8 @@
 #define PMWCM_API_TRANSPORT_H_
 
 #include <future>
+#include <utility>
+#include <vector>
 
 #include "api/envelope.h"
 
@@ -31,6 +33,42 @@ class Transport {
   /// carrying taxonomy errors (kTransportError when the channel itself
   /// broke). Thread-safe; any number of calls may be in flight.
   virtual std::future<AnswerEnvelope> Send(QueryRequest request) = 0;
+
+  /// Ships one batched request (request.query_names non-empty) and
+  /// resolves with one envelope per name, positionally. The base
+  /// implementation degrades to one Send per name at consecutive
+  /// request ids — correct everywhere, no frame coalescing; transports
+  /// override to put the whole batch in one frame (SocketTransport:
+  /// one write syscall per batch).
+  virtual std::vector<std::future<AnswerEnvelope>> SendBatch(
+      QueryRequest request) {
+    std::vector<std::future<AnswerEnvelope>> replies;
+    replies.reserve(request.query_names.size());
+    for (size_t i = 0; i < request.query_names.size(); ++i) {
+      QueryRequest single;
+      single.version = request.version;
+      single.analyst_id = request.analyst_id;
+      single.request_id = request.request_id + i;
+      single.deadline_micros = request.deadline_micros;
+      single.query_name = request.query_names[i];
+      replies.push_back(Send(std::move(single)));
+    }
+    return replies;
+  }
+
+  /// Ships a typed stats/budget poll; resolves with an envelope whose
+  /// message is the server's report and whose meta carries the live
+  /// remaining-budget view. The base implementation reports the poll as
+  /// unsupported (a typed kTransportError envelope, never a throw).
+  virtual std::future<AnswerEnvelope> SendStats(StatsRequest request) {
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    envelope.error = ErrorCode::kTransportError;
+    envelope.message = "transport: stats polls are not supported";
+    std::promise<AnswerEnvelope> promise;
+    promise.set_value(std::move(envelope));
+    return promise.get_future();
+  }
 
   /// Closes the channel; in-flight calls resolve with kTransportError.
   /// Idempotent.

@@ -66,6 +66,15 @@ double KlDivergence(const std::vector<double>& p,
   return kl;
 }
 
+double PairwiseSum(const double* v, size_t lo, size_t hi) {
+  const size_t n = hi - lo;
+  if (n == 0) return 0.0;
+  if (n == 1) return v[lo];
+  if (n == 2) return v[lo] + v[lo + 1];
+  const size_t mid = lo + n / 2;
+  return PairwiseSum(v, lo, mid) + PairwiseSum(v, mid, hi);
+}
+
 int CeilLog2(long long n) {
   PMW_CHECK_GE(n, 1);
   int bits = 0;

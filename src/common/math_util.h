@@ -3,6 +3,7 @@
 #ifndef PMWCM_COMMON_MATH_UTIL_H_
 #define PMWCM_COMMON_MATH_UTIL_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace pmw {
@@ -33,6 +34,16 @@ bool AlmostEqual(double a, double b, double atol = 1e-9, double rtol = 1e-9);
 /// Entries where p is 0 contribute 0; entries where q is 0 but p > 0
 /// contribute a large finite penalty instead of infinity.
 double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Sum of v[lo, hi) by pairwise (cascade) reduction with a fixed split
+/// rule: a range splits at lo + (hi - lo) / 2 all the way down to
+/// singletons. The reduction tree therefore depends only on the absolute
+/// index range — NOT on who computes which part — so the sum over a range
+/// equals the fold of its two halves' sums, bit for bit. This is what
+/// lets the sharded hypothesis normalizer (core/sharded_hypothesis.h)
+/// decompose across K = 2^t contiguous domain shards and still combine
+/// to exactly the K = 1 value.
+double PairwiseSum(const double* v, size_t lo, size_t hi);
 
 /// ceil(log2(n)) for n >= 1.
 int CeilLog2(long long n);

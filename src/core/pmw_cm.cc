@@ -1,9 +1,11 @@
 #include "core/pmw_cm.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/timer.h"
 
 namespace pmw {
 namespace core {
@@ -66,7 +68,7 @@ PmwCm::PmwCm(const data::Dataset* dataset, erm::Oracle* oracle,
       schedule_(PmwSchedule::Compute(options, dataset->universe().LogSize())),
       error_oracle_(&dataset->universe(), options.solver),
       data_support_(data::Histogram::FromDataset(*dataset).CompactSupport()),
-      hypothesis_(data::Histogram::Uniform(dataset->universe().size())),
+      hypothesis_(dataset->universe().size()),
       rng_(seed) {
   PMW_CHECK(oracle != nullptr);
   dp::SparseVector::Options sv_options;
@@ -87,6 +89,14 @@ Result<PmwAnswer> PmwCm::AnswerQuery(const convex::CmQuery& query) {
     return AnswerPrepared(query, PreparedQuery{});
   }
   return AnswerPrepared(query, Prepare(query));
+}
+
+int PmwCm::ConfigureSharding(int shards, ShardRunner runner) {
+  PMW_CHECK_MSG(queries_answered_ == 0 && update_count_ == 0,
+                "sharding must be configured before the first query");
+  const int actual = hypothesis_.Repartition(shards);
+  hypothesis_.set_runner(std::move(runner));
+  return actual;
 }
 
 HypothesisSnapshot PmwCm::SnapshotHypothesis() const {
@@ -173,22 +183,33 @@ Result<PmwAnswer> PmwCm::AnswerPrepared(
 
   // Dual certificate (the paper's key new step):
   //   u_t(x) = <theta_t - theta_hat_t, grad l_x(theta_hat_t)>.
+  // The loop over x is elementwise, so each domain shard evaluates its
+  // own [lo, hi) slice — the parallel half of the MW-update path.
+  WallTimer mw_timer;
   const data::Universe& universe = dataset_->universe();
   convex::Vec direction = convex::Sub(theta_t, theta_hat);
   std::vector<double> payoff(universe.size());
-  for (int x = 0; x < universe.size(); ++x) {
-    convex::Vec grad = query.loss->Gradient(theta_hat, universe.row(x));
-    payoff[x] = convex::Dot(direction, grad);
-  }
+  hypothesis_.RunShards(
+      [this, &query, &theta_hat, &direction, &universe, &payoff](int s) {
+        const HypothesisShard& shard = hypothesis_.shard(s);
+        for (int x = shard.lo; x < shard.hi; ++x) {
+          convex::Vec grad =
+              query.loss->Gradient(theta_hat, universe.row(x));
+          payoff[static_cast<size_t>(x)] = convex::Dot(direction, grad);
+        }
+      });
 
   // MW step D_{t+1}(x) ~ exp(-eta u_t(x)/S) D_t(x): mass moves away from
   // records where the hypothesis over-weights the certificate (payoffs are
   // normalized to [-1, 1] by S so eta = sqrt(log|X|/T) is the standard MW
-  // tuning; see the regret accounting in DESIGN.md).
+  // tuning; see the regret accounting in DESIGN.md). Sharded: K per-shard
+  // reweighs plus the O(K) normalizer combine, bit-identical at any K.
   double exponent = -schedule_.eta / options_.scale;
   if (options_.flip_update_sign) exponent = -exponent;  // ablation only
-  hypothesis_ = hypothesis_.MultiplicativeUpdate(payoff, exponent);
+  hypothesis_.MultiplicativeUpdate(payoff, exponent);
   ++update_count_;
+  ++mw_timing_.updates;
+  mw_timing_.total_ms += mw_timer.ElapsedMillis();
   PMW_LOG(kDebug) << "pmw-cm update " << update_count_ << "/" << schedule_.T
                   << " on " << query.label;
 

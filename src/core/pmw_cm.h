@@ -27,6 +27,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "core/error.h"
+#include "core/sharded_hypothesis.h"
 #include "data/dataset.h"
 #include "data/histogram.h"
 #include "dp/ledger.h"
@@ -89,6 +90,15 @@ struct PmwAnswer {
   convex::Vec theta;
   /// True when this query triggered an A' call and a MW update.
   bool was_update = false;
+};
+
+/// Wall-clock accounting of the MW-update path (dual-certificate payoff
+/// + sharded reweigh/renormalize), the work the domain shards
+/// parallelize. Oracle solves are excluded: they are the sequential part
+/// the shards cannot touch. Bookkeeping only — never influences answers.
+struct MwUpdateTiming {
+  long long updates = 0;
+  double total_ms = 0.0;
 };
 
 /// A compacted copy of the hypothesis histogram tagged with the
@@ -181,9 +191,32 @@ class PmwCm {
   /// update per kTop answer); keys PreparedQuery caches.
   int hypothesis_version() const { return update_count_; }
 
-  /// The public hypothesis histogram (also a synthetic dataset release;
-  /// see the paper's Section 4.3 remark).
-  const data::Histogram& hypothesis() const { return hypothesis_; }
+  /// Partitions the hypothesis into `shards` domain shards (rounded down
+  /// to a power of two, clamped to the universe size) and installs the
+  /// per-shard executor driving the MW-update path's parallel phases
+  /// (null keeps them inline). Must be called before any query is
+  /// answered — the partition is serving topology fixed at startup.
+  /// Sharding NEVER changes answers: at any configuration the update
+  /// arithmetic is bit-identical to the default single shard
+  /// (core/sharded_hypothesis.h explains why). Returns the actual count.
+  int ConfigureSharding(int shards, ShardRunner runner);
+
+  int num_shards() const { return hypothesis_.num_shards(); }
+  /// Stable identity of the shard partition; keys (epoch, shard-set)-
+  /// aware plan caches.
+  uint64_t shard_fingerprint() const { return hypothesis_.fingerprint(); }
+  /// The shard ranges, in domain order (what epochs slice snapshots by).
+  const std::vector<HypothesisShard>& shard_layout() const {
+    return hypothesis_.shards();
+  }
+
+  /// Time spent in the MW-update path (what the shards parallelize);
+  /// bench_serve_parallel's shard gate reads this.
+  const MwUpdateTiming& mw_timing() const { return mw_timing_; }
+
+  /// A dense copy of the public hypothesis histogram (also a synthetic
+  /// dataset release; see the paper's Section 4.3 remark).
+  data::Histogram hypothesis() const { return hypothesis_.ToHistogram(); }
 
   const PmwSchedule& schedule() const { return schedule_; }
   int update_count() const { return update_count_; }
@@ -205,10 +238,11 @@ class PmwCm {
   /// Compacted once at construction; the data histogram never changes, so
   /// only its support is kept.
   data::HistogramSupport data_support_;
-  data::Histogram hypothesis_;
+  ShardedHypothesis hypothesis_;
   std::unique_ptr<dp::SparseVector> sparse_vector_;
   dp::PrivacyLedger ledger_;
   Rng rng_;
+  MwUpdateTiming mw_timing_;
   int update_count_ = 0;
   long long queries_answered_ = 0;
 };

@@ -1,0 +1,151 @@
+#include "core/sharded_hypothesis.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pmw {
+namespace core {
+namespace {
+
+/// Recursive halving with PairwiseSum's split rule: after `levels`
+/// splits every emitted range is a depth-`levels` node of the fixed
+/// reduction tree over [lo, hi).
+void SplitRange(int lo, int hi, int levels,
+                std::vector<HypothesisShard>* out) {
+  if (levels == 0) {
+    HypothesisShard shard;
+    shard.lo = lo;
+    shard.hi = hi;
+    out->push_back(shard);
+    return;
+  }
+  const int mid = lo + (hi - lo) / 2;
+  SplitRange(lo, mid, levels - 1, out);
+  SplitRange(mid, hi, levels - 1, out);
+}
+
+}  // namespace
+
+ShardedHypothesis::ShardedHypothesis(int size)
+    : p_(static_cast<size_t>(size), 1.0 / size),
+      scratch_(static_cast<size_t>(size)) {
+  PMW_CHECK_GE(size, 1);
+  Repartition(1);
+}
+
+int ShardedHypothesis::Repartition(int shards) {
+  // Clamp below as documented (0 is a plausible "disable sharding"
+  // knob value from the public api surface, not a programming error).
+  if (shards < 1) shards = 1;
+  // Largest power of two <= min(shards, size): every shard must be a
+  // reduction-tree node (power-of-two count) and non-empty (<= size).
+  int levels = 0;
+  while ((2 << levels) <= shards && (2 << levels) <= size()) ++levels;
+  shards_.clear();
+  SplitRange(0, size(), levels, &shards_);
+  // FNV-1a over the partition: shard-set identity for plan caches.
+  uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(shards_.size()));
+  for (const HypothesisShard& shard : shards_) {
+    mix(static_cast<uint64_t>(shard.lo));
+    mix(static_cast<uint64_t>(shard.hi));
+  }
+  fingerprint_ = hash;
+  return num_shards();
+}
+
+void ShardedHypothesis::RunShards(const std::function<void(int)>& fn) const {
+  if (runner_ != nullptr && num_shards() > 1) {
+    runner_(num_shards(), fn);
+    return;
+  }
+  for (int s = 0; s < num_shards(); ++s) fn(s);
+}
+
+data::HistogramSupport ShardedHypothesis::CompactSupport() const {
+  return CompactSupport(0, size());
+}
+
+data::HistogramSupport ShardedHypothesis::CompactSupport(int lo,
+                                                         int hi) const {
+  PMW_CHECK_GE(lo, 0);
+  PMW_CHECK_LE(lo, hi);
+  PMW_CHECK_LE(hi, size());
+  size_t support_size = 0;
+  for (int i = lo; i < hi; ++i) {
+    if (p_[i] > 0.0) ++support_size;
+  }
+  data::HistogramSupport support;
+  support.reserve(support_size);
+  for (int i = lo; i < hi; ++i) {
+    if (p_[i] > 0.0) support.emplace_back(i, p_[i]);
+  }
+  return support;
+}
+
+data::Histogram ShardedHypothesis::ToHistogram() const {
+  return data::Histogram::FromWeights(p_);
+}
+
+double ShardedHypothesis::CombineShardSums(int lo, int hi) const {
+  if (hi - lo == 1) return shards_[static_cast<size_t>(lo)].local_sum;
+  const int mid = lo + (hi - lo) / 2;
+  return CombineShardSums(lo, mid) + CombineShardSums(mid, hi);
+}
+
+void ShardedHypothesis::MultiplicativeUpdate(
+    const std::vector<double>& payoff, double eta) {
+  PMW_CHECK_EQ(payoff.size(), p_.size());
+
+  // Phase 1 (per shard): log-weights and the shard-local max.
+  RunShards([this, &payoff, eta](int s) {
+    HypothesisShard& shard = shards_[static_cast<size_t>(s)];
+    double local_max = -std::numeric_limits<double>::infinity();
+    for (int i = shard.lo; i < shard.hi; ++i) {
+      scratch_[static_cast<size_t>(i)] =
+          SafeLog(p_[static_cast<size_t>(i)]) +
+          eta * payoff[static_cast<size_t>(i)];
+      local_max = std::max(local_max, scratch_[static_cast<size_t>(i)]);
+    }
+    shard.local_max = local_max;
+  });
+  // Max fold: associative, so the grouping by shards is exact.
+  double global_max = -std::numeric_limits<double>::infinity();
+  for (const HypothesisShard& shard : shards_) {
+    global_max = std::max(global_max, shard.local_max);
+  }
+
+  // Phase 2 (per shard): stabilized weights and the shard's subtree sum.
+  RunShards([this, global_max](int s) {
+    HypothesisShard& shard = shards_[static_cast<size_t>(s)];
+    for (int i = shard.lo; i < shard.hi; ++i) {
+      scratch_[static_cast<size_t>(i)] =
+          std::exp(scratch_[static_cast<size_t>(i)] - global_max);
+    }
+    shard.local_sum =
+        PairwiseSum(scratch_.data(), static_cast<size_t>(shard.lo),
+                    static_cast<size_t>(shard.hi));
+  });
+  // Normalizer combine: O(K), evaluates the top of the fixed tree.
+  const double total = CombineShardSums(0, num_shards());
+  PMW_CHECK_GT(total, 0.0);
+
+  // Phase 3 (per shard): normalize in place.
+  RunShards([this, total](int s) {
+    const HypothesisShard& shard = shards_[static_cast<size_t>(s)];
+    for (int i = shard.lo; i < shard.hi; ++i) {
+      p_[static_cast<size_t>(i)] = scratch_[static_cast<size_t>(i)] / total;
+    }
+  });
+}
+
+}  // namespace core
+}  // namespace pmw

@@ -71,18 +71,37 @@ Histogram Histogram::MultiplicativeUpdate(const std::vector<double>& payoff,
 }
 
 HistogramSupport Histogram::CompactSupport() const {
+  return CompactSupport(0, size());
+}
+
+HistogramSupport Histogram::CompactSupport(int lo, int hi) const {
+  PMW_CHECK_GE(lo, 0);
+  PMW_CHECK_LE(lo, hi);
+  PMW_CHECK_LE(hi, size());
   // Count first so long-lived supports hold exactly their size, not the
   // dense histogram's capacity.
   size_t support_size = 0;
-  for (int i = 0; i < size(); ++i) {
+  for (int i = lo; i < hi; ++i) {
     if (p_[i] > 0.0) ++support_size;
   }
   HistogramSupport support;
   support.reserve(support_size);
-  for (int i = 0; i < size(); ++i) {
+  for (int i = lo; i < hi; ++i) {
     if (p_[i] > 0.0) support.emplace_back(i, p_[i]);
   }
   return support;
+}
+
+SupportSlice SliceSupport(const HistogramSupport& support, int lo, int hi) {
+  PMW_CHECK_LE(lo, hi);
+  const auto index_less = [](const std::pair<int, double>& entry,
+                             int index) { return entry.first < index; };
+  const auto begin =
+      std::lower_bound(support.begin(), support.end(), lo, index_less);
+  const auto end =
+      std::lower_bound(begin, support.end(), hi, index_less);
+  return SupportSlice(support.data() + (begin - support.begin()),
+                      static_cast<size_t>(end - begin));
 }
 
 int Histogram::SampleIndex(Rng* rng) const {

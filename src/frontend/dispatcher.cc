@@ -113,7 +113,16 @@ void Dispatcher::DispatchLoop() {
     live.clear();
     queries.clear();
     tags.clear();
-    if (!queue_.PopBatch(&batch, options_.max_batch, options_.max_wait)) {
+    const bool popped =
+        options_.fair_round_robin
+            ? queue_.PopBatchRoundRobin(
+                  &batch, options_.max_batch, options_.max_wait,
+                  [](const Request& request) -> const std::string& {
+                    return request.analyst_id;
+                  })
+            : queue_.PopBatch(&batch, options_.max_batch,
+                              options_.max_wait);
+    if (!popped) {
       return;  // closed and drained
     }
     // Deadline sweep at the last instant before serving: a request whose

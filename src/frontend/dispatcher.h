@@ -58,6 +58,14 @@ struct DispatcherOptions {
   size_t max_batch = 64;
   /// ...or this long after the first queued request, whichever is first.
   std::chrono::microseconds max_wait{500};
+  /// Per-analyst round-robin fairness in the batch-pop policy: when a
+  /// contended batch window holds more requests than max_batch, slots
+  /// are dealt one per analyst per cycle (MpscQueue::PopBatchRoundRobin)
+  /// instead of front-of-queue FIFO, so one chatty analyst cannot starve
+  /// the window. Off by default: FIFO pops are cheaper and fairness only
+  /// matters under sustained multi-analyst backpressure. Either policy
+  /// keeps transcripts replayable — the commit order IS the arrival log.
+  bool fair_round_robin = false;
   /// Record the ids of committed requests in commit order (ArrivalLog);
   /// tests replay the log through sequential PmwCm.
   bool record_arrival_log = false;

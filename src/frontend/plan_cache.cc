@@ -10,12 +10,12 @@ PlanCache::PlanCache(size_t max_entries) : max_entries_(max_entries) {
 }
 
 bool PlanCache::Lookup(const serve::QueryKey& key, int version,
-                       core::PreparedQuery* plan) {
+                       uint64_t shard_set, core::PreparedQuery* plan) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (version != version_) {
+  if (version != version_ || shard_set != shard_set_) {
     // Defensive: the service publishes (and so invalidates) before it
-    // probes, so a version mismatch here means a forged epoch — never
-    // serve across versions regardless.
+    // probes, so a mismatch here means a forged epoch — never serve
+    // across versions or shard partitions regardless.
     ++stats_.misses;
     return false;
   }
@@ -43,12 +43,15 @@ void PlanCache::Insert(const serve::QueryKey& key,
   ++stats_.insertions;
 }
 
-void PlanCache::OnEpochPublish(int version) {
+void PlanCache::OnEpochPublish(int version, uint64_t shard_set) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (version == version_) return;  // same hypothesis: entries stay valid
+  if (version == version_ && shard_set == shard_set_) {
+    return;  // same hypothesis, same partition: entries stay valid
+  }
   stats_.invalidated += static_cast<long long>(entries_.size());
   entries_.clear();
   version_ = version;
+  shard_set_ = shard_set;
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -64,6 +67,11 @@ size_t PlanCache::size() const {
 int PlanCache::version() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return version_;
+}
+
+uint64_t PlanCache::shard_set() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shard_set_;
 }
 
 }  // namespace frontend

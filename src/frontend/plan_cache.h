@@ -1,14 +1,15 @@
-// Epoch-keyed cross-batch plan cache (serve::PlanCacheHook
+// (Epoch, shard-set)-keyed cross-batch plan cache (serve::PlanCacheHook
 // implementation). PR 1/2 deduplicated repeated queries *within* one
 // prepared range; this cache extends the amortization across the whole
 // request stream: a query answered in batch 1 costs no solver work in
 // batch 400, as long as the hypothesis has not moved. Entries are keyed
-// by (query fingerprint, hypothesis version); when the serving writer
-// publishes an epoch at a new version every cached plan is permanently
-// stale (the hypothesis only moves forward), so the cache invalidates
-// wholesale — the correctness argument stays trivial: a plan is served
-// only at the exact version it was computed at, where it is
-// byte-identical to a recompute (PmwCm::Prepare is deterministic).
+// by (query fingerprint, hypothesis version, shard set); when the
+// serving writer publishes an epoch at a new version — or under a new
+// shard partition — every cached plan is permanently stale, so the cache
+// invalidates wholesale. The correctness argument stays trivial: a plan
+// is served only at the exact (version, shard-set) it was computed at,
+// where it is byte-identical to a recompute (PmwCm::Prepare is
+// deterministic, and sharding never changes the hypothesis bits).
 //
 // Lifetime contract: keys are the loss/domain pointer fingerprints of
 // serve::QueryKey, so the cache *extends* the repo's pointer-identity
@@ -29,6 +30,7 @@
 #define PMWCM_FRONTEND_PLAN_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
 
@@ -62,22 +64,26 @@ class PlanCache : public serve::PlanCacheHook {
   /// the next epoch anyway, so LRU bookkeeping would buy little).
   explicit PlanCache(size_t max_entries = 4096);
 
-  bool Lookup(const serve::QueryKey& key, int version,
+  bool Lookup(const serve::QueryKey& key, int version, uint64_t shard_set,
               core::PreparedQuery* plan) override;
   void Insert(const serve::QueryKey& key,
               const core::PreparedQuery& plan) override;
-  void OnEpochPublish(int version) override;
+  void OnEpochPublish(int version, uint64_t shard_set) override;
 
   Stats stats() const;
   size_t size() const;
   /// The hypothesis version current entries belong to (-1 before the
   /// first epoch publish).
   int version() const;
+  /// The shard-set fingerprint current entries belong to (0 before the
+  /// first epoch publish).
+  uint64_t shard_set() const;
 
  private:
   const size_t max_entries_;
   mutable std::mutex mutex_;
   int version_ = -1;
+  uint64_t shard_set_ = 0;
   std::unordered_map<serve::QueryKey, core::PreparedQuery,
                      serve::QueryKeyHash>
       entries_;

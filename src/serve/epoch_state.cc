@@ -10,6 +10,19 @@ std::shared_ptr<const Epoch> EpochState::Publish(const core::PmwCm& cm) {
   // pass) and touches only writer-owned state, not ours.
   auto epoch = std::make_shared<Epoch>();
   epoch->snapshot = cm.SnapshotHypothesis();
+  epoch->shard_fingerprint = cm.shard_fingerprint();
+  // Per-shard slice views: cut AFTER the support vector reaches its
+  // final resting buffer (it never moves again — the epoch is immutable).
+  const std::vector<core::HypothesisShard>& layout = cm.shard_layout();
+  epoch->shards.reserve(layout.size());
+  for (const core::HypothesisShard& shard : layout) {
+    Epoch::ShardSlice slice;
+    slice.lo = shard.lo;
+    slice.hi = shard.hi;
+    slice.support =
+        data::SliceSupport(epoch->snapshot.support, shard.lo, shard.hi);
+    epoch->shards.push_back(slice);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   epoch->sequence = published_++;
   current_ = epoch;

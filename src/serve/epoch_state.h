@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/pmw_cm.h"
 
@@ -25,9 +26,27 @@ namespace serve {
 /// hypothesis_version() at capture; `sequence` counts publishes (a batch
 /// republishes at its start, so sequence can advance without a version
 /// change — it orders publishes, the version keys plan freshness).
+///
+/// The snapshot is additionally published per domain shard: `shards`
+/// holds one zero-copy [lo, hi) slice view into snapshot.support per
+/// shard of the mechanism's hypothesis, in shard order, and their
+/// concatenation is exactly snapshot.support (data::SliceSupport). The
+/// slices borrow snapshot.support's buffer, so they share the epoch's
+/// immutability and lifetime.
 struct Epoch {
+  /// One shard's view of the snapshot.
+  struct ShardSlice {
+    int lo = 0;
+    int hi = 0;
+    data::SupportSlice support;
+  };
+
   core::HypothesisSnapshot snapshot;
   long long sequence = 0;
+  std::vector<ShardSlice> shards;
+  /// The mechanism's shard-set identity at capture (what
+  /// (epoch, shard-set)-aware plan caches key on, alongside the version).
+  uint64_t shard_fingerprint = 0;
 };
 
 /// Single-writer, many-reader holder of the current epoch.

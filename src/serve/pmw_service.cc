@@ -23,14 +23,16 @@ double ServeStats::CrossBatchHitRate() const {
 }
 
 std::vector<std::string> ServeStats::TableHeader() {
-  return {"queries", "batches", "threads", "bottom",  "updates", "errors",
-          "epochs",  "dedup",   "xb_hits", "xb_rate", "q/s"};
+  return {"queries", "batches", "threads", "shards",  "bottom",
+          "updates", "errors",  "epochs",  "dedup",   "xb_hits",
+          "xb_rate", "mw_ms",   "q/s"};
 }
 
 std::vector<std::string> ServeStats::TableRow() const {
   return {TablePrinter::FmtInt(queries),
           TablePrinter::FmtInt(batches),
           TablePrinter::FmtInt(threads),
+          TablePrinter::FmtInt(shards),
           TablePrinter::FmtInt(bottom_answers),
           TablePrinter::FmtInt(updates),
           TablePrinter::FmtInt(errors),
@@ -38,6 +40,7 @@ std::vector<std::string> ServeStats::TableRow() const {
           TablePrinter::FmtInt(prepare_cache_hits),
           TablePrinter::FmtInt(cross_batch_cache_hits),
           TablePrinter::Fmt(CrossBatchHitRate(), 3),
+          TablePrinter::Fmt(mw_update_ms, 2),
           TablePrinter::Fmt(OverallQueriesPerSec(), 1)};
 }
 
@@ -73,8 +76,23 @@ PmwService::PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
       pool_(serve_options.num_threads > 1
                 ? std::make_unique<ThreadPool>(serve_options.num_threads)
                 : nullptr),
-      executor_(pool_.get(), &cm_) {
+      executor_(pool_.get(), &cm_),
+      router_(pool_.get()) {
   stats_.threads = pool_ != nullptr ? pool_->size() : 1;
+  // Partition the hypothesis and route its per-shard MW-update work
+  // through the pool. A single shard keeps the inline (sequential) path.
+  stats_.shards = cm_.ConfigureSharding(
+      serve_options.num_shards,
+      serve_options.num_shards > 1 ? router_.AsRunner()
+                                   : core::ShardRunner{});
+  // Seed the scraper-facing snapshot so a stats poll before the first
+  // batch already reports the real topology.
+  stats_snapshot_ = stats_;
+}
+
+ServeStats PmwService::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return stats_snapshot_;
 }
 
 std::shared_ptr<const Epoch> PmwService::PublishAndPrepare(
@@ -85,7 +103,8 @@ std::shared_ptr<const Epoch> PmwService::PublishAndPrepare(
   // Invalidate before any probe: entries from older hypothesis versions
   // are permanently stale once this epoch exists.
   if (plan_cache_ != nullptr) {
-    plan_cache_->OnEpochPublish(epoch->snapshot.version);
+    plan_cache_->OnEpochPublish(epoch->snapshot.version,
+                                epoch->shard_fingerprint);
   }
   *prepared = executor_.PrepareRange(queries, begin, end, *epoch,
                                      plan_cache_);
@@ -209,6 +228,14 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
   if (elapsed_ms > 0.0 && n > 0) {
     stats_.batch_queries_per_sec.Add(static_cast<double>(n) /
                                      (elapsed_ms / 1e3));
+  }
+  stats_.mw_update_ms = cm_.mw_timing().total_ms;
+  stats_.mw_updates = cm_.mw_timing().updates;
+  {
+    // Publish the batch's counters for scraper threads (the stats RPC);
+    // the live stats_ stays writer-owned.
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    stats_snapshot_ = stats_;
   }
   return results;
 }

@@ -11,12 +11,18 @@
 //     (PmwCm::Prepare: const, deterministic, no randomness). This is the
 //     embarrassingly parallel part: in steady state the sparse vector
 //     answers kBottom and preparation is all the work there is.
-//   * Write path (sequential). The single writer then commits queries in
-//     arrival order through PmwCm::AnswerPrepared — sparse-vector noise
-//     draws, oracle calls, MW updates, and ledger appends all happen
-//     here, in canonical order. When a commit fires a hard round (MW
-//     update) the epoch advances: the writer publishes a new snapshot
-//     and re-prepares the batch's remaining suffix in parallel before
+//   * Write path (sequential commits, sharded updates). The single
+//     writer then commits queries in arrival order through
+//     PmwCm::AnswerPrepared — sparse-vector noise draws, oracle calls,
+//     MW updates, and ledger appends all happen here, in canonical
+//     order. With ServeOptions::num_shards > 1 the hypothesis is
+//     partitioned into domain shards and a hard round's MW-update path
+//     (payoff + reweigh/renormalize) fans its per-shard halves across
+//     the same worker pool via serve::ShardRouter, with the cross-shard
+//     combines folded on the writer in fixed shard order. When a commit
+//     fires a hard round (MW update) the epoch advances: the writer
+//     publishes a new snapshot (with per-shard slice views) and
+//     re-prepares the batch's remaining suffix in parallel before
 //     continuing. Updates are bounded by the schedule's T, so re-prepares
 //     are rare and the amortization survives.
 //
@@ -37,12 +43,15 @@
 #include <string>
 #include <vector>
 
+#include <mutex>
+
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/pmw_cm.h"
 #include "serve/epoch_state.h"
 #include "serve/shard_executor.h"
+#include "serve/shard_router.h"
 
 namespace pmw {
 namespace serve {
@@ -52,6 +61,14 @@ struct ServeOptions {
   /// Worker threads preparing queries. <= 1 runs every shard inline on
   /// the serving thread (no pool) — the PR 1 configuration.
   int num_threads = 1;
+  /// Domain shards the hypothesis is partitioned into (rounded down to a
+  /// power of two, clamped to the universe size). With > 1 shard the
+  /// MW-update hot path — the dual-certificate payoff and the
+  /// reweigh/renormalize passes — fans across the same worker pool via
+  /// serve::ShardRouter, while commits keep their fixed shard order so
+  /// transcripts stay bit-identical to sequential PmwCm at ANY
+  /// (shards x threads) configuration.
+  int num_shards = 1;
 };
 
 /// Serving counters. Latency/throughput moments use common/stats.h's
@@ -97,6 +114,13 @@ struct ServeStats {
   long long cross_batch_cache_hits = 0;
   /// Worker threads serving shards (1 = inline).
   int threads = 1;
+  /// Domain shards the hypothesis is partitioned into (after clamping).
+  int shards = 1;
+  /// MW-update-path wall time (payoff + reweigh/renormalize, the work
+  /// the domain shards parallelize; oracle solves excluded) and the
+  /// hard rounds it covers. Mirrors core::MwUpdateTiming.
+  double mw_update_ms = 0.0;
+  long long mw_updates = 0;
   /// Per-analyst counters (populated by the tagged AnswerBatch overload).
   std::map<std::string, AnalystCounters> per_analyst;
 
@@ -180,9 +204,19 @@ class PmwService {
 
   core::PmwCm& mechanism() { return cm_; }
   const core::PmwCm& mechanism() const { return cm_; }
+  /// Live counters — single-writer state: read only from the serving
+  /// thread or after serving quiesces. Remote scrapers use
+  /// stats_snapshot().
   const ServeStats& stats() const { return stats_; }
+  /// A copy of the counters as of the last completed batch, safe to read
+  /// from any thread while the writer keeps serving (the stats RPC).
+  ServeStats stats_snapshot() const;
+  /// Domain shards the hypothesis is partitioned into (after clamping).
+  int num_shards() const { return cm_.num_shards(); }
   /// The epoch holder (exposed for tests and future async front-ends).
   const EpochState& epochs() const { return epochs_; }
+  /// The per-shard work router (exposed for tests).
+  const ShardRouter& router() const { return router_; }
 
  private:
   /// Publishes a fresh epoch and prepares queries[begin, end) against it,
@@ -196,8 +230,15 @@ class PmwService {
   core::PmwCm cm_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
   ShardExecutor executor_;
+  /// Fans the MW-update path's per-shard phases across pool_; installed
+  /// into cm_ as its ShardRunner when num_shards > 1.
+  ShardRouter router_;
   EpochState epochs_;
   ServeStats stats_;
+  /// Published under the mutex at the end of every batch; what
+  /// stats_snapshot() returns to scraper threads.
+  mutable std::mutex snapshot_mutex_;
+  ServeStats stats_snapshot_;
   PlanCacheHook* plan_cache_ = nullptr;  // not owned
 };
 

@@ -67,7 +67,8 @@ ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
     for (size_t slot = 0; slot < distinct; ++slot) {
       const convex::CmQuery& query = queries[positions[slot]];
       QueryKey key{query.loss, query.domain};
-      if (cache->Lookup(key, epoch.snapshot.version, &result.plans[slot])) {
+      if (cache->Lookup(key, epoch.snapshot.version, epoch.shard_fingerprint,
+                        &result.plans[slot])) {
         ++result.cross_batch_hits;
         result.plan_from_cache[slot] = 1;
       } else {

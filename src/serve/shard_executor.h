@@ -22,6 +22,7 @@
 #define PMWCM_SERVE_SHARD_EXECUTOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -52,10 +53,13 @@ struct QueryKeyHash {
 
 /// A cross-batch plan cache the executor consults before computing plans
 /// and feeds after (frontend::PlanCache implements it). Entries are keyed
-/// by (query fingerprint, hypothesis version): a cached plan at the
-/// epoch's version is byte-identical to what Prepare would recompute
-/// (Prepare is deterministic), so serving from the cache can never change
-/// a transcript — only the wall-clock.
+/// by (query fingerprint, hypothesis version, shard set): a cached plan
+/// at the epoch's version is byte-identical to what Prepare would
+/// recompute (Prepare is deterministic, and sharding never changes the
+/// hypothesis bits), so serving from the cache can never change a
+/// transcript — only the wall-clock. The shard-set key keeps the cache
+/// honest across repartitions anyway: an entry is only ever served into
+/// the exact serving topology it was computed under.
 ///
 /// Threading contract: every method is called from the serving writer
 /// thread only (PrepareRange probes before fanning work out and inserts
@@ -65,19 +69,22 @@ class PlanCacheHook {
  public:
   virtual ~PlanCacheHook() = default;
 
-  /// Copies the cached plan for `key` at hypothesis `version` into
-  /// `*plan` and returns true, or returns false on a miss.
-  virtual bool Lookup(const QueryKey& key, int version,
+  /// Copies the cached plan for `key` at hypothesis `version` under the
+  /// shard set `shard_set` into `*plan` and returns true, or returns
+  /// false on a miss.
+  virtual bool Lookup(const QueryKey& key, int version, uint64_t shard_set,
                       core::PreparedQuery* plan) = 0;
 
-  /// Offers a freshly computed plan (already tagged with its version).
+  /// Offers a freshly computed plan (already tagged with its version,
+  /// computed under the current epoch's shard set).
   virtual void Insert(const QueryKey& key,
                       const core::PreparedQuery& plan) = 0;
 
-  /// The writer published the epoch for hypothesis `version`; entries at
-  /// any other version are permanently stale (the hypothesis only moves
-  /// forward) and must never be served again.
-  virtual void OnEpochPublish(int version) = 0;
+  /// The writer published the epoch for hypothesis `version` under the
+  /// shard set `shard_set`; entries at any other (version, shard-set)
+  /// pair are permanently stale (the hypothesis only moves forward) and
+  /// must never be served again.
+  virtual void OnEpochPublish(int version, uint64_t shard_set) = 0;
 };
 
 class ShardExecutor {

@@ -1,0 +1,49 @@
+#include "serve/shard_router.h"
+
+#include <future>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace serve {
+
+void ShardRouter::Run(int num_shards,
+                      const std::function<void(int)>& shard_fn) {
+  PMW_CHECK_GE(num_shards, 1);
+  if (pool_ == nullptr || num_shards <= 1) {
+    for (int s = 0; s < num_shards; ++s) shard_fn(s);
+    return;
+  }
+  ++sections_;
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<size_t>(num_shards) - 1);
+  try {
+    // Shards 1..K-1 go to workers; shard 0 runs on the writer, which
+    // would otherwise just block on the join.
+    for (int s = 1; s < num_shards; ++s) {
+      pending.push_back(pool_->Submit([&shard_fn, s] { shard_fn(s); }));
+    }
+  } catch (...) {
+    // Submit threw (pool shutdown / allocation): in-flight shards still
+    // reference the caller's frame — join them before unwinding.
+    for (std::future<void>& f : pending) f.wait();
+    throw;
+  }
+  shard_tasks_ += static_cast<long long>(pending.size());
+  try {
+    shard_fn(0);
+  } catch (...) {
+    // Shard 0 threw on the writer: the worker shards still reference the
+    // caller's frame — join them before unwinding.
+    for (std::future<void>& f : pending) f.wait();
+    throw;
+  }
+  // Join every shard before get() may rethrow: unwinding with shards in
+  // flight would free the state they write.
+  for (std::future<void>& f : pending) f.wait();
+  for (std::future<void>& f : pending) f.get();
+}
+
+}  // namespace serve
+}  // namespace pmw

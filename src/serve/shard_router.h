@@ -1,0 +1,65 @@
+// serve::ShardRouter — fans per-shard work of the single-writer commit
+// loop across the thread pool.
+//
+// The sharded hypothesis (core/sharded_hypothesis.h) decomposes the
+// MW-update hot path into K independent per-shard passes: every query's
+// domain footprint — the universe slice its dual-certificate payoff and
+// reweigh touch — is split across the owning shards, and cross-shard
+// quantities (the normalizer) reduce from per-shard partial sums on the
+// writer afterwards. The router is the execution side of that split: it
+// runs shard closures on pool workers (or inline when no pool / one
+// shard), blocks until every shard completes, and rethrows worker
+// exceptions only after the join so no shard is left writing into a
+// dead frame.
+//
+// Determinism: shards write disjoint state and every combine happens on
+// the calling writer thread in fixed shard order, so scheduling can only
+// change wall-clock — never a bit of the transcript. The router is
+// installed into core::PmwCm as its ShardRunner by serve::PmwService.
+
+#ifndef PMWCM_SERVE_SHARD_ROUTER_H_
+#define PMWCM_SERVE_SHARD_ROUTER_H_
+
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "core/sharded_hypothesis.h"
+
+namespace pmw {
+namespace serve {
+
+class ShardRouter {
+ public:
+  /// `pool` may be null: every shard then runs inline on the caller's
+  /// thread, in shard order (the sequential configuration).
+  explicit ShardRouter(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs shard_fn(s) for every s in [0, num_shards) and returns once
+  /// all completed. Only the single serving writer may call this (the
+  /// closures it routes mutate writer-owned per-shard state).
+  void Run(int num_shards, const std::function<void(int)>& shard_fn);
+
+  /// The router as a core::ShardRunner, for PmwCm::ConfigureSharding.
+  /// The router must outlive the mechanism it is installed into.
+  core::ShardRunner AsRunner() {
+    return [this](int num_shards, const std::function<void(int)>& fn) {
+      Run(num_shards, fn);
+    };
+  }
+
+  /// Parallel sections routed (one per Run that actually fanned out) and
+  /// shard tasks dispatched to workers. Writer-thread counters: read
+  /// them only from the writer or after serving quiesces.
+  long long sections() const { return sections_; }
+  long long shard_tasks() const { return shard_tasks_; }
+
+ private:
+  ThreadPool* pool_;
+  long long sections_ = 0;
+  long long shard_tasks_ = 0;
+};
+
+}  // namespace serve
+}  // namespace pmw
+
+#endif  // PMWCM_SERVE_SHARD_ROUTER_H_

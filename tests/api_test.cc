@@ -228,6 +228,101 @@ TEST_F(ApiTest, ProtocolRejectionsAreTypedAndFree) {
   EXPECT_EQ(endpoint.quota().admitted("bounded"), 2);
 }
 
+TEST_F(ApiTest, CallBatchMatchesSequentialAndCoalescesFrames) {
+  constexpr uint64_t kSeed = 808;
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.serve.num_shards = 2;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options,
+                          kSeed);
+  // verify_codec: the batch crosses the real byte format — as ONE frame.
+  InProcessTransport transport(&endpoint, /*verify_codec=*/true);
+  Client client(&transport, "batcher");
+
+  erm::NoisyGradientOracle replay_oracle;
+  core::PmwCm sequential(dataset_.get(), &replay_oracle,
+                         options.mechanism, kSeed);
+
+  std::vector<std::string> batch;
+  for (int j = 0; j < 6; ++j) {
+    batch.push_back(names_[static_cast<size_t>(j) % names_.size()]);
+  }
+  std::vector<AnswerEnvelope> replies = client.CallBatch(batch);
+  ASSERT_EQ(replies.size(), batch.size());
+  for (size_t j = 0; j < batch.size(); ++j) {
+    const AnswerEnvelope& reply = replies[j];
+    Result<core::PmwAnswer> want =
+        sequential.AnswerQuery(*catalog_.Find(batch[j]));
+    ASSERT_EQ(reply.ok(), want.ok()) << "name " << j;
+    if (!want.ok()) continue;
+    ASSERT_EQ(reply.answer.size(), want.value().theta.size());
+    for (size_t i = 0; i < reply.answer.size(); ++i) {
+      // Exact: a batched wire call is just framing, never arithmetic.
+      EXPECT_EQ(reply.answer[i], want.value().theta[i])
+          << "name " << j << " coord " << i;
+    }
+    EXPECT_EQ(reply.meta.shards, 2u) << j;
+    // Consecutive correlation ids, positionally.
+    if (j > 0) {
+      EXPECT_EQ(reply.request_id, replies[j - 1].request_id + 1);
+    }
+  }
+  endpoint.Shutdown();
+  EXPECT_EQ(endpoint.service().mechanism().ledger().Report(),
+            sequential.ledger().Report());
+  // One request frame for the whole batch (the syscall the satellite
+  // saves) + one answer frame per name.
+  EXPECT_EQ(endpoint.codec_counters().frames_encoded.load(),
+            1 + static_cast<long long>(batch.size()));
+}
+
+TEST_F(ApiTest, StatsRpcExposesReportAndBudgetView) {
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.serve.num_shards = 2;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options, 31);
+  InProcessTransport transport(&endpoint, /*verify_codec=*/true);
+  Client client(&transport, "poller");
+
+  // Drive some traffic so the report has content.
+  for (int j = 0; j < 8; ++j) {
+    ASSERT_TRUE(client.Call(names_[static_cast<size_t>(j) %
+                                   names_.size()]).ok());
+  }
+  const int events = endpoint.service().mechanism().ledger().event_count();
+  const long long answered =
+      endpoint.service().mechanism().queries_answered();
+
+  AnswerEnvelope stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.message;
+  // The report rode back as the message: dispatcher table + serve table.
+  EXPECT_NE(stats.message.find("submitted"), std::string::npos);
+  EXPECT_NE(stats.message.find("shards"), std::string::npos);
+  // The budget view matches the C++-side accessors.
+  EXPECT_EQ(stats.meta.hard_rounds_remaining,
+            endpoint.quota().HardRoundsRemaining());
+  EXPECT_EQ(stats.meta.epsilon_spent,
+            endpoint.service().mechanism().ledger().BasicTotal().epsilon);
+  EXPECT_EQ(stats.meta.shards, 2u);
+  EXPECT_EQ(stats.meta.epoch,
+            static_cast<uint64_t>(
+                endpoint.service().mechanism().hypothesis_version()));
+
+  // Stats polls are free: no ledger event, no k-query slot.
+  EXPECT_EQ(endpoint.service().mechanism().ledger().event_count(), events);
+  EXPECT_EQ(endpoint.service().mechanism().queries_answered(), answered);
+
+  // Version gate applies to stats frames too.
+  StatsRequest alien;
+  alien.version = 77;
+  alien.request_id = 5;
+  AnswerEnvelope mismatched = endpoint.HandleStats(alien);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.error, ErrorCode::kVersionMismatch);
+  EXPECT_EQ(mismatched.request_id, 5u);
+  endpoint.Shutdown();
+}
+
 struct ClientOutcome {
   std::string analyst_id;
   uint64_t request_id = 0;
@@ -332,6 +427,46 @@ TEST_F(ApiTest, SocketTranscriptMatchesSequentialReplayOfArrivalLog) {
   EXPECT_EQ(endpoint.codec_counters().decode_errors.load(), 0);
   EXPECT_GT(endpoint.codec_counters().bytes_in.load(), 0);
   EXPECT_GT(endpoint.codec_counters().bytes_out.load(), 0);
+}
+
+TEST_F(ApiTest, BatchedCallsAndStatsWorkThroughARealSocket) {
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.serve.num_threads = 2;
+  options.serve.num_shards = 4;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options, 17);
+  const std::string path =
+      "/tmp/pmw_api_batch_" + std::to_string(::getpid()) + ".sock";
+  SocketServer server(&endpoint, path);
+  ASSERT_TRUE(server.Start().ok());
+  SocketTransport transport(path);
+  ASSERT_TRUE(transport.status().ok());
+  Client client(&transport, "batcher");
+
+  std::vector<std::string> batch(names_.begin(), names_.begin() + 5);
+  std::vector<AnswerEnvelope> replies = client.CallBatch(batch);
+  ASSERT_EQ(replies.size(), batch.size());
+  for (size_t j = 0; j < replies.size(); ++j) {
+    EXPECT_TRUE(replies[j].ok()) << replies[j].message;
+    EXPECT_FALSE(replies[j].answer.empty()) << j;
+    EXPECT_EQ(replies[j].meta.shards, 4u) << j;
+    if (j > 0) {
+      EXPECT_EQ(replies[j].request_id, replies[j - 1].request_id + 1);
+    }
+  }
+  // One request frame carried the whole batch over the socket.
+  EXPECT_EQ(endpoint.codec_counters().frames_decoded.load(), 1);
+
+  AnswerEnvelope stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.message;
+  EXPECT_NE(stats.message.find("submitted"), std::string::npos);
+  EXPECT_EQ(stats.meta.shards, 4u);
+  EXPECT_EQ(endpoint.service().mechanism().queries_answered(),
+            static_cast<long long>(batch.size()));
+
+  transport.Close();
+  server.Shutdown();
+  endpoint.Shutdown();
 }
 
 TEST_F(ApiTest, SocketServerAnswersMalformedFramesWithTypedEnvelopes) {

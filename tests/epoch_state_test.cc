@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -143,6 +144,73 @@ TEST_F(EpochStateTest, EpochsAdvanceMonotonicallyAcrossMidBatchUpdates) {
   EXPECT_GE(service.epochs().epochs_published(), stats.batches);
   EXPECT_GE(service.epochs().epochs_published(), stats.updates);
   EXPECT_EQ(stats.epochs, service.epochs().epochs_published());
+}
+
+TEST_F(EpochStateTest, PerShardSnapshotsTileTheSupportAndStayMonotonic) {
+  // Sharded serving: every published epoch carries one zero-copy slice
+  // view per domain shard. Across mid-batch updates the slices must (a)
+  // always tile snapshot.support exactly — no entry dropped, duplicated,
+  // or out of place — (b) carry a stable shard fingerprint, and (c)
+  // advance monotonically with the epoch (version non-decreasing,
+  // per-shard [lo, hi) ranges fixed for the service's lifetime).
+  erm::NoisyGradientOracle oracle;
+  ServeOptions serve_options;
+  serve_options.num_threads = 2;
+  serve_options.num_shards = 4;
+  PmwService service(dataset_.get(), &oracle, PracticalOptions(), 21,
+                     serve_options);
+  ASSERT_EQ(service.num_shards(), 4);
+
+  std::vector<convex::CmQuery> workload;
+  for (int j = 0; j < 48; ++j) {
+    workload.push_back(queries_[static_cast<size_t>(j) % queries_.size()]);
+  }
+
+  const uint64_t fingerprint = service.mechanism().shard_fingerprint();
+  std::vector<std::pair<int, int>> ranges;
+  long long last_sequence = -1;
+  int last_version = -1;
+  for (size_t start = 0; start < workload.size(); start += 12) {
+    std::vector<convex::CmQuery> batch(
+        workload.begin() + static_cast<long>(start),
+        workload.begin() + static_cast<long>(start + 12));
+    service.AnswerBatch(batch);
+    std::shared_ptr<const Epoch> epoch = service.epochs().Current();
+    ASSERT_NE(epoch, nullptr);
+    EXPECT_GT(epoch->sequence, last_sequence);
+    EXPECT_GE(epoch->snapshot.version, last_version);
+    last_sequence = epoch->sequence;
+    last_version = epoch->snapshot.version;
+
+    EXPECT_EQ(epoch->shard_fingerprint, fingerprint);
+    ASSERT_EQ(epoch->shards.size(), 4u);
+    // The shard ranges are the partition — fixed across epochs.
+    if (ranges.empty()) {
+      for (const Epoch::ShardSlice& slice : epoch->shards) {
+        ranges.emplace_back(slice.lo, slice.hi);
+      }
+      EXPECT_EQ(ranges.front().first, 0);
+      EXPECT_EQ(ranges.back().second, universe_.size());
+    }
+    size_t position = 0;
+    for (size_t s = 0; s < epoch->shards.size(); ++s) {
+      const Epoch::ShardSlice& slice = epoch->shards[s];
+      EXPECT_EQ(slice.lo, ranges[s].first);
+      EXPECT_EQ(slice.hi, ranges[s].second);
+      for (const auto& entry : slice.support) {
+        // Tiling: slice entries are exactly the support's, in order,
+        // and every index lies inside the slice's own range.
+        ASSERT_LT(position, epoch->snapshot.support.size());
+        EXPECT_EQ(entry.first, epoch->snapshot.support[position].first);
+        EXPECT_EQ(entry.second, epoch->snapshot.support[position].second);
+        EXPECT_GE(entry.first, slice.lo);
+        EXPECT_LT(entry.first, slice.hi);
+        ++position;
+      }
+    }
+    EXPECT_EQ(position, epoch->snapshot.support.size());
+  }
+  EXPECT_GT(service.mechanism().update_count(), 0);
 }
 
 TEST_F(EpochStateTest, HeldEpochSurvivesLaterPublishesUnchanged) {

@@ -191,6 +191,86 @@ TEST_F(FrontendTest, TranscriptMatchesSequentialReplayOfArrivalLog) {
   EXPECT_GT(dstats.batches, 0);
 }
 
+TEST_F(FrontendTest, FairRoundRobinPopKeepsTranscriptsReplayable) {
+  // The fairness flag changes WHICH order requests commit in (dealt one
+  // per analyst per cycle at contended windows, over a domain-sharded
+  // service) — but the commit order IS the arrival log, so the replay
+  // guarantee must be untouched.
+  constexpr int kAnalysts = 3;
+  constexpr int kQueriesPerAnalyst = 20;
+  constexpr uint64_t kSeed = 919;
+
+  core::PmwOptions options = PracticalOptions();
+  options.override_updates = 24;
+
+  erm::NoisyGradientOracle oracle;
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = 2;
+  serve_options.num_shards = 2;
+  serve::PmwService service(dataset_.get(), &oracle, options, kSeed,
+                            serve_options);
+  DispatcherOptions dispatcher_options;
+  dispatcher_options.max_batch = 8;
+  dispatcher_options.max_wait = std::chrono::microseconds(2000);
+  dispatcher_options.record_arrival_log = true;
+  dispatcher_options.fair_round_robin = true;
+  Dispatcher dispatcher(&service, nullptr, nullptr, dispatcher_options);
+
+  std::mutex submitted_mutex;
+  std::vector<SubmittedRequest> submitted;
+  std::vector<std::thread> analysts;
+  analysts.reserve(kAnalysts);
+  for (int a = 0; a < kAnalysts; ++a) {
+    analysts.emplace_back([this, a, &dispatcher, &submitted_mutex,
+                           &submitted] {
+      AnalystSession session(&dispatcher, "analyst-" + std::to_string(a));
+      for (int j = 0; j < kQueriesPerAnalyst; ++j) {
+        size_t pool_index =
+            static_cast<size_t>(a * 5 + j * 3) % pool_.size();
+        SubmittedRequest request;
+        request.pool_index = pool_index;
+        request.analyst = session.analyst_id();
+        request.future = session.Submit(pool_[pool_index], &request.id);
+        std::lock_guard<std::mutex> lock(submitted_mutex);
+        submitted.push_back(std::move(request));
+      }
+    });
+  }
+  for (std::thread& t : analysts) t.join();
+  dispatcher.Shutdown();
+
+  const std::vector<uint64_t> arrival = dispatcher.ArrivalLog();
+  ASSERT_EQ(arrival.size(),
+            static_cast<size_t>(kAnalysts * kQueriesPerAnalyst));
+  std::unordered_map<uint64_t, SubmittedRequest*> by_id;
+  for (SubmittedRequest& request : submitted) {
+    by_id[request.id] = &request;
+  }
+
+  erm::NoisyGradientOracle replay_oracle;
+  core::PmwCm sequential(dataset_.get(), &replay_oracle, options, kSeed);
+  for (size_t position = 0; position < arrival.size(); ++position) {
+    auto it = by_id.find(arrival[position]);
+    ASSERT_NE(it, by_id.end());
+    SubmittedRequest& request = *it->second;
+    Result<core::PmwAnswer> want =
+        sequential.AnswerQuery(pool_[request.pool_index]);
+    Result<convex::Vec> got = request.future.get().answer;
+    ASSERT_EQ(got.ok(), want.ok()) << "position " << position;
+    if (!want.ok()) continue;
+    const convex::Vec& g = *got;
+    const convex::Vec& w = want.value().theta;
+    ASSERT_EQ(g.size(), w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_EQ(g[i], w[i]) << "position " << position << " coord " << i;
+    }
+  }
+  EXPECT_EQ(service.mechanism().ledger().Report(),
+            sequential.ledger().Report());
+  EXPECT_EQ(service.mechanism().queries_answered(),
+            sequential.queries_answered());
+}
+
 TEST_F(FrontendTest, QuotaRejectionConsumesZeroPrivacyBudget) {
   constexpr uint64_t kSeed = 77;
   erm::NoisyGradientOracle oracle;
@@ -316,13 +396,22 @@ TEST_F(FrontendTest, PlanCacheHitsAcrossBatchesAndInvalidatesOnEpochs) {
   EXPECT_EQ(cache.version(), service.mechanism().hypothesis_version());
 
   // Epoch advance: full invalidation, nothing served across versions.
+  const uint64_t shard_set = service.mechanism().shard_fingerprint();
+  EXPECT_EQ(cache.shard_set(), shard_set);
   const int next_version = cache.version() + 1;
-  cache.OnEpochPublish(next_version);
+  cache.OnEpochPublish(next_version, shard_set);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidated, 4);
   core::PreparedQuery plan;
-  EXPECT_FALSE(cache.Lookup(
-      serve::QueryKey{batch[0].loss, batch[0].domain}, next_version, &plan));
+  EXPECT_FALSE(cache.Lookup(serve::QueryKey{batch[0].loss, batch[0].domain},
+                            next_version, shard_set, &plan));
+  // A repartition (new shard set at the SAME version) invalidates the
+  // same way: plans are only ever served into the exact
+  // (version, shard-set) they were computed under.
+  service.AnswerBatch(batch);
+  EXPECT_GT(cache.size(), 0u);
+  cache.OnEpochPublish(cache.version(), shard_set + 1);
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST_F(FrontendTest, PlanCacheStaysCoherentThroughHardRounds) {
