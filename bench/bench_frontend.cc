@@ -1,329 +1,110 @@
-// Sustained async throughput of the multi-analyst front-end
-// (frontend::Dispatcher over the MPSC queue) versus the synchronous
-// AnswerBatch baseline, on a hypothesis-heavy repeated-query workload —
-// the regime the epoch-keyed cross-batch PlanCache is built for.
+// Front-door serving bench: the multi-analyst closed-loop workload
+// driven entirely through api::Client / api::ServerEndpoint (the
+// workload runner) — per-call, batched wire calls, and the
+// verify-codec byte path, side by side.
 //
-// Eight closed-loop analyst threads submit one query at a time
-// (submit -> wait -> next), so the reported per-request latency is the
-// honest end-to-end number: queue wait + batch coalescing + serving.
-// p50/p99 come from the pooled per-request latencies (common/stats.h
-// Quantile); ServeStats/RunningStats supply the moments. The synchronous
-// baseline drives the same traffic through AnswerBatch directly, one
-// batch at a time, with no queue in front.
+// Since PR 6 this bench includes only workload/ headers: all traffic
+// crosses the public protocol (catalog resolution, envelope assembly,
+// budget views), never frontend::Dispatcher or serve::PmwService
+// directly — the scenario runner IS the only engine. The former direct
+// Dispatcher::Submit and raw AnswerBatch baselines required exactly the
+// reach-ins this PR deletes; what remains gated here is correctness
+// (every request answered, zero errors, warm plan cache) plus the
+// protocol-layer comparison that stays observable from outside: the
+// verify-codec mode (every frame encoded + decoded, the socket
+// transport's byte path) versus the zero-copy loopback.
 //
-// No PASS/FAIL throughput gate: the async front-end buys *concurrency*
-// (many analysts, one writer) and cross-batch amortization, not
-// single-stream speedup, and the dev container may have one core. The
-// bench still fails loudly on correctness problems (serve errors, lost
-// requests). ROADMAP records multicore numbers when available.
+// Eight closed-loop analysts, one query per call (submit -> wait ->
+// next), so the reported latency is honest end-to-end: queue wait +
+// batch coalescing + serving — now read from ServingMeta's
+// queue_wait_us/serve_us split rather than inferred. No throughput
+// gate: the front-end buys concurrency, not single-stream speedup, and
+// the dev container may have one core. ROADMAP records multicore
+// numbers.
 
-#include <algorithm>
-#include <atomic>
 #include <cstdio>
-#include <mutex>
-#include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "api/catalog.h"
-#include "api/client.h"
-#include "api/endpoint.h"
-#include "api/in_process_transport.h"
-#include "common/random.h"
-#include "common/stats.h"
-#include "common/table_printer.h"
-#include "common/timer.h"
-#include "data/binary_universe.h"
-#include "data/generators.h"
-#include "data/histogram.h"
-#include "erm/nonprivate_oracle.h"
-#include "frontend/dispatcher.h"
-#include "frontend/plan_cache.h"
-#include "frontend/quota_manager.h"
-#include "losses/loss_family.h"
-#include "serve/pmw_service.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
 
 namespace pmw {
 namespace {
 
-constexpr int kDim = 6;
-constexpr int kRecords = 200000;
-constexpr int kDistinctQueries = 96;
-constexpr int kAnalysts = 8;
-constexpr int kQueriesPerAnalyst = 192;
-constexpr size_t kMaxBatch = 64;
-
-core::PmwOptions Options() {
-  core::PmwOptions options;
-  options.alpha = 0.2;
-  options.beta = 0.05;
-  options.privacy = {2.0, 1e-6};
-  options.max_queries = 4LL * kAnalysts * kQueriesPerAnalyst;
-  options.override_updates = 32;
-  return options;
-}
-
-serve::ServeOptions ServeConfig() {
-  serve::ServeOptions serve_options;
-  const unsigned cores = std::thread::hardware_concurrency();
-  serve_options.num_threads =
-      static_cast<int>(std::min(4u, cores > 0 ? cores : 1u));
-  return serve_options;
-}
-
-struct BenchRow {
-  std::string mode;
-  double queries_per_sec = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-  double cache_hit_rate = 0.0;
-  long long errors = 0;
-  long long served = 0;
-};
-
-/// Synchronous baseline: the same total traffic, served directly through
-/// AnswerBatch in kMaxBatch-sized batches from one thread.
-BenchRow RunSynchronous(const data::Dataset& dataset,
-                        const std::vector<convex::CmQuery>& traffic) {
-  erm::NonPrivateOracle oracle;
-  serve::PmwService service(&dataset, &oracle, Options(), /*seed=*/4321,
-                            ServeConfig());
-  BenchRow row;
-  row.mode = "sync";
-  std::vector<double> request_ms;
-  request_ms.reserve(traffic.size());
-  WallTimer total;
-  for (size_t start = 0; start < traffic.size(); start += kMaxBatch) {
-    size_t count = std::min(kMaxBatch, traffic.size() - start);
-    WallTimer timer;
-    std::vector<Result<convex::Vec>> results =
-        service.AnswerBatch({&traffic[start], count});
-    double elapsed = timer.ElapsedMillis();
-    for (const auto& result : results) {
-      if (!result.ok()) ++row.errors;
-    }
-    row.served += static_cast<long long>(results.size());
-    // A request's latency in the sync model is its whole batch's.
-    for (size_t j = 0; j < count; ++j) request_ms.push_back(elapsed);
-  }
-  double elapsed_s = total.ElapsedSeconds();
-  row.queries_per_sec =
-      elapsed_s > 0.0 ? static_cast<double>(traffic.size()) / elapsed_s : 0.0;
-  row.p50_ms = Quantile(request_ms, 0.5);
-  row.p99_ms = Quantile(request_ms, 0.99);
-  row.cache_hit_rate = service.stats().CrossBatchHitRate();
-  return row;
-}
-
-/// Async front-end: kAnalysts closed-loop threads through the
-/// Dispatcher, with quotas and the cross-batch plan cache attached.
-BenchRow RunAsync(const data::Dataset& dataset,
-                  const std::vector<convex::CmQuery>& traffic) {
-  erm::NonPrivateOracle oracle;
-  serve::PmwService service(&dataset, &oracle, Options(), /*seed=*/4321,
-                            ServeConfig());
-  frontend::QuotaManager quota(&service, frontend::QuotaOptions{});
-  frontend::PlanCache cache;
-  frontend::DispatcherOptions options;
-  options.queue_capacity = 1024;
-  options.max_batch = kMaxBatch;
-  options.max_wait = std::chrono::microseconds(200);
-  frontend::Dispatcher dispatcher(&service, &quota, &cache, options);
-
-  std::mutex merge_mutex;
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(static_cast<size_t>(kAnalysts) * kQueriesPerAnalyst);
-  std::atomic<long long> errors{0};
-
-  WallTimer total;
-  std::vector<std::thread> analysts;
-  analysts.reserve(kAnalysts);
-  for (int a = 0; a < kAnalysts; ++a) {
-    analysts.emplace_back([a, &dispatcher, &traffic, &merge_mutex,
-                           &latencies_ms, &errors] {
-      frontend::AnalystSession session(&dispatcher,
-                                       "analyst-" + std::to_string(a));
-      std::vector<double> local_ms;
-      local_ms.reserve(kQueriesPerAnalyst);
-      for (int j = 0; j < kQueriesPerAnalyst; ++j) {
-        const convex::CmQuery& query =
-            traffic[static_cast<size_t>(a * kQueriesPerAnalyst + j) %
-                    traffic.size()];
-        WallTimer timer;
-        Result<convex::Vec> answer = session.Submit(query).get().answer;
-        local_ms.push_back(timer.ElapsedMillis());
-        if (!answer.ok()) errors.fetch_add(1, std::memory_order_relaxed);
-      }
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      for (double ms : local_ms) latencies_ms.push_back(ms);
-    });
-  }
-  for (std::thread& t : analysts) t.join();
-  double elapsed_s = total.ElapsedSeconds();
-  dispatcher.Shutdown();
-
-  BenchRow row;
-  row.mode = "async-8";
-  row.served = static_cast<long long>(latencies_ms.size());
-  row.queries_per_sec =
-      elapsed_s > 0.0 ? static_cast<double>(latencies_ms.size()) / elapsed_s
-                      : 0.0;
-  row.p50_ms = Quantile(latencies_ms, 0.5);
-  row.p99_ms = Quantile(latencies_ms, 0.99);
-  row.cache_hit_rate = service.stats().CrossBatchHitRate();
-  row.errors = errors.load();
-
-  frontend::DispatcherStats dstats = dispatcher.stats();
-  std::printf("async serve stats:\n%s\n", service.stats().Report().c_str());
-  std::printf(
-      "dispatcher: submitted=%lld admitted=%lld batches=%lld "
-      "batch_fill=%s\n",
-      dstats.submitted, dstats.admitted, dstats.batches,
-      dstats.batch_fill.Summary().c_str());
-  return row;
-}
-
-/// api::Client over the zero-copy in-process transport — the same
-/// closed-loop traffic as RunAsync but through the full protocol layer
-/// (catalog resolution, envelope assembly, budget views). The acceptance
-/// gate: within 10% of RunAsync's q/s, i.e. the public front door costs
-/// at most a tenth of the direct Dispatcher::Submit engine.
-BenchRow RunApiInProcess(const data::Dataset& dataset,
-                         const api::QueryCatalog& catalog,
-                         const std::vector<std::string>& traffic_names) {
-  erm::NonPrivateOracle oracle;
-  api::ServerOptions server_options;
-  server_options.mechanism = Options();
-  server_options.serve = ServeConfig();
-  server_options.dispatcher.queue_capacity = 1024;
-  server_options.dispatcher.max_batch = kMaxBatch;
-  server_options.dispatcher.max_wait = std::chrono::microseconds(200);
-  api::ServerEndpoint endpoint(&dataset, &oracle, &catalog, server_options,
-                               /*seed=*/4321);
-  api::InProcessTransport transport(&endpoint);
-
-  std::mutex merge_mutex;
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(static_cast<size_t>(kAnalysts) * kQueriesPerAnalyst);
-  std::atomic<long long> errors{0};
-
-  WallTimer total;
-  std::vector<std::thread> analysts;
-  analysts.reserve(kAnalysts);
-  for (int a = 0; a < kAnalysts; ++a) {
-    analysts.emplace_back([a, &transport, &traffic_names, &merge_mutex,
-                           &latencies_ms, &errors] {
-      api::Client client(&transport, "analyst-" + std::to_string(a));
-      std::vector<double> local_ms;
-      local_ms.reserve(kQueriesPerAnalyst);
-      for (int j = 0; j < kQueriesPerAnalyst; ++j) {
-        const std::string& name =
-            traffic_names[static_cast<size_t>(a * kQueriesPerAnalyst + j) %
-                          traffic_names.size()];
-        WallTimer timer;
-        api::AnswerEnvelope reply = client.Call(name);
-        local_ms.push_back(timer.ElapsedMillis());
-        if (!reply.ok()) errors.fetch_add(1, std::memory_order_relaxed);
-      }
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      for (double ms : local_ms) latencies_ms.push_back(ms);
-    });
-  }
-  for (std::thread& t : analysts) t.join();
-  double elapsed_s = total.ElapsedSeconds();
-  endpoint.Shutdown();
-
-  BenchRow row;
-  row.mode = "api-inproc-8";
-  row.served = static_cast<long long>(latencies_ms.size());
-  row.queries_per_sec =
-      elapsed_s > 0.0 ? static_cast<double>(latencies_ms.size()) / elapsed_s
-                      : 0.0;
-  row.p50_ms = Quantile(latencies_ms, 0.5);
-  row.p99_ms = Quantile(latencies_ms, 0.99);
-  row.cache_hit_rate = endpoint.service().stats().CrossBatchHitRate();
-  row.errors = errors.load();
-  std::printf("api endpoint stats:\n%s\n", endpoint.Report().c_str());
-  return row;
+workload::ScenarioSpec BaseSpec() {
+  workload::ScenarioSpec spec;
+  spec.dim = 6;
+  spec.records = 200000;
+  spec.catalog_queries = 96;
+  spec.popularity = workload::ScenarioSpec::Popularity::kUniform;
+  spec.arrival = workload::ScenarioSpec::Arrival::kClosedLoop;
+  spec.analysts = 8;
+  spec.queries_per_analyst = 192;
+  spec.seed = 99;
+  return spec;
 }
 
 int Main() {
-  data::LabeledHypercubeUniverse universe(kDim);
-  // Near-uniform data: the uniform initial hypothesis is already
-  // accurate, so the sparse vector answers kBottom throughout — the
-  // steady-state regime where preparation dominates and caching pays.
-  data::Histogram uniform = data::Histogram::Uniform(universe.size());
-  data::Dataset dataset = data::RoundedDataset(universe, uniform, kRecords);
-
-  losses::LipschitzFamily family(kDim);
-  Rng rng(99);
-  std::vector<convex::CmQuery> pool =
-      family.Generate(kDistinctQueries, &rng);
-  std::vector<convex::CmQuery> traffic;
-  const int total = kAnalysts * kQueriesPerAnalyst;
-  traffic.reserve(static_cast<size_t>(total));
-  for (int j = 0; j < total; ++j) {
-    traffic.push_back(pool[static_cast<size_t>(j) % pool.size()]);
-  }
-
+  const long long total = BaseSpec().total_events();
   std::printf(
-      "bench_frontend: |X|=%d, n=%d, analysts=%d, queries=%d "
-      "(%d distinct), max_batch=%zu, serve_threads=%d, cores=%u\n",
-      universe.size(), kRecords, kAnalysts, total, kDistinctQueries,
-      kMaxBatch, ServeConfig().num_threads,
-      std::thread::hardware_concurrency());
+      "bench_frontend: dim=%d, n=%d, analysts=%d, queries=%lld "
+      "(%d distinct), max_batch=%zu, serve_threads=%d\n",
+      BaseSpec().dim, BaseSpec().records, BaseSpec().analysts, total,
+      BaseSpec().catalog_queries, BaseSpec().max_batch,
+      workload::ResolveServeThreads(BaseSpec()));
 
-  // The api workload: the same traffic, expressed as catalog names. The
-  // registered queries ARE the pool objects, so the serving layers see
-  // pointer-identical queries in both modes.
-  api::QueryCatalog catalog;
-  std::vector<std::string> traffic_names;
-  traffic_names.reserve(traffic.size());
-  for (int j = 0; j < kDistinctQueries; ++j) {
-    catalog.Register("q/" + std::to_string(j),
-                     pool[static_cast<size_t>(j)]);
+  // Three front-door modes over identical traffic.
+  workload::ScenarioSpec per_call = BaseSpec();
+  per_call.name = "api-call-8";
+
+  workload::ScenarioSpec batched = BaseSpec();
+  batched.name = "api-batch64-8";
+  batched.batch_size = 64;
+
+  workload::ScenarioSpec codec = BaseSpec();
+  codec.name = "api-codec-8";
+
+  struct Row {
+    workload::ScenarioResult result;
+  };
+  std::vector<Row> rows;
+  rows.push_back({workload::RunScenario(per_call, workload::RunOptions{})});
+  rows.push_back({workload::RunScenario(batched, workload::RunOptions{})});
+  workload::RunOptions verify;
+  verify.verify_codec = true;
+  rows.push_back({workload::RunScenario(codec, verify)});
+
+  std::printf("%-14s %12s %9s %9s %10s %10s %9s %7s\n", "mode",
+              "queries/sec", "p50 ms", "p99 ms", "qwait50 us",
+              "serve50 us", "hit_rate", "errors");
+  for (const Row& row : rows) {
+    const workload::ScenarioResult& r = row.result;
+    std::printf("%-14s %12.1f %9.3f %9.3f %10.1f %10.1f %9.3f %7lld\n",
+                r.spec.name.c_str(), r.goodput_qps, r.p50_ms, r.p99_ms,
+                r.queue_wait_p50_us, r.serve_p50_us, r.cache_hit_rate,
+                r.other_errors);
   }
-  for (int j = 0; j < total; ++j) {
-    traffic_names.push_back("q/" +
-                            std::to_string(j % kDistinctQueries));
+
+  // The protocol's codec overhead, observable without any reach-in:
+  // identical traffic with every frame round-tripped through the binary
+  // codec versus the zero-copy loopback. Informational (single-stream
+  // throughput is noisy on small containers); the gate is correctness.
+  const double base_qps = rows[0].result.goodput_qps;
+  const double codec_qps = rows[2].result.goodput_qps;
+  if (base_qps > 0.0 && codec_qps > 0.0) {
+    std::printf("codec byte-path overhead vs zero-copy loopback: %.1f%%\n",
+                100.0 * (1.0 - codec_qps / base_qps));
   }
 
-  BenchRow sync_row = RunSynchronous(dataset, traffic);
-  BenchRow async_row = RunAsync(dataset, traffic);
-  BenchRow api_row = RunApiInProcess(dataset, catalog, traffic_names);
-
-  TablePrinter table(
-      {"mode", "queries/sec", "p50 ms", "p99 ms", "xb_hit_rate", "errors"});
-  for (const BenchRow& row : {sync_row, async_row, api_row}) {
-    table.AddRow({row.mode, TablePrinter::Fmt(row.queries_per_sec, 1),
-                  TablePrinter::Fmt(row.p50_ms, 3),
-                  TablePrinter::Fmt(row.p99_ms, 3),
-                  TablePrinter::Fmt(row.cache_hit_rate, 3),
-                  TablePrinter::FmtInt(row.errors)});
+  bool ok = true;
+  for (const Row& row : rows) {
+    const workload::ScenarioResult& r = row.result;
+    ok = ok && r.issued == total && r.ok == total &&
+         r.other_errors == 0 && r.cache_hit_rate > 0.0;
   }
-  table.Print();
-
-  // The api layer's overhead on the in-process transport, against the
-  // direct Dispatcher::Submit engine driving identical traffic.
-  const double overhead =
-      async_row.queries_per_sec > 0.0
-          ? 1.0 - api_row.queries_per_sec / async_row.queries_per_sec
-          : 1.0;
-  std::printf("api-layer overhead vs direct Dispatcher::Submit: %.1f%% "
-              "(gate: <= 10%%)\n",
-              100.0 * overhead);
-
-  // Gates: every request answered in every mode, no errors, warm cache,
-  // and the protocol layer within 10% of the raw engine's throughput.
-  const bool ok = sync_row.errors == 0 && async_row.errors == 0 &&
-                  api_row.errors == 0 && sync_row.served == total &&
-                  async_row.served == total && api_row.served == total &&
-                  async_row.cache_hit_rate > 0.0 &&
-                  api_row.cache_hit_rate > 0.0 && overhead <= 0.10;
   std::printf(ok ? "RESULT: PASS\n"
-                 : "RESULT: FAIL (lost requests, errors, cold cache, or "
-                   "api overhead > 10%%)\n");
+                 : "RESULT: FAIL (lost requests, errors, or cold cache)\n");
   return ok ? 0 : 1;
 }
 

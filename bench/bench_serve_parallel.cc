@@ -31,7 +31,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,6 +46,7 @@
 #include "erm/nonprivate_oracle.h"
 #include "losses/loss_family.h"
 #include "serve/pmw_service.h"
+#include "workload/json.h"
 
 namespace pmw {
 namespace {
@@ -66,6 +69,21 @@ struct BenchResult {
   long long updates = 0;
   long long errors = 0;
 };
+
+/// Writes a sweep's BENCH json artifact (same format family as
+/// bench_scenarios: the nightly job uploads these and the regression
+/// checker reads them back).
+bool WriteBenchJson(const workload::JsonValue& root,
+                    const std::string& dir, const std::string& name) {
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << root.Dump();
+  return static_cast<bool>(out);
+}
 
 BenchResult RunAtThreads(const data::Dataset& dataset,
                          const std::vector<convex::CmQuery>& workload,
@@ -157,7 +175,7 @@ MwBenchResult RunMwAtShards(const data::Dataset& dataset,
 
 /// The sharded MW-update-path phase; returns the process exit code.
 /// `gate_shards` <= 1 runs the default sweep {1, 2, 4} and gates 4 vs 1.
-int RunMwPhase(int gate_shards, unsigned cores) {
+int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir) {
   data::LabeledHypercubeUniverse universe(kMwDim);
   // Point mass: the uniform initial hypothesis is maximally wrong, so
   // hard rounds fire until the update budget is spent — the MW-heavy
@@ -191,6 +209,7 @@ int RunMwPhase(int gate_shards, unsigned cores) {
   MwBenchResult baseline;
   MwBenchResult gated;
   bool transcripts_agree = true;
+  workload::JsonValue sweep = workload::JsonValue::Array();
   for (int shards : shard_counts) {
     MwBenchResult result = RunMwAtShards(dataset, workload, shards);
     if (shards == 1) baseline = result;
@@ -202,6 +221,12 @@ int RunMwPhase(int gate_shards, unsigned cores) {
     table.AddRow({std::to_string(shards), std::to_string(result.updates),
                   TablePrinter::Fmt(result.mw_ms, 2),
                   TablePrinter::Fmt(result.updates_per_sec, 1)});
+    sweep.Push(workload::JsonValue::Object()
+                   .Set("shards", workload::JsonValue::Int(shards))
+                   .Set("updates", workload::JsonValue::Int(result.updates))
+                   .Set("mw_ms", workload::JsonValue::Double(result.mw_ms))
+                   .Set("updates_per_sec",
+                        workload::JsonValue::Double(result.updates_per_sec)));
   }
   table.Print();
 
@@ -218,6 +243,24 @@ int RunMwPhase(int gate_shards, unsigned cores) {
       "MW-update-path speedup at shards=%d vs shards=1: %.2fx "
       "(gate: >= 2x at shards=4)\n",
       top, speedup);
+  if (!json_dir.empty()) {
+    workload::JsonValue root =
+        workload::JsonValue::Object()
+            .Set("bench", workload::JsonValue::Str("mw_shards"))
+            .Set("params",
+                 workload::JsonValue::Object()
+                     .Set("dim", workload::JsonValue::Int(kMwDim))
+                     .Set("records", workload::JsonValue::Int(kRecords))
+                     .Set("queries", workload::JsonValue::Int(kMwQueries))
+                     .Set("override_updates",
+                          workload::JsonValue::Int(kMwUpdates))
+                     .Set("threads", workload::JsonValue::Int(kMwThreads)))
+            .Set("env", workload::JsonValue::Object().Set(
+                            "cores", workload::JsonValue::Int(cores)))
+            .Set("sweep", std::move(sweep))
+            .Set("speedup_top_vs_1", workload::JsonValue::Double(speedup));
+    if (!WriteBenchJson(root, json_dir, "mw_shards")) return 1;
+  }
   if (cores < 4) {
     std::printf("RESULT: SKIP (only %u hardware core(s); the >= 2x gate "
                 "needs 4)\n",
@@ -238,7 +281,7 @@ int RunMwPhase(int gate_shards, unsigned cores) {
   return speedup >= 2.0 ? 0 : 1;
 }
 
-int Main() {
+int Main(const std::string& json_dir) {
   data::LabeledHypercubeUniverse universe(kDim);
   // Near-uniform data: the uniform initial hypothesis is already accurate,
   // so the sparse vector answers kBottom throughout — the steady-state
@@ -263,6 +306,7 @@ int Main() {
   std::vector<double> qps;
   BenchResult baseline;
   bool transcripts_agree = true;
+  workload::JsonValue sweep = workload::JsonValue::Array();
   for (int threads : thread_counts) {
     BenchResult result = RunAtThreads(dataset, workload, threads);
     if (threads == 1) baseline = result;
@@ -275,6 +319,13 @@ int Main() {
                   std::to_string(result.queries_per_sec),
                   std::to_string(result.bottom),
                   std::to_string(result.updates)});
+    sweep.Push(
+        workload::JsonValue::Object()
+            .Set("threads", workload::JsonValue::Int(threads))
+            .Set("queries_per_sec",
+                 workload::JsonValue::Double(result.queries_per_sec))
+            .Set("bottom", workload::JsonValue::Int(result.bottom))
+            .Set("updates", workload::JsonValue::Int(result.updates)));
   }
   table.Print();
 
@@ -288,6 +339,23 @@ int Main() {
   double speedup = qps[0] > 0.0 ? qps[2] / qps[0] : 0.0;
   std::printf("speedup at threads=4 vs threads=1: %.2fx (gate: >= 2.5x)\n",
               speedup);
+  if (!json_dir.empty()) {
+    workload::JsonValue root =
+        workload::JsonValue::Object()
+            .Set("bench", workload::JsonValue::Str("prepare_threads"))
+            .Set("params",
+                 workload::JsonValue::Object()
+                     .Set("dim", workload::JsonValue::Int(kDim))
+                     .Set("records", workload::JsonValue::Int(kRecords))
+                     .Set("queries", workload::JsonValue::Int(kTotalQueries))
+                     .Set("batch", workload::JsonValue::Int(
+                                       static_cast<long long>(kBatchSize))))
+            .Set("env", workload::JsonValue::Object().Set(
+                            "cores", workload::JsonValue::Int(cores)))
+            .Set("sweep", std::move(sweep))
+            .Set("speedup_4_vs_1", workload::JsonValue::Double(speedup));
+    if (!WriteBenchJson(root, json_dir, "prepare_threads")) return 1;
+  }
   if (cores < 4) {
     std::printf(
         "RESULT: SKIP (only %u hardware core(s); the >= 2.5x gate needs 4)\n",
@@ -304,7 +372,10 @@ int Main() {
 int main(int argc, char** argv) {
   // --shards=K runs only the MW-update-path phase at {1, K} (the PR 5
   // gate invocation is `--shards=4`); no argument runs both phases.
+  // --json-dir=DIR additionally records each phase's sweep as a
+  // BENCH_<phase>.json artifact (the nightly perf-trajectory upload).
   int gate_shards = 0;
+  std::string json_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       gate_shards = std::atoi(argv[i] + 9);
@@ -312,16 +383,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --shards value: %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--json-dir=", 11) == 0) {
+      json_dir = argv[i] + 11;
+      if (json_dir.empty()) {
+        std::fprintf(stderr, "bad --json-dir value: %s\n", argv[i]);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--shards=K]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--shards=K] [--json-dir=DIR]\n",
+                   argv[0]);
       return 2;
     }
   }
   const unsigned cores = std::thread::hardware_concurrency();
   if (gate_shards > 0) {
-    return pmw::RunMwPhase(gate_shards, cores);
+    return pmw::RunMwPhase(gate_shards, cores, json_dir);
   }
-  const int prepare_code = pmw::Main();
-  const int mw_code = pmw::RunMwPhase(0, cores);
+  const int prepare_code = pmw::Main(json_dir);
+  const int mw_code = pmw::RunMwPhase(0, cores, json_dir);
   return prepare_code != 0 ? prepare_code : mw_code;
 }

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts against checked-in baselines.
+
+Stdlib only (CI runners have bare python3). Two file shapes exist, both
+produced by this repo's benches:
+
+  * scenario files (bench_scenarios): carry `scenario`, `goodput_qps`,
+    and an `slo` verdict. The SLO must hold unconditionally; goodput is
+    compared against the baseline only when the candidate ran on the
+    same number of cores the baseline recorded (`env.cores`) --
+    baselines generated on a 1-core dev box say nothing about the
+    4-vCPU nightly runner's throughput, and vice versa.
+  * sweep files (bench_serve_parallel): carry `bench` and a
+    `speedup_*` key. Speedup is a ratio, but it still only means
+    anything on matching hardware, so the same cores gate applies.
+
+A candidate more than --max-regression below its comparable baseline
+fails the run. A baseline with no candidate also fails: the matrix
+shrank silently. A candidate with no baseline is reported but passes
+(new scenarios land before their first baseline).
+
+Promoting a baseline: download the BENCH json artifact from a green
+nightly run, copy it over bench/baselines/, and commit -- the recorded
+`env.cores` travels with it, so future comparisons stay apples to
+apples.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def metric_of(doc):
+    """Returns (key, value) for the file's headline metric, or None."""
+    if "goodput_qps" in doc:
+        return ("goodput_qps", float(doc["goodput_qps"]))
+    for key in ("speedup_4_vs_1", "speedup_top_vs_1"):
+        if key in doc:
+            return (key, float(doc[key]))
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--candidate-dir", required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.10,
+        help="allowed fractional drop below baseline (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    candidate_dir = pathlib.Path(args.candidate_dir)
+    candidates = sorted(candidate_dir.glob("BENCH_*.json"))
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not candidates:
+        print(f"FAIL: no BENCH_*.json files in {candidate_dir}")
+        return 1
+
+    failures = []
+    for path in candidates:
+        doc = load(path)
+        name = path.name
+
+        slo = doc.get("slo")
+        if slo is not None and not slo.get("ok", False):
+            failures.append(
+                f"{name}: SLO breach: {'; '.join(slo.get('violations', []))}"
+            )
+            continue
+
+        base_path = baseline_dir / name
+        if not base_path.exists():
+            print(f"{name}: no baseline yet -- skipping comparison")
+            continue
+        base = load(base_path)
+
+        base_cores = base.get("env", {}).get("cores")
+        cand_cores = doc.get("env", {}).get("cores")
+        if base_cores != cand_cores:
+            print(
+                f"{name}: cores mismatch (baseline {base_cores}, "
+                f"candidate {cand_cores}) -- throughput not comparable, "
+                "skipping"
+            )
+            continue
+
+        base_metric = metric_of(base)
+        cand_metric = metric_of(doc)
+        if base_metric is None or cand_metric is None:
+            print(f"{name}: no headline metric -- skipping comparison")
+            continue
+        key, base_value = base_metric
+        _, cand_value = cand_metric
+        floor = base_value * (1.0 - args.max_regression)
+        verdict = "OK"
+        if cand_value < floor:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {key} {cand_value:.1f} is more than "
+                f"{args.max_regression:.0%} below baseline {base_value:.1f}"
+            )
+        elif base_value > 0 and cand_value > base_value * (
+            1.0 + args.max_regression
+        ):
+            verdict = "OK (improved -- consider promoting the baseline)"
+        print(
+            f"{name}: {key} candidate {cand_value:.1f} vs baseline "
+            f"{base_value:.1f} ({verdict})"
+        )
+
+    candidate_names = {p.name for p in candidates}
+    for path in baselines:
+        if path.name not in candidate_names:
+            failures.append(
+                f"{path.name}: baseline has no candidate -- scenario "
+                "removed or not run"
+            )
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nPASS: all scenarios within SLO and regression bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

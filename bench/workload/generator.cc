@@ -1,0 +1,57 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace workload {
+
+double ZipfianGenerator::Zeta(long long n, double theta) {
+  double sum = 0.0;
+  for (long long i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(int num_keys, double theta, uint64_t seed)
+    : num_keys_(num_keys), theta_(theta), engine_(seed) {
+  PMW_CHECK_GE(num_keys, 1);
+  PMW_CHECK_GE(theta, 0.0);
+  PMW_CHECK_LT(theta, 1.0);
+  zetan_ = Zeta(num_keys, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = Zeta(std::min<long long>(2, num_keys), theta);
+  // YCSB's eta: maps the uniform variate's tail onto the zipfian body.
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta);
+}
+
+int ZipfianGenerator::Next() {
+  const double u = CanonicalUniform(engine_);
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (num_keys_ >= 2 && uz < 1.0 + half_pow_theta_) return 1;
+  const int key = static_cast<int>(static_cast<double>(num_keys_) *
+                                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(key, num_keys_ - 1);
+}
+
+PoissonArrivals::PoissonArrivals(double rate_per_sec, uint64_t seed)
+    : rate_per_sec_(rate_per_sec), engine_(seed) {
+  PMW_CHECK_GT(rate_per_sec, 0.0);
+}
+
+uint64_t PoissonArrivals::NextArrivalUs() {
+  // Inverse-CDF exponential gap; 1 - u is in (0, 1] so the log is finite.
+  const double u = CanonicalUniform(engine_);
+  const double gap_s = -std::log(1.0 - u) / rate_per_sec_;
+  clock_us_ += gap_s * 1e6;
+  return static_cast<uint64_t>(std::llround(clock_us_));
+}
+
+}  // namespace workload
+}  // namespace pmw

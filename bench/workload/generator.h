@@ -1,0 +1,74 @@
+// Deterministic workload generators for the scenario engine.
+//
+// YCSB-style zipfian key popularity (theta = 0 degenerates to exact
+// uniform) and Poisson open-loop arrival schedules. Both draw their
+// randomness straight from mt19937_64 output words instead of the
+// standard <random> distributions, whose algorithms are implementation-
+// defined: a trace built from a seed is bit-identical on every platform
+// and standard library, which is what lets tests pin golden seed
+// schedules and lets a checked-in trace file double as a regression
+// artifact (tests/workload_test.cc).
+
+#ifndef PMWCM_BENCH_WORKLOAD_GENERATOR_H_
+#define PMWCM_BENCH_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+
+namespace pmw {
+namespace workload {
+
+/// Uniform double in [0, 1) from one engine word — 53 mantissa bits,
+/// platform-deterministic (no std::uniform_real_distribution).
+inline double CanonicalUniform(std::mt19937_64& engine) {
+  return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+/// YCSB-style zipfian generator over {0, ..., num_keys - 1}: key 0 is the
+/// most popular, with P(key = i) proportional to 1 / (i + 1)^theta.
+/// theta in [0, 1); theta = 0 is exactly uniform, theta -> 1 is maximally
+/// skewed. Deterministic in (num_keys, theta, seed).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(int num_keys, double theta, uint64_t seed);
+
+  /// The next key, by popularity rank (0 = hottest).
+  int Next();
+
+  int num_keys() const { return num_keys_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(long long n, double theta);
+
+  int num_keys_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double half_pow_theta_;
+  std::mt19937_64 engine_;
+};
+
+/// Open-loop Poisson arrival schedule: exponential inter-arrival gaps at
+/// `rate_per_sec`, accumulated into microsecond offsets from time zero.
+/// Deterministic in (rate_per_sec, seed).
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate_per_sec, uint64_t seed);
+
+  /// The next arrival's offset in microseconds (non-decreasing).
+  uint64_t NextArrivalUs();
+
+  double rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  double rate_per_sec_;
+  double clock_us_ = 0.0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace workload
+}  // namespace pmw
+
+#endif  // PMWCM_BENCH_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,167 @@
+#include "workload/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace workload {
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(long long value) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Double(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  PMW_CHECK(kind_ == Kind::kObject);
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue value) {
+  PMW_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+void JsonValue::Append(std::string* out, int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      PMW_CHECK_MSG(std::isfinite(double_), "json: non-finite number");
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", double_);
+      *out += buf;
+      break;
+    }
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        *out += inner_pad;
+        array_[i].Append(out, indent + 1);
+        if (i + 1 < array_.size()) *out += ',';
+        *out += '\n';
+      }
+      *out += pad;
+      *out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        *out += inner_pad;
+        AppendEscaped(object_[i].first, out);
+        *out += ": ";
+        object_[i].second.Append(out, indent + 1);
+        if (i + 1 < object_.size()) *out += ',';
+        *out += '\n';
+      }
+      *out += pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  Append(&out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace workload
+}  // namespace pmw

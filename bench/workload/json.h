@@ -1,0 +1,57 @@
+// A minimal ordered JSON value, enough to emit BENCH_<scenario>.json.
+//
+// Deliberately a writer, not a parser: benches build a JsonValue tree
+// and Dump() it with stable key order and stable number formatting, so
+// artifacts diff cleanly run-to-run and the CI regression checker
+// (bench/check_regression.py, stdlib json) reads them back.
+
+#ifndef PMWCM_BENCH_WORKLOAD_JSON_H_
+#define PMWCM_BENCH_WORKLOAD_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmw {
+namespace workload {
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Bool(bool value);
+  static JsonValue Int(long long value);
+  static JsonValue Double(double value);
+  static JsonValue Str(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Object member, insertion-ordered. Returns *this for chaining.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  /// Array element. Returns *this for chaining.
+  JsonValue& Push(JsonValue value);
+
+  /// Pretty-printed (2-space indent) with a trailing newline at the top
+  /// level: the artifact format.
+  std::string Dump() const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  void Append(std::string* out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace workload
+}  // namespace pmw
+
+#endif  // PMWCM_BENCH_WORKLOAD_JSON_H_

@@ -33,6 +33,9 @@ constexpr uint8_t kStatsRequestId = 2;
 // tail, exactly like unknown tagged fields.
 constexpr size_t kMetaBytes = 8 + 1 + 1 + 8 + 8 + 8;
 constexpr size_t kMetaShardsBytes = kMetaBytes + 4;
+// Server-side timing split (queue_wait_us, serve_us), appended after the
+// shard count within v1; pre-timing decoders ignore the tail.
+constexpr size_t kMetaTimingBytes = kMetaShardsBytes + 8 + 8;
 
 // --- little-endian scalar append/read helpers -----------------------------
 
@@ -224,6 +227,8 @@ void EncodeAnswer(const AnswerEnvelope& envelope, std::string* out) {
     AppendScalar<double>(envelope.meta.epsilon_spent, &payload);
     AppendScalar<double>(envelope.meta.delta_spent, &payload);
     AppendScalar<uint32_t>(envelope.meta.shards, &payload);
+    AppendScalar<uint64_t>(envelope.meta.queue_wait_us, &payload);
+    AppendScalar<uint64_t>(envelope.meta.serve_us, &payload);
     AppendField(kAnsMeta, payload, out);
   }
   EndFrame(prefix_at, out);
@@ -402,6 +407,10 @@ Result<AnswerEnvelope> DecodeAnswer(std::string_view frame) {
         // baseline layout, so the tail is optional on decode.
         if (payload.size() >= kMetaShardsBytes) {
           envelope.meta.shards = ReadScalar<uint32_t>(p + 34);
+        }
+        if (payload.size() >= kMetaTimingBytes) {
+          envelope.meta.queue_wait_us = ReadScalar<uint64_t>(p + 38);
+          envelope.meta.serve_us = ReadScalar<uint64_t>(p + 46);
         }
         break;
       }

@@ -253,6 +253,10 @@ AnswerEnvelope ServerEndpoint::Finish(uint8_t version, uint64_t request_id,
   envelope.meta.epsilon_spent = spent.epsilon;
   envelope.meta.delta_spent = spent.delta;
   envelope.meta.shards = static_cast<uint32_t>(service_->num_shards());
+  // The server-side latency split the dispatcher measured; zero when the
+  // request never reached the queue.
+  envelope.meta.queue_wait_us = served.queue_wait_us;
+  envelope.meta.serve_us = served.serve_us;
   return envelope;
 }
 

@@ -90,6 +90,15 @@ struct ServingMeta {
   /// unknown, e.g. on errors minted before admission). Purely
   /// informational: sharding never changes answers.
   uint32_t shards = 0;
+  /// Server-side latency split, appended to the v1 meta field (old
+  /// decoders skip the tail under the codec's unknown-field rules): how
+  /// long the request waited in the dispatcher queue before its batch
+  /// formed, and how long its batch spent inside the serving call. Both 0
+  /// when unknown (errors minted before the queue, stats polls). What
+  /// lets a remote harness separate queue wait from serve time without
+  /// reaching into frontend:: internals.
+  uint64_t queue_wait_us = 0;
+  uint64_t serve_us = 0;
 };
 
 /// The reply to one QueryRequest.

@@ -10,8 +10,8 @@ namespace pmw {
 namespace frontend {
 
 std::vector<std::string> DispatcherStats::TableHeader() {
-  return {"submitted", "admitted", "quota_rej", "shutdown_rej",
-          "deadline",  "batches",  "fill_mean"};
+  return {"submitted", "admitted",  "quota_rej", "shutdown_rej", "deadline",
+          "batches",   "fill_mean", "qwait_us",  "serve_us"};
 }
 
 std::vector<std::string> DispatcherStats::TableRow() const {
@@ -21,7 +21,9 @@ std::vector<std::string> DispatcherStats::TableRow() const {
           TablePrinter::FmtInt(shutdown_rejected),
           TablePrinter::FmtInt(deadline_expired),
           TablePrinter::FmtInt(batches),
-          TablePrinter::Fmt(batch_fill.mean(), 2)};
+          TablePrinter::Fmt(batch_fill.mean(), 2),
+          TablePrinter::Fmt(queue_wait_us.mean(), 1),
+          TablePrinter::Fmt(serve_us.mean(), 1)};
 }
 
 std::string DispatcherStats::ToString() const {
@@ -87,6 +89,7 @@ std::future<Served> Dispatcher::Submit(
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.admitted;
   }
+  request.enqueued_at = std::chrono::steady_clock::now();
   // Push moves from `request` only on success, so a close raced between
   // the shutdown check above and here still leaves us the promise to
   // resolve with the typed error — and the quota slot to hand back (the
@@ -149,14 +152,19 @@ void Dispatcher::DispatchLoop() {
         stats_.deadline_expired += static_cast<long long>(expired.size());
       }
       for (Request& request : expired) {
-        request.promise.set_value(Served(api::MakeStatus(
+        Served served(api::MakeStatus(
             api::ErrorCode::kDeadlineExpired,
             "frontend: deadline expired after " +
                 std::to_string(
                     std::chrono::duration_cast<std::chrono::microseconds>(
                         now - request.deadline)
                         .count()) +
-                "us in queue")));
+                "us in queue"));
+        served.queue_wait_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - request.enqueued_at)
+                .count());
+        request.promise.set_value(std::move(served));
       }
     }
     if (live.empty()) continue;
@@ -164,16 +172,36 @@ void Dispatcher::DispatchLoop() {
       queries.push_back(request.query);
       tags.push_back(request.analyst_id);
     }
+    // The latency split: `now` marks batch formation, so everything
+    // before it is queue wait and the AnswerBatch wall time below is
+    // serve time (shared by every request the batch carries).
+    std::vector<uint64_t> queue_waits_us;
+    queue_waits_us.reserve(live.size());
+    for (const Request& request : live) {
+      queue_waits_us.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - request.enqueued_at)
+              .count()));
+    }
     // The single-writer serving call. Arrival order == queue FIFO order
     // == the order results are committed and promises resolved below.
+    const auto serve_start = std::chrono::steady_clock::now();
     std::vector<Result<convex::Vec>> results =
         service_->AnswerBatch(queries, tags, &outcomes);
+    const uint64_t batch_serve_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - serve_start)
+            .count());
     PMW_CHECK_EQ(results.size(), live.size());
     PMW_CHECK_EQ(outcomes.size(), live.size());
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.batches;
       stats_.batch_fill.Add(static_cast<double>(live.size()));
+      for (uint64_t wait_us : queue_waits_us) {
+        stats_.queue_wait_us.Add(static_cast<double>(wait_us));
+        stats_.serve_us.Add(static_cast<double>(batch_serve_us));
+      }
       if (options_.record_arrival_log) {
         for (const Request& request : live) {
           arrival_log_.push_back(request.id);
@@ -181,8 +209,10 @@ void Dispatcher::DispatchLoop() {
       }
     }
     for (size_t j = 0; j < live.size(); ++j) {
-      live[j].promise.set_value(
-          Served(std::move(results[j]), outcomes[j]));
+      Served served(std::move(results[j]), outcomes[j]);
+      served.queue_wait_us = queue_waits_us[j];
+      served.serve_us = batch_serve_us;
+      live[j].promise.set_value(std::move(served));
     }
   }
 }

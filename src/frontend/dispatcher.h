@@ -85,6 +85,15 @@ struct DispatcherStats {
   long long batches = 0;
   /// Requests per dispatched batch (how well the deadline coalesces).
   RunningStats batch_fill;
+  /// Server-side latency split, per served request, in microseconds:
+  /// time spent in the MPSC queue before the request's batch formed, and
+  /// wall time of the serving call that answered it (batch-attributed —
+  /// every request in a batch shares its batch's serve time). The same
+  /// numbers ride back to clients per-answer as ServingMeta
+  /// queue_wait_us/serve_us; these are the aggregate moments the stats
+  /// RPC surfaces.
+  RunningStats queue_wait_us;
+  RunningStats serve_us;
 
   /// One row per dispatcher for comparative tables, same convention as
   /// ServeStats. api::ServerEndpoint::Report() extends the row with
@@ -102,6 +111,12 @@ struct Served {
   /// Meaningful only when the request reached the service (default
   /// elsewhere, e.g. quota/deadline/shutdown rejections).
   serve::QueryOutcome outcome;
+  /// Latency split (see DispatcherStats): queue wait until the request's
+  /// batch formed, and the batch's serving wall time. Zero for requests
+  /// that never reached the queue (quota/shutdown rejections); expired
+  /// requests carry their queue wait with serve_us = 0.
+  uint64_t queue_wait_us = 0;
+  uint64_t serve_us = 0;
 
   Served(Result<convex::Vec> a) : answer(std::move(a)) {}  // NOLINT
   Served(Result<convex::Vec> a, serve::QueryOutcome o)
@@ -158,6 +173,10 @@ class Dispatcher {
     convex::CmQuery query;
     /// steady_clock epoch (the default) means no deadline.
     std::chrono::steady_clock::time_point deadline{};
+    /// When the request passed admission and entered the queue; the
+    /// dispatch loop turns it into the queue-wait half of the latency
+    /// split.
+    std::chrono::steady_clock::time_point enqueued_at{};
     std::promise<Served> promise;
   };
 

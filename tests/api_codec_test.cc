@@ -91,6 +91,8 @@ AnswerEnvelope RandomEnvelope(Rng* rng) {
   envelope.meta.epsilon_spent = RandomDouble(rng);
   envelope.meta.delta_spent = RandomDouble(rng);
   envelope.meta.shards = static_cast<uint32_t>(rng->UniformInt(64));
+  envelope.meta.queue_wait_us = rng->NextSeed();
+  envelope.meta.serve_us = rng->NextSeed();
   return envelope;
 }
 
@@ -159,6 +161,8 @@ TEST(ApiCodecTest, AnswerRoundTripIsIdentity) {
     EXPECT_TRUE(SameBits(got.meta.epsilon_spent, envelope.meta.epsilon_spent));
     EXPECT_TRUE(SameBits(got.meta.delta_spent, envelope.meta.delta_spent));
     EXPECT_EQ(got.meta.shards, envelope.meta.shards);
+    EXPECT_EQ(got.meta.queue_wait_us, envelope.meta.queue_wait_us);
+    EXPECT_EQ(got.meta.serve_us, envelope.meta.serve_us);
   }
 }
 

@@ -1,0 +1,349 @@
+// The workload engine: platform-deterministic generators (golden seed
+// schedules), trace build/format/parse/replay, the scenario runner's
+// end-to-end classification, and the load-bearing transcript claim — a
+// recorded trace driven through api::ServerEndpoint replays through
+// sequential core::PmwCm with bit-identical answers and privacy ledger.
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/client.h"
+#include "core/pmw_cm.h"
+#include "erm/noisy_gradient_oracle.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
+
+namespace pmw {
+namespace workload {
+namespace {
+
+// ---------------------------------------------------------------------
+// Generators: the seed schedules are pinned. These values must never
+// change — checked-in traces and recorded perf baselines depend on the
+// generators being a stable pure function of (params, seed) on every
+// platform (they draw from raw mt19937_64 words, not from the
+// implementation-defined <random> distributions).
+// ---------------------------------------------------------------------
+
+TEST(ZipfianGeneratorTest, GoldenSeedSchedule) {
+  ZipfianGenerator zipf(96, 0.99, 42);
+  const int want[16] = {25, 13, 25, 0, 57, 0, 9, 3,
+                        1,  3,  0,  7, 17, 13, 37, 71};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(zipf.Next(), want[i]) << "draw " << i;
+  }
+}
+
+TEST(ZipfianGeneratorTest, ThetaZeroIsUniformGoldenSchedule) {
+  ZipfianGenerator uniform(96, 0.0, 42);
+  const int want[16] = {72, 61, 72, 13, 86, 9,  55, 35,
+                        26, 37, 1,  50, 65, 61, 79, 90};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(uniform.Next(), want[i]) << "draw " << i;
+  }
+}
+
+TEST(ZipfianGeneratorTest, SkewConcentratesOnHotKeys) {
+  ZipfianGenerator zipf(96, 0.99, 7);
+  int hot = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int key = zipf.Next();
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, 96);
+    if (key < 8) ++hot;
+  }
+  // Under theta = 0.99 the top 8 of 96 keys carry well over half the
+  // mass; uniform would put ~8% there.
+  EXPECT_GT(hot, kDraws / 2);
+}
+
+TEST(PoissonArrivalsTest, GoldenSeedSchedule) {
+  PoissonArrivals arrivals(2000.0, 7);
+  const uint64_t want[8] = {702ULL,  2193ULL, 2255ULL, 3368ULL,
+                            3444ULL, 3472ULL, 4366ULL, 5521ULL};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(arrivals.NextArrivalUs(), want[i]) << "arrival " << i;
+  }
+}
+
+TEST(PoissonArrivalsTest, MeanGapTracksRate) {
+  PoissonArrivals arrivals(1000.0, 3);
+  uint64_t last = 0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) last = arrivals.NextArrivalUs();
+  // 5000 arrivals at 1000/s is 5 seconds in expectation; allow 10%.
+  EXPECT_NEAR(static_cast<double>(last), 5e6, 5e5);
+}
+
+// ---------------------------------------------------------------------
+// Traces.
+// ---------------------------------------------------------------------
+
+ScenarioSpec GoldenSpec() {
+  ScenarioSpec spec;
+  spec.name = "golden_small";
+  spec.popularity = ScenarioSpec::Popularity::kZipfian;
+  spec.zipf_theta = 0.99;
+  spec.hot_keys = 4;
+  spec.hot_fraction = 0.5;
+  spec.churn_every = 8;
+  spec.arrival = ScenarioSpec::Arrival::kOpenLoopPoisson;
+  spec.open_loop_qps = 500.0;
+  spec.analysts = 2;
+  spec.queries_per_analyst = 12;
+  spec.deadline_us = 3000;
+  spec.seed = 77;
+  return spec;
+}
+
+std::vector<std::string> GoldenNames() {
+  std::vector<std::string> names;
+  for (int i = 0; i < 16; ++i) names.push_back("k/" + std::to_string(i));
+  return names;
+}
+
+TEST(TraceTest, FormatParseRoundTrip) {
+  const Trace trace = BuildTrace(GoldenSpec(), GoldenNames());
+  const Result<Trace> parsed = ParseTrace(FormatTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), trace);
+}
+
+TEST(TraceTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseTrace("not a trace").ok());
+  EXPECT_FALSE(ParseTrace("# pmw-workload-trace v1\n").ok());
+  const std::string truncated =
+      "# pmw-workload-trace v1\nscenario s\nseed 1\nevents 2\n0 0 0 q/0\n";
+  EXPECT_FALSE(ParseTrace(truncated).ok());
+  const std::string garbled =
+      "# pmw-workload-trace v1\nscenario s\nseed 1\nevents 1\nx y z w\n";
+  EXPECT_FALSE(ParseTrace(garbled).ok());
+}
+
+TEST(TraceTest, BuildTraceIsDeterministic) {
+  const Trace a = BuildTrace(GoldenSpec(), GoldenNames());
+  const Trace b = BuildTrace(GoldenSpec(), GoldenNames());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceTest, ClosedLoopEventsRoundRobinAnalystsAtTimeZero) {
+  ScenarioSpec spec = GoldenSpec();
+  spec.arrival = ScenarioSpec::Arrival::kClosedLoop;
+  const Trace trace = BuildTrace(spec, GoldenNames());
+  ASSERT_EQ(trace.events.size(), static_cast<size_t>(spec.total_events()));
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(trace.events[i].arrival_us, 0u);
+    EXPECT_EQ(trace.events[i].analyst,
+              static_cast<uint32_t>(i % static_cast<size_t>(spec.analysts)));
+  }
+}
+
+/// The checked-in golden trace pins BOTH the generator seed schedule
+/// (zipfian popularity, Poisson arrivals, hot-set churn) and the text
+/// format, byte for byte.
+TEST(TraceTest, GoldenTraceFileIsStable) {
+  const std::string path =
+      std::string(PMW_SOURCE_DIR) + "/tests/golden/TRACE_golden_small.txt";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  const Trace trace = BuildTrace(GoldenSpec(), GoldenNames());
+  EXPECT_EQ(FormatTrace(trace), want.str())
+      << "BuildTrace no longer reproduces the checked-in golden trace; "
+         "this breaks recorded-trace replay.";
+  // And the file parses back to the same trace (replay reads files).
+  const Result<Trace> parsed = ParseTrace(want.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), trace);
+}
+
+// ---------------------------------------------------------------------
+// The scenario runner, end to end through the api front door.
+// ---------------------------------------------------------------------
+
+ScenarioSpec SmallRunnerSpec() {
+  ScenarioSpec spec;
+  spec.name = "runner_small";
+  spec.dim = 4;
+  spec.records = 20000;
+  spec.catalog_queries = 12;
+  spec.analysts = 3;
+  spec.queries_per_analyst = 24;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(ScenarioRunnerTest, ClosedLoopRunServesEverythingAndEmitsJson) {
+  const ScenarioResult result = RunScenario(SmallRunnerSpec(), RunOptions{});
+  EXPECT_EQ(result.issued, 72);
+  EXPECT_EQ(result.ok, 72);
+  EXPECT_EQ(result.other_errors, 0);
+  EXPECT_TRUE(result.slo_ok);
+  EXPECT_GT(result.goodput_qps, 0.0);
+  EXPECT_GT(result.cache_hit_rate, 0.0);
+  const std::string json = result.ToJson();
+  for (const char* key :
+       {"\"scenario\"", "\"params\"", "\"env\"", "\"requests\"",
+        "\"latency_ms\"", "\"server_us\"", "\"throughput_qps\"",
+        "\"cache_hit_rate\"", "\"budget\"", "\"slo\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ScenarioRunnerTest, QuotaPressureClassifiesTypedRejectionsExactly) {
+  ScenarioSpec spec = SmallRunnerSpec();
+  spec.name = "runner_quota";
+  spec.per_analyst_quota = 8;
+  spec.slo.allow_rejections = true;
+  const ScenarioResult result = RunScenario(spec, RunOptions{});
+  // Each of the 3 analysts issues 24 and is admitted exactly 8.
+  EXPECT_EQ(result.issued, 72);
+  EXPECT_EQ(result.ok, 24);
+  EXPECT_EQ(result.quota_rejected, 48);
+  EXPECT_EQ(result.other_errors, 0);
+  EXPECT_TRUE(result.slo_ok);
+}
+
+TEST(ScenarioRunnerTest, SloViolationsAreReported) {
+  ScenarioSpec spec = SmallRunnerSpec();
+  spec.name = "runner_slo";
+  spec.slo.min_goodput_qps = 1e12;  // unreachable on purpose
+  const ScenarioResult result = RunScenario(spec, RunOptions{});
+  EXPECT_FALSE(result.slo_ok);
+  ASSERT_EQ(result.slo_violations.size(), 1u);
+  EXPECT_NE(result.slo_violations[0].find("goodput_qps"),
+            std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, StandardScenariosAreWellFormedAndNamed) {
+  const std::vector<ScenarioSpec> scenarios = StandardScenarios();
+  ASSERT_GE(scenarios.size(), 4u);
+  for (const ScenarioSpec& spec : scenarios) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(spec.total_events(), 0);
+    ScenarioSpec found;
+    EXPECT_TRUE(FindStandardScenario(spec.name, &found));
+    EXPECT_EQ(found.name, spec.name);
+  }
+  EXPECT_FALSE(FindStandardScenario("no-such-scenario", nullptr));
+}
+
+// ---------------------------------------------------------------------
+// The transcript claim: a recorded trace driven through the endpoint,
+// then replayed from the arrival log through sequential core::PmwCm,
+// yields bit-identical answers and a bit-identical privacy ledger.
+// ---------------------------------------------------------------------
+
+TEST(ScenarioRunnerTest, TraceReplayMatchesSequentialPmwCmBitIdentically) {
+  ScenarioSpec spec;
+  spec.name = "replay_equivalence";
+  spec.dim = 4;
+  spec.records = 20000;
+  spec.catalog_queries = 10;
+  spec.data = ScenarioSpec::DataShape::kLogistic;  // forces hard rounds
+  spec.analysts = 4;
+  spec.queries_per_analyst = 30;
+  spec.serve_threads = 2;
+  spec.shards = 2;
+  spec.seed = 909;
+  // More hard rounds than total queries: exhausting T mid-run would let
+  // the quota door reject late arrivals (kHalted) *before* the arrival
+  // log, and which requests land past the cliff depends on thread
+  // interleaving — the one nondeterminism this test must not contain.
+  spec.override_updates = 4 * spec.analysts * spec.queries_per_analyst;
+
+  RunOptions options;
+  options.record_arrival_log = true;
+  options.oracle = api::OracleKind::kNoisyGradient;
+  options.verify_codec = true;  // cross the real byte format too
+
+  ScenarioHarness harness(spec, options);
+  const Trace trace = harness.MakeTrace();
+
+  // Drive the trace closed-loop, keeping every client-observed envelope
+  // keyed by (analyst, correlation id) so the arrival log can look the
+  // replies up in commit order.
+  struct Outcome {
+    std::string analyst_id;
+    api::AnswerEnvelope envelope;
+  };
+  std::mutex outcomes_mutex;
+  std::vector<Outcome> outcomes;
+  std::vector<std::vector<const TraceEvent*>> per_analyst(
+      static_cast<size_t>(spec.analysts));
+  for (const TraceEvent& event : trace.events) {
+    per_analyst[event.analyst].push_back(&event);
+  }
+  std::vector<std::thread> analysts;
+  for (int a = 0; a < spec.analysts; ++a) {
+    analysts.emplace_back([a, &harness, &per_analyst, &outcomes_mutex,
+                           &outcomes] {
+      api::Client client(&harness.transport(),
+                         "analyst-" + std::to_string(a));
+      for (const TraceEvent* event :
+           per_analyst[static_cast<size_t>(a)]) {
+        Outcome outcome;
+        outcome.analyst_id = client.analyst_id();
+        outcome.envelope = client.Call(event->query_name);
+        std::lock_guard<std::mutex> lock(outcomes_mutex);
+        outcomes.push_back(std::move(outcome));
+      }
+    });
+  }
+  for (std::thread& thread : analysts) thread.join();
+  harness.endpoint().Shutdown();
+
+  const std::vector<api::ServerEndpoint::ArrivalRecord> arrivals =
+      harness.endpoint().ArrivalLog();
+  ASSERT_EQ(arrivals.size(), trace.events.size());
+
+  std::map<std::pair<std::string, uint64_t>, const Outcome*> by_key;
+  for (const Outcome& outcome : outcomes) {
+    by_key[{outcome.analyst_id, outcome.envelope.request_id}] = &outcome;
+  }
+
+  // Sequential replay under the same mechanism options and seed.
+  erm::NoisyGradientOracle replay_oracle;
+  const api::ServerOptions server =
+      MakeServerOptions(spec, options, harness.catalog().scale());
+  core::PmwCm sequential(&harness.dataset(), &replay_oracle,
+                         server.mechanism, options.server_seed);
+  for (size_t position = 0; position < arrivals.size(); ++position) {
+    const api::ServerEndpoint::ArrivalRecord& record = arrivals[position];
+    auto it = by_key.find({record.analyst_id, record.client_request_id});
+    ASSERT_NE(it, by_key.end()) << "position " << position;
+    const api::AnswerEnvelope& got = it->second->envelope;
+    Result<core::PmwAnswer> want =
+        sequential.AnswerQuery(*harness.catalog().Find(record.query_name));
+    ASSERT_EQ(got.ok(), want.ok()) << "position " << position;
+    if (!want.ok()) continue;
+    ASSERT_EQ(got.answer.size(), want.value().theta.size());
+    for (size_t i = 0; i < got.answer.size(); ++i) {
+      // Exact, not NEAR: the claim is bit-identical transcripts at
+      // (2 shards x 2 threads) behind the front door.
+      EXPECT_EQ(got.answer[i], want.value().theta[i])
+          << "position " << position << " coord " << i;
+    }
+    EXPECT_EQ(got.meta.hard_round, want.value().was_update) << position;
+  }
+  // At least one hard round actually fired, or the claim is vacuous.
+  EXPECT_GT(sequential.update_count(), 0);
+  EXPECT_EQ(harness.endpoint().service().mechanism().ledger().Report(),
+            sequential.ledger().Report());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace pmw
