@@ -137,7 +137,8 @@ struct MwBenchResult {
 /// pollute the measurement — the gate is about the update path.
 MwBenchResult RunMwAtShards(const data::Dataset& dataset,
                             const std::vector<convex::CmQuery>& workload,
-                            int num_shards) {
+                            int num_shards,
+                            core::HypothesisBackend backend) {
   erm::NonPrivateOracle oracle;
   core::PmwOptions options;
   options.alpha = 0.02;  // low threshold: the point-mass data fires kTop
@@ -149,6 +150,7 @@ MwBenchResult RunMwAtShards(const data::Dataset& dataset,
   serve::ServeOptions serve_options;
   serve_options.num_threads = kMwThreads;
   serve_options.num_shards = num_shards;
+  serve_options.hypothesis_backend = backend;
   serve::PmwService service(&dataset, &oracle, options, /*seed=*/4321,
                             serve_options);
 
@@ -175,7 +177,12 @@ MwBenchResult RunMwAtShards(const data::Dataset& dataset,
 
 /// The sharded MW-update-path phase; returns the process exit code.
 /// `gate_shards` <= 1 runs the default sweep {1, 2, 4} and gates 4 vs 1.
-int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir) {
+/// Under kSparse (exact mode) the artifact is named mw_shards_sparse so
+/// dense baselines are never compared against sparse sweeps; transcript
+/// counters must still agree across shard counts — exact mode is
+/// bit-identical by construction, and this bench runs it hot.
+int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir,
+               core::HypothesisBackend backend) {
   data::LabeledHypercubeUniverse universe(kMwDim);
   // Point mass: the uniform initial hypothesis is maximally wrong, so
   // hard rounds fire until the update budget is spent — the MW-heavy
@@ -190,10 +197,13 @@ int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir) {
   Rng rng(77);
   std::vector<convex::CmQuery> workload = family.Generate(kMwQueries, &rng);
 
+  const bool sparse = backend == core::HypothesisBackend::kSparse;
+  const char* backend_name = sparse ? "sparse" : "dense";
   std::printf(
-      "\nMW-update path (domain-sharded): |X|=%d, n=%d, queries=%d, "
-      "T=%d, threads=%d\n",
-      universe.size(), kRecords, kMwQueries, kMwUpdates, kMwThreads);
+      "\nMW-update path (domain-sharded, %s backend): |X|=%d, n=%d, "
+      "queries=%d, T=%d, threads=%d\n",
+      backend_name, universe.size(), kRecords, kMwQueries, kMwUpdates,
+      kMwThreads);
 
   // --shards=K runs {1, K} ({1} alone for K=1: the baseline-only
   // invocation); the default sweep is {1, 2, 4}.
@@ -211,7 +221,7 @@ int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir) {
   bool transcripts_agree = true;
   workload::JsonValue sweep = workload::JsonValue::Array();
   for (int shards : shard_counts) {
-    MwBenchResult result = RunMwAtShards(dataset, workload, shards);
+    MwBenchResult result = RunMwAtShards(dataset, workload, shards, backend);
     if (shards == 1) baseline = result;
     if (shards == shard_counts.back()) gated = result;
     transcripts_agree = transcripts_agree &&
@@ -244,9 +254,10 @@ int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir) {
       "(gate: >= 2x at shards=4)\n",
       top, speedup);
   if (!json_dir.empty()) {
+    const std::string bench_name = sparse ? "mw_shards_sparse" : "mw_shards";
     workload::JsonValue root =
         workload::JsonValue::Object()
-            .Set("bench", workload::JsonValue::Str("mw_shards"))
+            .Set("bench", workload::JsonValue::Str(bench_name))
             .Set("params",
                  workload::JsonValue::Object()
                      .Set("dim", workload::JsonValue::Int(kMwDim))
@@ -254,12 +265,13 @@ int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir) {
                      .Set("queries", workload::JsonValue::Int(kMwQueries))
                      .Set("override_updates",
                           workload::JsonValue::Int(kMwUpdates))
-                     .Set("threads", workload::JsonValue::Int(kMwThreads)))
+                     .Set("threads", workload::JsonValue::Int(kMwThreads))
+                     .Set("backend", workload::JsonValue::Str(backend_name)))
             .Set("env", workload::JsonValue::Object().Set(
                             "cores", workload::JsonValue::Int(cores)))
             .Set("sweep", std::move(sweep))
             .Set("speedup_top_vs_1", workload::JsonValue::Double(speedup));
-    if (!WriteBenchJson(root, json_dir, "mw_shards")) return 1;
+    if (!WriteBenchJson(root, json_dir, bench_name)) return 1;
   }
   if (cores < 4) {
     std::printf("RESULT: SKIP (only %u hardware core(s); the >= 2x gate "
@@ -371,11 +383,15 @@ int Main(const std::string& json_dir) {
 
 int main(int argc, char** argv) {
   // --shards=K runs only the MW-update-path phase at {1, K} (the PR 5
-  // gate invocation is `--shards=4`); no argument runs both phases.
+  // gate invocation is `--shards=4`); no argument runs the prepare phase
+  // plus the MW phase on BOTH hypothesis backends (dense and exact-mode
+  // sparse — separate BENCH artifacts, so the nightly trajectory tracks
+  // both). --backend=dense|sparse pins the MW phase to one backend.
   // --json-dir=DIR additionally records each phase's sweep as a
   // BENCH_<phase>.json artifact (the nightly perf-trajectory upload).
   int gate_shards = 0;
   std::string json_dir;
+  std::string backend_flag;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       gate_shards = std::atoi(argv[i] + 9);
@@ -389,17 +405,36 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --json-dir value: %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_flag = argv[i] + 10;
+      if (backend_flag != "dense" && backend_flag != "sparse") {
+        std::fprintf(stderr, "bad --backend value: %s\n", argv[i]);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--shards=K] [--json-dir=DIR]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--shards=K] [--backend=dense|sparse] "
+                   "[--json-dir=DIR]\n",
                    argv[0]);
       return 2;
     }
   }
   const unsigned cores = std::thread::hardware_concurrency();
+  const pmw::core::HypothesisBackend pinned =
+      backend_flag == "sparse" ? pmw::core::HypothesisBackend::kSparse
+                               : pmw::core::HypothesisBackend::kDense;
   if (gate_shards > 0) {
-    return pmw::RunMwPhase(gate_shards, cores, json_dir);
+    return pmw::RunMwPhase(gate_shards, cores, json_dir, pinned);
   }
   const int prepare_code = pmw::Main(json_dir);
-  const int mw_code = pmw::RunMwPhase(0, cores, json_dir);
-  return prepare_code != 0 ? prepare_code : mw_code;
+  if (!backend_flag.empty()) {
+    const int mw_code = pmw::RunMwPhase(0, cores, json_dir, pinned);
+    return prepare_code != 0 ? prepare_code : mw_code;
+  }
+  const int dense_code =
+      pmw::RunMwPhase(0, cores, json_dir, pmw::core::HypothesisBackend::kDense);
+  const int sparse_code = pmw::RunMwPhase(
+      0, cores, json_dir, pmw::core::HypothesisBackend::kSparse);
+  if (prepare_code != 0) return prepare_code;
+  return dense_code != 0 ? dense_code : sparse_code;
 }

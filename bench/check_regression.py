@@ -16,13 +16,24 @@ produced by this repo's benches:
 
 A candidate more than --max-regression below its comparable baseline
 fails the run. A baseline with no candidate also fails: the matrix
-shrank silently. A candidate with no baseline is reported but passes
-(new scenarios land before their first baseline).
+shrank silently. So does a baseline whose headline metric key is absent
+from (or renamed in) the candidate: a bench that silently stopped
+reporting its metric would otherwise pass forever. A candidate with no
+baseline is reported but passes (new scenarios land before their first
+baseline).
 
-Promoting a baseline: download the BENCH json artifact from a green
-nightly run, copy it over bench/baselines/, and commit -- the recorded
-`env.cores` travels with it, so future comparisons stay apples to
-apples.
+Baselines live either flat in --baseline-dir (legacy) or bucketed under
+cores-<N>/ subdirectories keyed by the recorded `env.cores`. Lookup
+prefers cores-<candidate cores>/<name> and falls back to the flat file;
+the missing-candidate sweep only inspects the flat files plus the
+subdirectories matching the cores the candidates actually ran on, so a
+1-core dev baseline never fails a 4-vCPU nightly run.
+
+Promoting a baseline: download the BENCH json artifacts from a green
+nightly run and feed them to bench/promote_baselines.py, which buckets
+them into bench/baselines/cores-<N>/ by their recorded `env.cores`;
+commit the result. The cores travel with each file, so future
+comparisons stay apples to apples.
 """
 
 import argparse
@@ -67,9 +78,12 @@ def main():
         return 1
 
     failures = []
+    cores_seen = set()
     for path in candidates:
         doc = load(path)
         name = path.name
+        cand_cores = doc.get("env", {}).get("cores")
+        cores_seen.add(cand_cores)
 
         slo = doc.get("slo")
         if slo is not None and not slo.get("ok", False):
@@ -78,14 +92,15 @@ def main():
             )
             continue
 
-        base_path = baseline_dir / name
+        base_path = baseline_dir / f"cores-{cand_cores}" / name
+        if not base_path.exists():
+            base_path = baseline_dir / name
         if not base_path.exists():
             print(f"{name}: no baseline yet -- skipping comparison")
             continue
         base = load(base_path)
 
         base_cores = base.get("env", {}).get("cores")
-        cand_cores = doc.get("env", {}).get("cores")
         if base_cores != cand_cores:
             print(
                 f"{name}: cores mismatch (baseline {base_cores}, "
@@ -96,10 +111,24 @@ def main():
 
         base_metric = metric_of(base)
         cand_metric = metric_of(doc)
-        if base_metric is None or cand_metric is None:
-            print(f"{name}: no headline metric -- skipping comparison")
+        if base_metric is None:
+            # A baseline without a headline metric constrains nothing;
+            # once the candidate grows one, promote it as the baseline.
+            print(f"{name}: baseline has no headline metric -- "
+                  "skipping comparison")
             continue
         key, base_value = base_metric
+        if cand_metric is None or cand_metric[0] != key:
+            # Mirrors the missing-candidate rule: a baseline that stops
+            # being comparable (metric dropped or renamed) must fail
+            # loudly, not degrade into a silent skip.
+            have = cand_metric[0] if cand_metric is not None else "none"
+            failures.append(
+                f"{name}: baseline metric {key} missing from candidate "
+                f"(candidate has: {have}) -- bench output changed shape; "
+                "fix the bench or promote a new baseline"
+            )
+            continue
         _, cand_value = cand_metric
         floor = base_value * (1.0 - args.max_regression)
         verdict = "OK"
@@ -119,6 +148,10 @@ def main():
         )
 
     candidate_names = {p.name for p in candidates}
+    for cores in sorted(cores_seen, key=str):
+        baselines += sorted(
+            (baseline_dir / f"cores-{cores}").glob("BENCH_*.json")
+        )
     for path in baselines:
         if path.name not in candidate_names:
             failures.append(

@@ -257,8 +257,15 @@ api::ServerOptions MakeServerOptions(const ScenarioSpec& spec,
   server.mechanism.scale = std::max(2.0, catalog_scale);
   server.mechanism.max_queries = 4 * spec.total_events();
   server.mechanism.override_updates = spec.override_updates;
+  if (spec.solver_max_iters > 0) {
+    server.mechanism.solver.max_iters = spec.solver_max_iters;
+  }
   server.serve.num_threads = ResolveServeThreads(spec);
   server.serve.num_shards = spec.shards;
+  server.serve.hypothesis_backend =
+      spec.backend == ScenarioSpec::Backend::kSparse
+          ? core::HypothesisBackend::kSparse
+          : core::HypothesisBackend::kDense;
   server.quota.per_analyst_queries = spec.per_analyst_quota;
   server.dispatcher.queue_capacity = 1024;
   server.dispatcher.max_batch = spec.max_batch;
@@ -332,6 +339,10 @@ ScenarioResult ScenarioHarness::Run(const Trace& trace) {
   result.goodput_qps =
       drive.elapsed_s > 0.0 ? static_cast<double>(drive.ok) / drive.elapsed_s
                             : 0.0;
+  // Rates are defined as exactly 0.0 — never NaN — when nothing was
+  // served (ok == 0) or no time elapsed: the zero-served SLO check
+  // below is what judges that case, and it must do so on finite
+  // numbers so the verdict (and the emitted json) stays meaningful.
   result.cache_hit_rate =
       drive.ok > 0
           ? static_cast<double>(drive.cache_hits) /
@@ -362,7 +373,16 @@ ScenarioResult ScenarioHarness::Run(const Trace& trace) {
     violate("rejections: " + std::to_string(rejections));
   }
   if (result.ok == 0) {
-    violate("no successful answers");
+    // Nothing was served, so every latency/goodput/hit-rate check below
+    // would be vacuous (their inputs are all defined-zero). Fail loudly
+    // with the full disposition instead — a run where every request was
+    // rejected or expired must never pass on an empty verdict, even
+    // when the scenario allows typed rejections.
+    violate("no successful answers (issued " + std::to_string(result.issued) +
+            ": quota " + std::to_string(result.quota_rejected) +
+            ", deadline " + std::to_string(result.deadline_expired) +
+            ", halted " + std::to_string(result.halted) + ", errors " +
+            std::to_string(result.other_errors) + ")");
     return result;
   }
   char buf[128];
@@ -420,6 +440,8 @@ std::string ScenarioResult::ToJson() const {
            JsonValue::Int(static_cast<long long>(spec.max_batch)))
       .Set("max_wait_us",
            JsonValue::Int(static_cast<long long>(spec.max_wait_us)))
+      .Set("backend", JsonValue::Str(BackendName(spec.backend)))
+      .Set("solver_max_iters", JsonValue::Int(spec.solver_max_iters))
       .Set("seed", JsonValue::Int(static_cast<long long>(spec.seed)));
 
   JsonValue env = JsonValue::Object();

@@ -51,6 +51,15 @@ struct ScenarioSpec {
   uint64_t max_wait_us = 200;
   /// Per-analyst admission quota; 0 means unlimited.
   long long per_analyst_quota = 0;
+  /// Hypothesis storage backend (maps to
+  /// api::ServerOptions::serve.hypothesis_backend). kSparse materializes
+  /// only the MW-touched support — the |X| >= 2^20 configuration; with
+  /// exact-mode defaults transcripts stay bit-identical to kDense.
+  enum class Backend { kDense, kSparse };
+  Backend backend = Backend::kDense;
+  /// Inner-solver iteration cap; 0 keeps the library default. Huge
+  /// domains bound the O(|X| * dim) per-iteration solve cost with it.
+  int solver_max_iters = 0;
 
   // -- Mechanism -----------------------------------------------------
   double alpha = 0.2;
@@ -102,6 +111,7 @@ struct ScenarioSpec {
 const char* PopularityName(ScenarioSpec::Popularity popularity);
 const char* ArrivalName(ScenarioSpec::Arrival arrival);
 const char* DataShapeName(ScenarioSpec::DataShape shape);
+const char* BackendName(ScenarioSpec::Backend backend);
 
 /// The canonical scenario matrix: zipfian closed-loop, uniform open-loop
 /// Poisson, hot-key churn, and quota/deadline pressure. The nightly CI

@@ -183,7 +183,7 @@ AnswerEnvelope ServerEndpoint::HandleStats(const StatsRequest& request) {
   // version (the live counter belongs to the serving writer).
   std::shared_ptr<const serve::Epoch> epoch = service_->epochs().Current();
   if (epoch != nullptr) {
-    envelope.meta.epoch = static_cast<uint64_t>(epoch->snapshot.version);
+    envelope.meta.epoch = static_cast<uint64_t>(epoch->snapshot->version);
   }
   return envelope;
 }

@@ -92,8 +92,16 @@ Result<PmwAnswer> PmwCm::AnswerQuery(const convex::CmQuery& query) {
 }
 
 int PmwCm::ConfigureSharding(int shards, ShardRunner runner) {
+  return ConfigureSharding(shards, std::move(runner),
+                           HypothesisBackend::kDense);
+}
+
+int PmwCm::ConfigureSharding(int shards, ShardRunner runner,
+                             HypothesisBackend backend,
+                             const SparseHypothesisOptions& sparse) {
   PMW_CHECK_MSG(queries_answered_ == 0 && update_count_ == 0,
                 "sharding must be configured before the first query");
+  hypothesis_.SetBackend(backend, sparse);
   const int actual = hypothesis_.Repartition(shards);
   hypothesis_.set_runner(std::move(runner));
   return actual;

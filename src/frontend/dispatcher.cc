@@ -133,6 +133,15 @@ void Dispatcher::DispatchLoop() {
     // dropped from the batch — the mechanism never sees it, so expiry is
     // free (no ledger event, no k-query slot) and the quota slot goes
     // back to the analyst.
+    //
+    // Refund audit: this is one of exactly two Refund sites, and they are
+    // mutually exclusive per request. The Submit-side refund fires only
+    // when Push fails, in which case the request was never enqueued and
+    // can never reach this sweep; a request swept here was popped from
+    // the queue, so its Push succeeded and the Submit-side refund did not
+    // fire. Each admitted request therefore refunds at most once, and
+    // QuotaManager::Refund saturating at zero is a backstop, not a mask
+    // for double refunds (frontend_test pins the exact counts).
     const auto now = std::chrono::steady_clock::now();
     std::vector<Request> expired;
     for (Request& request : batch) {

@@ -6,22 +6,40 @@ namespace pmw {
 namespace serve {
 
 std::shared_ptr<const Epoch> EpochState::Publish(const core::PmwCm& cm) {
-  // Snapshot outside the lock: it is the expensive part (one compaction
-  // pass) and touches only writer-owned state, not ours.
   auto epoch = std::make_shared<Epoch>();
-  epoch->snapshot = cm.SnapshotHypothesis();
   epoch->shard_fingerprint = cm.shard_fingerprint();
-  // Per-shard slice views: cut AFTER the support vector reaches its
-  // final resting buffer (it never moves again — the epoch is immutable).
-  const std::vector<core::HypothesisShard>& layout = cm.shard_layout();
-  epoch->shards.reserve(layout.size());
-  for (const core::HypothesisShard& shard : layout) {
-    Epoch::ShardSlice slice;
-    slice.lo = shard.lo;
-    slice.hi = shard.hi;
-    slice.support =
-        data::SliceSupport(epoch->snapshot.support, shard.lo, shard.hi);
-    epoch->shards.push_back(slice);
+
+  // Reuse the previous epoch's snapshot when the hypothesis (version)
+  // and the shard partition are unchanged: the compacted support and its
+  // slice views are pure functions of both, so sharing them is
+  // observationally identical — and skips the O(|X|) compaction pass on
+  // every soft-round republish. Publish is writer-only, so reading
+  // current_ here races with nothing but readers (who only copy it).
+  const std::shared_ptr<const Epoch> prev = Current();
+  if (prev != nullptr && prev->snapshot != nullptr &&
+      prev->snapshot->version == cm.hypothesis_version() &&
+      prev->shard_fingerprint == epoch->shard_fingerprint) {
+    epoch->snapshot = prev->snapshot;
+    epoch->shards = prev->shards;
+  } else {
+    // Snapshot outside the lock: it is the expensive part (one
+    // compaction pass) and touches only writer-owned state, not ours.
+    epoch->snapshot =
+        std::make_shared<const core::HypothesisSnapshot>(
+            cm.SnapshotHypothesis());
+    // Per-shard slice views: cut AFTER the support vector reaches its
+    // final resting buffer (it never moves again — the epoch snapshot is
+    // immutable).
+    const std::vector<core::HypothesisShard>& layout = cm.shard_layout();
+    epoch->shards.reserve(layout.size());
+    for (const core::HypothesisShard& shard : layout) {
+      Epoch::ShardSlice slice;
+      slice.lo = shard.lo;
+      slice.hi = shard.hi;
+      slice.support =
+          data::SliceSupport(epoch->snapshot->support, shard.lo, shard.hi);
+      epoch->shards.push_back(slice);
+    }
   }
   std::lock_guard<std::mutex> lock(mutex_);
   epoch->sequence = published_++;

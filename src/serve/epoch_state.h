@@ -22,17 +22,24 @@
 namespace pmw {
 namespace serve {
 
-/// One immutable serving epoch. `snapshot.version` is the mechanism's
+/// One immutable serving epoch. `snapshot->version` is the mechanism's
 /// hypothesis_version() at capture; `sequence` counts publishes (a batch
 /// republishes at its start, so sequence can advance without a version
 /// change — it orders publishes, the version keys plan freshness).
 ///
+/// The snapshot is held behind a shared_ptr so consecutive epochs at the
+/// same (version, shard set) SHARE one compacted support buffer:
+/// republishing an unchanged hypothesis costs O(K), not an O(|X|)
+/// compaction pass — the difference between per-batch and per-hard-round
+/// work, and what keeps the common soft-round path sublinear for the
+/// sparse backend at |X| >= 2^20.
+///
 /// The snapshot is additionally published per domain shard: `shards`
-/// holds one zero-copy [lo, hi) slice view into snapshot.support per
+/// holds one zero-copy [lo, hi) slice view into snapshot->support per
 /// shard of the mechanism's hypothesis, in shard order, and their
-/// concatenation is exactly snapshot.support (data::SliceSupport). The
-/// slices borrow snapshot.support's buffer, so they share the epoch's
-/// immutability and lifetime.
+/// concatenation is exactly snapshot->support (data::SliceSupport). The
+/// slices borrow snapshot->support's buffer, so they share the (possibly
+/// multi-epoch) snapshot's immutability and lifetime.
 struct Epoch {
   /// One shard's view of the snapshot.
   struct ShardSlice {
@@ -41,7 +48,7 @@ struct Epoch {
     data::SupportSlice support;
   };
 
-  core::HypothesisSnapshot snapshot;
+  std::shared_ptr<const core::HypothesisSnapshot> snapshot;
   long long sequence = 0;
   std::vector<ShardSlice> shards;
   /// The mechanism's shard-set identity at capture (what

@@ -84,7 +84,8 @@ PmwService::PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
   stats_.shards = cm_.ConfigureSharding(
       serve_options.num_shards,
       serve_options.num_shards > 1 ? router_.AsRunner()
-                                   : core::ShardRunner{});
+                                   : core::ShardRunner{},
+      serve_options.hypothesis_backend, serve_options.sparse);
   // Seed the scraper-facing snapshot so a stats poll before the first
   // batch already reports the real topology.
   stats_snapshot_ = stats_;
@@ -103,7 +104,7 @@ std::shared_ptr<const Epoch> PmwService::PublishAndPrepare(
   // Invalidate before any probe: entries from older hypothesis versions
   // are permanently stale once this epoch exists.
   if (plan_cache_ != nullptr) {
-    plan_cache_->OnEpochPublish(epoch->snapshot.version,
+    plan_cache_->OnEpochPublish(epoch->snapshot->version,
                                 epoch->shard_fingerprint);
   }
   *prepared = executor_.PrepareRange(queries, begin, end, *epoch,
@@ -193,7 +194,7 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
       outcome->cache_hit = prepared.plan_from_cache[plan_slot] != 0;
     }
     Result<core::PmwAnswer> answer = cm_.AnswerPrepared(
-        query, plan, epoch != nullptr ? &epoch->snapshot : nullptr);
+        query, plan, epoch != nullptr ? epoch->snapshot.get() : nullptr);
     if (outcome != nullptr) outcome->epoch = cm_.hypothesis_version();
     if (!answer.ok()) {
       ++stats_.errors;

@@ -69,6 +69,15 @@ struct ServeOptions {
   /// transcripts stay bit-identical to sequential PmwCm at ANY
   /// (shards x threads) configuration.
   int num_shards = 1;
+  /// Hypothesis storage backend. kSparse materializes only the support
+  /// the MW updates actually touch (per-shard uniform residual for the
+  /// rest) — the |X| >= 2^20 configuration. With default `sparse`
+  /// options ("exact mode") transcripts remain bit-identical to kDense.
+  core::HypothesisBackend hypothesis_backend =
+      core::HypothesisBackend::kDense;
+  /// Sparse-backend knobs; non-default values opt into the documented
+  /// approx mode (core/sharded_hypothesis.h).
+  core::SparseHypothesisOptions sparse;
 };
 
 /// Serving counters. Latency/throughput moments use common/stats.h's

@@ -21,7 +21,7 @@ void ShardExecutor::PrepareShard(std::span<const convex::CmQuery> queries,
                                  core::PreparedQuery* plans) const {
   for (size_t u = lo; u < hi; ++u) {
     const size_t slot = slots[u];
-    plans[slot] = cm_->Prepare(queries[positions[slot]], epoch.snapshot);
+    plans[slot] = cm_->Prepare(queries[positions[slot]], *epoch.snapshot);
   }
 }
 
@@ -67,7 +67,7 @@ ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
     for (size_t slot = 0; slot < distinct; ++slot) {
       const convex::CmQuery& query = queries[positions[slot]];
       QueryKey key{query.loss, query.domain};
-      if (cache->Lookup(key, epoch.snapshot.version, epoch.shard_fingerprint,
+      if (cache->Lookup(key, epoch.snapshot->version, epoch.shard_fingerprint,
                         &result.plans[slot])) {
         ++result.cross_batch_hits;
         result.plan_from_cache[slot] = 1;

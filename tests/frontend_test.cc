@@ -508,6 +508,56 @@ TEST_F(FrontendTest, ExpiredDeadlineResolvesTypedAtZeroPrivacyCost) {
   EXPECT_EQ(dispatcher.stats().deadline_expired, 1);
 }
 
+// Regression pin for the refund audit in dispatcher.cc: the two
+// quota_->Refund sites (Push-failed-at-shutdown, deadline sweep) are
+// mutually exclusive per request, so each expiry hands back exactly ONE
+// slot. The analyst starts warm (admitted > 0), so a double refund could
+// not hide behind QuotaManager::Refund's saturation at zero — it would
+// free slots the analyst never got back legitimately and the final
+// kQuotaExceeded expectation below would not fire.
+TEST_F(FrontendTest, DeadlineExpiryRefundsExactlyOneQuotaSlot) {
+  erm::NoisyGradientOracle oracle;
+  serve::PmwService service(dataset_.get(), &oracle, PracticalOptions(), 31);
+  QuotaOptions quota_options;
+  quota_options.per_analyst_queries = 4;
+  QuotaManager quota(&service, quota_options);
+  Dispatcher dispatcher(&service, &quota, nullptr);
+  AnalystSession session(&dispatcher, "refund-analyst");
+
+  // Warm the quota ledger: two served queries leave admitted == 2.
+  ASSERT_TRUE(session.Submit(pool_[0]).get().answer.ok());
+  ASSERT_TRUE(session.Submit(pool_[1]).get().answer.ok());
+  ASSERT_EQ(quota.admitted("refund-analyst"), 2);
+
+  // Three sequential expiries. Each .get() forces the sweep (and its
+  // refund) to complete before the next Submit admits, so admitted
+  // oscillates 2 -> 3 -> 2 and never trips the quota of 4.
+  for (int i = 0; i < 3; ++i) {
+    const auto already_expired =
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+    Result<convex::Vec> late =
+        session.Submit(pool_[2 + i], nullptr, already_expired).get().answer;
+    ASSERT_FALSE(late.ok());
+    EXPECT_EQ(api::ClassifyStatus(late.status()),
+              api::ErrorCode::kDeadlineExpired);
+    EXPECT_EQ(quota.admitted("refund-analyst"), 2)
+        << "expiry #" << i << " did not refund exactly one slot";
+  }
+  EXPECT_EQ(dispatcher.stats().deadline_expired, 3);
+  EXPECT_EQ(quota.total_admitted(), 2);
+
+  // Exactly two slots remain: two more serves fill the quota of 4, and
+  // the fifth admission is the typed quota rejection. A double refund
+  // anywhere above would have left extra slots and this would serve.
+  EXPECT_TRUE(session.Submit(pool_[5]).get().answer.ok());
+  EXPECT_TRUE(session.Submit(pool_[6]).get().answer.ok());
+  Result<convex::Vec> over = session.Submit(pool_[7]).get().answer;
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(api::ClassifyStatus(over.status()),
+            api::ErrorCode::kQuotaExceeded);
+  EXPECT_EQ(quota.admitted("refund-analyst"), 4);
+}
+
 TEST_F(FrontendTest, BackpressureOnTinyQueueStillServesEverything) {
   erm::NonPrivateOracle oracle;
   serve::ServeOptions serve_options;

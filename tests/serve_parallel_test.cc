@@ -256,7 +256,7 @@ TEST(ServeParallelTest, EpochAdvancesWithUpdatesAndBatches) {
   EXPECT_GE(service.epochs().epochs_published(), 1 + stats.updates - 1);
   EXPECT_EQ(stats.epochs, service.epochs().epochs_published());
   ASSERT_NE(service.epochs().Current(), nullptr);
-  EXPECT_EQ(service.epochs().Current()->snapshot.version,
+  EXPECT_EQ(service.epochs().Current()->snapshot->version,
             service.mechanism().hypothesis_version());
   EXPECT_EQ(stats.bottom_answers + stats.updates + stats.errors,
             stats.queries);

@@ -259,7 +259,7 @@ TEST(ServeShardedTest, RouterFansMwUpdateWorkAcrossThePool) {
   for (const Epoch::ShardSlice& slice : epoch->shards) {
     stitched += slice.support.size();
   }
-  EXPECT_EQ(stitched, epoch->snapshot.support.size());
+  EXPECT_EQ(stitched, epoch->snapshot->support.size());
   EXPECT_EQ(epoch->shard_fingerprint,
             service.mechanism().shard_fingerprint());
 }

@@ -227,6 +227,37 @@ TEST(ScenarioRunnerTest, SloViolationsAreReported) {
             std::string::npos);
 }
 
+TEST(ScenarioRunnerTest, ZeroServedRunFailsLoudlyWithFiniteRates) {
+  // Regression pin for the zero-served edge case: a 1us deadline expires
+  // every request in-queue, so nothing is ever served. The rates must
+  // stay defined (0.0, never NaN from a 0/0), and the SLO verdict must
+  // fail loudly with the full disposition even though the scenario
+  // allows typed rejections — an all-rejected run must never pass on a
+  // vacuous latency/goodput check.
+  ScenarioSpec spec = SmallRunnerSpec();
+  spec.name = "runner_zero_served";
+  spec.deadline_us = 1;
+  spec.slo.allow_rejections = true;
+  spec.slo.min_cache_hit_rate = -1.0;
+  const ScenarioResult result = RunScenario(spec, RunOptions{});
+  EXPECT_EQ(result.issued, 72);
+  ASSERT_EQ(result.ok, 0);
+  // NaN would fail both equalities; the rates are defined-zero.
+  EXPECT_EQ(result.goodput_qps, 0.0);
+  EXPECT_EQ(result.cache_hit_rate, 0.0);
+  EXPECT_FALSE(result.slo_ok);
+  ASSERT_FALSE(result.slo_violations.empty());
+  bool found = false;
+  for (const std::string& violation : result.slo_violations) {
+    if (violation.find("no successful answers") != std::string::npos) {
+      found = true;
+      EXPECT_NE(violation.find("deadline 72"), std::string::npos)
+          << violation;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(ScenarioRunnerTest, StandardScenariosAreWellFormedAndNamed) {
   const std::vector<ScenarioSpec> scenarios = StandardScenarios();
   ASSERT_GE(scenarios.size(), 4u);
