@@ -109,12 +109,31 @@ int Main(int argc, char** argv) {
                    wrote.ToString().c_str());
       return 2;
     }
+    const Status scraped =
+        workload::WriteMetricsDumps(result, args.out_dir);
+    if (!scraped.ok()) {
+      std::fprintf(stderr, "bench_scenarios: %s\n",
+                   scraped.ToString().c_str());
+      return 2;
+    }
     const long long rejections = result.quota_rejected +
                                  result.deadline_expired + result.halted;
     std::printf("%-26s %10.3f %10.3f %10.1f %10.3f %8lld %8lld  %s\n",
                 spec.name.c_str(), result.p50_ms, result.p99_ms,
                 result.goodput_qps, result.cache_hit_rate, result.ok,
                 rejections, result.slo_ok ? "PASS" : "FAIL");
+    const workload::ScenarioResult::SpanBreakdown& tail =
+        result.span_breakdown;
+    if (tail.tail_requests > 0) {
+      std::printf(
+          "  p99 tail (%lld req >= %.3f ms): queue %.0f%% prepare %.0f%% "
+          "solve %.0f%% mw %.0f%% commit %.0f%% other %.0f%% "
+          "(attributed %.0f%%)\n",
+          tail.tail_requests, tail.threshold_ms, 100.0 * tail.queue,
+          100.0 * tail.prepare, 100.0 * tail.solve, 100.0 * tail.mw,
+          100.0 * tail.commit_other, 100.0 * tail.other,
+          100.0 * tail.attributed);
+    }
     for (const std::string& violation : result.slo_violations) {
       std::printf("  SLO violation: %s\n", violation.c_str());
     }

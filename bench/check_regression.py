@@ -29,6 +29,15 @@ the missing-candidate sweep only inspects the flat files plus the
 subdirectories matching the cores the candidates actually ran on, so a
 1-core dev baseline never fails a 4-vCPU nightly run.
 
+Scenario runs also emit METRICS_<scenario>.json -- the server metrics
+registry's dump, scraped through the api front door. When a baseline
+metrics dump exists (same cores bucketing as BENCH files), every
+histogram's p99 is diffed: a candidate p99 more than
+--max-p99-regression above its baseline fails the run. Counters and
+missing histograms are never compared (workloads legitimately reshape
+them); only a latency distribution that got materially worse is a
+regression.
+
 Promoting a baseline: download the BENCH json artifacts from a green
 nightly run and feed them to bench/promote_baselines.py, which buckets
 them into bench/baselines/cores-<N>/ by their recorded `env.cores`;
@@ -57,6 +66,50 @@ def metric_of(doc):
     return None
 
 
+def compare_metrics_dumps(baseline_dir, candidate_dir, cand_cores_by_name,
+                          max_p99_regression, failures):
+    """Diffs histogram p99s between METRICS_*.json dumps.
+
+    `cand_cores_by_name` maps scenario name -> the cores its BENCH file
+    recorded, reusing the same cores-<N>/ baseline bucketing.
+    """
+    for path in sorted(candidate_dir.glob("METRICS_*.json")):
+        scenario = path.stem[len("METRICS_"):]
+        cores = cand_cores_by_name.get(scenario)
+        base_path = baseline_dir / f"cores-{cores}" / path.name
+        if not base_path.exists():
+            base_path = baseline_dir / path.name
+        if not base_path.exists():
+            print(f"{path.name}: no baseline metrics dump -- skipping")
+            continue
+        try:
+            cand_hists = load(path).get("histograms", {})
+            base_hists = load(base_path).get("histograms", {})
+        except (json.JSONDecodeError, OSError) as error:
+            failures.append(f"{path.name}: unreadable metrics dump: {error}")
+            continue
+        for name, base_hist in sorted(base_hists.items()):
+            cand_hist = cand_hists.get(name)
+            if cand_hist is None:
+                continue  # instruments may come and go with the workload
+            base_p99 = float(base_hist.get("p99", 0.0))
+            cand_p99 = float(cand_hist.get("p99", 0.0))
+            if base_p99 <= 0.0:
+                continue
+            ceiling = base_p99 * (1.0 + max_p99_regression)
+            verdict = "OK"
+            if cand_p99 > ceiling:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{path.name}: {name} p99 {cand_p99:.3f} is more than "
+                    f"{max_p99_regression:.0%} above baseline {base_p99:.3f}"
+                )
+            print(
+                f"{path.name}: {name} p99 candidate {cand_p99:.3f} vs "
+                f"baseline {base_p99:.3f} ({verdict})"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", required=True)
@@ -66,6 +119,13 @@ def main():
         type=float,
         default=0.10,
         help="allowed fractional drop below baseline (default 0.10)",
+    )
+    parser.add_argument(
+        "--max-p99-regression",
+        type=float,
+        default=0.50,
+        help="allowed fractional rise of a metrics-dump histogram p99 "
+        "above its baseline (default 0.50; latency tails are noisy)",
     )
     args = parser.parse_args()
 
@@ -79,11 +139,14 @@ def main():
 
     failures = []
     cores_seen = set()
+    cand_cores_by_name = {}
     for path in candidates:
         doc = load(path)
         name = path.name
         cand_cores = doc.get("env", {}).get("cores")
         cores_seen.add(cand_cores)
+        if "scenario" in doc:
+            cand_cores_by_name[doc["scenario"]] = cand_cores
 
         slo = doc.get("slo")
         if slo is not None and not slo.get("ok", False):
@@ -146,6 +209,9 @@ def main():
             f"{name}: {key} candidate {cand_value:.1f} vs baseline "
             f"{base_value:.1f} ({verdict})"
         )
+
+    compare_metrics_dumps(baseline_dir, candidate_dir, cand_cores_by_name,
+                          args.max_p99_regression, failures)
 
     candidate_names = {p.name for p in candidates}
     for cores in sorted(cores_seen, key=str):

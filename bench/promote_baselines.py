@@ -74,6 +74,16 @@ def main():
             shutil.copyfile(path, dest)
             print(f"promoted {path.name} -> {dest}")
             promoted += 1
+            # The scenario's metrics dump (histogram p99 baselines) rides
+            # along when present; it shares the BENCH file's cores bucket.
+            scenario = doc.get("scenario")
+            if scenario:
+                metrics = path.parent / f"METRICS_{scenario}.json"
+                if metrics.exists():
+                    metrics_dest = dest_dir / metrics.name
+                    shutil.copyfile(metrics, metrics_dest)
+                    print(f"promoted {metrics.name} -> {metrics_dest}")
+                    promoted += 1
 
     if errors:
         print("\nFAIL:")

@@ -33,6 +33,10 @@ struct Observation {
   bool hard_round = false;
   uint64_t queue_wait_us = 0;
   uint64_t serve_us = 0;
+  uint64_t prepare_us = 0;
+  uint64_t solve_us = 0;
+  uint64_t mw_us = 0;
+  uint64_t commit_us = 0;
 };
 
 Observation Observe(const api::AnswerEnvelope& reply, double latency_ms) {
@@ -43,6 +47,10 @@ Observation Observe(const api::AnswerEnvelope& reply, double latency_ms) {
   obs.hard_round = reply.meta.hard_round;
   obs.queue_wait_us = reply.meta.queue_wait_us;
   obs.serve_us = reply.meta.serve_us;
+  obs.prepare_us = reply.meta.prepare_us;
+  obs.solve_us = reply.meta.solve_us;
+  obs.mw_us = reply.meta.mw_us;
+  obs.commit_us = reply.meta.commit_us;
   return obs;
 }
 
@@ -56,6 +64,10 @@ void Merge(const std::vector<Observation>& local, DriveResult* result) {
         result->queue_wait_us.push_back(
             static_cast<double>(obs.queue_wait_us));
         result->serve_us.push_back(static_cast<double>(obs.serve_us));
+        result->prepare_us.push_back(static_cast<double>(obs.prepare_us));
+        result->solve_us.push_back(static_cast<double>(obs.solve_us));
+        result->mw_us.push_back(static_cast<double>(obs.mw_us));
+        result->commit_us.push_back(static_cast<double>(obs.commit_us));
         if (obs.cache_hit) ++result->cache_hits;
         if (obs.hard_round) ++result->hard_rounds;
         break;
@@ -226,6 +238,41 @@ double SafeQuantile(const std::vector<double>& values, double q) {
   return values.empty() ? 0.0 : Quantile(values, q);
 }
 
+/// Attributes the latency tail (client latency >= threshold_ms) to the
+/// server-side phases the ServingMeta spans name. Shares are fractions
+/// of the tail's total (queue_wait + serve) time; solve + mw +
+/// commit_other reassemble the commit, so `attributed` counts commit
+/// once, not twice.
+ScenarioResult::SpanBreakdown AttributeTail(const DriveResult& drive,
+                                            double threshold_ms) {
+  ScenarioResult::SpanBreakdown breakdown;
+  breakdown.threshold_ms = threshold_ms;
+  double total = 0.0, queue = 0.0, prepare = 0.0, solve = 0.0, mw = 0.0;
+  double commit_other = 0.0;
+  for (size_t i = 0; i < drive.latencies_ms.size(); ++i) {
+    if (drive.latencies_ms[i] < threshold_ms) continue;
+    ++breakdown.tail_requests;
+    total += drive.queue_wait_us[i] + drive.serve_us[i];
+    queue += drive.queue_wait_us[i];
+    prepare += drive.prepare_us[i];
+    solve += drive.solve_us[i];
+    mw += drive.mw_us[i];
+    commit_other += std::max(
+        0.0, drive.commit_us[i] - drive.solve_us[i] - drive.mw_us[i]);
+  }
+  if (total <= 0.0) return breakdown;
+  breakdown.queue = queue / total;
+  breakdown.prepare = prepare / total;
+  breakdown.solve = solve / total;
+  breakdown.mw = mw / total;
+  breakdown.commit_other = commit_other / total;
+  breakdown.attributed = breakdown.queue + breakdown.prepare +
+                         breakdown.solve + breakdown.mw +
+                         breakdown.commit_other;
+  breakdown.other = std::max(0.0, 1.0 - breakdown.attributed);
+  return breakdown;
+}
+
 }  // namespace
 
 int ResolveServeThreads(const ScenarioSpec& spec) {
@@ -349,6 +396,7 @@ ScenarioResult ScenarioHarness::Run(const Trace& trace) {
                 static_cast<double>(drive.ok)
           : 0.0;
   result.hard_rounds = drive.hard_rounds;
+  result.span_breakdown = AttributeTail(drive, result.p99_ms);
 
   // The budget view an analyst dashboards, through the same front door.
   api::Client harness(transport_.get(), "workload-harness");
@@ -357,6 +405,10 @@ ScenarioResult ScenarioHarness::Run(const Trace& trace) {
   result.delta_spent = stats.meta.delta_spent;
   result.hard_rounds_remaining = stats.meta.hard_rounds_remaining;
   result.final_epoch = stats.meta.epoch;
+
+  // The whole stack's instruments, through the same front door again.
+  result.metrics_text = harness.Metrics(api::kMetricsFormatText).message;
+  result.metrics_json = harness.Metrics(api::kMetricsFormatJson).message;
 
   // SLO verdict.
   const Slo& slo = spec_.slo;
@@ -469,6 +521,17 @@ std::string ScenarioResult::ToJson() const {
       .Set("serve_p50", JsonValue::Double(serve_p50_us))
       .Set("serve_p99", JsonValue::Double(serve_p99_us));
 
+  JsonValue spans = JsonValue::Object();
+  spans.Set("tail_requests", JsonValue::Int(span_breakdown.tail_requests))
+      .Set("threshold_ms", JsonValue::Double(span_breakdown.threshold_ms))
+      .Set("queue", JsonValue::Double(span_breakdown.queue))
+      .Set("prepare", JsonValue::Double(span_breakdown.prepare))
+      .Set("solve", JsonValue::Double(span_breakdown.solve))
+      .Set("mw", JsonValue::Double(span_breakdown.mw))
+      .Set("commit_other", JsonValue::Double(span_breakdown.commit_other))
+      .Set("other", JsonValue::Double(span_breakdown.other))
+      .Set("attributed", JsonValue::Double(span_breakdown.attributed));
+
   JsonValue budget = JsonValue::Object();
   budget.Set("epsilon_spent", JsonValue::Double(epsilon_spent))
       .Set("delta_spent", JsonValue::Double(delta_spent))
@@ -490,6 +553,7 @@ std::string ScenarioResult::ToJson() const {
       .Set("requests", std::move(requests))
       .Set("latency_ms", std::move(latency))
       .Set("server_us", std::move(server))
+      .Set("span_breakdown", std::move(spans))
       .Set("elapsed_s", JsonValue::Double(elapsed_s))
       .Set("throughput_qps", JsonValue::Double(throughput_qps))
       .Set("goodput_qps", JsonValue::Double(goodput_qps))
@@ -513,6 +577,24 @@ Status WriteBenchJson(const ScenarioResult& result, const std::string& dir) {
     return Status::Internal("bench json: short write to '" + path + "'");
   }
   return Status::Ok();
+}
+
+Status WriteMetricsDumps(const ScenarioResult& result,
+                         const std::string& dir) {
+  const auto write = [&](const std::string& suffix,
+                         const std::string& body) {
+    const std::string path =
+        dir + "/METRICS_" + result.spec.name + suffix;
+    std::ofstream out(path, std::ios::binary);
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    return out ? Status::Ok()
+               : Status::Internal("metrics dump: cannot write '" + path +
+                                  "'");
+  };
+  Status text = write(".txt", result.metrics_text);
+  if (!text.ok()) return text;
+  return write(".json", result.metrics_json);
 }
 
 }  // namespace workload

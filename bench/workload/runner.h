@@ -53,10 +53,15 @@ struct DriveResult {
   long long deadline_expired = 0;
   long long halted = 0;
   long long other_errors = 0;
-  /// Per successful reply, in merge order.
+  /// Per successful reply, in merge order (the span vectors stay
+  /// parallel to latencies_ms: index i is one request everywhere).
   std::vector<double> latencies_ms;
   std::vector<double> queue_wait_us;
   std::vector<double> serve_us;
+  std::vector<double> prepare_us;
+  std::vector<double> solve_us;
+  std::vector<double> mw_us;
+  std::vector<double> commit_us;
   long long cache_hits = 0;
   long long hard_rounds = 0;
   double elapsed_s = 0.0;
@@ -96,6 +101,32 @@ struct ScenarioResult {
   double delta_spent = 0.0;
   long long hard_rounds_remaining = -1;
   uint64_t final_epoch = 0;
+
+  /// Server-side phase attribution of the client-observed p99 latency
+  /// tail, computed from the ServingMeta span fields (queue_wait,
+  /// prepare, solve, mw, commit). Shares are fractions of the tail's
+  /// total server-visible time (queue_wait + serve); `attributed` is
+  /// what the named phases account for, `other` the remainder
+  /// (dispatch overhead, sibling commits in the same batch).
+  struct SpanBreakdown {
+    long long tail_requests = 0;
+    double threshold_ms = 0.0;
+    double queue = 0.0;
+    double prepare = 0.0;
+    double solve = 0.0;
+    double mw = 0.0;
+    double commit_other = 0.0;
+    double other = 0.0;
+    double attributed = 0.0;
+  };
+  SpanBreakdown span_breakdown;
+
+  /// The endpoint registry's exposition after the run, scraped through
+  /// the kMetricsRequest front door in both formats (what nightly CI
+  /// uploads next to the BENCH json, and what check_regression.py reads
+  /// histogram p99s from).
+  std::string metrics_text;
+  std::string metrics_json;
 
   bool slo_ok = true;
   std::vector<std::string> slo_violations;
@@ -159,6 +190,11 @@ ScenarioResult RunScenario(const ScenarioSpec& spec,
 
 /// Writes result.ToJson() to <dir>/BENCH_<scenario>.json.
 Status WriteBenchJson(const ScenarioResult& result, const std::string& dir);
+
+/// Writes the scraped expositions to <dir>/METRICS_<scenario>.txt
+/// (Prometheus text) and <dir>/METRICS_<scenario>.json (ordered JSON).
+Status WriteMetricsDumps(const ScenarioResult& result,
+                         const std::string& dir);
 
 }  // namespace workload
 }  // namespace pmw

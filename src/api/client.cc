@@ -83,5 +83,26 @@ AnswerEnvelope Client::Stats() {
   return transport_->SendStats(std::move(request)).get();
 }
 
+AnswerEnvelope Client::Metrics(uint8_t format) {
+  MetricsRequest request;
+  request.version = kProtocolVersion;
+  request.analyst_id = analyst_id_;
+  request.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.format = format;
+  return transport_->SendMetrics(std::move(request)).get();
+}
+
+AnswerEnvelope Client::Trace(uint64_t min_total_us, uint32_t max_traces) {
+  TraceRequest request;
+  request.version = kProtocolVersion;
+  request.analyst_id = analyst_id_;
+  request.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.min_total_us = min_total_us;
+  request.max_traces = max_traces;
+  return transport_->SendTrace(std::move(request)).get();
+}
+
 }  // namespace api
 }  // namespace pmw

@@ -69,6 +69,18 @@ class Client {
   /// C++-only accessors.
   AnswerEnvelope Stats();
 
+  /// Metrics scrape (zero privacy cost): the reply's message is the
+  /// server registry's Prometheus-style text exposition
+  /// (kMetricsFormatText) or ordered-JSON dump (kMetricsFormatJson) —
+  /// every layer's counters, gauges, and latency histograms in one
+  /// frame. What a scraper sidecar polls.
+  AnswerEnvelope Metrics(uint8_t format = kMetricsFormatText);
+
+  /// Trace poll (zero privacy cost): the reply's message renders the
+  /// server's slowest recorded request span trees with
+  /// total_us >= min_total_us, at most max_traces of them.
+  AnswerEnvelope Trace(uint64_t min_total_us = 0, uint32_t max_traces = 16);
+
   const std::string& analyst_id() const { return analyst_id_; }
 
  private:

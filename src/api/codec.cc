@@ -28,6 +28,17 @@ constexpr uint8_t kAnsMeta = 5;
 constexpr uint8_t kStatsAnalystId = 1;
 constexpr uint8_t kStatsRequestId = 2;
 
+// Metrics-request field tags.
+constexpr uint8_t kMetricsAnalystId = 1;
+constexpr uint8_t kMetricsRequestId = 2;
+constexpr uint8_t kMetricsFormat = 3;
+
+// Trace-request field tags.
+constexpr uint8_t kTraceAnalystId = 1;
+constexpr uint8_t kTraceRequestId = 2;
+constexpr uint8_t kTraceMinTotalUs = 3;
+constexpr uint8_t kTraceMaxTraces = 4;
+
 // The v1 baseline serving-metadata layout; later same-version fields
 // (the shard count) append after it and pre-shard decoders ignore the
 // tail, exactly like unknown tagged fields.
@@ -36,6 +47,9 @@ constexpr size_t kMetaShardsBytes = kMetaBytes + 4;
 // Server-side timing split (queue_wait_us, serve_us), appended after the
 // shard count within v1; pre-timing decoders ignore the tail.
 constexpr size_t kMetaTimingBytes = kMetaShardsBytes + 8 + 8;
+// Span breakdown (prepare_us, solve_us, mw_us, commit_us), appended
+// after the timing split within v1; pre-span decoders ignore the tail.
+constexpr size_t kMetaSpansBytes = kMetaTimingBytes + 8 + 8 + 8 + 8;
 
 // --- little-endian scalar append/read helpers -----------------------------
 
@@ -202,6 +216,24 @@ void EncodeStatsRequest(const StatsRequest& request, std::string* out) {
   EndFrame(prefix_at, out);
 }
 
+void EncodeMetricsRequest(const MetricsRequest& request, std::string* out) {
+  const size_t prefix_at =
+      BeginFrame(kMsgTypeMetrics, request.version, out);
+  AppendField(kMetricsAnalystId, request.analyst_id, out);
+  AppendScalarField(kMetricsRequestId, request.request_id, out);
+  AppendScalarField(kMetricsFormat, request.format, out);
+  EndFrame(prefix_at, out);
+}
+
+void EncodeTraceRequest(const TraceRequest& request, std::string* out) {
+  const size_t prefix_at = BeginFrame(kMsgTypeTrace, request.version, out);
+  AppendField(kTraceAnalystId, request.analyst_id, out);
+  AppendScalarField(kTraceRequestId, request.request_id, out);
+  AppendScalarField(kTraceMinTotalUs, request.min_total_us, out);
+  AppendScalarField(kTraceMaxTraces, request.max_traces, out);
+  EndFrame(prefix_at, out);
+}
+
 void EncodeAnswer(const AnswerEnvelope& envelope, std::string* out) {
   const size_t prefix_at =
       BeginFrame(kMsgTypeAnswer, envelope.version, out);
@@ -229,6 +261,10 @@ void EncodeAnswer(const AnswerEnvelope& envelope, std::string* out) {
     AppendScalar<uint32_t>(envelope.meta.shards, &payload);
     AppendScalar<uint64_t>(envelope.meta.queue_wait_us, &payload);
     AppendScalar<uint64_t>(envelope.meta.serve_us, &payload);
+    AppendScalar<uint64_t>(envelope.meta.prepare_us, &payload);
+    AppendScalar<uint64_t>(envelope.meta.solve_us, &payload);
+    AppendScalar<uint64_t>(envelope.meta.mw_us, &payload);
+    AppendScalar<uint64_t>(envelope.meta.commit_us, &payload);
     AppendField(kAnsMeta, payload, out);
   }
   EndFrame(prefix_at, out);
@@ -345,6 +381,79 @@ Result<StatsRequest> DecodeStatsRequest(std::string_view frame) {
   return request;
 }
 
+Result<MetricsRequest> DecodeMetricsRequest(std::string_view frame) {
+  std::string_view fields;
+  Status header = OpenFrame(frame, kMsgTypeMetrics, &fields);
+  if (!header.ok()) return header;
+  MetricsRequest request;
+  request.version = static_cast<uint8_t>(frame[6]);
+  FieldCursor cursor(fields);
+  while (!cursor.Done()) {
+    uint8_t tag;
+    std::string_view payload;
+    if (!cursor.Next(&tag, &payload)) {
+      return Malformed("truncated metrics field");
+    }
+    switch (tag) {
+      case kMetricsAnalystId:
+        request.analyst_id.assign(payload.data(), payload.size());
+        break;
+      case kMetricsRequestId:
+        if (!ReadExactScalar(payload, &request.request_id)) {
+          return Malformed("metrics request_id is not a u64");
+        }
+        break;
+      case kMetricsFormat:
+        if (!ReadExactScalar(payload, &request.format)) {
+          return Malformed("metrics format is not a u8");
+        }
+        break;
+      default:
+        break;  // unknown field: skip (forward compatibility)
+    }
+  }
+  return request;
+}
+
+Result<TraceRequest> DecodeTraceRequest(std::string_view frame) {
+  std::string_view fields;
+  Status header = OpenFrame(frame, kMsgTypeTrace, &fields);
+  if (!header.ok()) return header;
+  TraceRequest request;
+  request.version = static_cast<uint8_t>(frame[6]);
+  FieldCursor cursor(fields);
+  while (!cursor.Done()) {
+    uint8_t tag;
+    std::string_view payload;
+    if (!cursor.Next(&tag, &payload)) {
+      return Malformed("truncated trace field");
+    }
+    switch (tag) {
+      case kTraceAnalystId:
+        request.analyst_id.assign(payload.data(), payload.size());
+        break;
+      case kTraceRequestId:
+        if (!ReadExactScalar(payload, &request.request_id)) {
+          return Malformed("trace request_id is not a u64");
+        }
+        break;
+      case kTraceMinTotalUs:
+        if (!ReadExactScalar(payload, &request.min_total_us)) {
+          return Malformed("trace min_total_us is not a u64");
+        }
+        break;
+      case kTraceMaxTraces:
+        if (!ReadExactScalar(payload, &request.max_traces)) {
+          return Malformed("trace max_traces is not a u32");
+        }
+        break;
+      default:
+        break;  // unknown field: skip (forward compatibility)
+    }
+  }
+  return request;
+}
+
 Result<AnswerEnvelope> DecodeAnswer(std::string_view frame) {
   std::string_view fields;
   Status header = OpenFrame(frame, kMsgTypeAnswer, &fields);
@@ -411,6 +520,12 @@ Result<AnswerEnvelope> DecodeAnswer(std::string_view frame) {
         if (payload.size() >= kMetaTimingBytes) {
           envelope.meta.queue_wait_us = ReadScalar<uint64_t>(p + 38);
           envelope.meta.serve_us = ReadScalar<uint64_t>(p + 46);
+        }
+        if (payload.size() >= kMetaSpansBytes) {
+          envelope.meta.prepare_us = ReadScalar<uint64_t>(p + 54);
+          envelope.meta.solve_us = ReadScalar<uint64_t>(p + 62);
+          envelope.meta.mw_us = ReadScalar<uint64_t>(p + 70);
+          envelope.meta.commit_us = ReadScalar<uint64_t>(p + 78);
         }
         break;
       }

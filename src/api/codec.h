@@ -7,7 +7,8 @@
 //   u16  magic = 0x4d50       "PM"
 //   u8   version              protocol version of the sender
 //   u8   msg_type             1 = QueryRequest, 2 = AnswerEnvelope,
-//                             3 = StatsRequest
+//                             3 = StatsRequest, 4 = MetricsRequest,
+//                             5 = TraceRequest
 //   field*                    tagged fields, any order
 //
 //   field := u8 tag | u32 len | len bytes
@@ -44,6 +45,8 @@ inline constexpr size_t kMaxFramePayload = size_t{1} << 24;
 inline constexpr uint8_t kMsgTypeRequest = 1;
 inline constexpr uint8_t kMsgTypeAnswer = 2;
 inline constexpr uint8_t kMsgTypeStats = 3;
+inline constexpr uint8_t kMsgTypeMetrics = 4;
+inline constexpr uint8_t kMsgTypeTrace = 5;
 
 /// Appends one complete frame (length prefix included) to *out. A
 /// request with a non-empty query_names vector encodes the batched
@@ -52,6 +55,8 @@ inline constexpr uint8_t kMsgTypeStats = 3;
 void EncodeRequest(const QueryRequest& request, std::string* out);
 void EncodeAnswer(const AnswerEnvelope& envelope, std::string* out);
 void EncodeStatsRequest(const StatsRequest& request, std::string* out);
+void EncodeMetricsRequest(const MetricsRequest& request, std::string* out);
+void EncodeTraceRequest(const TraceRequest& request, std::string* out);
 
 /// Stream framing: is a complete frame sitting at the front of `buffer`?
 enum class FrameStatus {
@@ -70,6 +75,8 @@ uint8_t PeekMsgType(std::string_view frame);
 Result<QueryRequest> DecodeRequest(std::string_view frame);
 Result<AnswerEnvelope> DecodeAnswer(std::string_view frame);
 Result<StatsRequest> DecodeStatsRequest(std::string_view frame);
+Result<MetricsRequest> DecodeMetricsRequest(std::string_view frame);
+Result<TraceRequest> DecodeTraceRequest(std::string_view frame);
 
 }  // namespace api
 }  // namespace pmw

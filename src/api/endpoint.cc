@@ -28,6 +28,14 @@ std::unique_ptr<erm::Oracle> MakeOracle(OracleKind kind) {
 
 }  // namespace
 
+void CodecCounters::BindTo(obs::Registry* registry) {
+  frames_encoded = registry->GetCounter("pmw_api_frames_encoded_total");
+  frames_decoded = registry->GetCounter("pmw_api_frames_decoded_total");
+  decode_errors = registry->GetCounter("pmw_api_decode_errors_total");
+  bytes_in = registry->GetCounter("pmw_api_bytes_in_total");
+  bytes_out = registry->GetCounter("pmw_api_bytes_out_total");
+}
+
 ServerEndpoint::ServerEndpoint(const data::Dataset* dataset,
                                const QueryCatalog* catalog,
                                const ServerOptions& options, uint64_t seed)
@@ -40,12 +48,20 @@ ServerEndpoint::ServerEndpoint(const data::Dataset* dataset,
     : catalog_(catalog), options_(options) {
   PMW_CHECK(dataset != nullptr);
   PMW_CHECK(catalog != nullptr);
+  codec_counters_.BindTo(&registry_);
+  if (options.enable_tracing) {
+    traces_ = std::make_unique<obs::TraceRecorder>(options.trace_capacity);
+  }
   if (oracle == nullptr) {
     owned_oracle_ = MakeOracle(options.oracle);
     oracle = owned_oracle_.get();
   }
+  // The serve/frontend layers record into the endpoint's registry so one
+  // kMetricsRequest scrape covers the whole stack.
+  serve::ServeOptions serve_options = options.serve;
+  serve_options.registry = &registry_;
   service_ = std::make_unique<serve::PmwService>(
-      dataset, oracle, options.mechanism, seed, options.serve);
+      dataset, oracle, options.mechanism, seed, serve_options);
   quota_ = std::make_unique<frontend::QuotaManager>(service_.get(),
                                                     options.quota);
   if (options.enable_plan_cache) {
@@ -53,6 +69,7 @@ ServerEndpoint::ServerEndpoint(const data::Dataset* dataset,
   }
   frontend::DispatcherOptions dispatcher_options = options.dispatcher;
   dispatcher_options.record_arrival_log = options.record_arrival_log;
+  dispatcher_options.trace_recorder = traces_.get();
   dispatcher_ = std::make_unique<frontend::Dispatcher>(
       service_.get(), quota_.get(), plan_cache_.get(), dispatcher_options);
 }
@@ -188,6 +205,60 @@ AnswerEnvelope ServerEndpoint::HandleStats(const StatsRequest& request) {
   return envelope;
 }
 
+AnswerEnvelope ServerEndpoint::HandleMetrics(const MetricsRequest& request) {
+  AnswerEnvelope envelope;
+  envelope.request_id = request.request_id;
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
+    envelope.error = ErrorCode::kVersionMismatch;
+    envelope.message =
+        "endpoint: metrics request speaks protocol version " +
+        std::to_string(request.version) + "; this endpoint speaks [" +
+        std::to_string(kMinProtocolVersion) + ", " +
+        std::to_string(kProtocolVersion) + "]";
+    return envelope;
+  }
+  envelope.version = request.version;
+  switch (request.format) {
+    case kMetricsFormatText:
+      envelope.message = registry_.TextExposition();
+      break;
+    case kMetricsFormatJson:
+      envelope.message = registry_.JsonDump();
+      break;
+    default:
+      envelope.error = ErrorCode::kMalformedRequest;
+      envelope.message = "endpoint: unknown metrics format " +
+                         std::to_string(request.format);
+      break;
+  }
+  return envelope;
+}
+
+AnswerEnvelope ServerEndpoint::HandleTrace(const TraceRequest& request) {
+  AnswerEnvelope envelope;
+  envelope.request_id = request.request_id;
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
+    envelope.error = ErrorCode::kVersionMismatch;
+    envelope.message =
+        "endpoint: trace request speaks protocol version " +
+        std::to_string(request.version) + "; this endpoint speaks [" +
+        std::to_string(kMinProtocolVersion) + ", " +
+        std::to_string(kProtocolVersion) + "]";
+    return envelope;
+  }
+  envelope.version = request.version;
+  if (traces_ == nullptr) {
+    envelope.message = "(tracing disabled on this endpoint)\n";
+    return envelope;
+  }
+  envelope.message = obs::TraceRecorder::Format(traces_->SlowRequests(
+      request.min_total_us, std::min<size_t>(request.max_traces,
+                                             traces_->capacity())));
+  return envelope;
+}
+
 AnswerEnvelope ServerEndpoint::HandleSync(QueryRequest request) {
   return Handle(std::move(request)).get();
 }
@@ -228,6 +299,10 @@ AnswerEnvelope ServerEndpoint::Finish(uint8_t version, uint64_t request_id,
     envelope.meta.epoch = static_cast<uint64_t>(served.outcome.epoch);
     envelope.meta.hard_round = served.outcome.hard_round;
     envelope.meta.cache_hit = served.outcome.cache_hit;
+    envelope.meta.prepare_us = served.outcome.prepare_us;
+    envelope.meta.solve_us = served.outcome.solve_us;
+    envelope.meta.mw_us = served.outcome.mw_us;
+    envelope.meta.commit_us = served.outcome.commit_us;
   } else {
     envelope.error = ClassifyStatus(served.answer.status());
     envelope.message = served.answer.status().message();
@@ -282,11 +357,14 @@ std::string ServerEndpoint::Report() const {
   for (const char* column : {"enc", "dec", "dec_err", "b_in", "b_out"}) {
     header.push_back(column);
   }
-  row.push_back(TablePrinter::FmtInt(codec_counters_.frames_encoded.load()));
-  row.push_back(TablePrinter::FmtInt(codec_counters_.frames_decoded.load()));
-  row.push_back(TablePrinter::FmtInt(codec_counters_.decode_errors.load()));
-  row.push_back(TablePrinter::FmtInt(codec_counters_.bytes_in.load()));
-  row.push_back(TablePrinter::FmtInt(codec_counters_.bytes_out.load()));
+  row.push_back(
+      TablePrinter::FmtInt(codec_counters_.frames_encoded->Value()));
+  row.push_back(
+      TablePrinter::FmtInt(codec_counters_.frames_decoded->Value()));
+  row.push_back(
+      TablePrinter::FmtInt(codec_counters_.decode_errors->Value()));
+  row.push_back(TablePrinter::FmtInt(codec_counters_.bytes_in->Value()));
+  row.push_back(TablePrinter::FmtInt(codec_counters_.bytes_out->Value()));
   TablePrinter table(std::move(header));
   table.AddRow(std::move(row));
   // The snapshot, not the live counters: Report() is also the payload of

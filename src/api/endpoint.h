@@ -18,7 +18,6 @@
 #ifndef PMWCM_API_ENDPOINT_H_
 #define PMWCM_API_ENDPOINT_H_
 
-#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -34,6 +33,8 @@
 #include "frontend/dispatcher.h"
 #include "frontend/plan_cache.h"
 #include "frontend/quota_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/pmw_service.h"
 
 namespace pmw {
@@ -64,18 +65,30 @@ struct ServerOptions {
   /// Record (analyst, client request id, query name) per committed
   /// request, in commit order — the replayable transcript log.
   bool record_arrival_log = false;
+  /// Record per-request span trees into a bounded ring, served by the
+  /// kTraceRequest RPC. Strictly out-of-transcript: the dispatcher
+  /// publishes each tree AFTER resolving the request's promise, so
+  /// tracing never changes answers, the ledger, or commit order.
+  bool enable_tracing = true;
+  /// Trace ring slots (slot = request id % capacity, deterministic).
+  size_t trace_capacity = 256;
 };
 
 /// Codec/transport traffic counters, incremented by the transports and
 /// server loops that move this endpoint's frames (the endpoint itself
-/// never encodes). Atomic so connection threads and stats scrapers never
-/// race.
+/// never encodes). Handles into the endpoint's metrics registry
+/// (pmw_api_*), so connection threads increment lock-free and one scrape
+/// covers the whole stack.
 struct CodecCounters {
-  std::atomic<long long> frames_encoded{0};
-  std::atomic<long long> frames_decoded{0};
-  std::atomic<long long> decode_errors{0};
-  std::atomic<long long> bytes_in{0};
-  std::atomic<long long> bytes_out{0};
+  obs::Counter* frames_encoded = nullptr;
+  obs::Counter* frames_decoded = nullptr;
+  obs::Counter* decode_errors = nullptr;
+  obs::Counter* bytes_in = nullptr;
+  obs::Counter* bytes_out = nullptr;
+
+  /// Resolves the five handles in `registry`; called once by the owning
+  /// endpoint before any transport can observe the struct.
+  void BindTo(obs::Registry* registry);
 };
 
 class ServerEndpoint {
@@ -126,6 +139,17 @@ class ServerEndpoint {
   /// locks or atomics).
   AnswerEnvelope HandleStats(const StatsRequest& request);
 
+  /// Serves a metrics scrape: the reply's message is the registry's
+  /// Prometheus-style text exposition (format 0) or ordered-JSON dump
+  /// (format 1). Zero privacy cost; never blocks the serving writer
+  /// (every read is a lock-free instrument load). Thread-safe.
+  AnswerEnvelope HandleMetrics(const MetricsRequest& request);
+
+  /// Serves a trace poll: the reply's message renders the slowest
+  /// recorded span trees with total_us >= min_total_us (at most
+  /// max_traces). Zero privacy cost. Thread-safe.
+  AnswerEnvelope HandleTrace(const TraceRequest& request);
+
   /// Handle + wait: for transports and tests that want the envelope now.
   AnswerEnvelope HandleSync(QueryRequest request);
 
@@ -147,6 +171,12 @@ class ServerEndpoint {
   frontend::QuotaManager& quota() { return *quota_; }
   const QueryCatalog& catalog() const { return *catalog_; }
   CodecCounters& codec_counters() { return codec_counters_; }
+  /// The endpoint's metrics registry (serve + frontend + api layers all
+  /// record into this one). Scrape-safe from any thread.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  /// The trace ring (null when options.enable_tracing is false).
+  obs::TraceRecorder* trace_recorder() { return traces_.get(); }
 
   /// Front-door stats: the DispatcherStats table extended with this
   /// endpoint's codec/transport counters, plus the serving report.
@@ -159,6 +189,12 @@ class ServerEndpoint {
 
   const QueryCatalog* catalog_;
   const ServerOptions options_;
+  /// Declared before service_/dispatcher_: every layer below records
+  /// into this registry, so it must outlive them all.
+  obs::Registry registry_;
+  /// Null when options.enable_tracing is false; outlives the dispatcher
+  /// that publishes into it.
+  std::unique_ptr<obs::TraceRecorder> traces_;
   std::unique_ptr<erm::Oracle> owned_oracle_;  // null when injected
   std::unique_ptr<serve::PmwService> service_;
   std::unique_ptr<frontend::QuotaManager> quota_;

@@ -69,6 +69,40 @@ struct StatsRequest {
   uint64_t request_id = 0;
 };
 
+/// A metrics scrape (api::Client::Metrics): resolves with an
+/// AnswerEnvelope whose message is the endpoint registry's exposition —
+/// Prometheus-style text (format 0) or the ordered-JSON dump (format 1).
+/// Costs zero privacy and never blocks the serving writer: every read is
+/// a lock-free instrument load.
+struct MetricsRequest {
+  uint8_t version = kProtocolVersion;
+  std::string analyst_id;
+  /// Client-assigned correlation id, echoed in the reply envelope.
+  uint64_t request_id = 0;
+  /// 0 = Prometheus-style text exposition, 1 = ordered-JSON dump. Other
+  /// values answer kMalformedRequest (a newer format this build cannot
+  /// render).
+  uint8_t format = 0;
+};
+inline constexpr uint8_t kMetricsFormatText = 0;
+inline constexpr uint8_t kMetricsFormatJson = 1;
+
+/// A trace poll (api::Client::Trace): resolves with an AnswerEnvelope
+/// whose message renders the slowest recorded request span trees with
+/// total server-side time >= min_total_us (at most max_traces of them).
+/// Zero privacy cost; reads only the bounded trace ring.
+struct TraceRequest {
+  uint8_t version = kProtocolVersion;
+  std::string analyst_id;
+  /// Client-assigned correlation id, echoed in the reply envelope.
+  uint64_t request_id = 0;
+  /// Only traces at least this slow (server-side queue + serve) qualify.
+  uint64_t min_total_us = 0;
+  /// Upper bound on returned traces (clamped server-side to the ring
+  /// capacity).
+  uint32_t max_traces = 16;
+};
+
 /// Serving metadata riding back with every answer: where in the
 /// mechanism's life the answer was produced and what budget remains.
 struct ServingMeta {
@@ -99,6 +133,17 @@ struct ServingMeta {
   /// reaching into frontend:: internals.
   uint64_t queue_wait_us = 0;
   uint64_t serve_us = 0;
+  /// Server-side span breakdown of serve_us, appended after the latency
+  /// split within v1 (older decoders skip the tail): the batch's
+  /// parallel-prepare wall time, this query's private oracle solve and
+  /// MW-update halves, and its whole commit call. All 0 when unknown
+  /// (errors, stats polls, or a server with record_spans off). What lets
+  /// a remote harness attribute its observed tail latency to named
+  /// serving phases without a trace RPC.
+  uint64_t prepare_us = 0;
+  uint64_t solve_us = 0;
+  uint64_t mw_us = 0;
+  uint64_t commit_us = 0;
 };
 
 /// The reply to one QueryRequest.

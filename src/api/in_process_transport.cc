@@ -24,14 +24,13 @@ std::future<AnswerEnvelope> InProcessTransport::VerifyReply(
         AnswerEnvelope envelope = inner.get();
         std::string reply;
         EncodeAnswer(envelope, &reply);
-        counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
-        counters.bytes_out.fetch_add(static_cast<long long>(reply.size()),
-                                     std::memory_order_relaxed);
+        counters.frames_encoded->Add(1);
+        counters.bytes_out->Add(static_cast<long long>(reply.size()));
         Result<AnswerEnvelope> decoded_reply = DecodeAnswer(reply);
         PMW_CHECK_MSG(decoded_reply.ok(),
                       "answer failed to round-trip the codec: "
                           << decoded_reply.status().ToString());
-        counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+        counters.frames_decoded->Add(1);
         return std::move(decoded_reply).value();
       });
 }
@@ -46,12 +45,11 @@ std::future<AnswerEnvelope> InProcessTransport::Send(QueryRequest request) {
   CodecCounters& counters = endpoint_->codec_counters();
   std::string wire;
   EncodeRequest(request, &wire);
-  counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
-  counters.bytes_in.fetch_add(static_cast<long long>(wire.size()),
-                              std::memory_order_relaxed);
+  counters.frames_encoded->Add(1);
+  counters.bytes_in->Add(static_cast<long long>(wire.size()));
   Result<QueryRequest> decoded = DecodeRequest(wire);
   if (!decoded.ok()) {
-    counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+    counters.decode_errors->Add(1);
     AnswerEnvelope envelope;
     envelope.request_id = request.request_id;
     envelope.error = ClassifyStatus(decoded.status());
@@ -60,7 +58,7 @@ std::future<AnswerEnvelope> InProcessTransport::Send(QueryRequest request) {
     promise.set_value(std::move(envelope));
     return promise.get_future();
   }
-  counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+  counters.frames_decoded->Add(1);
   return VerifyReply(endpoint_->Handle(std::move(decoded).value()));
 }
 
@@ -75,12 +73,11 @@ std::vector<std::future<AnswerEnvelope>> InProcessTransport::SendBatch(
   const size_t names = request.query_names.size();
   std::string wire;
   EncodeRequest(request, &wire);
-  counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
-  counters.bytes_in.fetch_add(static_cast<long long>(wire.size()),
-                              std::memory_order_relaxed);
+  counters.frames_encoded->Add(1);
+  counters.bytes_in->Add(static_cast<long long>(wire.size()));
   Result<QueryRequest> decoded = DecodeRequest(wire);
   if (!decoded.ok()) {
-    counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+    counters.decode_errors->Add(1);
     std::vector<std::future<AnswerEnvelope>> replies;
     replies.reserve(names);
     for (size_t i = 0; i < names; ++i) {
@@ -94,7 +91,7 @@ std::vector<std::future<AnswerEnvelope>> InProcessTransport::SendBatch(
     }
     return replies;
   }
-  counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+  counters.frames_decoded->Add(1);
   std::vector<std::future<AnswerEnvelope>> served =
       endpoint_->HandleBatch(std::move(decoded).value());
   std::vector<std::future<AnswerEnvelope>> replies;
@@ -116,12 +113,11 @@ std::future<AnswerEnvelope> InProcessTransport::SendStats(
   CodecCounters& counters = endpoint_->codec_counters();
   std::string wire;
   EncodeStatsRequest(request, &wire);
-  counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
-  counters.bytes_in.fetch_add(static_cast<long long>(wire.size()),
-                              std::memory_order_relaxed);
+  counters.frames_encoded->Add(1);
+  counters.bytes_in->Add(static_cast<long long>(wire.size()));
   Result<StatsRequest> decoded = DecodeStatsRequest(wire);
   if (!decoded.ok()) {
-    counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+    counters.decode_errors->Add(1);
     AnswerEnvelope envelope;
     envelope.request_id = request.request_id;
     envelope.error = ClassifyStatus(decoded.status());
@@ -129,10 +125,70 @@ std::future<AnswerEnvelope> InProcessTransport::SendStats(
     promise.set_value(std::move(envelope));
     return future;
   }
-  counters.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+  counters.frames_decoded->Add(1);
   std::promise<AnswerEnvelope> served;
   std::future<AnswerEnvelope> inner = served.get_future();
   served.set_value(endpoint_->HandleStats(std::move(decoded).value()));
+  return VerifyReply(std::move(inner));
+}
+
+std::future<AnswerEnvelope> InProcessTransport::SendMetrics(
+    MetricsRequest request) {
+  std::promise<AnswerEnvelope> promise;
+  std::future<AnswerEnvelope> future = promise.get_future();
+  if (!verify_codec_) {
+    promise.set_value(endpoint_->HandleMetrics(request));
+    return future;
+  }
+  CodecCounters& counters = endpoint_->codec_counters();
+  std::string wire;
+  EncodeMetricsRequest(request, &wire);
+  counters.frames_encoded->Add(1);
+  counters.bytes_in->Add(static_cast<long long>(wire.size()));
+  Result<MetricsRequest> decoded = DecodeMetricsRequest(wire);
+  if (!decoded.ok()) {
+    counters.decode_errors->Add(1);
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    envelope.error = ClassifyStatus(decoded.status());
+    envelope.message = decoded.status().message();
+    promise.set_value(std::move(envelope));
+    return future;
+  }
+  counters.frames_decoded->Add(1);
+  std::promise<AnswerEnvelope> served;
+  std::future<AnswerEnvelope> inner = served.get_future();
+  served.set_value(endpoint_->HandleMetrics(std::move(decoded).value()));
+  return VerifyReply(std::move(inner));
+}
+
+std::future<AnswerEnvelope> InProcessTransport::SendTrace(
+    TraceRequest request) {
+  std::promise<AnswerEnvelope> promise;
+  std::future<AnswerEnvelope> future = promise.get_future();
+  if (!verify_codec_) {
+    promise.set_value(endpoint_->HandleTrace(request));
+    return future;
+  }
+  CodecCounters& counters = endpoint_->codec_counters();
+  std::string wire;
+  EncodeTraceRequest(request, &wire);
+  counters.frames_encoded->Add(1);
+  counters.bytes_in->Add(static_cast<long long>(wire.size()));
+  Result<TraceRequest> decoded = DecodeTraceRequest(wire);
+  if (!decoded.ok()) {
+    counters.decode_errors->Add(1);
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    envelope.error = ClassifyStatus(decoded.status());
+    envelope.message = decoded.status().message();
+    promise.set_value(std::move(envelope));
+    return future;
+  }
+  counters.frames_decoded->Add(1);
+  std::promise<AnswerEnvelope> served;
+  std::future<AnswerEnvelope> inner = served.get_future();
+  served.set_value(endpoint_->HandleTrace(std::move(decoded).value()));
   return VerifyReply(std::move(inner));
 }
 

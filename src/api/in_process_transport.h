@@ -41,6 +41,8 @@ class InProcessTransport : public Transport {
       QueryRequest request) override;
 
   std::future<AnswerEnvelope> SendStats(StatsRequest request) override;
+  std::future<AnswerEnvelope> SendMetrics(MetricsRequest request) override;
+  std::future<AnswerEnvelope> SendTrace(TraceRequest request) override;
 
  private:
   /// Wraps a served reply future so collecting it round-trips the

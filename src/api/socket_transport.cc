@@ -167,34 +167,56 @@ void SocketServer::ReadLoop(Connection* connection) {
   while (!drop) {
     const ssize_t n = ReadSome(connection->fd, &buffer);
     if (n <= 0) break;  // EOF or error: client hung up
-    counters.bytes_in.fetch_add(n, std::memory_order_relaxed);
+    counters.bytes_in->Add(n);
     FrameStatus framing;
     const size_t consumed = WalkFrames(
         buffer, &framing, [&](std::string_view frame) {
           std::vector<std::future<AnswerEnvelope>> replies;
-          if (PeekMsgType(frame) == kMsgTypeStats) {
-            // Typed stats poll: answered synchronously (it only reads
-            // counters), one normal answer frame back.
-            Result<StatsRequest> stats = DecodeStatsRequest(frame);
+          // Typed polls (stats, metrics scrapes, trace polls) are
+          // answered synchronously — they only read counters and rings —
+          // as one normal answer frame each. A decode failure on any of
+          // them answers with a typed error envelope, same as a request.
+          const auto answer_now = [&replies](AnswerEnvelope envelope) {
             std::promise<AnswerEnvelope> ready;
-            if (stats.ok()) {
-              counters.frames_decoded.fetch_add(1,
-                                                std::memory_order_relaxed);
-              ready.set_value(endpoint_->HandleStats(stats.value()));
-            } else {
-              counters.decode_errors.fetch_add(1,
-                                               std::memory_order_relaxed);
-              AnswerEnvelope envelope;
-              envelope.error = ClassifyStatus(stats.status());
-              envelope.message = stats.status().message();
-              ready.set_value(std::move(envelope));
-            }
+            ready.set_value(std::move(envelope));
             replies.push_back(ready.get_future());
+          };
+          const auto poll_error = [&](const Status& status) {
+            counters.decode_errors->Add(1);
+            AnswerEnvelope envelope;
+            envelope.error = ClassifyStatus(status);
+            envelope.message = status.message();
+            return envelope;
+          };
+          const uint8_t msg_type = PeekMsgType(frame);
+          if (msg_type == kMsgTypeStats) {
+            Result<StatsRequest> stats = DecodeStatsRequest(frame);
+            if (stats.ok()) {
+              counters.frames_decoded->Add(1);
+              answer_now(endpoint_->HandleStats(stats.value()));
+            } else {
+              answer_now(poll_error(stats.status()));
+            }
+          } else if (msg_type == kMsgTypeMetrics) {
+            Result<MetricsRequest> metrics = DecodeMetricsRequest(frame);
+            if (metrics.ok()) {
+              counters.frames_decoded->Add(1);
+              answer_now(endpoint_->HandleMetrics(metrics.value()));
+            } else {
+              answer_now(poll_error(metrics.status()));
+            }
+          } else if (msg_type == kMsgTypeTrace) {
+            Result<TraceRequest> trace = DecodeTraceRequest(frame);
+            if (trace.ok()) {
+              counters.frames_decoded->Add(1);
+              answer_now(endpoint_->HandleTrace(trace.value()));
+            } else {
+              answer_now(poll_error(trace.status()));
+            }
           } else {
             Result<QueryRequest> request = DecodeRequest(frame);
             if (request.ok()) {
-              counters.frames_decoded.fetch_add(1,
-                                                std::memory_order_relaxed);
+              counters.frames_decoded->Add(1);
               // HandleBatch serves single and batched frames alike: one
               // reply future per named query, in order.
               replies = endpoint_->HandleBatch(std::move(request).value());
@@ -202,14 +224,7 @@ void SocketServer::ReadLoop(Connection* connection) {
               // Typed decode error (malformed fields, foreign version):
               // answer it like any other request instead of killing the
               // connection.
-              counters.decode_errors.fetch_add(1,
-                                               std::memory_order_relaxed);
-              AnswerEnvelope envelope;
-              envelope.error = ClassifyStatus(request.status());
-              envelope.message = request.status().message();
-              std::promise<AnswerEnvelope> ready;
-              ready.set_value(std::move(envelope));
-              replies.push_back(ready.get_future());
+              answer_now(poll_error(request.status()));
             }
           }
           {
@@ -223,7 +238,7 @@ void SocketServer::ReadLoop(Connection* connection) {
     buffer.erase(0, consumed);
     if (framing == FrameStatus::kMalformed) {
       // The length prefix itself is garbage: no way to resynchronize.
-      counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      counters.decode_errors->Add(1);
       drop = true;
     }
   }
@@ -263,10 +278,9 @@ void SocketServer::WriteLoop(Connection* connection) {
       wire.clear();
       EncodeAnswer(oversized, &wire);
     }
-    counters.frames_encoded.fetch_add(1, std::memory_order_relaxed);
+    counters.frames_encoded->Add(1);
     if (!WriteAll(connection->fd, wire.data(), wire.size())) break;
-    counters.bytes_out.fetch_add(static_cast<long long>(wire.size()),
-                                 std::memory_order_relaxed);
+    counters.bytes_out->Add(static_cast<long long>(wire.size()));
   }
   // Wakes a reader still blocked in read(); the reader is always the
   // other live thread, so `active` cannot reach 0 before it exits too.
@@ -442,6 +456,19 @@ std::future<AnswerEnvelope> SocketTransport::SendStats(
     StatsRequest request) {
   std::string wire;
   EncodeStatsRequest(request, &wire);
+  return std::move(ShipFrame(wire, request.request_id, 1).front());
+}
+
+std::future<AnswerEnvelope> SocketTransport::SendMetrics(
+    MetricsRequest request) {
+  std::string wire;
+  EncodeMetricsRequest(request, &wire);
+  return std::move(ShipFrame(wire, request.request_id, 1).front());
+}
+
+std::future<AnswerEnvelope> SocketTransport::SendTrace(TraceRequest request) {
+  std::string wire;
+  EncodeTraceRequest(request, &wire);
   return std::move(ShipFrame(wire, request.request_id, 1).front());
 }
 

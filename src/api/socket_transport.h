@@ -123,9 +123,11 @@ class SocketTransport : public Transport {
   std::vector<std::future<AnswerEnvelope>> SendBatch(
       QueryRequest request) override;
 
-  /// Stats polls ride the same connection; the reply is a normal answer
-  /// frame correlated by request id.
+  /// Stats/metrics/trace polls ride the same connection; each reply is a
+  /// normal answer frame correlated by request id.
   std::future<AnswerEnvelope> SendStats(StatsRequest request) override;
+  std::future<AnswerEnvelope> SendMetrics(MetricsRequest request) override;
+  std::future<AnswerEnvelope> SendTrace(TraceRequest request) override;
 
   void Close() override;
 

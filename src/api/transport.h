@@ -70,6 +70,32 @@ class Transport {
     return promise.get_future();
   }
 
+  /// Ships a metrics scrape; resolves with an envelope whose message is
+  /// the server registry's exposition (text or JSON per the request's
+  /// format). Base implementation: typed kTransportError envelope.
+  virtual std::future<AnswerEnvelope> SendMetrics(MetricsRequest request) {
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    envelope.error = ErrorCode::kTransportError;
+    envelope.message = "transport: metrics scrapes are not supported";
+    std::promise<AnswerEnvelope> promise;
+    promise.set_value(std::move(envelope));
+    return promise.get_future();
+  }
+
+  /// Ships a trace poll; resolves with an envelope whose message renders
+  /// the server's slowest recorded span trees. Base implementation:
+  /// typed kTransportError envelope.
+  virtual std::future<AnswerEnvelope> SendTrace(TraceRequest request) {
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    envelope.error = ErrorCode::kTransportError;
+    envelope.message = "transport: trace polls are not supported";
+    std::promise<AnswerEnvelope> promise;
+    promise.set_value(std::move(envelope));
+    return promise.get_future();
+  }
+
   /// Closes the channel; in-flight calls resolve with kTransportError.
   /// Idempotent.
   virtual void Close() {}

@@ -1,9 +1,50 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+
 namespace pmw {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+/// PMW_LOG_LEVEL: a level name or digit; unset/unparseable keeps the
+/// compiled default (kWarning).
+LogLevel LevelFromEnvironment() {
+  const char* raw = std::getenv("PMW_LOG_LEVEL");
+  if (raw == nullptr) return LogLevel::kWarning;
+  std::string value;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    value.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "0" || value == "debug") return LogLevel::kDebug;
+  if (value == "1" || value == "info") return LogLevel::kInfo;
+  if (value == "2" || value == "warning" || value == "warn") {
+    return LogLevel::kWarning;
+  }
+  if (value == "3" || value == "error") return LogLevel::kError;
+  if (value == "4" || value == "off" || value == "none") {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarning;
+}
+
+LogLevel& MutableLevel() {
+  // Function-local static: the environment is consulted exactly once,
+  // at the first logging call, with no static-init-order hazard.
+  static LogLevel level = LevelFromEnvironment();
+  return level;
+}
+
+/// Monotonic microseconds since the first logging call — the per-line
+/// stamp that lets bench/CI logs be correlated with trace spans.
+long long MonotonicMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - start)
+      .count();
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,20 +64,22 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return MutableLevel(); }
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= static_cast<int>(g_level)) {
+    : enabled_(static_cast<int>(level) >=
+               static_cast<int>(GetLogLevel())) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << MonotonicMicros() << "us " << LevelName(level) << " "
+            << base << ":" << line << "] ";
   }
 }
 

@@ -2,7 +2,13 @@
 //
 // Logging is stream-based and cheap when disabled. The default level is
 // kWarning so that tests and benchmarks stay quiet; experiments flip to
-// kInfo for progress reporting.
+// kInfo for progress reporting. A `PMW_LOG_LEVEL` environment variable
+// (read once, at the first logging call — "debug"/"info"/"warning"/
+// "error"/"off" or the digits 0-4, case-insensitive) overrides the
+// default, so bench and CI runs raise verbosity without rebuilds; an
+// explicit SetLogLevel still wins over the environment. Each emitted
+// line is stamped with microseconds since process start (monotonic) and
+// its level: "[123456us INFO file.cc:42] ...".
 
 #ifndef PMWCM_COMMON_LOGGING_H_
 #define PMWCM_COMMON_LOGGING_H_

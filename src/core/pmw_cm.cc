@@ -135,6 +135,7 @@ Result<PmwAnswer> PmwCm::AnswerPrepared(
     const HypothesisSnapshot* current_snapshot) {
   PMW_CHECK(query.loss != nullptr);
   PMW_CHECK(query.domain != nullptr);
+  last_answer_timing_ = AnswerTiming{};
   if (halted()) {
     return Status::Halted("pmw-cm: sparse vector exhausted its T updates");
   }
@@ -183,8 +184,11 @@ Result<PmwAnswer> PmwCm::AnswerPrepared(
   context.privacy = schedule_.oracle_budget;
   context.target_alpha = schedule_.alpha0;
   context.target_beta = schedule_.beta0;
+  WallTimer solve_timer;
   Result<convex::Vec> oracle_answer =
       oracle_->Solve(query, *dataset_, context, &rng_);
+  last_answer_timing_.solve_us =
+      static_cast<uint64_t>(solve_timer.ElapsedSeconds() * 1e6);
   if (!oracle_answer.ok()) return oracle_answer.status();
   convex::Vec theta_t = std::move(oracle_answer).value();
   ledger_.Record("oracle:" + oracle_->name(), schedule_.oracle_budget);
@@ -217,7 +221,9 @@ Result<PmwAnswer> PmwCm::AnswerPrepared(
   hypothesis_.MultiplicativeUpdate(payoff, exponent);
   ++update_count_;
   ++mw_timing_.updates;
-  mw_timing_.total_ms += mw_timer.ElapsedMillis();
+  const double mw_ms = mw_timer.ElapsedMillis();
+  mw_timing_.total_ms += mw_ms;
+  last_answer_timing_.mw_us = static_cast<uint64_t>(mw_ms * 1e3);
   PMW_LOG(kDebug) << "pmw-cm update " << update_count_ << "/" << schedule_.T
                   << " on " << query.label;
 

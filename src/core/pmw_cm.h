@@ -101,6 +101,15 @@ struct MwUpdateTiming {
   double total_ms = 0.0;
 };
 
+/// Wall-clock breakdown of the most recent AnswerPrepared call, reset on
+/// entry: the private oracle solve (hard rounds only) and the MW-update
+/// path. Bookkeeping only — never influences answers; the serving layer
+/// copies it into trace spans.
+struct AnswerTiming {
+  uint64_t solve_us = 0;
+  uint64_t mw_us = 0;
+};
+
 /// A compacted copy of the hypothesis histogram tagged with the
 /// hypothesis_version() it was taken at. Batch callers snapshot once and
 /// prepare many queries against it; the version tag travels into every
@@ -232,6 +241,12 @@ class PmwCm {
   /// bench_serve_parallel's shard gate reads this.
   const MwUpdateTiming& mw_timing() const { return mw_timing_; }
 
+  /// Solve/MW breakdown of the last AnswerPrepared call (zeros on bottom
+  /// answers and rejections).
+  const AnswerTiming& last_answer_timing() const {
+    return last_answer_timing_;
+  }
+
   /// A dense copy of the public hypothesis histogram (also a synthetic
   /// dataset release; see the paper's Section 4.3 remark).
   data::Histogram hypothesis() const { return hypothesis_.ToHistogram(); }
@@ -261,6 +276,7 @@ class PmwCm {
   dp::PrivacyLedger ledger_;
   Rng rng_;
   MwUpdateTiming mw_timing_;
+  AnswerTiming last_answer_timing_;
   int update_count_ = 0;
   long long queries_answered_ = 0;
 };

@@ -43,6 +43,25 @@ Dispatcher::Dispatcher(serve::PmwService* service, QuotaManager* quota,
   PMW_CHECK(service != nullptr);
   PMW_CHECK_GE(options.max_batch, size_t{1});
   if (plan_cache_ != nullptr) service_->set_plan_cache(plan_cache_);
+  // Frontend instruments live in the service's registry so one scrape
+  // covers the whole stack; handles resolved once, here.
+  obs::Registry& registry = service_->registry();
+  m_.submitted = registry.GetCounter("pmw_frontend_submitted_total");
+  m_.admitted = registry.GetCounter("pmw_frontend_admitted_total");
+  m_.quota_rejected =
+      registry.GetCounter("pmw_frontend_quota_rejected_total");
+  m_.shutdown_rejected =
+      registry.GetCounter("pmw_frontend_shutdown_rejected_total");
+  m_.deadline_expired =
+      registry.GetCounter("pmw_frontend_deadline_expired_total");
+  m_.batches = registry.GetCounter("pmw_frontend_batches_total");
+  m_.batch_fill = registry.GetHistogram(
+      "pmw_frontend_batch_fill", obs::Histogram::LogBuckets(1.0, 2.0, 12));
+  // 1us .. ~8.4s in x2 steps: queue waits and batch serve times.
+  m_.queue_wait_us = registry.GetHistogram(
+      "pmw_frontend_queue_wait_us", obs::Histogram::LogBuckets(1.0, 2.0, 24));
+  m_.serve_us = registry.GetHistogram(
+      "pmw_frontend_serve_us", obs::Histogram::LogBuckets(1.0, 2.0, 24));
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -62,10 +81,12 @@ std::future<Served> Dispatcher::Submit(
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
   }
+  m_.submitted->Add(1);
 
   if (shutdown_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.shutdown_rejected;
+    m_.shutdown_rejected->Add(1);
     request.promise.set_value(Served(api::MakeStatus(
         api::ErrorCode::kShutdown, "frontend: dispatcher is shut down")));
     return future;
@@ -80,6 +101,7 @@ std::future<Served> Dispatcher::Submit(
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.quota_rejected;
       }
+      m_.quota_rejected->Add(1);
       request.promise.set_value(Served(std::move(admit)));
       return future;
     }
@@ -96,11 +118,18 @@ std::future<Served> Dispatcher::Submit(
   // mechanism never saw the query, so the analyst must not stay charged).
   if (!queue_.Push(request)) {
     if (quota_ != nullptr) quota_->Refund(analyst_id);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    --stats_.admitted;
-    ++stats_.shutdown_rejected;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --stats_.admitted;
+      ++stats_.shutdown_rejected;
+    }
+    m_.shutdown_rejected->Add(1);
     request.promise.set_value(Served(api::MakeStatus(
         api::ErrorCode::kShutdown, "frontend: dispatcher is shut down")));
+  } else {
+    // Counters are monotonic: admitted is recorded only once the push
+    // actually stuck (the lock-held path above may revert its ++).
+    m_.admitted->Add(1);
   }
   return future;
 }
@@ -160,6 +189,7 @@ void Dispatcher::DispatchLoop() {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         stats_.deadline_expired += static_cast<long long>(expired.size());
       }
+      m_.deadline_expired->Add(static_cast<long long>(expired.size()));
       for (Request& request : expired) {
         Served served(api::MakeStatus(
             api::ErrorCode::kDeadlineExpired,
@@ -217,11 +247,53 @@ void Dispatcher::DispatchLoop() {
         }
       }
     }
+    m_.batches->Add(1);
+    m_.batch_fill->Observe(static_cast<double>(live.size()));
+    for (uint64_t wait_us : queue_waits_us) {
+      m_.queue_wait_us->Observe(static_cast<double>(wait_us));
+      m_.serve_us->Observe(static_cast<double>(batch_serve_us));
+    }
     for (size_t j = 0; j < live.size(); ++j) {
       Served served(std::move(results[j]), outcomes[j]);
       served.queue_wait_us = queue_waits_us[j];
       served.serve_us = batch_serve_us;
+      const bool answered_ok = served.answer.ok();
       live[j].promise.set_value(std::move(served));
+      // The span tree is assembled and published AFTER the promise
+      // resolves: a waiting client never pays for tracing, and the
+      // recorder's per-slot lock is the only synchronization touched.
+      if (options_.trace_recorder != nullptr) {
+        const serve::QueryOutcome& outcome = outcomes[j];
+        obs::RequestTrace trace;
+        trace.trace_id = live[j].id;
+        trace.analyst = live[j].analyst_id;
+        trace.query = live[j].query.label;
+        trace.total_us = queue_waits_us[j] + batch_serve_us;
+        trace.hard_round = outcome.hard_round;
+        trace.ok = answered_ok;
+        const uint64_t commit_start =
+            queue_waits_us[j] + outcome.prepare_us;
+        trace.spans.push_back({"queue", 0, queue_waits_us[j], -1});
+        trace.spans.push_back(
+            {"prepare", queue_waits_us[j], outcome.prepare_us, -1});
+        trace.spans.push_back(
+            {"commit", commit_start, outcome.commit_us, -1});
+        if (outcome.solve_us > 0) {
+          trace.spans.push_back(
+              {"solve", commit_start, outcome.solve_us, -1});
+        }
+        if (outcome.mw_us > 0) {
+          trace.spans.push_back({"mw", commit_start + outcome.solve_us,
+                                 outcome.mw_us, -1});
+        }
+        for (size_t s = 0; s < outcome.shard_us.size(); ++s) {
+          trace.spans.push_back({"shard_mw",
+                                 commit_start + outcome.solve_us,
+                                 outcome.shard_us[s],
+                                 static_cast<int>(s)});
+        }
+        options_.trace_recorder->Publish(std::move(trace));
+      }
     }
   }
 }

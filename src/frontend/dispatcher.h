@@ -45,6 +45,8 @@
 #include "convex/cm_query.h"
 #include "frontend/plan_cache.h"
 #include "frontend/quota_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/pmw_service.h"
 
 namespace pmw {
@@ -69,6 +71,12 @@ struct DispatcherOptions {
   /// Record the ids of committed requests in commit order (ArrivalLog);
   /// tests replay the log through sequential PmwCm.
   bool record_arrival_log = false;
+  /// Span sink (not owned; null disables tracing). The dispatcher
+  /// assembles each served request's span tree — queue wait, batch
+  /// prepare, commit with its solve/MW halves, per-shard MW — and
+  /// publishes it here AFTER resolving the request's promise, so
+  /// tracing sits strictly outside the answer path.
+  obs::TraceRecorder* trace_recorder = nullptr;
 };
 
 struct DispatcherStats {
@@ -182,10 +190,25 @@ class Dispatcher {
 
   void DispatchLoop();
 
+  /// Registry handles (instruments live in the service's registry, so
+  /// one scrape covers both layers); resolved once at construction.
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* quota_rejected = nullptr;
+    obs::Counter* shutdown_rejected = nullptr;
+    obs::Counter* deadline_expired = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Histogram* batch_fill = nullptr;
+    obs::Histogram* queue_wait_us = nullptr;
+    obs::Histogram* serve_us = nullptr;
+  };
+
   serve::PmwService* service_;
   QuotaManager* quota_;
   PlanCache* plan_cache_;
   const DispatcherOptions options_;
+  Instruments m_;
   MpscQueue<Request> queue_;
   std::atomic<uint64_t> next_id_{0};
   std::atomic<bool> shutdown_{false};

@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pmw {
+namespace obs {
+
+TraceRecorder::TraceRecorder(size_t capacity) {
+  PMW_CHECK_GE(capacity, size_t{1});
+  slots_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void TraceRecorder::Publish(RequestTrace trace) {
+  Slot& slot = *slots_[trace.trace_id % slots_.size()];
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.trace = std::move(trace);
+    slot.used = true;
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+long long TraceRecorder::published() const {
+  return published_.load(std::memory_order_relaxed);
+}
+
+std::vector<RequestTrace> TraceRecorder::SlowRequests(
+    uint64_t min_total_us, size_t max_n) const {
+  std::vector<RequestTrace> slow;
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    if (!slot->used || slot->trace.total_us < min_total_us) continue;
+    slow.push_back(slot->trace);
+  }
+  std::sort(slow.begin(), slow.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.trace_id < b.trace_id;
+            });
+  if (slow.size() > max_n) slow.resize(max_n);
+  return slow;
+}
+
+std::string TraceRecorder::Format(const std::vector<RequestTrace>& traces) {
+  std::string out;
+  for (const RequestTrace& trace : traces) {
+    out += "trace " + std::to_string(trace.trace_id) + " analyst=" +
+           trace.analyst +
+           (trace.query.empty() ? "" : " query=" + trace.query) +
+           " total_us=" + std::to_string(trace.total_us) +
+           (trace.hard_round ? " hard" : "") + (trace.ok ? "" : " error") +
+           "\n";
+    for (const TraceSpan& span : trace.spans) {
+      out += "  ";
+      // Shard spans nest one level under the commit they belong to.
+      if (span.shard >= 0) out += "  ";
+      out += std::string(span.phase) + " start_us=" +
+             std::to_string(span.start_us) +
+             " dur_us=" + std::to_string(span.dur_us);
+      if (span.shard >= 0) out += " shard=" + std::to_string(span.shard);
+      out += "\n";
+    }
+  }
+  if (out.empty()) out = "(no traces over threshold)\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pmw

@@ -1,0 +1,97 @@
+// obs::TraceRecorder — per-request span trees in a bounded ring.
+//
+// Every request the front door serves carries one trace id (the
+// dispatcher's request id) from admission to commit. The dispatcher
+// assembles the request's span tree after resolving its promise —
+// queue-wait, batch prepare, the commit's oracle-solve and MW-update
+// halves, per-shard MW durations — and publishes it here. The ring is
+// bounded and slot assignment is deterministic (slot = trace_id %
+// capacity), so a trace's fate depends only on the ids that were served,
+// never on scheduling: replaying the same arrival log overwrites the
+// same slots in the same order.
+//
+// Strictly out-of-transcript: traces are written after the answer is
+// already resolved, readers copy under per-slot mutexes, and nothing in
+// the serving path ever reads a trace back. Writers take exactly one
+// uncontended per-slot lock per request (scrapers touch a slot only
+// while copying it), which keeps the publish cost flat under scraper
+// load — the TSan replay-equivalence tests drive both sides at once.
+
+#ifndef PMWCM_OBS_TRACE_H_
+#define PMWCM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pmw {
+namespace obs {
+
+/// One timed phase of a request. `start_us` is relative to the
+/// request's admission (so a span tree is self-contained); `shard` is
+/// -1 for unsharded phases.
+struct TraceSpan {
+  /// Static phase name ("queue", "prepare", "solve", "mw", "commit",
+  /// "shard_mw").
+  const char* phase = "";
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  int shard = -1;
+};
+
+/// The span tree of one served request.
+struct RequestTrace {
+  /// The dispatcher's request id — also the ring slot key.
+  uint64_t trace_id = 0;
+  std::string analyst;
+  /// Catalog name of the query (empty when served below the api layer).
+  std::string query;
+  /// End-to-end server-side time: queue wait + serving call.
+  uint64_t total_us = 0;
+  bool hard_round = false;
+  bool ok = true;
+  std::vector<TraceSpan> spans;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 256);
+
+  /// Stores `trace` at slot trace_id % capacity (overwriting that
+  /// slot's previous occupant). One uncontended mutex, no allocation
+  /// beyond the trace's own vectors.
+  void Publish(RequestTrace trace);
+
+  /// The slowest recorded requests with total_us >= min_total_us, at
+  /// most max_n of them, sorted by total_us descending (trace id breaks
+  /// ties, so the order is deterministic for fixed contents).
+  std::vector<RequestTrace> SlowRequests(uint64_t min_total_us,
+                                         size_t max_n) const;
+
+  /// Renders traces as an indented span tree, one block per request —
+  /// the payload of the kTraceRequest RPC.
+  static std::string Format(const std::vector<RequestTrace>& traces);
+
+  size_t capacity() const { return slots_.size(); }
+  /// Traces published over the recorder's lifetime (ring overwrites
+  /// included).
+  long long published() const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    bool used = false;
+    RequestTrace trace;
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<long long> published_{0};
+};
+
+}  // namespace obs
+}  // namespace pmw
+
+#endif  // PMWCM_OBS_TRACE_H_

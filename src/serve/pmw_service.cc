@@ -9,6 +9,33 @@
 
 namespace pmw {
 namespace serve {
+namespace {
+
+/// Inverse of obs::Registry::LabeledName's value escaping ('\\' and
+/// '\"'); rebuilds analyst ids when parsing labeled counter names.
+std::string UnescapeLabelValue(const std::string& escaped) {
+  std::string value;
+  value.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) ++i;
+    value.push_back(escaped[i]);
+  }
+  return value;
+}
+
+/// Extracts the label value from 'name' given the prefix up to and
+/// including 'analyst="' — the name ends with '"}'.
+bool ParseLabeledAnalyst(const std::string& name, const std::string& prefix,
+                         std::string* analyst) {
+  if (name.size() < prefix.size() + 2) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - 2, 2, "\"}") != 0) return false;
+  *analyst = UnescapeLabelValue(
+      name.substr(prefix.size(), name.size() - prefix.size() - 2));
+  return true;
+}
+
+}  // namespace
 
 double ServeStats::OverallQueriesPerSec() const {
   double total_ms = batch_latency_ms.sum();
@@ -77,7 +104,8 @@ PmwService::PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
                 ? std::make_unique<ThreadPool>(serve_options.num_threads)
                 : nullptr),
       executor_(pool_.get(), &cm_),
-      router_(pool_.get()) {
+      router_(pool_.get()),
+      record_spans_(serve_options.record_spans) {
   stats_.threads = pool_ != nullptr ? pool_->size() : 1;
   // Partition the hypothesis and route its per-shard MW-update work
   // through the pool. A single shard keeps the inline (sequential) path.
@@ -86,21 +114,126 @@ PmwService::PmwService(const data::Dataset* dataset, erm::Oracle* oracle,
       serve_options.num_shards > 1 ? router_.AsRunner()
                                    : core::ShardRunner{},
       serve_options.hypothesis_backend, serve_options.sparse);
-  // Seed the scraper-facing snapshot so a stats poll before the first
-  // batch already reports the real topology.
-  stats_snapshot_ = stats_;
+
+  // Bind the metrics registry (injected by the endpoint, or a private
+  // one) and resolve every instrument handle once; all hot-path
+  // recording below is handle-based and lock-free.
+  if (serve_options.registry != nullptr) {
+    registry_ = serve_options.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  m_.queries = registry_->GetCounter("pmw_serve_queries_total");
+  m_.batches = registry_->GetCounter("pmw_serve_batches_total");
+  m_.bottom_answers = registry_->GetCounter("pmw_serve_bottom_total");
+  m_.updates = registry_->GetCounter("pmw_serve_updates_total");
+  m_.prepare_cache_hits =
+      registry_->GetCounter("pmw_serve_prepare_cache_hits_total");
+  m_.errors = registry_->GetCounter("pmw_serve_errors_total");
+  m_.epochs = registry_->GetCounter("pmw_serve_epochs_total");
+  m_.reprepared = registry_->GetCounter("pmw_serve_reprepared_total");
+  m_.cross_batch_cache_lookups =
+      registry_->GetCounter("pmw_serve_cross_batch_lookups_total");
+  m_.cross_batch_cache_hits =
+      registry_->GetCounter("pmw_serve_cross_batch_hits_total");
+  m_.threads = registry_->GetGauge("pmw_serve_threads");
+  m_.shards = registry_->GetGauge("pmw_serve_shards");
+  m_.mw_update_ms = registry_->GetGauge("pmw_serve_mw_update_ms");
+  m_.mw_updates = registry_->GetGauge("pmw_serve_mw_updates");
+  // 10us .. ~84s in x2 steps: covers sub-ms soft batches through the
+  // huge_domain cold tail.
+  m_.batch_latency_ms = registry_->GetHistogram(
+      "pmw_serve_batch_latency_ms", obs::Histogram::LogBuckets(0.01, 2.0, 24));
+  m_.batch_queries_per_sec = registry_->GetHistogram(
+      "pmw_serve_batch_queries_per_sec",
+      obs::Histogram::LogBuckets(1.0, 2.0, 24));
+  // Topology gauges are live immediately so a scrape before the first
+  // batch already reports it.
+  m_.threads->Set(static_cast<double>(stats_.threads));
+  m_.shards->Set(static_cast<double>(stats_.shards));
+}
+
+PmwService::AnalystHandles& PmwService::HandlesFor(
+    const std::string& analyst) {
+  auto it = analyst_handles_.find(analyst);
+  if (it == analyst_handles_.end()) {
+    AnalystHandles handles;
+    handles.queries = registry_->GetCounter(obs::Registry::LabeledName(
+        "pmw_serve_analyst_queries_total", "analyst", analyst));
+    handles.updates = registry_->GetCounter(obs::Registry::LabeledName(
+        "pmw_serve_analyst_updates_total", "analyst", analyst));
+    handles.errors = registry_->GetCounter(obs::Registry::LabeledName(
+        "pmw_serve_analyst_errors_total", "analyst", analyst));
+    it = analyst_handles_.emplace(analyst, handles).first;
+  }
+  return it->second;
 }
 
 ServeStats PmwService::stats_snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  return stats_snapshot_;
+  // Rebuilt wholly from registry reads — no lock shared with the writer,
+  // no per-batch copy. Each value is individually torn-free; the set may
+  // straddle a batch (the standard metrics-scrape contract).
+  const obs::Registry& reg = *registry_;
+  ServeStats s;
+  s.queries = reg.CounterValue("pmw_serve_queries_total");
+  s.batches = reg.CounterValue("pmw_serve_batches_total");
+  s.bottom_answers = reg.CounterValue("pmw_serve_bottom_total");
+  s.updates = reg.CounterValue("pmw_serve_updates_total");
+  s.prepare_cache_hits =
+      reg.CounterValue("pmw_serve_prepare_cache_hits_total");
+  s.errors = reg.CounterValue("pmw_serve_errors_total");
+  s.epochs = reg.CounterValue("pmw_serve_epochs_total");
+  s.reprepared = reg.CounterValue("pmw_serve_reprepared_total");
+  s.cross_batch_cache_lookups =
+      reg.CounterValue("pmw_serve_cross_batch_lookups_total");
+  s.cross_batch_cache_hits =
+      reg.CounterValue("pmw_serve_cross_batch_hits_total");
+  s.threads = static_cast<int>(reg.GaugeValue("pmw_serve_threads"));
+  s.shards = static_cast<int>(reg.GaugeValue("pmw_serve_shards"));
+  s.mw_update_ms = reg.GaugeValue("pmw_serve_mw_update_ms");
+  s.mw_updates =
+      static_cast<long long>(reg.GaugeValue("pmw_serve_mw_updates"));
+  const obs::Histogram::Snapshot latency =
+      reg.HistogramSnap("pmw_serve_batch_latency_ms");
+  s.batch_latency_ms = RunningStats::FromMoments(
+      latency.count, latency.sum, latency.sumsq, latency.min, latency.max);
+  const obs::Histogram::Snapshot qps =
+      reg.HistogramSnap("pmw_serve_batch_queries_per_sec");
+  s.batch_queries_per_sec =
+      RunningStats::FromMoments(qps.count, qps.sum, qps.sumsq, qps.min,
+                                qps.max);
+  // Labeled analyst counters fold back into the per_analyst map; name
+  // order == deterministic map order.
+  const std::string kQ = "pmw_serve_analyst_queries_total{analyst=\"";
+  const std::string kU = "pmw_serve_analyst_updates_total{analyst=\"";
+  const std::string kE = "pmw_serve_analyst_errors_total{analyst=\"";
+  std::string analyst;
+  reg.ForEachCounter(kQ, [&](const std::string& name, long long value) {
+    if (ParseLabeledAnalyst(name, kQ, &analyst)) {
+      s.per_analyst[analyst].queries = value;
+    }
+  });
+  reg.ForEachCounter(kU, [&](const std::string& name, long long value) {
+    if (ParseLabeledAnalyst(name, kU, &analyst)) {
+      s.per_analyst[analyst].updates = value;
+    }
+  });
+  reg.ForEachCounter(kE, [&](const std::string& name, long long value) {
+    if (ParseLabeledAnalyst(name, kE, &analyst)) {
+      s.per_analyst[analyst].errors = value;
+    }
+  });
+  return s;
 }
 
 std::shared_ptr<const Epoch> PmwService::PublishAndPrepare(
     std::span<const convex::CmQuery> queries, size_t begin, size_t end,
     ShardExecutor::PrepareResult* prepared) {
   std::shared_ptr<const Epoch> epoch = epochs_.Publish(cm_);
-  stats_.epochs = epochs_.epochs_published();
+  const long long published = epochs_.epochs_published();
+  m_.epochs->Add(published - stats_.epochs);
+  stats_.epochs = published;
   // Invalidate before any probe: entries from older hypothesis versions
   // are permanently stale once this epoch exists.
   if (plan_cache_ != nullptr) {
@@ -112,6 +245,9 @@ std::shared_ptr<const Epoch> PmwService::PublishAndPrepare(
   stats_.prepare_cache_hits += prepared->cache_hits;
   stats_.cross_batch_cache_lookups += prepared->cross_batch_lookups;
   stats_.cross_batch_cache_hits += prepared->cross_batch_hits;
+  m_.prepare_cache_hits->Add(prepared->cache_hits);
+  m_.cross_batch_cache_lookups->Add(prepared->cross_batch_lookups);
+  m_.cross_batch_cache_hits->Add(prepared->cross_batch_hits);
   return epoch;
 }
 
@@ -147,10 +283,14 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
   ShardExecutor::PrepareResult prepared;
   size_t prepared_begin = 0;
   std::shared_ptr<const Epoch> epoch;
+  uint64_t batch_prepare_us = 0;
   if (n > 0 && !cm_.WillReject()) {
     size_t prep_end =
         std::min(n, static_cast<size_t>(cm_.queries_remaining()));
+    WallTimer prepare_timer;
     epoch = PublishAndPrepare(queries, 0, prep_end, &prepared);
+    batch_prepare_us =
+        static_cast<uint64_t>(prepare_timer.ElapsedSeconds() * 1e6);
   }
 
   // Commit phase: the single writer replays queries in arrival order.
@@ -169,16 +309,26 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     PMW_CHECK(query.domain != nullptr);
     ServeStats::AnalystCounters* analyst =
         analyst_ids.empty() ? nullptr : &stats_.per_analyst[analyst_ids[j]];
-    if (analyst != nullptr) ++analyst->queries;
+    AnalystHandles* analyst_metrics =
+        analyst_ids.empty() ? nullptr : &HandlesFor(analyst_ids[j]);
+    if (analyst != nullptr) {
+      ++analyst->queries;
+      analyst_metrics->queries->Add(1);
+    }
     QueryOutcome* outcome = outcomes != nullptr ? &(*outcomes)[j] : nullptr;
     if (outcome != nullptr) outcome->epoch = cm_.hypothesis_version();
+    const bool spans = record_spans_ && outcome != nullptr;
 
     if (cm_.WillReject()) {
       Result<core::PmwAnswer> rejected =
           cm_.AnswerPrepared(query, core::PreparedQuery{});
       PMW_CHECK(!rejected.ok());
       ++stats_.errors;
-      if (analyst != nullptr) ++analyst->errors;
+      m_.errors->Add(1);
+      if (analyst != nullptr) {
+        ++analyst->errors;
+        analyst_metrics->errors->Add(1);
+      }
       results.push_back(rejected.status());
       continue;
     }
@@ -193,51 +343,88 @@ std::vector<Result<convex::Vec>> PmwService::AnswerBatch(
     if (outcome != nullptr && epoch != nullptr) {
       outcome->cache_hit = prepared.plan_from_cache[plan_slot] != 0;
     }
+    if (spans && stats_.shards > 1) router_.ResetWindow(stats_.shards);
+    WallTimer commit_timer;
     Result<core::PmwAnswer> answer = cm_.AnswerPrepared(
         query, plan, epoch != nullptr ? epoch->snapshot.get() : nullptr);
+    if (spans) {
+      outcome->commit_us =
+          static_cast<uint64_t>(commit_timer.ElapsedSeconds() * 1e6);
+      outcome->solve_us = cm_.last_answer_timing().solve_us;
+      outcome->mw_us = cm_.last_answer_timing().mw_us;
+    }
     if (outcome != nullptr) outcome->epoch = cm_.hypothesis_version();
     if (!answer.ok()) {
       ++stats_.errors;
-      if (analyst != nullptr) ++analyst->errors;
+      m_.errors->Add(1);
+      if (analyst != nullptr) {
+        ++analyst->errors;
+        analyst_metrics->errors->Add(1);
+      }
       results.push_back(answer.status());
       continue;
     }
     if (answer.value().was_update) {
       ++stats_.updates;
-      if (analyst != nullptr) ++analyst->updates;
+      m_.updates->Add(1);
+      if (analyst != nullptr) {
+        ++analyst->updates;
+        analyst_metrics->updates->Add(1);
+      }
       if (outcome != nullptr) outcome->hard_round = true;
+      if (spans && stats_.shards > 1) {
+        const std::vector<uint64_t>& window = router_.WindowShardUs();
+        outcome->shard_us.reserve(window.size());
+        for (uint64_t us : window) {
+          outcome->shard_us.push_back(static_cast<uint32_t>(
+              std::min<uint64_t>(us, UINT32_MAX)));
+        }
+      }
       // Hard round: the hypothesis changed, so every remaining plan is
       // stale. Advance the epoch and re-prepare the suffix in parallel
       // (bounded by T such rounds over the mechanism's lifetime).
       if (j + 1 < n && !cm_.WillReject()) {
         size_t prep_end = std::min(
             n, j + 1 + static_cast<size_t>(cm_.queries_remaining()));
+        WallTimer prepare_timer;
         epoch = PublishAndPrepare(queries, j + 1, prep_end, &prepared);
+        batch_prepare_us +=
+            static_cast<uint64_t>(prepare_timer.ElapsedSeconds() * 1e6);
         prepared_begin = j + 1;
         stats_.reprepared += static_cast<long long>(prepared.plans.size());
+        m_.reprepared->Add(static_cast<long long>(prepared.plans.size()));
       }
     } else {
       ++stats_.bottom_answers;
+      m_.bottom_answers->Add(1);
     }
     results.push_back(std::move(answer.value().theta));
+  }
+
+  // Prepare ran batch-wide (one fan-out per epoch), so its cost is a
+  // batch-level span — the same shape as the dispatcher's serve_us.
+  if (outcomes != nullptr && record_spans_) {
+    for (QueryOutcome& outcome : *outcomes) {
+      outcome.prepare_us = batch_prepare_us;
+    }
   }
 
   double elapsed_ms = timer.ElapsedMillis();
   ++stats_.batches;
   stats_.queries += static_cast<long long>(n);
   stats_.batch_latency_ms.Add(elapsed_ms);
+  m_.batches->Add(1);
+  m_.queries->Add(static_cast<long long>(n));
+  m_.batch_latency_ms->Observe(elapsed_ms);
   if (elapsed_ms > 0.0 && n > 0) {
-    stats_.batch_queries_per_sec.Add(static_cast<double>(n) /
-                                     (elapsed_ms / 1e3));
+    const double qps = static_cast<double>(n) / (elapsed_ms / 1e3);
+    stats_.batch_queries_per_sec.Add(qps);
+    m_.batch_queries_per_sec->Observe(qps);
   }
   stats_.mw_update_ms = cm_.mw_timing().total_ms;
   stats_.mw_updates = cm_.mw_timing().updates;
-  {
-    // Publish the batch's counters for scraper threads (the stats RPC);
-    // the live stats_ stays writer-owned.
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
-    stats_snapshot_ = stats_;
-  }
+  m_.mw_update_ms->Set(stats_.mw_update_ms);
+  m_.mw_updates->Set(static_cast<double>(stats_.mw_updates));
   return results;
 }
 

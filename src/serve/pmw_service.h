@@ -43,12 +43,11 @@
 #include <string>
 #include <vector>
 
-#include <mutex>
-
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/pmw_cm.h"
+#include "obs/metrics.h"
 #include "serve/epoch_state.h"
 #include "serve/shard_executor.h"
 #include "serve/shard_router.h"
@@ -78,6 +77,15 @@ struct ServeOptions {
   /// Sparse-backend knobs; non-default values opt into the documented
   /// approx mode (core/sharded_hypothesis.h).
   core::SparseHypothesisOptions sparse;
+  /// Metrics registry the service records into (not owned; must outlive
+  /// the service). Null makes the service own a private registry — the
+  /// embedded/test configuration. The api endpoint passes its own so one
+  /// registry spans serve + frontend + transport.
+  obs::Registry* registry = nullptr;
+  /// Record per-query span timings (prepare/solve/mw/commit + per-shard
+  /// MW) into QueryOutcome. Pure bookkeeping — never influences answers
+  /// or transcripts; off saves a few clock reads per commit.
+  bool record_spans = true;
 };
 
 /// Serving counters. Latency/throughput moments use common/stats.h's
@@ -163,6 +171,20 @@ struct QueryOutcome {
   bool hard_round = false;
   /// True when the query's plan was served from the cross-batch cache.
   bool cache_hit = false;
+  /// Span timings (ServeOptions::record_spans; zeros when off). All
+  /// bookkeeping — never influence answers. prepare_us is the batch's
+  /// total parallel-prepare wall time (batch-level, like the dispatcher's
+  /// serve_us); the rest are this query's own commit breakdown.
+  uint64_t prepare_us = 0;
+  /// Private oracle solve inside the commit (hard rounds only).
+  uint64_t solve_us = 0;
+  /// MW-update path inside the commit (hard rounds only).
+  uint64_t mw_us = 0;
+  /// The whole AnswerPrepared call for this query.
+  uint64_t commit_us = 0;
+  /// Per-shard MW wall time for this query's hard round (empty on soft
+  /// rounds or single-shard topologies).
+  std::vector<uint32_t> shard_us;
 };
 
 class PmwService {
@@ -217,9 +239,16 @@ class PmwService {
   /// thread or after serving quiesces. Remote scrapers use
   /// stats_snapshot().
   const ServeStats& stats() const { return stats_; }
-  /// A copy of the counters as of the last completed batch, safe to read
-  /// from any thread while the writer keeps serving (the stats RPC).
+  /// A ServeStats view rebuilt purely from registry reads — safe from
+  /// any thread while the writer keeps serving (the stats RPC), never
+  /// blocks the writer, and costs no per-batch struct copy. Latency
+  /// moments come back through RunningStats::FromMoments, so mean/sum
+  /// are exact and variance matches up to float rearrangement.
   ServeStats stats_snapshot() const;
+  /// The metrics registry the service records into (its own unless
+  /// ServeOptions::registry injected one). Scrape-safe from any thread.
+  obs::Registry& registry() { return *registry_; }
+  const obs::Registry& registry() const { return *registry_; }
   /// Domain shards the hypothesis is partitioned into (after clamping).
   int num_shards() const { return cm_.num_shards(); }
   /// The epoch holder (exposed for tests and future async front-ends).
@@ -229,12 +258,41 @@ class PmwService {
 
  private:
   /// Publishes a fresh epoch and prepares queries[begin, end) against it,
-  /// folding executor counters into stats_. Returns the epoch;
-  /// `*prepared` receives the deduplicated plans + position index for
-  /// the range.
+  /// folding executor counters into stats_ and the registry. Returns the
+  /// epoch; `*prepared` receives the deduplicated plans + position index
+  /// for the range.
   std::shared_ptr<const Epoch> PublishAndPrepare(
       std::span<const convex::CmQuery> queries, size_t begin, size_t end,
       ShardExecutor::PrepareResult* prepared);
+
+  /// Registry handles resolved once at construction (instrument pointers
+  /// are stable for the registry's lifetime).
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* bottom_answers = nullptr;
+    obs::Counter* updates = nullptr;
+    obs::Counter* prepare_cache_hits = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* epochs = nullptr;
+    obs::Counter* reprepared = nullptr;
+    obs::Counter* cross_batch_cache_lookups = nullptr;
+    obs::Counter* cross_batch_cache_hits = nullptr;
+    obs::Gauge* threads = nullptr;
+    obs::Gauge* shards = nullptr;
+    obs::Gauge* mw_update_ms = nullptr;
+    obs::Gauge* mw_updates = nullptr;
+    obs::Histogram* batch_latency_ms = nullptr;
+    obs::Histogram* batch_queries_per_sec = nullptr;
+  };
+  /// Labeled per-analyst counter handles, cached writer-locally so the
+  /// registry mutex is taken once per analyst, not once per query.
+  struct AnalystHandles {
+    obs::Counter* queries = nullptr;
+    obs::Counter* updates = nullptr;
+    obs::Counter* errors = nullptr;
+  };
+  AnalystHandles& HandlesFor(const std::string& analyst);
 
   core::PmwCm cm_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
@@ -244,10 +302,14 @@ class PmwService {
   ShardRouter router_;
   EpochState epochs_;
   ServeStats stats_;
-  /// Published under the mutex at the end of every batch; what
-  /// stats_snapshot() returns to scraper threads.
-  mutable std::mutex snapshot_mutex_;
-  ServeStats stats_snapshot_;
+  /// Owned fallback when ServeOptions::registry is null; registry_
+  /// always points at the live one.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  Instruments m_;
+  /// Writer-local: only the serving thread touches the handle cache.
+  std::map<std::string, AnalystHandles> analyst_handles_;
+  bool record_spans_ = true;
   PlanCacheHook* plan_cache_ = nullptr;  // not owned
 };
 

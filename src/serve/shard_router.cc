@@ -4,15 +4,36 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/timer.h"
 
 namespace pmw {
 namespace serve {
 
+void ShardRouter::ResetWindow(int num_shards) {
+  PMW_CHECK_GE(num_shards, 0);
+  window_us_.assign(static_cast<size_t>(num_shards), 0);
+}
+
 void ShardRouter::Run(int num_shards,
                       const std::function<void(int)>& shard_fn) {
   PMW_CHECK_GE(num_shards, 1);
+  // When a timing window is open (and sized for this fan-out), each
+  // shard closure is bracketed by a wall timer writing its own slot;
+  // otherwise the raw closure runs. Timing never reorders or gates the
+  // shard work itself.
+  const bool timed = window_us_.size() >= static_cast<size_t>(num_shards);
+  const auto run_shard = [this, &shard_fn, timed](int s) {
+    if (!timed) {
+      shard_fn(s);
+      return;
+    }
+    WallTimer timer;
+    shard_fn(s);
+    window_us_[static_cast<size_t>(s)] +=
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  };
   if (pool_ == nullptr || num_shards <= 1) {
-    for (int s = 0; s < num_shards; ++s) shard_fn(s);
+    for (int s = 0; s < num_shards; ++s) run_shard(s);
     return;
   }
   ++sections_;
@@ -22,7 +43,7 @@ void ShardRouter::Run(int num_shards,
     // Shards 1..K-1 go to workers; shard 0 runs on the writer, which
     // would otherwise just block on the join.
     for (int s = 1; s < num_shards; ++s) {
-      pending.push_back(pool_->Submit([&shard_fn, s] { shard_fn(s); }));
+      pending.push_back(pool_->Submit([&run_shard, s] { run_shard(s); }));
     }
   } catch (...) {
     // Submit threw (pool shutdown / allocation): in-flight shards still
@@ -32,7 +53,7 @@ void ShardRouter::Run(int num_shards,
   }
   shard_tasks_ += static_cast<long long>(pending.size());
   try {
-    shard_fn(0);
+    run_shard(0);
   } catch (...) {
     // Shard 0 threw on the writer: the worker shards still reference the
     // caller's frame — join them before unwinding.

@@ -20,7 +20,9 @@
 #ifndef PMWCM_SERVE_SHARD_ROUTER_H_
 #define PMWCM_SERVE_SHARD_ROUTER_H_
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "core/sharded_hypothesis.h"
@@ -53,10 +55,23 @@ class ShardRouter {
   long long sections() const { return sections_; }
   long long shard_tasks() const { return shard_tasks_; }
 
+  /// Opens a per-shard wall-clock window: subsequent Run calls
+  /// accumulate each shard's elapsed microseconds into a slot owned by
+  /// that shard (workers write disjoint preallocated entries — no
+  /// locking, no effect on transcript bits). Writer-thread only.
+  void ResetWindow(int num_shards);
+
+  /// Per-shard microseconds accumulated since the last ResetWindow.
+  /// Read on the writer after Run has joined — never concurrently.
+  const std::vector<uint64_t>& WindowShardUs() const { return window_us_; }
+
  private:
   ThreadPool* pool_;
   long long sections_ = 0;
   long long shard_tasks_ = 0;
+  /// Slot s is written only by the thread running shard s (inside Run,
+  /// between fan-out and join), read by the writer after the join.
+  std::vector<uint64_t> window_us_;
 };
 
 }  // namespace serve

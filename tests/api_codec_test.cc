@@ -63,6 +63,25 @@ StatsRequest RandomStatsRequest(Rng* rng) {
   return request;
 }
 
+MetricsRequest RandomMetricsRequest(Rng* rng) {
+  MetricsRequest request;
+  request.analyst_id = RandomBytes(rng, 24);
+  request.request_id = rng->NextSeed();
+  // Unknown formats must survive the wire too — the ENDPOINT rejects
+  // them (typed), the codec just carries the byte.
+  request.format = static_cast<uint8_t>(rng->UniformInt(4));
+  return request;
+}
+
+TraceRequest RandomTraceRequest(Rng* rng) {
+  TraceRequest request;
+  request.analyst_id = RandomBytes(rng, 24);
+  request.request_id = rng->NextSeed();
+  request.min_total_us = rng->Bernoulli(0.5) ? rng->NextSeed() : 0;
+  request.max_traces = static_cast<uint32_t>(rng->UniformInt(1 << 20));
+  return request;
+}
+
 double RandomDouble(Rng* rng) {
   switch (rng->UniformInt(6)) {
     case 0:
@@ -93,6 +112,10 @@ AnswerEnvelope RandomEnvelope(Rng* rng) {
   envelope.meta.shards = static_cast<uint32_t>(rng->UniformInt(64));
   envelope.meta.queue_wait_us = rng->NextSeed();
   envelope.meta.serve_us = rng->NextSeed();
+  envelope.meta.prepare_us = rng->NextSeed();
+  envelope.meta.solve_us = rng->NextSeed();
+  envelope.meta.mw_us = rng->NextSeed();
+  envelope.meta.commit_us = rng->NextSeed();
   return envelope;
 }
 
@@ -163,6 +186,10 @@ TEST(ApiCodecTest, AnswerRoundTripIsIdentity) {
     EXPECT_EQ(got.meta.shards, envelope.meta.shards);
     EXPECT_EQ(got.meta.queue_wait_us, envelope.meta.queue_wait_us);
     EXPECT_EQ(got.meta.serve_us, envelope.meta.serve_us);
+    EXPECT_EQ(got.meta.prepare_us, envelope.meta.prepare_us);
+    EXPECT_EQ(got.meta.solve_us, envelope.meta.solve_us);
+    EXPECT_EQ(got.meta.mw_us, envelope.meta.mw_us);
+    EXPECT_EQ(got.meta.commit_us, envelope.meta.commit_us);
   }
 }
 
@@ -205,6 +232,149 @@ TEST(ApiCodecTest, StatsRequestRoundTripIsIdentity) {
     EXPECT_EQ(decoded.value().analyst_id, request.analyst_id);
     EXPECT_EQ(decoded.value().request_id, request.request_id);
   }
+}
+
+TEST(ApiCodecTest, MetricsRequestRoundTripIsIdentity) {
+  Rng rng(0xC0DEC + 11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const MetricsRequest request = RandomMetricsRequest(&rng);
+    std::string wire;
+    EncodeMetricsRequest(request, &wire);
+
+    size_t frame_size = 0;
+    ASSERT_EQ(ExtractFrame(wire, &frame_size), FrameStatus::kFrame);
+    ASSERT_EQ(frame_size, wire.size());
+    ASSERT_EQ(PeekMsgType(wire), kMsgTypeMetrics);
+
+    Result<MetricsRequest> decoded = DecodeMetricsRequest(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().version, kProtocolVersion);
+    EXPECT_EQ(decoded.value().analyst_id, request.analyst_id);
+    EXPECT_EQ(decoded.value().request_id, request.request_id);
+    EXPECT_EQ(decoded.value().format, request.format);
+  }
+}
+
+TEST(ApiCodecTest, TraceRequestRoundTripIsIdentity) {
+  Rng rng(0xC0DEC + 12);
+  for (int trial = 0; trial < 500; ++trial) {
+    const TraceRequest request = RandomTraceRequest(&rng);
+    std::string wire;
+    EncodeTraceRequest(request, &wire);
+
+    size_t frame_size = 0;
+    ASSERT_EQ(ExtractFrame(wire, &frame_size), FrameStatus::kFrame);
+    ASSERT_EQ(frame_size, wire.size());
+    ASSERT_EQ(PeekMsgType(wire), kMsgTypeTrace);
+
+    Result<TraceRequest> decoded = DecodeTraceRequest(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().version, kProtocolVersion);
+    EXPECT_EQ(decoded.value().analyst_id, request.analyst_id);
+    EXPECT_EQ(decoded.value().request_id, request.request_id);
+    EXPECT_EQ(decoded.value().min_total_us, request.min_total_us);
+    EXPECT_EQ(decoded.value().max_traces, request.max_traces);
+  }
+}
+
+TEST(ApiCodecTest, MetricsAndTraceTruncationsAreTypedNeverACrash) {
+  Rng rng(0xC0DEC + 13);
+  for (int trial = 0; trial < 25; ++trial) {
+    for (const bool trace : {false, true}) {
+      std::string wire;
+      if (trace) {
+        EncodeTraceRequest(RandomTraceRequest(&rng), &wire);
+      } else {
+        EncodeMetricsRequest(RandomMetricsRequest(&rng), &wire);
+      }
+      for (size_t cut = 0; cut < wire.size(); ++cut) {
+        const std::string_view prefix(wire.data(), cut);
+        size_t frame_size = 0;
+        EXPECT_EQ(ExtractFrame(prefix, &frame_size),
+                  FrameStatus::kNeedMore);
+        if (trace) {
+          Result<TraceRequest> decoded = DecodeTraceRequest(prefix);
+          ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+          EXPECT_EQ(ClassifyStatus(decoded.status()),
+                    ErrorCode::kMalformedRequest)
+              << "cut=" << cut;
+        } else {
+          Result<MetricsRequest> decoded = DecodeMetricsRequest(prefix);
+          ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+          EXPECT_EQ(ClassifyStatus(decoded.status()),
+                    ErrorCode::kMalformedRequest)
+              << "cut=" << cut;
+        }
+      }
+    }
+  }
+}
+
+TEST(ApiCodecTest, FutureVersionMetricsAndTraceFramesAreVersionMismatch) {
+  Rng rng(0xC0DEC + 14);
+  {
+    std::string wire;
+    EncodeMetricsRequest(RandomMetricsRequest(&rng), &wire);
+    wire[6] = 99;  // version byte sits after the length + magic
+    Result<MetricsRequest> decoded = DecodeMetricsRequest(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(ClassifyStatus(decoded.status()),
+              ErrorCode::kVersionMismatch);
+  }
+  {
+    std::string wire;
+    EncodeTraceRequest(RandomTraceRequest(&rng), &wire);
+    wire[6] = 99;
+    Result<TraceRequest> decoded = DecodeTraceRequest(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(ClassifyStatus(decoded.status()),
+              ErrorCode::kVersionMismatch);
+  }
+}
+
+TEST(ApiCodecTest, PreSpanMetaTailsDecodeWithZeroSpans) {
+  // A peer from before the span breakdown emits a 54-byte meta payload
+  // (epoch..serve_us). Simulate one by chopping the 32-byte span tail
+  // off a fresh frame and re-patching the two length prefixes; the
+  // decoder must fill the missing spans with zeros, not reject.
+  Rng rng(0xC0DEC + 15);
+  AnswerEnvelope envelope = RandomEnvelope(&rng);
+  envelope.error = ErrorCode::kOk;
+  std::string wire;
+  EncodeAnswer(envelope, &wire);
+
+  constexpr size_t kSpanTail = 4 * sizeof(uint64_t);
+  constexpr size_t kNewMetaLen = 54;  // v1 baseline + shards + timing
+  // The meta field is the last one in the frame: tag, u32 length, payload.
+  const size_t meta_len_at = wire.size() - (kNewMetaLen + kSpanTail) - 4;
+  const auto patch_u32 = [&wire](size_t at, uint32_t value) {
+    char bytes[4];
+    std::memcpy(bytes, &value, sizeof(value));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    std::swap(bytes[0], bytes[3]);
+    std::swap(bytes[1], bytes[2]);
+#endif
+    wire.replace(at, 4, bytes, 4);
+  };
+  patch_u32(meta_len_at, kNewMetaLen);
+  wire.resize(wire.size() - kSpanTail);
+  patch_u32(0, static_cast<uint32_t>(wire.size() - 4));
+
+  size_t frame_size = 0;
+  ASSERT_EQ(ExtractFrame(wire, &frame_size), FrameStatus::kFrame);
+  Result<AnswerEnvelope> decoded = DecodeAnswer(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const AnswerEnvelope& got = decoded.value();
+  // Everything up to the timing split survives...
+  EXPECT_EQ(got.meta.epoch, envelope.meta.epoch);
+  EXPECT_EQ(got.meta.shards, envelope.meta.shards);
+  EXPECT_EQ(got.meta.queue_wait_us, envelope.meta.queue_wait_us);
+  EXPECT_EQ(got.meta.serve_us, envelope.meta.serve_us);
+  // ...and the absent span tail reads as "unknown", never garbage.
+  EXPECT_EQ(got.meta.prepare_us, 0u);
+  EXPECT_EQ(got.meta.solve_us, 0u);
+  EXPECT_EQ(got.meta.mw_us, 0u);
+  EXPECT_EQ(got.meta.commit_us, 0u);
 }
 
 TEST(ApiCodecTest, BatchedAndStatsTruncationsAreTypedNeverACrash) {

@@ -22,10 +22,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <future>
 #include <map>
+#include <mutex>
 #include <memory>
 #include <string>
 #include <thread>
@@ -174,9 +176,9 @@ TEST_F(ApiTest, InProcessCallsMatchSequentialMechanismBitForBit) {
   EXPECT_EQ(endpoint.service().mechanism().ledger().Report(),
             sequential.ledger().Report());
   // The verify-codec loopback really produced frames.
-  EXPECT_EQ(endpoint.codec_counters().frames_encoded.load(), 2 * 40);
-  EXPECT_EQ(endpoint.codec_counters().frames_decoded.load(), 2 * 40);
-  EXPECT_EQ(endpoint.codec_counters().decode_errors.load(), 0);
+  EXPECT_EQ(endpoint.codec_counters().frames_encoded->Value(), 2 * 40);
+  EXPECT_EQ(endpoint.codec_counters().frames_decoded->Value(), 2 * 40);
+  EXPECT_EQ(endpoint.codec_counters().decode_errors->Value(), 0);
   // And the combined stats table surfaces them.
   const std::string report = endpoint.Report();
   EXPECT_NE(report.find("enc"), std::string::npos);
@@ -272,7 +274,7 @@ TEST_F(ApiTest, CallBatchMatchesSequentialAndCoalescesFrames) {
             sequential.ledger().Report());
   // One request frame for the whole batch (the syscall the satellite
   // saves) + one answer frame per name.
-  EXPECT_EQ(endpoint.codec_counters().frames_encoded.load(),
+  EXPECT_EQ(endpoint.codec_counters().frames_encoded->Value(),
             1 + static_cast<long long>(batch.size()));
 }
 
@@ -420,13 +422,13 @@ TEST_F(ApiTest, SocketTranscriptMatchesSequentialReplayOfArrivalLog) {
             sequential.queries_answered());
 
   // Wire accounting: one decoded request and one encoded reply per call.
-  EXPECT_EQ(endpoint.codec_counters().frames_decoded.load(),
+  EXPECT_EQ(endpoint.codec_counters().frames_decoded->Value(),
             kAnalysts * kCallsPerAnalyst);
-  EXPECT_EQ(endpoint.codec_counters().frames_encoded.load(),
+  EXPECT_EQ(endpoint.codec_counters().frames_encoded->Value(),
             kAnalysts * kCallsPerAnalyst);
-  EXPECT_EQ(endpoint.codec_counters().decode_errors.load(), 0);
-  EXPECT_GT(endpoint.codec_counters().bytes_in.load(), 0);
-  EXPECT_GT(endpoint.codec_counters().bytes_out.load(), 0);
+  EXPECT_EQ(endpoint.codec_counters().decode_errors->Value(), 0);
+  EXPECT_GT(endpoint.codec_counters().bytes_in->Value(), 0);
+  EXPECT_GT(endpoint.codec_counters().bytes_out->Value(), 0);
 }
 
 TEST_F(ApiTest, BatchedCallsAndStatsWorkThroughARealSocket) {
@@ -455,7 +457,7 @@ TEST_F(ApiTest, BatchedCallsAndStatsWorkThroughARealSocket) {
     }
   }
   // One request frame carried the whole batch over the socket.
-  EXPECT_EQ(endpoint.codec_counters().frames_decoded.load(), 1);
+  EXPECT_EQ(endpoint.codec_counters().frames_decoded->Value(), 1);
 
   AnswerEnvelope stats = client.Stats();
   ASSERT_TRUE(stats.ok()) << stats.message;
@@ -463,6 +465,15 @@ TEST_F(ApiTest, BatchedCallsAndStatsWorkThroughARealSocket) {
   EXPECT_EQ(stats.meta.shards, 4u);
   EXPECT_EQ(endpoint.service().mechanism().queries_answered(),
             static_cast<long long>(batch.size()));
+
+  // Metrics and trace polls ride the same connection as answers.
+  AnswerEnvelope metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.message;
+  EXPECT_NE(metrics.message.find("pmw_serve_queries_total"),
+            std::string::npos);
+  AnswerEnvelope trace = client.Trace();
+  ASSERT_TRUE(trace.ok()) << trace.message;
+  EXPECT_NE(trace.message.find("trace "), std::string::npos);
 
   transport.Close();
   server.Shutdown();
@@ -528,7 +539,226 @@ TEST_F(ApiTest, SocketServerAnswersMalformedFramesWithTypedEnvelopes) {
   // The healthy call is the only mechanism traffic; the malformed frame
   // cost one decode error and zero privacy.
   EXPECT_EQ(endpoint.service().mechanism().queries_answered(), 1);
-  EXPECT_EQ(endpoint.codec_counters().decode_errors.load(), 1);
+  EXPECT_EQ(endpoint.codec_counters().decode_errors->Value(), 1);
+}
+
+TEST_F(ApiTest, MetricsRpcExposesTheRegistryInBothFormats) {
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.serve.num_shards = 2;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options, 41);
+  InProcessTransport transport(&endpoint, /*verify_codec=*/true);
+  Client client(&transport, "scraper");
+
+  for (int j = 0; j < 6; ++j) {
+    ASSERT_TRUE(client.Call(names_[static_cast<size_t>(j) %
+                                   names_.size()]).ok());
+  }
+  const int events = endpoint.service().mechanism().ledger().event_count();
+  const long long answered =
+      endpoint.service().mechanism().queries_answered();
+
+  // Text format: one registry spanning every layer, Prometheus-shaped.
+  AnswerEnvelope text = client.Metrics();
+  ASSERT_TRUE(text.ok()) << text.message;
+  EXPECT_NE(text.message.find("# TYPE"), std::string::npos);
+  EXPECT_NE(text.message.find("pmw_serve_queries_total"),
+            std::string::npos);
+  EXPECT_NE(text.message.find("pmw_frontend_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(text.message.find("pmw_api_frames_decoded_total"),
+            std::string::npos);
+  EXPECT_NE(text.message.find("pmw_frontend_queue_wait_us_bucket"),
+            std::string::npos);
+
+  // JSON format: same registry, machine-shaped, with histogram moments.
+  AnswerEnvelope json = client.Metrics(kMetricsFormatJson);
+  ASSERT_TRUE(json.ok()) << json.message;
+  EXPECT_NE(json.message.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.message.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.message.find("\"p99\""), std::string::npos);
+
+  // Scrapes are free: no ledger event, no k-query slot.
+  EXPECT_EQ(endpoint.service().mechanism().ledger().event_count(), events);
+  EXPECT_EQ(endpoint.service().mechanism().queries_answered(), answered);
+
+  // Unknown format and foreign version are typed rejections.
+  MetricsRequest weird;
+  weird.analyst_id = "scraper";
+  weird.request_id = 7;
+  weird.format = 9;
+  AnswerEnvelope rejected = endpoint.HandleMetrics(weird);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error, ErrorCode::kMalformedRequest);
+  EXPECT_EQ(rejected.request_id, 7u);
+  MetricsRequest alien;
+  alien.version = 77;
+  alien.request_id = 8;
+  AnswerEnvelope mismatched = endpoint.HandleMetrics(alien);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.error, ErrorCode::kVersionMismatch);
+  endpoint.Shutdown();
+}
+
+TEST_F(ApiTest, TraceRpcRendersSpanTreesAndHonorsTheDisableKnob) {
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.serve.num_shards = 2;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options, 43);
+  InProcessTransport transport(&endpoint, /*verify_codec=*/true);
+  Client client(&transport, "tracer");
+
+  for (int j = 0; j < 6; ++j) {
+    ASSERT_TRUE(client.Call(names_[static_cast<size_t>(j) %
+                                   names_.size()]).ok());
+  }
+  // min_total_us=0 keeps everything; the tree names its phases.
+  AnswerEnvelope trace = client.Trace(/*min_total_us=*/0,
+                                      /*max_traces=*/16);
+  ASSERT_TRUE(trace.ok()) << trace.message;
+  EXPECT_NE(trace.message.find("trace "), std::string::npos);
+  EXPECT_NE(trace.message.find("analyst=tracer"), std::string::npos);
+  EXPECT_NE(trace.message.find("queue"), std::string::npos);
+  EXPECT_NE(trace.message.find("commit"), std::string::npos);
+
+  // An impossible threshold filters everything out, gracefully.
+  AnswerEnvelope empty = client.Trace(/*min_total_us=*/~0ULL >> 1,
+                                      /*max_traces=*/16);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_NE(empty.message.find("(no traces over threshold)"),
+            std::string::npos);
+
+  // Version gate applies to trace frames too.
+  TraceRequest alien;
+  alien.version = 77;
+  alien.request_id = 9;
+  AnswerEnvelope mismatched = endpoint.HandleTrace(alien);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.error, ErrorCode::kVersionMismatch);
+  endpoint.Shutdown();
+
+  // A tracing-disabled endpoint still answers the poll — with a note,
+  // not an error — so dashboards degrade instead of breaking.
+  ServerOptions dark = DefaultServerOptions();
+  dark.enable_tracing = false;
+  erm::NoisyGradientOracle dark_oracle;
+  ServerEndpoint dark_endpoint(dataset_.get(), &dark_oracle, &catalog_,
+                               dark, 43);
+  InProcessTransport dark_transport(&dark_endpoint, /*verify_codec=*/true);
+  Client dark_client(&dark_transport, "tracer");
+  ASSERT_TRUE(dark_client.Call(names_[0]).ok());
+  AnswerEnvelope disabled = dark_client.Trace();
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_NE(disabled.message.find("(tracing disabled on this endpoint)"),
+            std::string::npos);
+  dark_endpoint.Shutdown();
+}
+
+TEST_F(ApiTest, ReplayStaysBitIdenticalUnderTracingAndLiveScrapers) {
+  // The observability invariant, end to end: tracing on, spans recorded,
+  // and a scraper hammering metrics/trace polls over its own connection
+  // must leave the transcript exactly where sequential replay puts it.
+  constexpr int kAnalysts = 3;
+  constexpr int kCallsPerAnalyst = 20;
+  constexpr uint64_t kSeed = 777;
+
+  erm::NoisyGradientOracle oracle;
+  ServerOptions options = DefaultServerOptions();
+  options.serve.num_threads = 2;
+  options.serve.num_shards = 2;
+  options.record_arrival_log = true;
+  options.enable_tracing = true;
+  ServerEndpoint endpoint(dataset_.get(), &oracle, &catalog_, options,
+                          kSeed);
+  const std::string path =
+      "/tmp/pmw_api_obs_" + std::to_string(::getpid()) + ".sock";
+  SocketServer server(&endpoint, path);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::mutex outcomes_mutex;
+  std::vector<ClientOutcome> outcomes;
+  std::atomic<bool> done{false};
+  std::thread scraper([&path, &done] {
+    SocketTransport transport(path);
+    ASSERT_TRUE(transport.status().ok());
+    Client client(&transport, "scraper");
+    while (!done.load(std::memory_order_relaxed)) {
+      AnswerEnvelope text = client.Metrics(kMetricsFormatText);
+      ASSERT_TRUE(text.ok()) << text.message;
+      ASSERT_FALSE(text.message.empty());
+      AnswerEnvelope json = client.Metrics(kMetricsFormatJson);
+      ASSERT_TRUE(json.ok()) << json.message;
+      AnswerEnvelope trace = client.Trace(/*min_total_us=*/0,
+                                          /*max_traces=*/8);
+      ASSERT_TRUE(trace.ok()) << trace.message;
+    }
+    transport.Close();
+  });
+  std::vector<std::thread> analysts;
+  for (int a = 0; a < kAnalysts; ++a) {
+    analysts.emplace_back([this, a, &path, &outcomes_mutex, &outcomes] {
+      SocketTransport transport(path);
+      ASSERT_TRUE(transport.status().ok());
+      Client client(&transport, "analyst-" + std::to_string(a));
+      for (int j = 0; j < kCallsPerAnalyst; ++j) {
+        const std::string& name =
+            names_[static_cast<size_t>(a * 5 + j * 3) % names_.size()];
+        ClientOutcome outcome;
+        outcome.analyst_id = client.analyst_id();
+        outcome.envelope = client.Call(name);
+        outcome.request_id = outcome.envelope.request_id;
+        std::lock_guard<std::mutex> lock(outcomes_mutex);
+        outcomes.push_back(std::move(outcome));
+      }
+      transport.Close();
+    });
+  }
+  for (std::thread& t : analysts) t.join();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  server.Shutdown();
+  endpoint.Shutdown();
+
+  const std::vector<ServerEndpoint::ArrivalRecord> arrivals =
+      endpoint.ArrivalLog();
+  ASSERT_EQ(arrivals.size(),
+            static_cast<size_t>(kAnalysts * kCallsPerAnalyst));
+
+  std::map<std::pair<std::string, uint64_t>, const ClientOutcome*> by_key;
+  for (const ClientOutcome& outcome : outcomes) {
+    by_key[{outcome.analyst_id, outcome.request_id}] = &outcome;
+  }
+  erm::NoisyGradientOracle replay_oracle;
+  core::PmwCm sequential(dataset_.get(), &replay_oracle,
+                         options.mechanism, kSeed);
+  for (size_t position = 0; position < arrivals.size(); ++position) {
+    const ServerEndpoint::ArrivalRecord& record = arrivals[position];
+    auto it = by_key.find({record.analyst_id, record.client_request_id});
+    ASSERT_NE(it, by_key.end()) << "position " << position;
+    const AnswerEnvelope& got = it->second->envelope;
+    Result<core::PmwAnswer> want =
+        sequential.AnswerQuery(*catalog_.Find(record.query_name));
+    ASSERT_EQ(got.ok(), want.ok()) << "position " << position;
+    if (!want.ok()) {
+      EXPECT_EQ(got.error, ClassifyStatus(want.status()));
+      continue;
+    }
+    ASSERT_EQ(got.answer.size(), want.value().theta.size());
+    for (size_t i = 0; i < got.answer.size(); ++i) {
+      EXPECT_EQ(got.answer[i], want.value().theta[i])
+          << "position " << position << " coord " << i;
+    }
+  }
+  EXPECT_EQ(endpoint.service().mechanism().ledger().Report(),
+            sequential.ledger().Report());
+  EXPECT_EQ(endpoint.service().mechanism().queries_answered(),
+            sequential.queries_answered());
+  // The scraper's frames decoded cleanly alongside the query traffic.
+  EXPECT_EQ(endpoint.codec_counters().decode_errors->Value(), 0);
+  // The ring saw the traffic (publication happens post-reply, so the
+  // exact count is whatever committed before Shutdown drained).
+  ASSERT_NE(endpoint.trace_recorder(), nullptr);
+  EXPECT_GT(endpoint.trace_recorder()->published(), 0u);
 }
 
 }  // namespace

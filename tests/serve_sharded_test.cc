@@ -13,10 +13,13 @@
 // the loop; the TSan CI job rebuilds this binary to keep the data-race
 // side of the argument honest.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -88,6 +91,72 @@ Transcript RunSharded(const data::Dataset& dataset,
   t.update_count = service.mechanism().update_count();
   t.queries_answered = service.mechanism().queries_answered();
   t.halted = service.mechanism().halted();
+  return t;
+}
+
+/// Like RunSharded, but with span recording toggled and — when
+/// `scrape` — a concurrent scraper thread hammering the registry
+/// exposition and the registry-backed stats snapshot the whole run.
+/// Observability must never touch the transcript, so the result must be
+/// bit-identical to every other configuration.
+Transcript RunShardedObserved(const data::Dataset& dataset,
+                              const core::PmwOptions& options, uint64_t seed,
+                              const std::vector<convex::CmQuery>& workload,
+                              int num_shards, int num_threads,
+                              size_t batch_size, bool record_spans,
+                              bool scrape) {
+  erm::NoisyGradientOracle oracle;
+  ServeOptions serve_options;
+  serve_options.num_threads = num_threads;
+  serve_options.num_shards = num_shards;
+  serve_options.record_spans = record_spans;
+  PmwService service(&dataset, &oracle, options, seed, serve_options);
+
+  std::atomic<bool> stop{false};
+  std::thread scraper;
+  if (scrape) {
+    scraper = std::thread([&service, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EXPECT_FALSE(service.registry().TextExposition().empty());
+        const ServeStats snapshot = service.stats_snapshot();
+        EXPECT_GE(snapshot.queries, 0);
+      }
+    });
+  }
+
+  Transcript t;
+  std::vector<QueryOutcome> outcomes;
+  for (size_t start = 0; start < workload.size(); start += batch_size) {
+    size_t count = std::min(batch_size, workload.size() - start);
+    std::span<const convex::CmQuery> batch(&workload[start], count);
+    std::vector<Result<convex::Vec>> results =
+        service.AnswerBatch(batch, {}, &outcomes);
+    EXPECT_EQ(outcomes.size(), count);
+    for (size_t j = 0; j < results.size(); ++j) {
+      if (!record_spans) {
+        // Spans off: every timing must be exactly zero, not "small".
+        EXPECT_EQ(outcomes[j].prepare_us, 0u);
+        EXPECT_EQ(outcomes[j].commit_us, 0u);
+        EXPECT_TRUE(outcomes[j].shard_us.empty());
+      }
+      t.answers.push_back(std::move(results[j]));
+    }
+  }
+  if (scrape) {
+    stop.store(true, std::memory_order_release);
+    scraper.join();
+  }
+  t.ledger_report = service.mechanism().ledger().Report();
+  t.update_count = service.mechanism().update_count();
+  t.queries_answered = service.mechanism().queries_answered();
+  t.halted = service.mechanism().halted();
+
+  // The registry view agrees with the writer-local counters once the
+  // writer quiesces.
+  const ServeStats snapshot = service.stats_snapshot();
+  EXPECT_EQ(snapshot.queries, service.stats().queries);
+  EXPECT_EQ(snapshot.updates, service.stats().updates);
+  EXPECT_EQ(snapshot.batches, service.stats().batches);
   return t;
 }
 
@@ -199,6 +268,61 @@ TEST_P(ServeShardedPropertyTest, HaltTranscriptsMatchUnderShards) {
                                 shards, 4, 16);
     ExpectIdentical(got, want, "halt shards=" + std::to_string(shards));
   }
+}
+
+TEST_P(ServeShardedPropertyTest, ObservabilityNeverTouchesTheTranscript) {
+  // The PR 8 invariant: span recording on/off, with a scraper thread
+  // reading the registry and the registry-backed stats snapshot the
+  // whole run, never changes answers, the ledger, or commit order.
+  const uint64_t seed = 8800 + static_cast<uint64_t>(GetParam());
+  Transcript want =
+      RunSequential(*dataset_, PracticalOptions(), seed, workload_);
+  EXPECT_GT(want.update_count, 0) << "scenario never fired an update";
+
+  for (const bool record_spans : {false, true}) {
+    for (const bool scrape : {false, true}) {
+      Transcript got = RunShardedObserved(
+          *dataset_, PracticalOptions(), seed, workload_, /*num_shards=*/4,
+          /*num_threads=*/4, /*batch_size=*/16, record_spans, scrape);
+      ExpectIdentical(got, want,
+                      std::string("spans=") + (record_spans ? "on" : "off") +
+                          " scraper=" + (scrape ? "on" : "off"));
+    }
+  }
+}
+
+TEST_P(ServeShardedPropertyTest, SpansDecomposeTheCommit) {
+  // With spans on, hard rounds report a commit that contains its solve
+  // and MW halves, and (at shards > 1) per-shard MW durations sized to
+  // the topology.
+  const uint64_t seed = 9900 + static_cast<uint64_t>(GetParam());
+  erm::NoisyGradientOracle oracle;
+  ServeOptions serve_options;
+  serve_options.num_threads = 4;
+  serve_options.num_shards = 4;
+  PmwService service(dataset_.get(), &oracle, PracticalOptions(), seed,
+                     serve_options);
+  std::vector<QueryOutcome> outcomes;
+  std::vector<Result<convex::Vec>> results =
+      service.AnswerBatch(workload_, {}, &outcomes);
+  ASSERT_EQ(outcomes.size(), workload_.size());
+  int hard_rounds = 0;
+  for (size_t j = 0; j < outcomes.size(); ++j) {
+    if (!results[j].ok()) continue;
+    const QueryOutcome& outcome = outcomes[j];
+    if (!outcome.hard_round) {
+      EXPECT_EQ(outcome.solve_us, 0u) << "soft round solved at query " << j;
+      EXPECT_TRUE(outcome.shard_us.empty());
+      continue;
+    }
+    ++hard_rounds;
+    EXPECT_GE(outcome.commit_us, outcome.solve_us + outcome.mw_us)
+        << "commit smaller than its parts at query " << j;
+    EXPECT_EQ(outcome.shard_us.size(),
+              static_cast<size_t>(service.num_shards()))
+        << "per-shard MW timings missing at query " << j;
+  }
+  EXPECT_GT(hard_rounds, 0) << "scenario never fired a hard round";
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomScenarios, ServeShardedPropertyTest,
