@@ -155,6 +155,38 @@ std::vector<ScenarioSpec> StandardScenarios() {
     scenarios.push_back(spec);
   }
 
+  // The multi-host topology: 2 shard-group workers own the 4 shards'
+  // MW phase work behind a cluster::Combiner, so every hard round pays
+  // three RPC fan-outs (reweigh / partials / normalize) over localhost
+  // TCP. Logistic data makes the early queries fire those hard rounds
+  // for real, which is what populates the combiner's replay log and the
+  // combiner-wait vs worker-compute span breakdown in the BENCH json.
+  // The SLO gate insists distribution stays an implementation detail:
+  // client latency and goodput bounds match the single-process
+  // scenarios' order of magnitude.
+  {
+    ScenarioSpec spec;
+    spec.name = "multihost";
+    spec.shards = 4;
+    spec.shard_groups = 2;
+    spec.serve_threads = 2;
+    // Tight accuracy so a healthy run of queries trip the sparse
+    // vector: the point of the scenario is distributed updates, not a
+    // cache-served steady state.
+    spec.alpha = 0.05;
+    spec.data = ScenarioSpec::DataShape::kLogistic;
+    spec.popularity = ScenarioSpec::Popularity::kZipfian;
+    spec.zipf_theta = 0.99;
+    spec.arrival = ScenarioSpec::Arrival::kClosedLoop;
+    spec.analysts = 4;
+    spec.queries_per_analyst = 96;
+    spec.seed = 606;
+    spec.slo.max_p50_ms = 500.0;
+    spec.slo.max_p99_ms = 5000.0;
+    spec.slo.min_goodput_qps = 10.0;
+    scenarios.push_back(spec);
+  }
+
   return scenarios;
 }
 

@@ -60,6 +60,15 @@ struct ScenarioSpec {
   /// Inner-solver iteration cap; 0 keeps the library default. Huge
   /// domains bound the O(|X| * dim) per-iteration solve cost with it.
   int solver_max_iters = 0;
+  /// > 0 serves multi-host: the harness connects a cluster::Combiner to
+  /// this many shard-group workers and installs it as the endpoint's
+  /// hypothesis delegate, so every MW update fans out over TCP. Workers
+  /// are in-process cluster::ShardWorker instances by default; the
+  /// PMW_MULTIHOST_WORKERS env var ("host:port,host:port", one entry per
+  /// group) points the combiner at external pmw_shard_worker processes
+  /// instead (the nightly CI topology). Requires shards > 1 and the
+  /// dense backend; transcripts stay bit-identical to single-process.
+  int shard_groups = 0;
 
   // -- Mechanism -----------------------------------------------------
   double alpha = 0.2;

@@ -93,6 +93,16 @@ AnswerEnvelope Client::Metrics(uint8_t format) {
   return transport_->SendMetrics(std::move(request)).get();
 }
 
+AnswerEnvelope Client::Hello(const std::string& auth_token) {
+  HelloRequest request;
+  request.version = kProtocolVersion;
+  request.analyst_id = analyst_id_;
+  request.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.auth_token = auth_token;
+  return transport_->SendHello(std::move(request)).get();
+}
+
 AnswerEnvelope Client::Trace(uint64_t min_total_us, uint32_t max_traces) {
   TraceRequest request;
   request.version = kProtocolVersion;

@@ -81,6 +81,13 @@ class Client {
   /// total_us >= min_total_us, at most max_traces of them.
   AnswerEnvelope Trace(uint64_t min_total_us = 0, uint32_t max_traces = 16);
 
+  /// Hello/auth exchange: binds this client's analyst id to the
+  /// transport's CONNECTION using the shared token. Must be the first
+  /// call on a stream transport to an endpoint with auth configured —
+  /// every other call answers kAuthRequired until it succeeds. A no-op
+  /// success on open endpoints and the in-process transport.
+  AnswerEnvelope Hello(const std::string& auth_token);
+
   const std::string& analyst_id() const { return analyst_id_; }
 
  private:

@@ -8,7 +8,8 @@
 //   u8   version              protocol version of the sender
 //   u8   msg_type             1 = QueryRequest, 2 = AnswerEnvelope,
 //                             3 = StatsRequest, 4 = MetricsRequest,
-//                             5 = TraceRequest
+//                             5 = TraceRequest, 6 = HelloRequest,
+//                             7 = ShardRpcRequest
 //   field*                    tagged fields, any order
 //
 //   field := u8 tag | u32 len | len bytes
@@ -47,6 +48,8 @@ inline constexpr uint8_t kMsgTypeAnswer = 2;
 inline constexpr uint8_t kMsgTypeStats = 3;
 inline constexpr uint8_t kMsgTypeMetrics = 4;
 inline constexpr uint8_t kMsgTypeTrace = 5;
+inline constexpr uint8_t kMsgTypeHello = 6;
+inline constexpr uint8_t kMsgTypeShardRpc = 7;
 
 /// Appends one complete frame (length prefix included) to *out. A
 /// request with a non-empty query_names vector encodes the batched
@@ -57,6 +60,8 @@ void EncodeAnswer(const AnswerEnvelope& envelope, std::string* out);
 void EncodeStatsRequest(const StatsRequest& request, std::string* out);
 void EncodeMetricsRequest(const MetricsRequest& request, std::string* out);
 void EncodeTraceRequest(const TraceRequest& request, std::string* out);
+void EncodeHelloRequest(const HelloRequest& request, std::string* out);
+void EncodeShardRpcRequest(const ShardRpcRequest& request, std::string* out);
 
 /// Stream framing: is a complete frame sitting at the front of `buffer`?
 enum class FrameStatus {
@@ -77,6 +82,8 @@ Result<AnswerEnvelope> DecodeAnswer(std::string_view frame);
 Result<StatsRequest> DecodeStatsRequest(std::string_view frame);
 Result<MetricsRequest> DecodeMetricsRequest(std::string_view frame);
 Result<TraceRequest> DecodeTraceRequest(std::string_view frame);
+Result<HelloRequest> DecodeHelloRequest(std::string_view frame);
+Result<ShardRpcRequest> DecodeShardRpcRequest(std::string_view frame);
 
 }  // namespace api
 }  // namespace pmw

@@ -9,6 +9,7 @@
 #include "erm/glm_oracle.h"
 #include "erm/noisy_gradient_oracle.h"
 #include "erm/nonprivate_oracle.h"
+#include "obs/slo.h"
 
 namespace pmw {
 namespace api {
@@ -219,6 +220,18 @@ AnswerEnvelope ServerEndpoint::HandleMetrics(const MetricsRequest& request) {
     return envelope;
   }
   envelope.version = request.version;
+  // Refresh the scrape-time SLO burn gauges from the live histograms
+  // BEFORE rendering, so the exposition the scraper reads already
+  // carries them. Scrape-thread-only work: the serving writer never
+  // computes a quantile.
+  obs::UpdateSloBurnGauges(
+      &registry_,
+      {{"queue_wait", "pmw_frontend_queue_wait_us", 0.99,
+        options_.slo_queue_wait_p99_us, /*higher_is_better=*/false},
+       {"serve", "pmw_frontend_serve_us", 0.99, options_.slo_serve_p99_us,
+        /*higher_is_better=*/false},
+       {"goodput", "pmw_serve_batch_queries_per_sec", 0.5,
+        options_.slo_goodput_qps, /*higher_is_better=*/true}});
   switch (request.format) {
     case kMetricsFormatText:
       envelope.message = registry_.TextExposition();
@@ -256,6 +269,36 @@ AnswerEnvelope ServerEndpoint::HandleTrace(const TraceRequest& request) {
   envelope.message = obs::TraceRecorder::Format(traces_->SlowRequests(
       request.min_total_us, std::min<size_t>(request.max_traces,
                                              traces_->capacity())));
+  return envelope;
+}
+
+AnswerEnvelope ServerEndpoint::HandleHello(const HelloRequest& request) {
+  AnswerEnvelope envelope;
+  envelope.request_id = request.request_id;
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
+    envelope.error = ErrorCode::kVersionMismatch;
+    envelope.message =
+        "endpoint: hello request speaks protocol version " +
+        std::to_string(request.version) + "; this endpoint speaks [" +
+        std::to_string(kMinProtocolVersion) + ", " +
+        std::to_string(kProtocolVersion) + "]";
+    return envelope;
+  }
+  envelope.version = request.version;
+  if (options_.auth_token.empty()) return envelope;  // open endpoint
+  if (request.analyst_id.empty()) {
+    envelope.error = ErrorCode::kAuthRequired;
+    envelope.message = "endpoint: hello must name the analyst to bind";
+    return envelope;
+  }
+  if (request.auth_token != options_.auth_token) {
+    // Deliberately no detail about WHICH check failed beyond this: the
+    // reply is visible to whoever can reach the port.
+    envelope.error = ErrorCode::kAuthRequired;
+    envelope.message = "endpoint: hello auth token rejected";
+    return envelope;
+  }
   return envelope;
 }
 

@@ -72,6 +72,24 @@ struct ServerOptions {
   bool enable_tracing = true;
   /// Trace ring slots (slot = request id % capacity, deterministic).
   size_t trace_capacity = 256;
+  /// Shared secret of the hello/auth exchange. Empty (the default) means
+  /// the endpoint is open: hello frames succeed as no-ops and requests
+  /// need no prior hello — the trusted same-host story. Non-empty means
+  /// every socket connection must open with a hello carrying this token;
+  /// the connection handler then binds that hello's analyst id to the
+  /// connection and rejects any frame speaking as someone else with
+  /// kAuthRequired (zero privacy cost) — which is what makes
+  /// QuotaManager accounting unspoofable over TCP.
+  std::string auth_token;
+  /// Latency/goodput objectives behind the scrape-time SLO burn gauges
+  /// (obs/slo.h): each metrics scrape refreshes
+  /// pmw_slo_burn_ratio{endpoint=...} from the registry's histograms
+  /// before rendering. A 0 target disables its gauge.
+  double slo_queue_wait_p99_us = 0.0;
+  double slo_serve_p99_us = 0.0;
+  /// Median per-batch goodput target, queries/second (burn counts how
+  /// far BELOW target the observed median falls).
+  double slo_goodput_qps = 0.0;
 };
 
 /// Codec/transport traffic counters, incremented by the transports and
@@ -149,6 +167,19 @@ class ServerEndpoint {
   /// recorded span trees with total_us >= min_total_us (at most
   /// max_traces). Zero privacy cost. Thread-safe.
   AnswerEnvelope HandleTrace(const TraceRequest& request);
+
+  /// Serves the hello/auth exchange: validates the token against
+  /// options.auth_token (kAuthRequired envelope on mismatch or missing
+  /// analyst id) and answers Ok when the connection may bind the
+  /// analyst. The CONNECTION handler owns the actual binding (the
+  /// endpoint is connection-agnostic); see FrameSink::ConnState. On an
+  /// open endpoint (empty token) hello always succeeds. Thread-safe,
+  /// zero privacy cost.
+  AnswerEnvelope HandleHello(const HelloRequest& request);
+
+  /// True when options.auth_token is set: connection handlers must
+  /// demand a successful hello before serving any other frame.
+  bool requires_hello() const { return !options_.auth_token.empty(); }
 
   /// Handle + wait: for transports and tests that want the envelope now.
   AnswerEnvelope HandleSync(QueryRequest request);

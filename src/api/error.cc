@@ -31,6 +31,10 @@ const char* ErrorCodeName(ErrorCode code) {
       return "kTransportError";
     case ErrorCode::kInternal:
       return "kInternal";
+    case ErrorCode::kShardUnavailable:
+      return "kShardUnavailable";
+    case ErrorCode::kAuthRequired:
+      return "kAuthRequired";
   }
   return "kInternal";
 }
@@ -56,7 +60,10 @@ StatusCode LegacyCode(ErrorCode code) {
       return StatusCode::kNotConverged;
     case ErrorCode::kTransportError:
     case ErrorCode::kInternal:
+    case ErrorCode::kShardUnavailable:
       return StatusCode::kInternal;
+    case ErrorCode::kAuthRequired:
+      return StatusCode::kFailedPrecondition;
   }
   return StatusCode::kInternal;
 }

@@ -63,12 +63,21 @@ enum class ErrorCode : uint16_t {
   /// The transport failed (broken socket, closed channel).
   kTransportError = 10,
   kInternal = 11,
+  /// A shard-group worker is unreachable (connect refused, RPC timeout,
+  /// or a dropped connection the combiner's bounded reconnect/replay
+  /// could not recover). Zero additional privacy cost: the hypothesis is
+  /// left unchanged.
+  kShardUnavailable = 12,
+  /// The connection has not completed the hello/auth exchange the
+  /// endpoint requires, presented a bad token, or sent a request whose
+  /// analyst id differs from the one bound to the connection.
+  kAuthRequired = 13,
 };
 
 /// The highest assigned ErrorCode — THE one place to bump when appending
 /// a code (the name switch in error.cc fails to compile if forgotten;
 /// the codec and the tag parser both derive their ranges from this).
-inline constexpr ErrorCode kMaxErrorCode = ErrorCode::kInternal;
+inline constexpr ErrorCode kMaxErrorCode = ErrorCode::kAuthRequired;
 
 /// Stable name, e.g. "kQuotaExceeded" (also the canonical message tag).
 const char* ErrorCodeName(ErrorCode code);

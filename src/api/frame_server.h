@@ -1,0 +1,166 @@
+// The ONE stream-framing path of the pmw::api wire protocol, shared by
+// every deployment that puts codec frames on a byte stream: the
+// Unix-domain SocketServer, the TcpServer, their client transports, and
+// the cluster shard-group worker. Framing policy (length-prefix walk,
+// malformed-stream handling, reply write-back order) lives here once so
+// adversarial-bytes behavior cannot diverge between Unix and TCP — the
+// property tests/api_codec_test.cc pins is transport-independent.
+//
+//   FrameServer                       FrameSink (per deployment)
+//   listener fd -> accept loop ->     OnFrame(bytes, conn state) decides
+//   per-connection reader thread      what the frames MEAN: the analyst
+//   (frame walk -> sink) + writer     front door dispatches to a
+//   thread (encode replies as         ServerEndpoint; a shard-group
+//   their futures resolve)            worker serves the internal RPCs
+//
+// Per-connection identity rides in FrameSink::ConnState: the hello/auth
+// exchange binds an analyst id to the connection, and the sink enforces
+// that every later frame speaks as that analyst (endpoint.h documents
+// the policy). The state is owned by the connection's reader thread —
+// sinks never need their own locking for it.
+
+#ifndef PMWCM_API_FRAME_SERVER_H_
+#define PMWCM_API_FRAME_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/envelope.h"
+#include "common/result.h"
+
+namespace pmw {
+namespace api {
+
+// --- low-level stream helpers (shared with the client transports) ---------
+
+/// send(2) until done; false on any unrecoverable error. MSG_NOSIGNAL:
+/// a peer that hung up must surface as EPIPE, not a process-killing
+/// SIGPIPE.
+bool WriteAll(int fd, const char* data, size_t size);
+
+/// Appends up to 64 KiB to *buffer; returns bytes read (0 on orderly
+/// EOF, -1 on error).
+ssize_t ReadSome(int fd, std::string* buffer);
+
+/// Walks every complete frame at the front of `buffer`, invoking
+/// on_frame(frame_bytes) per frame; returns the bytes consumed (trim
+/// once, after the walk) and leaves the terminal framing state in
+/// *final_status (kNeedMore: wait for bytes; kMalformed: drop the
+/// connection).
+size_t WalkFrames(std::string_view buffer, FrameStatus* final_status,
+                  const std::function<void(std::string_view)>& on_frame);
+
+// --- listener / connector helpers -----------------------------------------
+
+/// Bound + listening Unix-domain socket fd (unlinks a stale path first).
+Result<int> ListenUnix(const std::string& path);
+
+/// Bound + listening TCP socket fd on `host` (IPv4 dotted-quad; no DNS —
+/// cluster topology is explicit addresses). Port 0 selects an ephemeral
+/// port; *bound_port receives the actual one either way.
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port);
+
+/// Connected stream fds, same address conventions.
+Result<int> ConnectUnix(const std::string& path);
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+// --- the shared frame server ----------------------------------------------
+
+/// What a FrameServer deployment does with decoded-enough frames.
+/// OnFrame runs on the connection's reader thread; replies it pushes are
+/// written back in FIFO order as their futures resolve.
+class FrameSink {
+ public:
+  /// Connection-scoped identity state, owned by the reader thread.
+  struct ConnState {
+    /// True once a hello frame was accepted on this connection.
+    bool hello_ok = false;
+    /// The analyst id the hello bound; every later frame must match.
+    std::string bound_analyst;
+  };
+
+  virtual ~FrameSink() = default;
+
+  /// Handles one complete frame; pushes zero or more reply futures (one
+  /// answer frame is written per future, in push order).
+  virtual void OnFrame(std::string_view frame, ConnState* conn,
+                       std::vector<std::future<AnswerEnvelope>>* replies) = 0;
+
+  /// Byte/error accounting hooks (the front door feeds CodecCounters;
+  /// the worker's defaults drop them).
+  virtual void OnBytesIn(long long bytes) { (void)bytes; }
+  virtual void OnReplyEncoded(long long bytes) { (void)bytes; }
+  virtual void OnDecodeError() {}
+};
+
+/// Accept loop + per-connection reader/writer threads over an
+/// already-listening socket. Address family agnostic: SocketServer hands
+/// it a Unix listener, TcpServer and the cluster worker a TCP one.
+class FrameServer {
+ public:
+  /// `sink` must outlive the server.
+  explicit FrameServer(FrameSink* sink);
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Takes ownership of `listen_fd` (bound + listening) and starts
+  /// accepting.
+  void Serve(int listen_fd);
+
+  /// Stops accepting, closes every connection after its pending replies
+  /// are written, joins all threads. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mutex;
+    std::condition_variable cv;
+    /// Reply futures in request-arrival order (the order the dispatcher
+    /// resolves them).
+    std::deque<std::future<AnswerEnvelope>> pending;
+    bool reader_done = false;
+    /// Live threads (reader + writer); 0 means the connection is over
+    /// and the acceptor may reap it.
+    std::atomic<int> active{2};
+    FrameSink::ConnState state;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(Connection* connection);
+  void WriteLoop(Connection* connection);
+  /// Joins, closes, and erases connections whose threads have exited —
+  /// a long-lived daemon must not accumulate one fd + two threads per
+  /// departed client until Shutdown.
+  void ReapFinished();
+
+  FrameSink* sink_;
+  int listen_fd_ = -1;
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mutex_;  // serializes Shutdown callers
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace api
+}  // namespace pmw
+
+#endif  // PMWCM_API_FRAME_SERVER_H_

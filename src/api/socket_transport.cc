@@ -1,12 +1,8 @@
 #include "api/socket_transport.h"
 
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <utility>
 
 #include "api/codec.h"
@@ -16,346 +12,251 @@ namespace pmw {
 namespace api {
 namespace {
 
-/// send(2) until done; false on any unrecoverable error. MSG_NOSIGNAL:
-/// a peer that hung up must surface as EPIPE here, not as a SIGPIPE that
-/// kills the whole serving process.
-bool WriteAll(int fd, const char* data, size_t size) {
-  size_t written = 0;
-  while (written < size) {
-    const ssize_t n =
-        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
-    if (n > 0) {
-      written += static_cast<size_t>(n);
-      continue;
+// ---------------------------------------------------------------------------
+// EndpointFrameSink — what analyst-facing frames MEAN
+// ---------------------------------------------------------------------------
+
+/// The front-door dispatch: decodes each frame, routes it to the
+/// ServerEndpoint, and enforces the hello/auth connection binding.
+/// Shared verbatim by SocketServer and TcpServer, which is the whole
+/// point — the protocol's semantics cannot depend on the address family.
+class EndpointFrameSink : public FrameSink {
+ public:
+  explicit EndpointFrameSink(ServerEndpoint* endpoint) : endpoint_(endpoint) {
+    PMW_CHECK(endpoint != nullptr);
+  }
+
+  void OnFrame(std::string_view frame, ConnState* conn,
+               std::vector<std::future<AnswerEnvelope>>* replies) override {
+    CodecCounters& counters = endpoint_->codec_counters();
+    // Typed polls (stats, metrics scrapes, trace polls) are answered
+    // synchronously — they only read counters and rings — as one normal
+    // answer frame each. A decode failure on any of them answers with a
+    // typed error envelope, same as a request.
+    const auto answer_now = [replies](AnswerEnvelope envelope) {
+      std::promise<AnswerEnvelope> ready;
+      ready.set_value(std::move(envelope));
+      replies->push_back(ready.get_future());
+    };
+    const auto poll_error = [&](const Status& status) {
+      counters.decode_errors->Add(1);
+      AnswerEnvelope envelope;
+      envelope.error = ClassifyStatus(status);
+      envelope.message = status.message();
+      return envelope;
+    };
+    // The connection-identity gate: on an endpoint with an auth token,
+    // every non-hello frame must follow an accepted hello AND speak as
+    // the analyst that hello bound — otherwise QuotaManager accounting
+    // could be spoofed by writing someone else's id into a request.
+    // Rejections cost zero privacy (they never reach the mechanism).
+    const auto auth_rejected = [&](const std::string& analyst,
+                                   uint64_t first_id, size_t count) {
+      if (!endpoint_->requires_hello()) return false;
+      std::string why;
+      if (!conn->hello_ok) {
+        why =
+            "endpoint: connection is not authenticated; send a hello "
+            "frame first";
+      } else if (conn->bound_analyst != analyst) {
+        why = "endpoint: request analyst '" + analyst +
+              "' does not match the connection's bound analyst '" +
+              conn->bound_analyst + "'";
+      } else {
+        return false;
+      }
+      for (size_t i = 0; i < count; ++i) {
+        AnswerEnvelope envelope;
+        envelope.request_id = first_id + i;
+        envelope.error = ErrorCode::kAuthRequired;
+        envelope.message = why;
+        answer_now(std::move(envelope));
+      }
+      return true;
+    };
+    const uint8_t msg_type = PeekMsgType(frame);
+    if (msg_type == kMsgTypeHello) {
+      Result<HelloRequest> hello = DecodeHelloRequest(frame);
+      if (hello.ok()) {
+        counters.frames_decoded->Add(1);
+        AnswerEnvelope envelope = endpoint_->HandleHello(hello.value());
+        if (envelope.ok()) {
+          conn->hello_ok = true;
+          conn->bound_analyst = hello.value().analyst_id;
+        }
+        answer_now(std::move(envelope));
+      } else {
+        answer_now(poll_error(hello.status()));
+      }
+    } else if (msg_type == kMsgTypeShardRpc) {
+      // The worker protocol NEVER crosses the public surface: the front
+      // door answers it with a typed error no matter how well-formed
+      // the frame is (decoding only to echo the correlation id).
+      Result<ShardRpcRequest> rpc = DecodeShardRpcRequest(frame);
+      AnswerEnvelope envelope;
+      if (rpc.ok()) {
+        counters.frames_decoded->Add(1);
+        envelope.request_id = rpc.value().request_id;
+      }
+      envelope.error = ErrorCode::kMalformedRequest;
+      envelope.message =
+          "endpoint: shard rpcs are internal to the cluster; this is the "
+          "analyst front door";
+      answer_now(std::move(envelope));
+    } else if (msg_type == kMsgTypeStats) {
+      Result<StatsRequest> stats = DecodeStatsRequest(frame);
+      if (stats.ok()) {
+        counters.frames_decoded->Add(1);
+        if (!auth_rejected(stats.value().analyst_id,
+                           stats.value().request_id, 1)) {
+          answer_now(endpoint_->HandleStats(stats.value()));
+        }
+      } else {
+        answer_now(poll_error(stats.status()));
+      }
+    } else if (msg_type == kMsgTypeMetrics) {
+      Result<MetricsRequest> metrics = DecodeMetricsRequest(frame);
+      if (metrics.ok()) {
+        counters.frames_decoded->Add(1);
+        if (!auth_rejected(metrics.value().analyst_id,
+                           metrics.value().request_id, 1)) {
+          answer_now(endpoint_->HandleMetrics(metrics.value()));
+        }
+      } else {
+        answer_now(poll_error(metrics.status()));
+      }
+    } else if (msg_type == kMsgTypeTrace) {
+      Result<TraceRequest> trace = DecodeTraceRequest(frame);
+      if (trace.ok()) {
+        counters.frames_decoded->Add(1);
+        if (!auth_rejected(trace.value().analyst_id,
+                           trace.value().request_id, 1)) {
+          answer_now(endpoint_->HandleTrace(trace.value()));
+        }
+      } else {
+        answer_now(poll_error(trace.status()));
+      }
+    } else {
+      Result<QueryRequest> request = DecodeRequest(frame);
+      if (request.ok()) {
+        counters.frames_decoded->Add(1);
+        const QueryRequest& decoded = request.value();
+        const size_t count =
+            decoded.query_names.empty() ? 1 : decoded.query_names.size();
+        if (!auth_rejected(decoded.analyst_id, decoded.request_id, count)) {
+          // HandleBatch serves single and batched frames alike: one
+          // reply future per named query, in order.
+          *replies = endpoint_->HandleBatch(std::move(request).value());
+        }
+      } else {
+        // Typed decode error (malformed fields, foreign version):
+        // answer it like any other request instead of killing the
+        // connection.
+        answer_now(poll_error(request.status()));
+      }
     }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
   }
-  return true;
-}
 
-/// Appends up to 64 KiB to *buffer; returns bytes read (0 on orderly
-/// EOF, -1 on error).
-ssize_t ReadSome(int fd, std::string* buffer) {
-  char chunk[65536];
-  for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n > 0) buffer->append(chunk, static_cast<size_t>(n));
-    return n;
+  void OnBytesIn(long long bytes) override {
+    endpoint_->codec_counters().bytes_in->Add(bytes);
   }
-}
 
-/// Walks every complete frame at the front of `buffer`, invoking
-/// on_frame(frame_bytes) per frame; returns the bytes consumed (trim
-/// once, after the walk) and leaves the terminal framing state in
-/// *final (kNeedMore: wait for bytes; kMalformed: drop the connection).
-/// Shared by the server and client read loops so framing policy cannot
-/// diverge between the two sides.
-template <typename OnFrame>
-size_t WalkFrames(std::string_view buffer, FrameStatus* final,
-                  OnFrame&& on_frame) {
-  size_t offset = 0;
-  size_t frame_size = 0;
-  while ((*final = ExtractFrame(buffer.substr(offset), &frame_size)) ==
-         FrameStatus::kFrame) {
-    on_frame(buffer.substr(offset, frame_size));
-    offset += frame_size;
+  void OnReplyEncoded(long long bytes) override {
+    CodecCounters& counters = endpoint_->codec_counters();
+    counters.frames_encoded->Add(1);
+    counters.bytes_out->Add(bytes);
   }
-  return offset;
-}
 
-Status FillAddress(const std::string& path, sockaddr_un* address) {
-  std::memset(address, 0, sizeof(*address));
-  address->sun_family = AF_UNIX;
-  if (path.empty() || path.size() >= sizeof(address->sun_path)) {
-    return MakeStatus(ErrorCode::kTransportError,
-                      "socket path empty or longer than sun_path: " + path);
+  void OnDecodeError() override {
+    endpoint_->codec_counters().decode_errors->Add(1);
   }
-  std::memcpy(address->sun_path, path.data(), path.size());
-  return Status::Ok();
+
+ private:
+  ServerEndpoint* endpoint_;
+};
+
+std::unique_ptr<FrameSink> MakeEndpointSink(ServerEndpoint* endpoint) {
+  return std::make_unique<EndpointFrameSink>(endpoint);
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// SocketServer
+// SocketServer (Unix-domain)
 // ---------------------------------------------------------------------------
 
 SocketServer::SocketServer(ServerEndpoint* endpoint, std::string socket_path)
-    : endpoint_(endpoint), path_(std::move(socket_path)) {
-  PMW_CHECK(endpoint != nullptr);
-}
+    : path_(std::move(socket_path)),
+      sink_(MakeEndpointSink(endpoint)),
+      server_(sink_.get()) {}
 
 SocketServer::~SocketServer() { Shutdown(); }
 
 Status SocketServer::Start() {
-  sockaddr_un address;
-  Status addressed = FillAddress(path_, &address);
-  if (!addressed.ok()) return addressed;
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return MakeStatus(ErrorCode::kTransportError,
-                      "socket() failed: " + std::string(strerror(errno)));
-  }
-  ::unlink(path_.c_str());  // a stale path from a crashed predecessor
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
-             sizeof(address)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    const std::string why = strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return MakeStatus(ErrorCode::kTransportError,
-                      "bind/listen on " + path_ + " failed: " + why);
-  }
+  Result<int> listener = ListenUnix(path_);
+  if (!listener.ok()) return listener.status();
   bound_ = true;
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  server_.Serve(listener.value());
   return Status::Ok();
 }
 
-void SocketServer::ReapFinished() {
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->active.load(std::memory_order_acquire) == 0) {
-      if ((*it)->reader.joinable()) (*it)->reader.join();
-      if ((*it)->writer.joinable()) (*it)->writer.join();
-      ::close((*it)->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void SocketServer::AcceptLoop() {
-  for (;;) {
-    // Poll with a timeout instead of blocking in accept(): departed
-    // connections get reaped within ~500ms even when no new client ever
-    // connects, not only on the next accept.
-    pollfd listener{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&listener, 1, /*timeout_ms=*/500);
-    ReapFinished();
-    if (shutdown_.load(std::memory_order_acquire)) return;
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    if (ready == 0) continue;  // timeout: reap-only pass
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed (shutdown) or fatal: stop accepting
-    }
-    if (shutdown_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    auto connection = std::make_unique<Connection>();
-    Connection* raw = connection.get();
-    raw->fd = fd;
-    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
-    raw->writer = std::thread([this, raw] { WriteLoop(raw); });
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections_.push_back(std::move(connection));
-  }
-}
-
-void SocketServer::ReadLoop(Connection* connection) {
-  CodecCounters& counters = endpoint_->codec_counters();
-  std::string buffer;
-  bool drop = false;
-  while (!drop) {
-    const ssize_t n = ReadSome(connection->fd, &buffer);
-    if (n <= 0) break;  // EOF or error: client hung up
-    counters.bytes_in->Add(n);
-    FrameStatus framing;
-    const size_t consumed = WalkFrames(
-        buffer, &framing, [&](std::string_view frame) {
-          std::vector<std::future<AnswerEnvelope>> replies;
-          // Typed polls (stats, metrics scrapes, trace polls) are
-          // answered synchronously — they only read counters and rings —
-          // as one normal answer frame each. A decode failure on any of
-          // them answers with a typed error envelope, same as a request.
-          const auto answer_now = [&replies](AnswerEnvelope envelope) {
-            std::promise<AnswerEnvelope> ready;
-            ready.set_value(std::move(envelope));
-            replies.push_back(ready.get_future());
-          };
-          const auto poll_error = [&](const Status& status) {
-            counters.decode_errors->Add(1);
-            AnswerEnvelope envelope;
-            envelope.error = ClassifyStatus(status);
-            envelope.message = status.message();
-            return envelope;
-          };
-          const uint8_t msg_type = PeekMsgType(frame);
-          if (msg_type == kMsgTypeStats) {
-            Result<StatsRequest> stats = DecodeStatsRequest(frame);
-            if (stats.ok()) {
-              counters.frames_decoded->Add(1);
-              answer_now(endpoint_->HandleStats(stats.value()));
-            } else {
-              answer_now(poll_error(stats.status()));
-            }
-          } else if (msg_type == kMsgTypeMetrics) {
-            Result<MetricsRequest> metrics = DecodeMetricsRequest(frame);
-            if (metrics.ok()) {
-              counters.frames_decoded->Add(1);
-              answer_now(endpoint_->HandleMetrics(metrics.value()));
-            } else {
-              answer_now(poll_error(metrics.status()));
-            }
-          } else if (msg_type == kMsgTypeTrace) {
-            Result<TraceRequest> trace = DecodeTraceRequest(frame);
-            if (trace.ok()) {
-              counters.frames_decoded->Add(1);
-              answer_now(endpoint_->HandleTrace(trace.value()));
-            } else {
-              answer_now(poll_error(trace.status()));
-            }
-          } else {
-            Result<QueryRequest> request = DecodeRequest(frame);
-            if (request.ok()) {
-              counters.frames_decoded->Add(1);
-              // HandleBatch serves single and batched frames alike: one
-              // reply future per named query, in order.
-              replies = endpoint_->HandleBatch(std::move(request).value());
-            } else {
-              // Typed decode error (malformed fields, foreign version):
-              // answer it like any other request instead of killing the
-              // connection.
-              answer_now(poll_error(request.status()));
-            }
-          }
-          {
-            std::lock_guard<std::mutex> lock(connection->mutex);
-            for (std::future<AnswerEnvelope>& reply : replies) {
-              connection->pending.push_back(std::move(reply));
-            }
-          }
-          connection->cv.notify_one();
-        });
-    buffer.erase(0, consumed);
-    if (framing == FrameStatus::kMalformed) {
-      // The length prefix itself is garbage: no way to resynchronize.
-      counters.decode_errors->Add(1);
-      drop = true;
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(connection->mutex);
-    connection->reader_done = true;
-  }
-  connection->cv.notify_one();
-  connection->active.fetch_sub(1, std::memory_order_acq_rel);
-}
-
-void SocketServer::WriteLoop(Connection* connection) {
-  CodecCounters& counters = endpoint_->codec_counters();
-  std::string wire;
-  for (;;) {
-    std::future<AnswerEnvelope> next;
-    {
-      std::unique_lock<std::mutex> lock(connection->mutex);
-      connection->cv.wait(lock, [connection] {
-        return !connection->pending.empty() || connection->reader_done;
-      });
-      if (connection->pending.empty()) break;  // reader done and drained
-      next = std::move(connection->pending.front());
-      connection->pending.pop_front();
-    }
-    AnswerEnvelope envelope = next.get();
-    wire.clear();
-    EncodeAnswer(envelope, &wire);
-    if (wire.size() > kMaxFramePayload + 4) {
-      // The peer's ExtractFrame would reject this frame and drop the
-      // whole connection; fail only the one reply instead.
-      AnswerEnvelope oversized;
-      oversized.request_id = envelope.request_id;
-      oversized.error = ErrorCode::kInternal;
-      oversized.message = "endpoint: answer exceeds the frame size limit";
-      oversized.meta = envelope.meta;
-      wire.clear();
-      EncodeAnswer(oversized, &wire);
-    }
-    counters.frames_encoded->Add(1);
-    if (!WriteAll(connection->fd, wire.data(), wire.size())) break;
-    counters.bytes_out->Add(static_cast<long long>(wire.size()));
-  }
-  // Wakes a reader still blocked in read(); the reader is always the
-  // other live thread, so `active` cannot reach 0 before it exits too.
-  ::shutdown(connection->fd, SHUT_RDWR);
-  connection->active.fetch_sub(1, std::memory_order_acq_rel);
-}
-
 void SocketServer::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
-  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
-  if (listen_fd_ >= 0) {
-    // Wake accept() and join the acceptor before closing, so the fd
-    // number cannot be reused under it.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  for (auto& connection : connections_) {
-    // Stop the reader (no new requests); the writer drains what's
-    // pending — those replies resolve as long as the endpoint is still
-    // up, which is why servers shut down before endpoints.
-    ::shutdown(connection->fd, SHUT_RD);
-    if (connection->reader.joinable()) connection->reader.join();
-    if (connection->writer.joinable()) connection->writer.join();
-    ::close(connection->fd);
-  }
-  connections_.clear();
+  server_.Shutdown();
   // Only remove the path this server actually bound: a failed Start must
   // not delete a healthy sibling's socket file.
   if (bound_) ::unlink(path_.c_str());
 }
 
 // ---------------------------------------------------------------------------
-// SocketTransport
+// TcpServer
 // ---------------------------------------------------------------------------
 
-SocketTransport::SocketTransport(const std::string& socket_path) {
-  sockaddr_un address;
-  connect_status_ = FillAddress(socket_path, &address);
-  if (!connect_status_.ok()) return;
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    connect_status_ = MakeStatus(
-        ErrorCode::kTransportError,
-        "socket() failed: " + std::string(strerror(errno)));
+TcpServer::TcpServer(ServerEndpoint* endpoint, std::string host,
+                     uint16_t port)
+    : host_(std::move(host)),
+      requested_port_(port),
+      sink_(MakeEndpointSink(endpoint)),
+      server_(sink_.get()) {}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+Status TcpServer::Start() {
+  Result<int> listener = ListenTcp(host_, requested_port_, &bound_port_);
+  if (!listener.ok()) return listener.status();
+  server_.Serve(listener.value());
+  return Status::Ok();
+}
+
+void TcpServer::Shutdown() { server_.Shutdown(); }
+
+// ---------------------------------------------------------------------------
+// StreamTransport (client trunk)
+// ---------------------------------------------------------------------------
+
+StreamTransport::~StreamTransport() { Close(); }
+
+void StreamTransport::Adopt(Result<int> connected) {
+  if (!connected.ok()) {
+    // The typed connect error every later Send resolves with — callers
+    // see a taxonomy-tagged kTransportError envelope, never a bare
+    // errno string.
+    connect_status_ = connected.status();
     return;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                sizeof(address)) != 0) {
-    connect_status_ = MakeStatus(
-        ErrorCode::kTransportError,
-        "connect(" + socket_path + ") failed: " + strerror(errno));
-    ::close(fd_);
-    fd_ = -1;
-    return;
-  }
+  fd_ = connected.value();
   reader_ = std::thread([this] { ReadLoop(); });
 }
 
-SocketTransport::~SocketTransport() { Close(); }
-
-AnswerEnvelope SocketTransport::TransportError(
-    uint64_t request_id, const std::string& why) const {
+AnswerEnvelope StreamTransport::TransportError(uint64_t request_id,
+                                               const std::string& why) const {
   AnswerEnvelope envelope;
   envelope.request_id = request_id;
   envelope.error = ErrorCode::kTransportError;
-  envelope.message = "socket transport: " + why;
+  envelope.message = "stream transport: " + why;
   return envelope;
 }
 
-std::vector<std::future<AnswerEnvelope>> SocketTransport::ShipFrame(
+std::vector<std::future<AnswerEnvelope>> StreamTransport::ShipFrame(
     const std::string& wire, uint64_t first_id, size_t count) {
   std::vector<std::future<AnswerEnvelope>> futures;
   futures.reserve(count);
@@ -392,8 +293,8 @@ std::vector<std::future<AnswerEnvelope>> SocketTransport::ShipFrame(
         // been moved into the map otherwise.
         std::promise<AnswerEnvelope> duplicate;
         futures.back() = duplicate.get_future();
-        duplicate.set_value(TransportError(first_id + i,
-                                           "duplicate in-flight request id"));
+        duplicate.set_value(
+            TransportError(first_id + i, "duplicate in-flight request id"));
       } else {
         registered.push_back(first_id + i);
       }
@@ -436,13 +337,13 @@ std::vector<std::future<AnswerEnvelope>> SocketTransport::ShipFrame(
   return futures;
 }
 
-std::future<AnswerEnvelope> SocketTransport::Send(QueryRequest request) {
+std::future<AnswerEnvelope> StreamTransport::Send(QueryRequest request) {
   std::string wire;
   EncodeRequest(request, &wire);
   return std::move(ShipFrame(wire, request.request_id, 1).front());
 }
 
-std::vector<std::future<AnswerEnvelope>> SocketTransport::SendBatch(
+std::vector<std::future<AnswerEnvelope>> StreamTransport::SendBatch(
     QueryRequest request) {
   if (request.query_names.empty()) return {};
   const size_t count = request.query_names.size();
@@ -452,27 +353,39 @@ std::vector<std::future<AnswerEnvelope>> SocketTransport::SendBatch(
   return ShipFrame(wire, request.request_id, count);
 }
 
-std::future<AnswerEnvelope> SocketTransport::SendStats(
-    StatsRequest request) {
+std::future<AnswerEnvelope> StreamTransport::SendStats(StatsRequest request) {
   std::string wire;
   EncodeStatsRequest(request, &wire);
   return std::move(ShipFrame(wire, request.request_id, 1).front());
 }
 
-std::future<AnswerEnvelope> SocketTransport::SendMetrics(
+std::future<AnswerEnvelope> StreamTransport::SendMetrics(
     MetricsRequest request) {
   std::string wire;
   EncodeMetricsRequest(request, &wire);
   return std::move(ShipFrame(wire, request.request_id, 1).front());
 }
 
-std::future<AnswerEnvelope> SocketTransport::SendTrace(TraceRequest request) {
+std::future<AnswerEnvelope> StreamTransport::SendTrace(TraceRequest request) {
   std::string wire;
   EncodeTraceRequest(request, &wire);
   return std::move(ShipFrame(wire, request.request_id, 1).front());
 }
 
-void SocketTransport::ReadLoop() {
+std::future<AnswerEnvelope> StreamTransport::SendHello(HelloRequest request) {
+  std::string wire;
+  EncodeHelloRequest(request, &wire);
+  return std::move(ShipFrame(wire, request.request_id, 1).front());
+}
+
+std::future<AnswerEnvelope> StreamTransport::SendShardRpc(
+    ShardRpcRequest request) {
+  std::string wire;
+  EncodeShardRpcRequest(request, &wire);
+  return std::move(ShipFrame(wire, request.request_id, 1).front());
+}
+
+void StreamTransport::ReadLoop() {
   std::string buffer;
   for (;;) {
     const ssize_t n = ReadSome(fd_, &buffer);
@@ -522,7 +435,7 @@ void SocketTransport::ReadLoop() {
   FailAllPending("connection closed");
 }
 
-void SocketTransport::FailAllPending(const std::string& why) {
+void StreamTransport::FailAllPending(const std::string& why) {
   std::unordered_map<uint64_t, std::promise<AnswerEnvelope>> orphans;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -533,7 +446,7 @@ void SocketTransport::FailAllPending(const std::string& why) {
   }
 }
 
-void SocketTransport::Close() {
+void StreamTransport::Close() {
   std::lock_guard<std::mutex> close_lock(close_mutex_);
   if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   // shutdown() (not close) wakes the reader and any blocked writer while
@@ -550,6 +463,18 @@ void SocketTransport::Close() {
     }
   }
   FailAllPending("channel is closed");
+}
+
+// ---------------------------------------------------------------------------
+// Concrete connectors
+// ---------------------------------------------------------------------------
+
+SocketTransport::SocketTransport(const std::string& socket_path) {
+  Adopt(ConnectUnix(socket_path));
+}
+
+TcpTransport::TcpTransport(const std::string& host, uint16_t port) {
+  Adopt(ConnectTcp(host, port));
 }
 
 }  // namespace api

@@ -1,36 +1,39 @@
-// The wire deployment of the pmw::api protocol: codec frames over a Unix
-// domain socket.
+// The wire deployments of the pmw::api protocol: codec frames over a
+// stream socket — Unix-domain for the same-host sidecar story, TCP for
+// the multi-host cluster (front door + shard-group workers).
 //
-//   SocketTransport (client)                SocketServer (server)
+//   StreamTransport (client)                FrameServer (server core)
 //   Send: encode frame, register            accept loop -> per-connection
-//   promise by request id, write            reader (decode -> endpoint
-//   under the write lock; a reader          Handle, enqueue reply future)
-//   thread decodes reply frames and         + writer (wait FIFO, encode,
-//   resolves the matching promise           write back)
+//   promise by request id, write            reader (frame walk -> sink
+//   under the write lock; a reader          dispatch, enqueue reply
+//   thread decodes reply frames and         future) + writer (wait FIFO,
+//   resolves the matching promise           encode, write back)
+//
+// Unix-domain and TCP are the SAME protocol over the same framing path
+// (api/frame_server.h): SocketServer/SocketTransport and
+// TcpServer/TcpTransport differ only in how the listener/connection fd
+// is made, so adversarial-bytes behavior — typed error envelopes for
+// decodable-but-invalid frames, connection drop only on unrecoverable
+// framing — cannot diverge between the two families.
 //
 // Many requests may be in flight on one connection in both directions:
 // the client correlates replies by the request id the envelope echoes,
 // and the server's writer waits on reply futures in arrival (FIFO)
 // order — which costs nothing, because the dispatcher resolves them in
-// exactly that order. Malformed frames never crash either side: the
-// server answers a decodable-but-invalid request with a typed error
-// envelope and drops the connection only on unrecoverable framing
-// (length prefix out of bounds); the client surfaces channel failures as
-// kTransportError envelopes.
+// exactly that order. The client surfaces channel failures as typed
+// kTransportError envelopes, never raw errno text without the taxonomy
+// tag.
 //
-// Deliberately Unix-domain only: the serving story is a local sidecar /
-// same-host daemon. A TCP listener would add nothing to the protocol and
-// a lot to the threat model.
+// TCP widens the threat model from "same host" to "whoever can reach
+// the port"; ServerOptions::auth_token + the hello frame exist for
+// exactly that step (see endpoint.h for the binding rules).
 
 #ifndef PMWCM_API_SOCKET_TRANSPORT_H_
 #define PMWCM_API_SOCKET_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +42,7 @@
 #include <vector>
 
 #include "api/endpoint.h"
+#include "api/frame_server.h"
 #include "api/transport.h"
 #include "common/result.h"
 
@@ -70,49 +74,57 @@ class SocketServer {
   const std::string& path() const { return path_; }
 
  private:
-  struct Connection {
-    int fd = -1;
-    std::thread reader;
-    std::thread writer;
-    std::mutex mutex;
-    std::condition_variable cv;
-    /// Reply futures in request-arrival order (the order the dispatcher
-    /// resolves them).
-    std::deque<std::future<AnswerEnvelope>> pending;
-    bool reader_done = false;
-    /// Live threads (reader + writer); 0 means the connection is over
-    /// and the acceptor may reap it.
-    std::atomic<int> active{2};
-  };
-
-  void AcceptLoop();
-  void ReadLoop(Connection* connection);
-  void WriteLoop(Connection* connection);
-  /// Joins, closes, and erases connections whose threads have exited —
-  /// a long-lived daemon must not accumulate one fd + two threads per
-  /// departed client until Shutdown.
-  void ReapFinished();
-
-  ServerEndpoint* endpoint_;
   const std::string path_;
-  int listen_fd_ = -1;
   /// True once Start() has bound the path (what Shutdown may unlink).
   bool bound_ = false;
-  std::atomic<bool> shutdown_{false};
-  std::mutex shutdown_mutex_;  // serializes Shutdown callers
-  std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  std::unique_ptr<FrameSink> sink_;
+  FrameServer server_;
 };
 
-/// Client-side transport over one Unix-domain connection.
-class SocketTransport : public Transport {
+/// Serves one ServerEndpoint on a TCP listener — the multi-host front
+/// door. Same dispatch, framing, and adversarial-bytes behavior as
+/// SocketServer (one shared FrameServer underneath); only the listener
+/// family differs.
+class TcpServer {
  public:
-  /// Connects immediately; check status() before first use.
-  explicit SocketTransport(const std::string& socket_path);
-  ~SocketTransport() override;
+  /// `endpoint` must outlive the server. `host` is an IPv4 dotted-quad
+  /// (127.0.0.1 for same-host clusters, 0.0.0.0 to serve a real one);
+  /// port 0 picks an ephemeral port — read it back via port().
+  TcpServer(ServerEndpoint* endpoint, std::string host, uint16_t port);
+  ~TcpServer();
 
-  /// Ok once connected; the connect error otherwise.
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Typed error on failure.
+  Status Start();
+
+  /// Stops accepting, drains and closes every connection. Idempotent.
+  void Shutdown();
+
+  const std::string& host() const { return host_; }
+  /// The actual bound port (resolves port 0); valid after Start().
+  uint16_t port() const { return bound_port_; }
+
+ private:
+  const std::string host_;
+  const uint16_t requested_port_;
+  uint16_t bound_port_ = 0;
+  std::unique_ptr<FrameSink> sink_;
+  FrameServer server_;
+};
+
+/// Client-side transport over one connected stream socket: the shared
+/// trunk of SocketTransport (Unix-domain) and TcpTransport. Owns the
+/// reader thread, the request-id correlation map, and the
+/// typed-kTransportError failure paths.
+class StreamTransport : public Transport {
+ public:
+  ~StreamTransport() override;
+
+  /// Ok once connected; the typed connect error otherwise (every later
+  /// Send on a failed channel resolves with it as a kTransportError
+  /// envelope).
   Status status() const { return connect_status_; }
 
   std::future<AnswerEnvelope> Send(QueryRequest request) override;
@@ -129,14 +141,27 @@ class SocketTransport : public Transport {
   std::future<AnswerEnvelope> SendMetrics(MetricsRequest request) override;
   std::future<AnswerEnvelope> SendTrace(TraceRequest request) override;
 
+  /// The hello/auth frame binding an analyst id to THIS connection.
+  std::future<AnswerEnvelope> SendHello(HelloRequest request) override;
+
+  /// Internal shard RPC (combiner -> worker); the reply is an ordinary
+  /// answer frame, so it shares the correlation machinery.
+  std::future<AnswerEnvelope> SendShardRpc(ShardRpcRequest request) override;
+
   void Close() override;
+
+ protected:
+  StreamTransport() = default;
+  /// Adopts the connected fd (spawning the reader thread) or records the
+  /// typed connect error. Derived constructors call exactly once.
+  void Adopt(Result<int> connected);
 
  private:
   void ReadLoop();
-  /// Registers promises for ids [first_id, first_id + count), encodes
-  /// `wire` (already framed), and writes it once; on any failure every
-  /// registered promise resolves with a typed kTransportError envelope.
-  /// The shared trunk of Send/SendBatch/SendStats.
+  /// Registers promises for ids [first_id, first_id + count), and writes
+  /// `wire` (already framed) once; on any failure every registered
+  /// promise resolves with a typed kTransportError envelope. The shared
+  /// trunk of every Send flavor.
   std::vector<std::future<AnswerEnvelope>> ShipFrame(
       const std::string& wire, uint64_t first_id, size_t count);
   /// Fails every registered promise with kTransportError.
@@ -156,6 +181,21 @@ class SocketTransport : public Transport {
   std::mutex pending_mutex_;
   std::unordered_map<uint64_t, std::promise<AnswerEnvelope>> pending_;
   std::thread reader_;  // last: started once fd_ is live
+};
+
+/// Client-side transport over one Unix-domain connection.
+class SocketTransport : public StreamTransport {
+ public:
+  /// Connects immediately; check status() before first use.
+  explicit SocketTransport(const std::string& socket_path);
+};
+
+/// Client-side transport over one TCP connection (IPv4 dotted-quad
+/// host). What the cluster combiner and remote analysts use.
+class TcpTransport : public StreamTransport {
+ public:
+  /// Connects immediately; check status() before first use.
+  TcpTransport(const std::string& host, uint16_t port);
 };
 
 }  // namespace api

@@ -2,7 +2,7 @@
 //
 // A Transport moves one QueryRequest to a ServerEndpoint and one
 // AnswerEnvelope back; api::Client supplies identity and correlation ids
-// on top. Two implementations ship:
+// on top. Three implementations ship:
 //
 //   * InProcessTransport (api/in_process_transport.h) — zero-copy
 //     loopback straight into a ServerEndpoint in this process; an
@@ -11,6 +11,10 @@
 //   * SocketTransport (api/socket_transport.h) — frames over a Unix
 //     domain socket to a SocketServer, with client-side request
 //     correlation so many calls may be in flight on one connection.
+//   * TcpTransport (api/socket_transport.h) — the same framing and
+//     correlation machinery (one shared StreamTransport trunk) over a
+//     TCP connection to a TcpServer or a cluster::ShardWorker; the
+//     multi-host path, which is why hello/auth frames exist.
 
 #ifndef PMWCM_API_TRANSPORT_H_
 #define PMWCM_API_TRANSPORT_H_
@@ -91,6 +95,32 @@ class Transport {
     envelope.request_id = request.request_id;
     envelope.error = ErrorCode::kTransportError;
     envelope.message = "transport: trace polls are not supported";
+    std::promise<AnswerEnvelope> promise;
+    promise.set_value(std::move(envelope));
+    return promise.get_future();
+  }
+
+  /// Ships the hello/auth frame that binds an analyst id to this
+  /// connection (socket transports; see envelope.h). Base
+  /// implementation: a trusted loopback has no connection to bind, so
+  /// hello succeeds as a no-op — what InProcessTransport inherits.
+  virtual std::future<AnswerEnvelope> SendHello(HelloRequest request) {
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    std::promise<AnswerEnvelope> promise;
+    promise.set_value(std::move(envelope));
+    return promise.get_future();
+  }
+
+  /// Ships one internal shard RPC (cluster combiner -> worker; the reply
+  /// payload rides the envelope's answer doubles). Base implementation:
+  /// typed kTransportError envelope — only stream transports speak the
+  /// worker protocol.
+  virtual std::future<AnswerEnvelope> SendShardRpc(ShardRpcRequest request) {
+    AnswerEnvelope envelope;
+    envelope.request_id = request.request_id;
+    envelope.error = ErrorCode::kTransportError;
+    envelope.message = "transport: shard rpcs are not supported";
     std::promise<AnswerEnvelope> promise;
     promise.set_value(std::move(envelope));
     return promise.get_future();

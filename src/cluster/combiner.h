@@ -1,0 +1,176 @@
+// cluster::Combiner — the front-door half of the distributed MW update:
+// a core::HypothesisDelegate that fans each phase out to shard-group
+// worker processes over TCP and folds nothing itself.
+//
+// Determinism. The delegate contract (core/sharded_hypothesis.h) keeps
+// BOTH cross-shard folds — the max fold and the fixed-tree normalizer
+// fold (PairwiseSum order) — on the front door's single-writer thread,
+// exactly where the in-process ShardRouter runs them. The combiner only
+// moves per-shard phase work to workers and copies their per-shard
+// outputs back into shard order; with workers performing the exact
+// in-process arithmetic (cluster/slice_host.h), transcripts are
+// bit-identical to sequential PmwCm at every (workers x shards x
+// threads x transport) configuration.
+//
+// Recovery. The combiner logs every completed update's inputs (payoff,
+// eta, global_max, total — precisely the four values the delegate
+// receives, all already public releases or derived from them). When a
+// worker times out or its connection breaks, the combiner reconnects
+// with bounded backoff, re-issues kConfigure, replays the log in order
+// (IEEE arithmetic is deterministic, so the rebuilt slice is
+// bit-identical), replays the current update's completed phases, and
+// retries the failed RPC. Only when recovery is exhausted does the
+// failure surface — as a typed kShardUnavailable error at zero privacy
+// cost, with the update unapplied (PmwCm guarantees update_count and
+// the hypothesis are unchanged). The log grows O(T * |X|) over T hard
+// rounds; bounding it (checkpoint + suffix) is recorded follow-up work,
+// not silently assumed away.
+//
+// Threading: PmwCm calls the delegate only from the single serving
+// writer, but every entry point locks anyway — stats() and a future
+// admin surface may race it, and the cost is nil at RPC granularity.
+
+#ifndef PMWCM_CLUSTER_COMBINER_H_
+#define PMWCM_CLUSTER_COMBINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/envelope.h"
+#include "api/socket_transport.h"
+#include "common/result.h"
+#include "core/sharded_hypothesis.h"
+#include "data/histogram.h"
+
+namespace pmw {
+namespace cluster {
+
+struct WorkerAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct CombinerOptions {
+  /// One shard-group worker per entry, in domain order: worker i owns a
+  /// contiguous run of shards (Connect assigns near-equal groups).
+  std::vector<WorkerAddress> workers;
+  /// Hello token presented to every worker connection.
+  std::string auth_token;
+  /// Per-RPC deadline. A worker that misses it is treated as down and
+  /// enters recovery; the RPC's late reply (if any) is discarded with
+  /// its closed connection.
+  int rpc_timeout_ms = 10000;
+  /// Reconnect attempts per recovery before kShardUnavailable surfaces.
+  int reconnect_attempts = 4;
+  /// Backoff before reconnect attempt k: reconnect_backoff_ms << (k-1).
+  int reconnect_backoff_ms = 50;
+};
+
+/// Where the distributed update spends its time, for the bench harness's
+/// tail-latency attribution: wall time the combiner spent waiting on
+/// worker replies vs the compute time workers reported for the ops
+/// themselves (the difference is transport + scheduling).
+struct CombinerStats {
+  long long rpcs = 0;
+  long long rpc_failures = 0;
+  /// Successful recoveries (reconnect + full replay).
+  long long recoveries = 0;
+  long long updates_logged = 0;
+  uint64_t combiner_wait_us = 0;
+  uint64_t worker_compute_us = 0;
+};
+
+class Combiner : public core::HypothesisDelegate {
+ public:
+  explicit Combiner(CombinerOptions options);
+  ~Combiner() override;
+
+  Combiner(const Combiner&) = delete;
+  Combiner& operator=(const Combiner&) = delete;
+
+  /// Partitions [0, domain_size) with core::PartitionDomain(domain_size,
+  /// num_shards) — num_shards must be the already-clamped power-of-two
+  /// count the front door's ShardedHypothesis settled on (its
+  /// ConfigureSharding return value) — assigns each worker a contiguous
+  /// shard group, connects, hellos, and configures them. Must succeed
+  /// before the delegate is installed; typed error otherwise.
+  Status Connect(int domain_size, int num_shards);
+
+  // --- core::HypothesisDelegate ---
+  Status Reweigh(const std::vector<double>& payoff, double eta,
+                 std::vector<double>* local_max) override;
+  Status PartialSums(double global_max,
+                     std::vector<double>* local_sum) override;
+  Status Normalize(double total) override;
+  Result<data::HistogramSupport> Snapshot(int lo, int hi) override;
+
+  /// Closes every worker channel. Idempotent.
+  void Close();
+
+  CombinerStats stats() const;
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  /// Completed (logged) updates.
+  uint64_t update_seq() const;
+
+ private:
+  struct Worker {
+    WorkerAddress address;
+    /// Owned shard indices [group_lo, group_hi) of the global partition
+    /// and the matching domain range.
+    int group_lo = 0;
+    int group_hi = 0;
+    int domain_lo = 0;
+    int domain_hi = 0;
+    std::unique_ptr<api::TcpTransport> transport;
+  };
+  /// One completed update's replayable inputs.
+  struct LoggedUpdate {
+    std::vector<double> payoff;
+    double eta = 0.0;
+    double global_max = 0.0;
+    double total = 0.0;
+  };
+
+  /// Fresh transport + hello to `worker`; typed error on failure.
+  Status OpenChannel(Worker* worker);
+  /// The kConfigure RPC for `worker` at the current partition.
+  api::ShardRpcRequest ConfigureRpc(const Worker& worker);
+  /// Ships one RPC and waits out the deadline; no recovery. A non-ok
+  /// reply envelope comes back as its (tagged) status.
+  Status RawCall(Worker* worker, api::ShardRpcRequest rpc,
+                 api::AnswerEnvelope* reply);
+  /// Reconnect with bounded backoff, reconfigure, replay the update log
+  /// and the current update's phases preceding `upto`; increments
+  /// stats_.recoveries on success.
+  Status Recover(Worker* worker, api::ShardRpcOp upto);
+  /// Configure + full log replay + current-update prefix (everything
+  /// strictly before `upto`), over an already-open channel.
+  Status ReplayInto(Worker* worker, api::ShardRpcOp upto);
+  /// Fans `rpcs` (one per worker, indexed like workers_) out in
+  /// parallel and collects every reply, running recovery + one retry on
+  /// per-worker failure. Replies are success envelopes.
+  Status FanOut(std::vector<api::ShardRpcRequest> rpcs,
+                std::vector<api::AnswerEnvelope>* replies);
+
+  const CombinerOptions options_;
+  mutable std::mutex mutex_;
+  int domain_size_ = 0;
+  std::vector<core::HypothesisShard> partition_;
+  std::vector<Worker> workers_;
+  uint64_t next_rpc_id_ = 1;
+  /// Completed updates == the next update's sequence number.
+  uint64_t update_seq_ = 0;
+  std::vector<LoggedUpdate> log_;
+  /// The in-flight update's inputs as its phases arrive; moved into
+  /// log_ when Normalize completes.
+  LoggedUpdate current_;
+  CombinerStats stats_;
+};
+
+}  // namespace cluster
+}  // namespace pmw
+
+#endif  // PMWCM_CLUSTER_COMBINER_H_

@@ -1,0 +1,159 @@
+#include "cluster/slice_host.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "api/error.h"
+#include "common/math_util.h"
+
+namespace pmw {
+namespace cluster {
+namespace {
+
+Status WorkerError(const std::string& detail) {
+  return api::MakeStatus(api::ErrorCode::kMalformedRequest,
+                         "worker: " + detail);
+}
+
+}  // namespace
+
+Status SliceHost::Configure(int domain_size, int num_shards, int group_lo,
+                            int group_hi) {
+  if (domain_size < 1) {
+    return WorkerError("configure: domain size " +
+                       std::to_string(domain_size) + " < 1");
+  }
+  std::vector<core::HypothesisShard> partition =
+      core::PartitionDomain(domain_size, num_shards);
+  if (static_cast<int>(partition.size()) != num_shards) {
+    // The combiner must send the ALREADY-clamped power-of-two count its
+    // own ShardedHypothesis settled on; a disagreement here means the
+    // two processes would disagree on every shard boundary.
+    return WorkerError("configure: num_shards " +
+                       std::to_string(num_shards) + " is not the " +
+                       std::to_string(partition.size()) +
+                       "-shard partition PartitionDomain produces");
+  }
+  if (group_lo < 0 || group_hi <= group_lo ||
+      group_hi > static_cast<int>(partition.size())) {
+    return WorkerError("configure: shard group [" +
+                       std::to_string(group_lo) + ", " +
+                       std::to_string(group_hi) + ") out of bounds for " +
+                       std::to_string(partition.size()) + " shards");
+  }
+  group_lo_ = group_lo;
+  group_hi_ = group_hi;
+  shards_.assign(partition.begin() + group_lo, partition.begin() + group_hi);
+  base_ = shards_.front().lo;
+  end_ = shards_.back().hi;
+  // The uniform start state D_hat_1, exactly as ShardedHypothesis's
+  // constructor writes it: 1.0 / size for every element.
+  const double uniform = 1.0 / static_cast<double>(domain_size);
+  p_.assign(static_cast<size_t>(end_ - base_), uniform);
+  scratch_.assign(static_cast<size_t>(end_ - base_), 0.0);
+  updates_applied_ = 0;
+  phase_ = Phase::kIdle;
+  return Status::Ok();
+}
+
+Status SliceHost::Reweigh(uint64_t update_seq,
+                          const std::vector<double>& payoff, double eta,
+                          std::vector<double>* local_max) {
+  if (!configured()) return WorkerError("reweigh before configure");
+  if (update_seq != updates_applied_) {
+    // A stale or future sequence number: this worker's slice is not at
+    // the state the combiner thinks it is (typically: the worker
+    // restarted and lost everything past configure). The typed rejection
+    // is what triggers the combiner's replay.
+    return WorkerError("reweigh: update seq " + std::to_string(update_seq) +
+                       " does not match applied count " +
+                       std::to_string(updates_applied_));
+  }
+  if (payoff.size() != static_cast<size_t>(end_ - base_)) {
+    return WorkerError("reweigh: payoff slice has " +
+                       std::to_string(payoff.size()) + " entries, owned " +
+                       "range has " + std::to_string(end_ - base_));
+  }
+  local_max->clear();
+  local_max->reserve(shards_.size());
+  // Phase 1 of DenseMultiplicativeUpdate over the owned shards, at
+  // slice-local offsets: same values, same order, same arithmetic.
+  for (const core::HypothesisShard& shard : shards_) {
+    double shard_max = -std::numeric_limits<double>::infinity();
+    for (int i = shard.lo; i < shard.hi; ++i) {
+      const size_t j = static_cast<size_t>(i - base_);
+      scratch_[j] = SafeLog(p_[j]) + eta * payoff[j];
+      shard_max = std::max(shard_max, scratch_[j]);
+    }
+    local_max->push_back(shard_max);
+  }
+  phase_ = Phase::kReweighed;
+  return Status::Ok();
+}
+
+Status SliceHost::Partials(uint64_t update_seq, double global_max,
+                           std::vector<double>* local_sum) {
+  if (!configured()) return WorkerError("partials before configure");
+  if (update_seq != updates_applied_ || phase_ == Phase::kIdle) {
+    return WorkerError(
+        "partials: update seq " + std::to_string(update_seq) +
+        " is not the reweighed update (applied count " +
+        std::to_string(updates_applied_) + ")");
+  }
+  local_sum->clear();
+  local_sum->reserve(shards_.size());
+  // Phase 2: stabilize and sum each owned shard. PairwiseSum's split
+  // rule depends only on the range length, so summing at slice-local
+  // offsets yields the front door's subtree value bit-for-bit.
+  for (const core::HypothesisShard& shard : shards_) {
+    for (int i = shard.lo; i < shard.hi; ++i) {
+      const size_t j = static_cast<size_t>(i - base_);
+      scratch_[j] = std::exp(scratch_[j] - global_max);
+    }
+    local_sum->push_back(PairwiseSum(scratch_.data(),
+                                     static_cast<size_t>(shard.lo - base_),
+                                     static_cast<size_t>(shard.hi - base_)));
+  }
+  phase_ = Phase::kSummed;
+  return Status::Ok();
+}
+
+Status SliceHost::Normalize(uint64_t update_seq, double total) {
+  if (!configured()) return WorkerError("normalize before configure");
+  if (update_seq != updates_applied_ || phase_ != Phase::kSummed) {
+    return WorkerError(
+        "normalize: update seq " + std::to_string(update_seq) +
+        " is not the summed update (applied count " +
+        std::to_string(updates_applied_) + ")");
+  }
+  for (const core::HypothesisShard& shard : shards_) {
+    for (int i = shard.lo; i < shard.hi; ++i) {
+      const size_t j = static_cast<size_t>(i - base_);
+      p_[j] = scratch_[j] / total;
+    }
+  }
+  ++updates_applied_;
+  phase_ = Phase::kIdle;
+  return Status::Ok();
+}
+
+Result<data::HistogramSupport> SliceHost::Snapshot(int lo, int hi) const {
+  if (!configured()) return WorkerError("snapshot before configure");
+  if (lo < base_ || hi > end_ || lo > hi) {
+    return WorkerError("snapshot: range [" + std::to_string(lo) + ", " +
+                       std::to_string(hi) + ") outside owned [" +
+                       std::to_string(base_) + ", " + std::to_string(end_) +
+                       ")");
+  }
+  data::HistogramSupport support;
+  for (int i = lo; i < hi; ++i) {
+    const double probability = p_[static_cast<size_t>(i - base_)];
+    if (probability > 0.0) support.emplace_back(i, probability);
+  }
+  return support;
+}
+
+}  // namespace cluster
+}  // namespace pmw

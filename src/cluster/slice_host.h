@@ -1,0 +1,100 @@
+// cluster::SliceHost — the worker-side half of the distributed MW
+// update: a contiguous slice of the dense hypothesis plus the three
+// per-shard phases of ShardedHypothesis::DenseMultiplicativeUpdate,
+// executed over the owned shard group only.
+//
+// Bit-identity is the entire design. The host derives its shard ranges
+// from core::PartitionDomain — the SAME function the front door's
+// ShardedHypothesis uses — so shard boundaries agree across processes by
+// construction, and each phase performs exactly the in-process
+// arithmetic (SafeLog + eta * payoff with a left-to-right local max;
+// exp(x - global_max) and PairwiseSum over the shard range; divide by
+// total). PairwiseSum's reduction tree depends only on range LENGTH, so
+// summing the owned slice at local offsets reproduces the front-door
+// subtree values exactly. Both cross-shard folds (the max fold and the
+// fixed-tree normalizer fold) stay on the front door's single-writer
+// thread — this file never folds across shards.
+//
+// Phase sequencing doubles as crash detection: every phase carries the
+// update sequence number it belongs to, and the host rejects anything
+// out of order with a typed error. A freshly restarted (hence
+// reconfigured, seq 0) worker therefore cannot silently serve a
+// combiner that is mid-transcript — the combiner sees the rejection and
+// replays its update log to rebuild the slice (see cluster/combiner.h).
+
+#ifndef PMWCM_CLUSTER_SLICE_HOST_H_
+#define PMWCM_CLUSTER_SLICE_HOST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sharded_hypothesis.h"
+#include "data/histogram.h"
+
+namespace pmw {
+namespace cluster {
+
+class SliceHost {
+ public:
+  /// Installs the slice: the global partition is
+  /// core::PartitionDomain(domain_size, num_shards) and this host owns
+  /// shards [group_lo, group_hi) of it (a contiguous domain range).
+  /// Resets state to the uniform hypothesis at update sequence 0.
+  /// Typed kMalformedRequest error when the partition disagrees with
+  /// num_shards or the group range is empty/out of bounds.
+  Status Configure(int domain_size, int num_shards, int group_lo,
+                   int group_hi);
+
+  /// MW phase 1 over the owned shards. `payoff` is the slice covering
+  /// exactly the owned domain range, in domain order. Writes one local
+  /// max per owned shard (group size entries, shard order). Valid only
+  /// for update_seq == updates_applied() — re-issuing phase 1 of the
+  /// current update is allowed (that is how the combiner restarts a
+  /// half-applied update after recovering a DIFFERENT worker).
+  Status Reweigh(uint64_t update_seq, const std::vector<double>& payoff,
+                 double eta, std::vector<double>* local_max);
+
+  /// MW phase 2: stabilized weights and per-owned-shard subtree sums.
+  /// Requires phase 1 of the same update_seq to have run.
+  Status Partials(uint64_t update_seq, double global_max,
+                  std::vector<double>* local_sum);
+
+  /// MW phase 3: normalize in place; completes the update (increments
+  /// updates_applied). Requires phase 2 of the same update_seq.
+  Status Normalize(uint64_t update_seq, double total);
+
+  /// The strictly-positive entries of [lo, hi) — which must lie within
+  /// the owned domain range — in index order, exactly what the front
+  /// door's CompactSupport(lo, hi) would emit.
+  Result<data::HistogramSupport> Snapshot(int lo, int hi) const;
+
+  bool configured() const { return !shards_.empty(); }
+  uint64_t updates_applied() const { return updates_applied_; }
+  /// Owned domain range [base, end).
+  int base() const { return base_; }
+  int end() const { return end_; }
+  int group_size() const { return group_hi_ - group_lo_; }
+
+ private:
+  /// Last phase completed for update seq == updates_applied_.
+  enum class Phase { kIdle, kReweighed, kSummed };
+
+  /// The owned shards of the global partition (global domain indices).
+  std::vector<core::HypothesisShard> shards_;
+  int group_lo_ = 0;
+  int group_hi_ = 0;
+  /// Domain offset of the owned slice: global index i lives at
+  /// p_[i - base_].
+  int base_ = 0;
+  int end_ = 0;
+  std::vector<double> p_;
+  std::vector<double> scratch_;
+  uint64_t updates_applied_ = 0;
+  Phase phase_ = Phase::kIdle;
+};
+
+}  // namespace cluster
+}  // namespace pmw
+
+#endif  // PMWCM_CLUSTER_SLICE_HOST_H_

@@ -1,0 +1,84 @@
+// cluster::ShardWorker — one shard-group worker process of the
+// multi-host deployment: a TCP FrameServer whose sink speaks the
+// internal shard RPC protocol (api/envelope.h's ShardRpcRequest) and
+// executes it on a SliceHost.
+//
+//   front door (Combiner) --kConfigure/kReweigh/kPartials/kNormalize/
+//                           kSnapshot over TCP--> ShardWorker
+//
+// The worker owns NOTHING private: it holds a slice of the public
+// hypothesis (probabilities the mechanism is about to release anyway)
+// and the payoff vectors the front door computed. The private dataset,
+// the ledger, and both cross-shard folds stay in the front-door
+// process. That is why a worker crash is a pure availability event —
+// restarting one and replaying the update log cannot change a single
+// released bit, and tests/cluster_test.cc proves it.
+//
+// Identity: with an auth token configured, a connection must open with
+// a hello frame carrying the token before any RPC is served (the same
+// hello frame analysts use; rejections are typed kAuthRequired).
+// Analyst-protocol frames (queries, stats, metrics, traces) are always
+// answered with a typed error — the worker is not a front door.
+
+#ifndef PMWCM_CLUSTER_WORKER_H_
+#define PMWCM_CLUSTER_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/frame_server.h"
+#include "cluster/slice_host.h"
+#include "common/result.h"
+
+namespace pmw {
+namespace cluster {
+
+struct ShardWorkerOptions {
+  /// IPv4 dotted-quad to listen on (127.0.0.1 for same-host clusters).
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  uint16_t port = 0;
+  /// Non-empty: every connection must hello with this token first.
+  std::string auth_token;
+};
+
+class ShardWorker {
+ public:
+  explicit ShardWorker(ShardWorkerOptions options);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Binds, listens, and starts serving RPCs. Typed error on failure.
+  Status Start();
+
+  /// Stops accepting, drains and closes every connection. Idempotent.
+  void Shutdown();
+
+  /// The actual bound port (resolves port 0); valid after Start().
+  uint16_t port() const { return bound_port_; }
+
+  /// Updates the slice has fully applied (test observability).
+  uint64_t updates_applied() const;
+
+ private:
+  class Sink;
+
+  const ShardWorkerOptions options_;
+  /// One slice, shared by every connection (a combiner that reconnects
+  /// must see the state its predecessor connection built); the mutex
+  /// serializes RPCs across connections.
+  mutable std::mutex mutex_;
+  SliceHost slice_;
+  std::unique_ptr<api::FrameSink> sink_;
+  api::FrameServer server_;
+  uint16_t bound_port_ = 0;
+};
+
+}  // namespace cluster
+}  // namespace pmw
+
+#endif  // PMWCM_CLUSTER_WORKER_H_

@@ -107,6 +107,12 @@ int PmwCm::ConfigureSharding(int shards, ShardRunner runner,
   return actual;
 }
 
+void PmwCm::SetHypothesisDelegate(HypothesisDelegate* delegate) {
+  PMW_CHECK_MSG(queries_answered_ == 0 && update_count_ == 0,
+                "the delegate must be installed before the first query");
+  hypothesis_.SetDelegate(delegate);
+}
+
 HypothesisSnapshot PmwCm::SnapshotHypothesis() const {
   return {hypothesis_.CompactSupport(), update_count_};
 }
@@ -218,7 +224,16 @@ Result<PmwAnswer> PmwCm::AnswerPrepared(
   // reweighs plus the O(K) normalizer combine, bit-identical at any K.
   double exponent = -schedule_.eta / options_.scale;
   if (options_.flip_update_sign) exponent = -exponent;  // ablation only
-  hypothesis_.MultiplicativeUpdate(payoff, exponent);
+  const Status mw_status = hypothesis_.MultiplicativeUpdate(payoff, exponent);
+  if (!mw_status.ok()) {
+    // Only reachable with a cluster delegate whose own bounded recovery
+    // already failed: the hypothesis is unchanged (update_count() still
+    // gates plan caches correctly) but the oracle access above IS on the
+    // ledger — the caller sees a typed unavailability error, and a
+    // replayed run that never lost the worker proceeds identically up to
+    // this query.
+    return mw_status;
+  }
   ++update_count_;
   ++mw_timing_.updates;
   const double mw_ms = mw_timer.ElapsedMillis();

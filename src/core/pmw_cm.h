@@ -219,6 +219,14 @@ class PmwCm {
                         HypothesisBackend backend,
                         const SparseHypothesisOptions& sparse = {});
 
+  /// Installs a remote executor of the MW update's per-shard phases (the
+  /// cluster combiner; see core/sharded_hypothesis.h). Call after
+  /// ConfigureSharding and before the first query; requires the dense
+  /// backend. Null restores local execution. `delegate` must outlive the
+  /// mechanism. Does not change a single bit of any transcript — the
+  /// delegate contract IS the in-process arithmetic.
+  void SetHypothesisDelegate(HypothesisDelegate* delegate);
+
   HypothesisBackend hypothesis_backend() const {
     return hypothesis_.backend();
   }

@@ -71,6 +71,18 @@ uint64_t SampleSeed(uint64_t seed, uint64_t update, uint64_t shard) {
 
 }  // namespace
 
+std::vector<HypothesisShard> PartitionDomain(int size, int shards) {
+  PMW_CHECK_GE(size, 1);
+  if (shards < 1) shards = 1;
+  // Largest power of two <= min(shards, size): every shard must be a
+  // reduction-tree node (power-of-two count) and non-empty (<= size).
+  int levels = 0;
+  while ((2 << levels) <= shards && (2 << levels) <= size) ++levels;
+  std::vector<HypothesisShard> out;
+  SplitRange(0, size, levels, &out);
+  return out;
+}
+
 ShardedHypothesis::ShardedHypothesis(int size)
     : size_(size),
       p_(static_cast<size_t>(size), 1.0 / size),
@@ -106,14 +118,10 @@ void ShardedHypothesis::SetBackend(HypothesisBackend backend,
 }
 
 int ShardedHypothesis::Repartition(int shards) {
-  // Clamp below as documented (0 is a plausible "disable sharding"
-  // knob value from the public api surface, not a programming error).
-  if (shards < 1) shards = 1;
-  // Largest power of two <= min(shards, size): every shard must be a
-  // reduction-tree node (power-of-two count) and non-empty (<= size).
-  int levels = 0;
-  while ((2 << levels) <= shards && (2 << levels) <= size()) ++levels;
-
+  // The partition is fixed before a delegate takes ownership of the
+  // state: repartitioning afterwards would strand worker slices.
+  PMW_CHECK_MSG(delegate_ == nullptr,
+                "Repartition after SetDelegate is not supported");
   // Preserve sparse content across the boundary change: flatten to one
   // global sorted view (shards are in domain order, so concatenation is
   // sorted) and re-bucket after the split. Shards whose residual
@@ -161,8 +169,7 @@ int ShardedHypothesis::Repartition(int shards) {
     flat_residual = 1.0 / size_;
   }
 
-  shards_.clear();
-  SplitRange(0, size(), levels, &shards_);
+  shards_ = PartitionDomain(size(), shards);
   // FNV-1a over the partition: shard-set identity for plan caches.
   uint64_t hash = 1469598103934665603ull;
   const auto mix = [&hash](uint64_t value) {
@@ -200,6 +207,26 @@ void ShardedHypothesis::RebuildSparseShards(const std::vector<int>& touched,
   }
 }
 
+void ShardedHypothesis::SetDelegate(HypothesisDelegate* delegate) {
+  PMW_CHECK_MSG(update_count_ == 0,
+                "the delegate must be installed before the first update");
+  PMW_CHECK_MSG(backend_ == HypothesisBackend::kDense,
+                "delegated execution requires the dense backend "
+                "(cluster v1 ships probability slices)");
+  delegate_ = delegate;
+  if (delegate_ != nullptr) {
+    // State now lives with the delegate (worker slices); keeping the
+    // local arrays would be a second, silently-diverging copy.
+    p_.clear();
+    p_.shrink_to_fit();
+    scratch_.clear();
+    scratch_.shrink_to_fit();
+  } else {
+    p_.assign(static_cast<size_t>(size_), 1.0 / size_);
+    scratch_.assign(static_cast<size_t>(size_), 0.0);
+  }
+}
+
 int ShardedHypothesis::ShardOf(int i) const {
   // Shards are in domain order; find the first with hi > i.
   const auto it = std::upper_bound(
@@ -209,6 +236,12 @@ int ShardedHypothesis::ShardOf(int i) const {
 }
 
 double ShardedHypothesis::operator[](int i) const {
+  if (delegate_ != nullptr) {
+    Result<data::HistogramSupport> slice = delegate_->Snapshot(i, i + 1);
+    PMW_CHECK_MSG(slice.ok(), "delegate snapshot failed: "
+                                  << slice.status().ToString());
+    return slice.value().empty() ? 0.0 : slice.value().front().second;
+  }
   if (backend_ == HypothesisBackend::kDense) {
     return p_[static_cast<size_t>(i)];
   }
@@ -221,13 +254,16 @@ double ShardedHypothesis::operator[](int i) const {
 }
 
 const std::vector<double>& ShardedHypothesis::probabilities() const {
-  PMW_CHECK_MSG(backend_ == HypothesisBackend::kDense,
-                "probabilities() is dense-only; use operator[], "
+  PMW_CHECK_MSG(backend_ == HypothesisBackend::kDense &&
+                    delegate_ == nullptr,
+                "probabilities() is local-dense-only; use operator[], "
                 "CompactSupport, or ToHistogram");
   return p_;
 }
 
 long long ShardedHypothesis::materialized_entries() const {
+  // Delegated state is materialized in the workers, not here.
+  if (delegate_ != nullptr) return 0;
   if (backend_ == HypothesisBackend::kDense) return size_;
   long long total = 0;
   for (const SparseShardState& ss : sparse_) total += ss.touched_count();
@@ -252,6 +288,12 @@ data::HistogramSupport ShardedHypothesis::CompactSupport(int lo,
   PMW_CHECK_LE(lo, hi);
   PMW_CHECK_LE(hi, size());
   data::HistogramSupport support;
+  if (delegate_ != nullptr) {
+    Result<data::HistogramSupport> slice = delegate_->Snapshot(lo, hi);
+    PMW_CHECK_MSG(slice.ok(), "delegate snapshot failed: "
+                                  << slice.status().ToString());
+    return std::move(slice).value();
+  }
   if (backend_ == HypothesisBackend::kDense) {
     size_t support_size = 0;
     for (int i = lo; i < hi; ++i) {
@@ -294,6 +336,13 @@ data::HistogramSupport ShardedHypothesis::CompactSupport(int lo,
 }
 
 data::Histogram ShardedHypothesis::ToHistogram() const {
+  if (delegate_ != nullptr) {
+    std::vector<double> dense(static_cast<size_t>(size_), 0.0);
+    for (const auto& entry : CompactSupport()) {
+      dense[static_cast<size_t>(entry.first)] = entry.second;
+    }
+    return data::Histogram::FromWeights(dense);
+  }
   if (backend_ == HypothesisBackend::kDense) {
     return data::Histogram::FromWeights(p_);
   }
@@ -317,15 +366,48 @@ double ShardedHypothesis::CombineShardSums(int lo, int hi) const {
   return CombineShardSums(lo, mid) + CombineShardSums(mid, hi);
 }
 
-void ShardedHypothesis::MultiplicativeUpdate(
+Status ShardedHypothesis::MultiplicativeUpdate(
     const std::vector<double>& payoff, double eta) {
   PMW_CHECK_EQ(payoff.size(), static_cast<size_t>(size_));
-  if (backend_ == HypothesisBackend::kDense) {
+  if (delegate_ != nullptr) {
+    const Status status = DelegateMultiplicativeUpdate(payoff, eta);
+    if (!status.ok()) return status;
+  } else if (backend_ == HypothesisBackend::kDense) {
     DenseMultiplicativeUpdate(payoff, eta);
   } else {
     SparseMultiplicativeUpdate(payoff, eta);
   }
   ++update_count_;
+  return Status::Ok();
+}
+
+Status ShardedHypothesis::DelegateMultiplicativeUpdate(
+    const std::vector<double>& payoff, double eta) {
+  // Same three phases as DenseMultiplicativeUpdate, with the per-shard
+  // bodies executed by the delegate and BOTH combines kept here, in the
+  // same fixed order — that is what carries bit-identity across
+  // processes.
+  std::vector<double> local_max;
+  Status status = delegate_->Reweigh(payoff, eta, &local_max);
+  if (!status.ok()) return status;
+  PMW_CHECK_EQ(local_max.size(), shards_.size());
+  double global_max = -std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].local_max = local_max[s];
+    global_max = std::max(global_max, local_max[s]);
+  }
+
+  std::vector<double> local_sum;
+  status = delegate_->PartialSums(global_max, &local_sum);
+  if (!status.ok()) return status;
+  PMW_CHECK_EQ(local_sum.size(), shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].local_sum = local_sum[s];
+  }
+  const double total = CombineShardSums(0, num_shards());
+  PMW_CHECK_GT(total, 0.0);
+
+  return delegate_->Normalize(total);
 }
 
 void ShardedHypothesis::DenseMultiplicativeUpdate(

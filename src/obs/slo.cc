@@ -1,0 +1,34 @@
+#include "obs/slo.h"
+
+namespace pmw {
+namespace obs {
+
+void UpdateSloBurnGauges(Registry* registry,
+                         const std::vector<SloBurnSpec>& specs) {
+  for (const SloBurnSpec& spec : specs) {
+    if (spec.target <= 0.0) continue;
+    Gauge* gauge = registry->GetGauge(
+        Registry::LabeledName("pmw_slo_burn_ratio", "endpoint",
+                              spec.endpoint));
+    const Histogram::Snapshot snap = registry->HistogramSnap(spec.histogram);
+    if (snap.count == 0) {
+      gauge->Set(0.0);
+      continue;
+    }
+    const double observed = snap.Quantile(spec.quantile);
+    double burn = 0.0;
+    if (spec.higher_is_better) {
+      // Goodput objective: burning when the observed quantile falls
+      // BELOW the target. observed == 0 with samples present means the
+      // objective is maximally violated; saturate rather than divide.
+      burn = observed > 0.0 ? spec.target / observed
+                            : spec.target;
+    } else {
+      burn = observed / spec.target;
+    }
+    gauge->Set(burn);
+  }
+}
+
+}  // namespace obs
+}  // namespace pmw

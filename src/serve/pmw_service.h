@@ -86,6 +86,14 @@ struct ServeOptions {
   /// MW) into QueryOutcome. Pure bookkeeping — never influences answers
   /// or transcripts; off saves a few clock reads per commit.
   bool record_spans = true;
+  /// Multi-host serving: a hypothesis delegate (cluster::Combiner) that
+  /// moves the per-shard MW phases to shard-group worker processes. Not
+  /// owned; must outlive the service and already be Connect()ed with
+  /// this service's clamped shard count. Null (the default) keeps every
+  /// phase in-process. Requires num_shards > 1 and the dense backend;
+  /// transcripts stay bit-identical either way (core/sharded_hypothesis.h
+  /// keeps both cross-shard folds on the serving writer).
+  core::HypothesisDelegate* hypothesis_delegate = nullptr;
 };
 
 /// Serving counters. Latency/throughput moments use common/stats.h's

@@ -1,0 +1,76 @@
+// pmw_shard_worker — launcher for one shard-group worker process of the
+// multi-host deployment (see cluster/worker.h and README.md).
+//
+//   pmw_shard_worker [--host=127.0.0.1] [--port=0] [--auth-token=SECRET]
+//
+// Prints exactly one line
+//
+//   PMW_SHARD_WORKER_PORT=<bound port>
+//
+// to stdout once the listener is up (machine-readable: the test harness
+// and CI read the ephemeral port from it), then serves until stdin
+// reaches EOF — tying the worker's lifetime to its parent's pipe, so a
+// crashed or finished parent never leaks workers.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/worker.h"
+#include "common/result.h"
+
+namespace {
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmw::cluster::ShardWorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "host", &value)) {
+      options.host = value;
+    } else if (ParseFlag(arg, "port", &value)) {
+      options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "auth-token", &value)) {
+      options.auth_token = value;
+    } else {
+      std::fprintf(stderr,
+                   "pmw_shard_worker: unknown argument '%s'\n"
+                   "usage: pmw_shard_worker [--host=IPV4] [--port=N] "
+                   "[--auth-token=SECRET]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  pmw::cluster::ShardWorker worker(options);
+  pmw::Status started = worker.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "pmw_shard_worker: %s\n",
+                 started.message().c_str());
+    return 1;
+  }
+  std::printf("PMW_SHARD_WORKER_PORT=%u\n",
+              static_cast<unsigned>(worker.port()));
+  std::fflush(stdout);
+
+  // Block until the parent closes our stdin (or we are signalled).
+  char buffer[256];
+  while (true) {
+    const ssize_t n = read(STDIN_FILENO, buffer, sizeof(buffer));
+    if (n <= 0) break;
+  }
+  worker.Shutdown();
+  return 0;
+}
