@@ -37,9 +37,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/math_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "core/sharded_hypothesis.h"
 #include "data/binary_universe.h"
 #include "data/generators.h"
 #include "data/histogram.h"
@@ -293,6 +296,186 @@ int RunMwPhase(int gate_shards, unsigned cores, const std::string& json_dir,
   return speedup >= 2.0 ? 0 : 1;
 }
 
+// SIMD phase parameters: a domain big enough that the per-element passes
+// dominate loop overhead, enough reps that the ratio is stable on a
+// shared runner.
+constexpr int kSimdDomainBits = 18;  // |X| = 262144
+constexpr int kSimdKernelReps = 200;
+constexpr int kSimdUpdates = 30;
+
+/// Times one full pass of the vectorized reweigh/normalize inner loops
+/// (axpy+max fold, stabilizing subtract, fixed-tree sum, normalizing
+/// divide) at the current simd::Enabled() setting. The scalar log/exp
+/// passes are deliberately absent: they are identical in both builds
+/// (libm stays scalar per element), so including them would only dilute
+/// the ratio the gate is about.
+double TimeKernelLoops(const std::vector<double>& base,
+                       const std::vector<double>& src, double* sink) {
+  const size_t n = base.size();
+  std::vector<double> work = base;
+  std::vector<double> out(n);
+  WallTimer timer;
+  for (int rep = 0; rep < kSimdKernelReps; ++rep) {
+    double local_max = -std::numeric_limits<double>::infinity();
+    simd::AxpyMax(work.data(), src.data(), 0.1, n, &local_max);
+    simd::SubScalar(work.data(), local_max * 1e-6, n);
+    *sink += PairwiseSum(work.data(), 0, n);
+    simd::DivScalarTo(out.data(), work.data(), 1.0 + 1e-9, n);
+  }
+  return timer.ElapsedSeconds() * 1e3;
+}
+
+struct SimdRun {
+  double kernel_ms = 0.0;
+  double update_ms = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+/// One full measurement at a fixed simd setting: the kernel-loop pass
+/// plus kSimdUpdates real MultiplicativeUpdate calls on a fresh
+/// hypothesis (same payoffs both settings, so the final fingerprints
+/// must be bit-identical).
+SimdRun RunSimdAt(bool simd_on, const std::vector<double>& base,
+                  const std::vector<double>& src,
+                  const std::vector<std::vector<double>>& payoffs,
+                  double* sink) {
+  simd::SetEnabled(simd_on);
+  SimdRun run;
+  run.kernel_ms = TimeKernelLoops(base, src, sink);
+  core::ShardedHypothesis hypothesis(1 << kSimdDomainBits);
+  WallTimer timer;
+  for (const std::vector<double>& payoff : payoffs) {
+    const Status status = hypothesis.MultiplicativeUpdate(payoff, 0.1);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mw update failed: %s\n",
+                   status.ToString().c_str());
+      return run;
+    }
+  }
+  run.update_ms = timer.ElapsedSeconds() * 1e3;
+  run.fingerprint = hypothesis.fingerprint();
+  return run;
+}
+
+/// The SIMD on/off sweep (`--simd=on|off`): gates the vectorized
+/// reweigh+normalize inner loops at >= 1.3x (on vs off) and asserts the
+/// end-to-end MW update is bit-identical across the two paths (equal
+/// hypothesis fingerprints after identical update sequences). `gated`
+/// applies the 1.3x gate (--simd=on, the CI invocation); --simd=off
+/// records the same artifact without failing, for baseline collection.
+/// Without AVX2 the comparison would be scalar-vs-scalar, so the run
+/// SKIPs and the artifact says so instead of faking a 1.0x.
+int RunSimdPhase(bool gated, unsigned cores, const std::string& json_dir) {
+  std::printf("\nSIMD sweep (reweigh+normalize inner loops): |X|=%d, "
+              "kernel reps=%d, updates=%d, avx2=%s\n",
+              1 << kSimdDomainBits, kSimdKernelReps, kSimdUpdates,
+              simd::Available() ? "yes" : "no");
+  if (!simd::Available()) {
+    if (!json_dir.empty()) {
+      workload::JsonValue root =
+          workload::JsonValue::Object()
+              .Set("bench", workload::JsonValue::Str("mw_simd"))
+              .Set("env",
+                   workload::JsonValue::Object()
+                       .Set("cores", workload::JsonValue::Int(cores))
+                       .Set("simd_available", workload::JsonValue::Bool(false)));
+      if (!WriteBenchJson(root, json_dir, "mw_simd")) return 1;
+    }
+    std::printf("RESULT: SKIP (no AVX2: on/off would compare scalar to "
+                "itself)\n");
+    return 0;
+  }
+
+  const size_t n = static_cast<size_t>(1) << kSimdDomainBits;
+  Rng rng(2718);
+  std::vector<double> base(n), src(n);
+  for (size_t i = 0; i < n; ++i) {
+    base[i] = rng.Uniform(-20.0, 0.0);  // SafeLog(p) territory
+    src[i] = rng.Uniform(-1.0, 1.0);
+  }
+  std::vector<std::vector<double>> payoffs(kSimdUpdates,
+                                           std::vector<double>(n));
+  for (std::vector<double>& payoff : payoffs) {
+    for (double& x : payoff) x = rng.Uniform(-1.0, 1.0);
+  }
+
+  // Two interleaved rounds per setting; keep each setting's best. The
+  // interleave cancels slow drift (thermal, noisy neighbors) that a
+  // back-to-back A/A/B/B order would fold into the ratio.
+  double sink = 0.0;
+  SimdRun off = RunSimdAt(false, base, src, payoffs, &sink);
+  SimdRun on = RunSimdAt(true, base, src, payoffs, &sink);
+  const SimdRun off2 = RunSimdAt(false, base, src, payoffs, &sink);
+  const SimdRun on2 = RunSimdAt(true, base, src, payoffs, &sink);
+  off.kernel_ms = std::min(off.kernel_ms, off2.kernel_ms);
+  off.update_ms = std::min(off.update_ms, off2.update_ms);
+  on.kernel_ms = std::min(on.kernel_ms, on2.kernel_ms);
+  on.update_ms = std::min(on.update_ms, on2.update_ms);
+
+  const bool identical = off.fingerprint == on.fingerprint &&
+                         off.fingerprint == off2.fingerprint &&
+                         on.fingerprint == on2.fingerprint;
+  const double kernel_speedup =
+      on.kernel_ms > 0.0 ? off.kernel_ms / on.kernel_ms : 0.0;
+  const double update_speedup =
+      on.update_ms > 0.0 ? off.update_ms / on.update_ms : 0.0;
+
+  TablePrinter table({"simd", "kernel_ms", "mw_update_ms", "fingerprint"});
+  char fp_buf[32];
+  std::snprintf(fp_buf, sizeof(fp_buf), "%016llx",
+                static_cast<unsigned long long>(off.fingerprint));
+  table.AddRow({"off", TablePrinter::Fmt(off.kernel_ms, 2),
+                TablePrinter::Fmt(off.update_ms, 2), fp_buf});
+  std::snprintf(fp_buf, sizeof(fp_buf), "%016llx",
+                static_cast<unsigned long long>(on.fingerprint));
+  table.AddRow({"on", TablePrinter::Fmt(on.kernel_ms, 2),
+                TablePrinter::Fmt(on.update_ms, 2), fp_buf});
+  table.Print();
+  std::printf("kernel-loop speedup on vs off: %.2fx (gate: >= 1.3x); "
+              "end-to-end MW update: %.2fx (informational; scalar log/exp "
+              "dominate it)\n",
+              kernel_speedup, update_speedup);
+
+  if (!json_dir.empty()) {
+    workload::JsonValue root =
+        workload::JsonValue::Object()
+            .Set("bench", workload::JsonValue::Str("mw_simd"))
+            .Set("params",
+                 workload::JsonValue::Object()
+                     .Set("domain", workload::JsonValue::Int(
+                                        static_cast<long long>(n)))
+                     .Set("kernel_reps",
+                          workload::JsonValue::Int(kSimdKernelReps))
+                     .Set("updates", workload::JsonValue::Int(kSimdUpdates)))
+            .Set("env",
+                 workload::JsonValue::Object()
+                     .Set("cores", workload::JsonValue::Int(cores))
+                     .Set("simd_available", workload::JsonValue::Bool(true)))
+            .Set("kernel_ms_off", workload::JsonValue::Double(off.kernel_ms))
+            .Set("kernel_ms_on", workload::JsonValue::Double(on.kernel_ms))
+            .Set("mw_update_ms_off",
+                 workload::JsonValue::Double(off.update_ms))
+            .Set("mw_update_ms_on", workload::JsonValue::Double(on.update_ms))
+            .Set("mw_update_speedup",
+                 workload::JsonValue::Double(update_speedup))
+            .Set("fingerprints_match", workload::JsonValue::Bool(identical))
+            .Set("speedup_simd_on_vs_off",
+                 workload::JsonValue::Double(kernel_speedup));
+    if (!WriteBenchJson(root, json_dir, "mw_simd")) return 1;
+  }
+  if (!identical) {
+    std::printf("RESULT: FAIL (SIMD on/off hypothesis fingerprints "
+                "diverged: the paths are NOT bit-identical)\n");
+    return 1;
+  }
+  if (!gated) {
+    std::printf("RESULT: RECORDED (gate applies under --simd=on)\n");
+    return 0;
+  }
+  std::printf(kernel_speedup >= 1.3 ? "RESULT: PASS\n" : "RESULT: FAIL\n");
+  return kernel_speedup >= 1.3 ? 0 : 1;
+}
+
 int Main(const std::string& json_dir) {
   data::LabeledHypercubeUniverse universe(kDim);
   // Near-uniform data: the uniform initial hypothesis is already accurate,
@@ -387,11 +570,14 @@ int main(int argc, char** argv) {
   // plus the MW phase on BOTH hypothesis backends (dense and exact-mode
   // sparse — separate BENCH artifacts, so the nightly trajectory tracks
   // both). --backend=dense|sparse pins the MW phase to one backend.
-  // --json-dir=DIR additionally records each phase's sweep as a
+  // --simd=on|off runs only the SIMD on/off sweep (BENCH_mw_simd.json);
+  // `on` applies the >= 1.3x kernel-loop gate, `off` records without
+  // gating. --json-dir=DIR additionally records each phase's sweep as a
   // BENCH_<phase>.json artifact (the nightly perf-trajectory upload).
   int gate_shards = 0;
   std::string json_dir;
   std::string backend_flag;
+  std::string simd_flag;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       gate_shards = std::atoi(argv[i] + 9);
@@ -411,10 +597,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --backend value: %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--simd=", 7) == 0) {
+      simd_flag = argv[i] + 7;
+      if (simd_flag != "on" && simd_flag != "off") {
+        std::fprintf(stderr, "bad --simd value: %s\n", argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shards=K] [--backend=dense|sparse] "
-                   "[--json-dir=DIR]\n",
+                   "[--simd=on|off] [--json-dir=DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -423,6 +615,9 @@ int main(int argc, char** argv) {
   const pmw::core::HypothesisBackend pinned =
       backend_flag == "sparse" ? pmw::core::HypothesisBackend::kSparse
                                : pmw::core::HypothesisBackend::kDense;
+  if (!simd_flag.empty()) {
+    return pmw::RunSimdPhase(simd_flag == "on", cores, json_dir);
+  }
   if (gate_shards > 0) {
     return pmw::RunMwPhase(gate_shards, cores, json_dir, pinned);
   }

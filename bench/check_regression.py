@@ -36,7 +36,10 @@ histogram's p99 is diffed: a candidate p99 more than
 --max-p99-regression above its baseline fails the run. Counters and
 missing histograms are never compared (workloads legitimately reshape
 them); only a latency distribution that got materially worse is a
-regression.
+regression. One counter-derived ratio IS gated: the cross-batch
+plan-cache hit rate (hits/lookups) may not drop more than
+--max-hit-rate-drop absolute points below the baseline's -- the CLOCK
+cache's eviction/admission/fingerprint machinery regresses there first.
 
 Promoting a baseline: download the BENCH json artifacts from a green
 nightly run and feed them to bench/promote_baselines.py, which buckets
@@ -60,18 +63,42 @@ def metric_of(doc):
     """Returns (key, value) for the file's headline metric, or None."""
     if "goodput_qps" in doc:
         return ("goodput_qps", float(doc["goodput_qps"]))
-    for key in ("speedup_4_vs_1", "speedup_top_vs_1"):
+    for key in ("speedup_4_vs_1", "speedup_top_vs_1",
+                "speedup_simd_on_vs_off"):
         if key in doc:
             return (key, float(doc[key]))
     return None
 
 
+def plan_hit_rate(dump):
+    """Plan-cache hit rate from a metrics dump, or None below sample size.
+
+    The cross-batch plan cache (frontend/plan_cache.h) reports its
+    lookups and hits as counters; a dump with too few lookups says
+    nothing about steady-state hit rate, so it is skipped rather than
+    compared against noise.
+    """
+    counters = dump.get("counters", {})
+    lookups = float(counters.get("pmw_serve_cross_batch_lookups_total", 0))
+    hits = float(counters.get("pmw_serve_cross_batch_hits_total", 0))
+    if lookups < 50:
+        return None
+    return hits / lookups
+
+
 def compare_metrics_dumps(baseline_dir, candidate_dir, cand_cores_by_name,
-                          max_p99_regression, failures):
-    """Diffs histogram p99s between METRICS_*.json dumps.
+                          max_p99_regression, max_hit_rate_drop, failures):
+    """Diffs histogram p99s and plan-cache hit rates between METRICS dumps.
 
     `cand_cores_by_name` maps scenario name -> the cores its BENCH file
     recorded, reusing the same cores-<N>/ baseline bucketing.
+
+    The plan-cache floor: when baseline and candidate both saw enough
+    plan lookups, the candidate's hit rate may not fall more than
+    --max-hit-rate-drop absolute points below the baseline's. This is
+    the CLOCK-cache regression tripwire -- an eviction-policy or
+    fingerprint bug shows up as warm-stream lookups that stop hitting
+    long before it shows up in p99.
     """
     for path in sorted(candidate_dir.glob("METRICS_*.json")):
         scenario = path.stem[len("METRICS_"):]
@@ -83,11 +110,30 @@ def compare_metrics_dumps(baseline_dir, candidate_dir, cand_cores_by_name,
             print(f"{path.name}: no baseline metrics dump -- skipping")
             continue
         try:
-            cand_hists = load(path).get("histograms", {})
-            base_hists = load(base_path).get("histograms", {})
+            cand_dump = load(path)
+            base_dump = load(base_path)
         except (json.JSONDecodeError, OSError) as error:
             failures.append(f"{path.name}: unreadable metrics dump: {error}")
             continue
+        cand_hists = cand_dump.get("histograms", {})
+        base_hists = base_dump.get("histograms", {})
+
+        base_rate = plan_hit_rate(base_dump)
+        cand_rate = plan_hit_rate(cand_dump)
+        if base_rate is not None and cand_rate is not None:
+            floor = base_rate - max_hit_rate_drop
+            verdict = "OK"
+            if cand_rate < floor:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{path.name}: plan-cache hit rate {cand_rate:.3f} is "
+                    f"more than {max_hit_rate_drop:.2f} below baseline "
+                    f"{base_rate:.3f}"
+                )
+            print(
+                f"{path.name}: plan-cache hit rate candidate "
+                f"{cand_rate:.3f} vs baseline {base_rate:.3f} ({verdict})"
+            )
         for name, base_hist in sorted(base_hists.items()):
             cand_hist = cand_hists.get(name)
             if cand_hist is None:
@@ -126,6 +172,13 @@ def main():
         default=0.50,
         help="allowed fractional rise of a metrics-dump histogram p99 "
         "above its baseline (default 0.50; latency tails are noisy)",
+    )
+    parser.add_argument(
+        "--max-hit-rate-drop",
+        type=float,
+        default=0.10,
+        help="allowed absolute drop of the plan-cache hit rate below its "
+        "baseline (default 0.10; rates, unlike latencies, are stable)",
     )
     args = parser.parse_args()
 
@@ -211,7 +264,8 @@ def main():
         )
 
     compare_metrics_dumps(baseline_dir, candidate_dir, cand_cores_by_name,
-                          args.max_p99_regression, failures)
+                          args.max_p99_regression, args.max_hit_rate_drop,
+                          failures)
 
     candidate_names = {p.name for p in candidates}
     for cores in sorted(cores_seen, key=str):

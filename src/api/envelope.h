@@ -138,6 +138,14 @@ enum class ShardRpcOp : uint8_t {
   /// doubles are interleaved (index, value) pairs — exact for any
   /// universe this repo can hold (indices < 2^53).
   kSnapshot = 5,
+  /// Installs a checkpointed slice on a configured worker: `payoff`
+  /// carries the strictly-positive entries of the owned domain range as
+  /// interleaved (index, value) pairs (a kSnapshot answer round-tripped,
+  /// so the restored slice is byte-identical), and `update_seq` is the
+  /// sequence number the checkpoint was taken at — the worker's applied
+  /// count afterwards. Lets recovery replay only the log suffix since
+  /// the checkpoint instead of every update ever committed.
+  kRestore = 6,
 };
 
 /// One internal shard RPC (front-door combiner -> shard-group worker).

@@ -65,6 +65,7 @@ Status Combiner::Connect(int domain_size, int num_shards) {
     worker.domain_hi = partition_[static_cast<size_t>(worker.group_hi - 1)].hi;
   }
   update_seq_ = 0;
+  checkpoint_seq_ = 0;
   log_.clear();
   current_ = LoggedUpdate{};
   for (Worker& worker : workers_) {
@@ -155,6 +156,16 @@ Status Combiner::RawCall(Worker* worker, api::ShardRpcRequest rpc,
 Status Combiner::ReplayInto(Worker* worker, api::ShardRpcOp upto) {
   Status status = RawCall(worker, ConfigureRpc(*worker), nullptr);
   if (!status.ok()) return status;
+  // Fast-forward over the checkpointed prefix: restore the worker's
+  // exact slice bytes at checkpoint_seq_, then replay only the suffix.
+  if (checkpoint_seq_ > 0) {
+    api::ShardRpcRequest restore;
+    restore.op = api::ShardRpcOp::kRestore;
+    restore.update_seq = checkpoint_seq_;
+    restore.payoff = worker->checkpoint;
+    status = RawCall(worker, std::move(restore), nullptr);
+    if (!status.ok()) return status;
+  }
   const size_t slice_lo = static_cast<size_t>(worker->domain_lo);
   const size_t slice_hi = static_cast<size_t>(worker->domain_hi);
   const auto slice_of = [&](const std::vector<double>& payoff) {
@@ -182,10 +193,12 @@ Status Combiner::ReplayInto(Worker* worker, api::ShardRpcOp upto) {
     }
     return RawCall(worker, std::move(rpc), nullptr);
   };
-  // Every completed update, in commit order. Deterministic IEEE
-  // arithmetic over identical inputs rebuilds the slice bit-for-bit.
-  for (size_t seq = 0; seq < log_.size(); ++seq) {
-    const LoggedUpdate& update = log_[seq];
+  // Every logged update since the checkpoint, in commit order.
+  // Deterministic IEEE arithmetic over identical inputs rebuilds the
+  // slice bit-for-bit.
+  for (size_t i = 0; i < log_.size(); ++i) {
+    const LoggedUpdate& update = log_[i];
+    const uint64_t seq = checkpoint_seq_ + i;
     status = phase_rpc(api::ShardRpcOp::kReweigh, seq, update);
     if (!status.ok()) return status;
     status = phase_rpc(api::ShardRpcOp::kPartials, seq, update);
@@ -402,8 +415,49 @@ Status Combiner::Normalize(double total) {
   log_.push_back(std::move(current_));
   current_ = LoggedUpdate{};
   ++update_seq_;
+  MaybeCheckpoint();
   stats_.updates_logged = static_cast<long long>(log_.size());
   return Status::Ok();
+}
+
+void Combiner::MaybeCheckpoint() {
+  if (options_.checkpoint_interval <= 0 ||
+      log_.size() < static_cast<size_t>(options_.checkpoint_interval)) {
+    return;
+  }
+  // Capture every worker's slice at the current sequence into staging
+  // first; nothing is committed until all captures succeed, so a failure
+  // leaves the old checkpoint + full log intact (best-effort: the next
+  // completed update retries).
+  std::vector<std::vector<double>> staged(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    Worker& worker = workers_[w];
+    api::ShardRpcRequest rpc;
+    rpc.op = api::ShardRpcOp::kSnapshot;
+    rpc.update_seq = update_seq_;
+    rpc.snapshot_lo = static_cast<uint32_t>(worker.domain_lo);
+    rpc.snapshot_hi = static_cast<uint32_t>(worker.domain_hi);
+    api::AnswerEnvelope reply;
+    Status status = RawCall(&worker, rpc, &reply);
+    if (!status.ok()) {
+      // Same posture as Snapshot(): one recovery + retry, then give up
+      // on THIS checkpoint attempt (never on the update — it is already
+      // committed).
+      ++stats_.rpc_failures;
+      Status recovered = Recover(&worker, api::ShardRpcOp::kSnapshot);
+      if (!recovered.ok()) return;
+      status = RawCall(&worker, rpc, &reply);
+      if (!status.ok()) return;
+    }
+    if (reply.answer.size() % 2 != 0) return;
+    staged[w] = std::move(reply.answer);
+  }
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].checkpoint = std::move(staged[w]);
+  }
+  checkpoint_seq_ = update_seq_;
+  log_.clear();
+  ++stats_.checkpoints;
 }
 
 Result<data::HistogramSupport> Combiner::Snapshot(int lo, int hi) {

@@ -16,15 +16,26 @@
 // eta, global_max, total — precisely the four values the delegate
 // receives, all already public releases or derived from them). When a
 // worker times out or its connection breaks, the combiner reconnects
-// with bounded backoff, re-issues kConfigure, replays the log in order
-// (IEEE arithmetic is deterministic, so the rebuilt slice is
-// bit-identical), replays the current update's completed phases, and
-// retries the failed RPC. Only when recovery is exhausted does the
-// failure surface — as a typed kShardUnavailable error at zero privacy
-// cost, with the update unapplied (PmwCm guarantees update_count and
-// the hypothesis are unchanged). The log grows O(T * |X|) over T hard
-// rounds; bounding it (checkpoint + suffix) is recorded follow-up work,
-// not silently assumed away.
+// with bounded backoff, re-issues kConfigure, restores the latest
+// checkpoint (kRestore: the worker's exact slice bytes, captured via
+// kSnapshot), replays the log suffix in order (IEEE arithmetic is
+// deterministic, so the rebuilt slice is bit-identical), replays the
+// current update's completed phases, and retries the failed RPC. Only
+// when recovery is exhausted does the failure surface — as a typed
+// kShardUnavailable error at zero privacy cost, with the update
+// unapplied (PmwCm guarantees update_count and the hypothesis are
+// unchanged).
+//
+// Log bound. Every checkpoint_interval completed updates the combiner
+// snapshots each worker's owned slice and truncates the log prefix the
+// checkpoint covers, so recovery state is O(|X|) for the checkpoint
+// plus O(interval * |X|) for the suffix — not the O(T * |X|) of
+// replaying every update ever committed. Checkpoint restore preserves
+// bit-identity because kSnapshot round-trips the slice's exact doubles
+// and the only non-positive weight the update arithmetic can produce is
+// +0.0 (see SliceHost::Restore), and the commit is atomic: the log is
+// truncated only after every worker's capture succeeded at the same
+// sequence number.
 //
 // Threading: PmwCm calls the delegate only from the single serving
 // writer, but every entry point locks anyway — stats() and a future
@@ -67,6 +78,13 @@ struct CombinerOptions {
   int reconnect_attempts = 4;
   /// Backoff before reconnect attempt k: reconnect_backoff_ms << (k-1).
   int reconnect_backoff_ms = 50;
+  /// Snapshot-checkpoint the replay log every this many completed
+  /// updates: each worker's owned slice is captured (kSnapshot), the
+  /// log prefix it covers is discarded, and recovery restores the
+  /// checkpoint (kRestore) then replays only the suffix. Bounds the
+  /// recovery log at O(|X| + interval * |X|) instead of O(T * |X|).
+  /// <= 0 disables checkpointing (the PR-8 unbounded-log behavior).
+  int checkpoint_interval = 32;
 };
 
 /// Where the distributed update spends its time, for the bench harness's
@@ -76,9 +94,13 @@ struct CombinerOptions {
 struct CombinerStats {
   long long rpcs = 0;
   long long rpc_failures = 0;
-  /// Successful recoveries (reconnect + full replay).
+  /// Successful recoveries (reconnect + checkpoint restore + replay).
   long long recoveries = 0;
+  /// Updates currently in the replay log — the suffix since the last
+  /// checkpoint, not the lifetime total (update_seq() is that).
   long long updates_logged = 0;
+  /// Checkpoints taken (each truncates the replay log to empty).
+  long long checkpoints = 0;
   uint64_t combiner_wait_us = 0;
   uint64_t worker_compute_us = 0;
 };
@@ -125,6 +147,11 @@ class Combiner : public core::HypothesisDelegate {
     int domain_lo = 0;
     int domain_hi = 0;
     std::unique_ptr<api::TcpTransport> transport;
+    /// This worker's owned slice at checkpoint_seq_, as interleaved
+    /// (index, value) pairs ready to ship as a kRestore payload. Only
+    /// meaningful when checkpoint_seq_ > 0; committed atomically across
+    /// all workers by MaybeCheckpoint.
+    std::vector<double> checkpoint;
   };
   /// One completed update's replayable inputs.
   struct LoggedUpdate {
@@ -146,9 +173,17 @@ class Combiner : public core::HypothesisDelegate {
   /// and the current update's phases preceding `upto`; increments
   /// stats_.recoveries on success.
   Status Recover(Worker* worker, api::ShardRpcOp upto);
-  /// Configure + full log replay + current-update prefix (everything
-  /// strictly before `upto`), over an already-open channel.
+  /// Configure + checkpoint restore (when one exists) + suffix-log
+  /// replay + current-update prefix (everything strictly before `upto`),
+  /// over an already-open channel.
   Status ReplayInto(Worker* worker, api::ShardRpcOp upto);
+  /// Takes a cluster-wide checkpoint when the replay log has reached
+  /// options_.checkpoint_interval updates: snapshots every worker's
+  /// owned slice at the current sequence, and only if ALL captures
+  /// succeed commits them, advances checkpoint_seq_, and truncates the
+  /// log. Best-effort — on any failure the log is kept and the next
+  /// completed update retries. Caller holds mutex_.
+  void MaybeCheckpoint();
   /// Fans `rpcs` (one per worker, indexed like workers_) out in
   /// parallel and collects every reply, running recovery + one retry on
   /// per-worker failure. Replies are success envelopes.
@@ -163,6 +198,9 @@ class Combiner : public core::HypothesisDelegate {
   uint64_t next_rpc_id_ = 1;
   /// Completed updates == the next update's sequence number.
   uint64_t update_seq_ = 0;
+  /// Updates covered by the workers' checkpoints (0 = no checkpoint);
+  /// log_[i] is the replayable input of update checkpoint_seq_ + i.
+  uint64_t checkpoint_seq_ = 0;
   std::vector<LoggedUpdate> log_;
   /// The in-flight update's inputs as its phases arrive; moved into
   /// log_ when Normalize completes.

@@ -139,6 +139,33 @@ Status SliceHost::Normalize(uint64_t update_seq, double total) {
   return Status::Ok();
 }
 
+Status SliceHost::Restore(uint64_t update_seq,
+                          const std::vector<double>& pairs) {
+  if (!configured()) return WorkerError("restore before configure");
+  if (pairs.size() % 2 != 0) {
+    return WorkerError("restore: payload is not (index, value) pairs");
+  }
+  // Validate every index before touching p_: a half-applied restore
+  // would leave the slice in a state no replay can fix.
+  for (size_t k = 0; k < pairs.size(); k += 2) {
+    const double raw = pairs[k];
+    const int index = static_cast<int>(raw);
+    if (static_cast<double>(index) != raw || index < base_ || index >= end_) {
+      return WorkerError("restore: index " + std::to_string(raw) +
+                         " outside owned [" + std::to_string(base_) + ", " +
+                         std::to_string(end_) + ")");
+    }
+  }
+  std::fill(p_.begin(), p_.end(), 0.0);
+  for (size_t k = 0; k < pairs.size(); k += 2) {
+    p_[static_cast<size_t>(static_cast<int>(pairs[k]) - base_)] =
+        pairs[k + 1];
+  }
+  updates_applied_ = update_seq;
+  phase_ = Phase::kIdle;
+  return Status::Ok();
+}
+
 Result<data::HistogramSupport> SliceHost::Snapshot(int lo, int hi) const {
   if (!configured()) return WorkerError("snapshot before configure");
   if (lo < base_ || hi > end_ || lo > hi) {

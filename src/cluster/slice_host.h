@@ -69,6 +69,16 @@ class SliceHost {
   /// door's CompactSupport(lo, hi) would emit.
   Result<data::HistogramSupport> Snapshot(int lo, int hi) const;
 
+  /// Installs a checkpointed slice: `pairs` is interleaved (index, value)
+  /// doubles — a Snapshot answer over the whole owned range round-tripped
+  /// — and `update_seq` becomes the applied count. Entries absent from
+  /// the checkpoint are exactly +0.0 (the only non-positive value the
+  /// update arithmetic can produce: weights are quotients of exp(...)
+  /// >= 0 by a positive total), so the restored slice is byte-identical
+  /// to the slice the checkpoint was taken from. Requires Configure
+  /// first; resets the phase machine to idle.
+  Status Restore(uint64_t update_seq, const std::vector<double>& pairs);
+
   bool configured() const { return !shards_.empty(); }
   uint64_t updates_applied() const { return updates_applied_; }
   /// Owned domain range [base, end).

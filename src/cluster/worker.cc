@@ -114,6 +114,9 @@ class ShardWorker::Sink : public api::FrameSink {
         case api::ShardRpcOp::kNormalize:
           status = slice.Normalize(rpc.update_seq, rpc.total);
           break;
+        case api::ShardRpcOp::kRestore:
+          status = slice.Restore(rpc.update_seq, rpc.payoff);
+          break;
         case api::ShardRpcOp::kSnapshot: {
           Result<data::HistogramSupport> support =
               slice.Snapshot(static_cast<int>(rpc.snapshot_lo),

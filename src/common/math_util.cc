@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace pmw {
 
@@ -71,6 +72,12 @@ double PairwiseSum(const double* v, size_t lo, size_t hi) {
   if (n == 0) return 0.0;
   if (n == 1) return v[lo];
   if (n == 2) return v[lo] + v[lo + 1];
+  // Whole tree nodes of 4 and 8 leaves evaluate in one kernel call; the
+  // kernels reproduce this function's association exactly (an n == 8
+  // node always splits 4+4 and each 4 splits 2+2), so the recursion and
+  // the kernels are interchangeable bit for bit (common/simd.h).
+  if (n == 4) return simd::PairwiseLeaf4(v + lo);
+  if (n == 8) return simd::PairwiseLeaf8(v + lo);
   const size_t mid = lo + n / 2;
   return PairwiseSum(v, lo, mid) + PairwiseSum(v, mid, hi);
 }

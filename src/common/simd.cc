@@ -1,0 +1,188 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(PMW_ENABLE_AVX2) && defined(__x86_64__)
+#define PMW_SIMD_COMPILED 1
+#include <immintrin.h>
+#else
+#define PMW_SIMD_COMPILED 0
+#endif
+
+namespace pmw {
+namespace simd {
+namespace {
+
+bool DetectAvx2() {
+#if PMW_SIMD_COMPILED
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool InitialEnabled() {
+  if (!DetectAvx2()) return false;
+  const char* env = std::getenv("PMW_SIMD");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)) {
+    return false;
+  }
+  return true;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{InitialEnabled()};
+  return enabled;
+}
+
+#if PMW_SIMD_COMPILED
+
+// All AVX2 bodies carry target("avx2") — never "fma" — so the compiler
+// cannot contract mul+add into an FMA the scalar baseline (plain x86-64)
+// would not perform. See simd.h for the bit-identity arguments.
+
+__attribute__((target("avx2"))) double PairwiseLeaf8Avx2(const double* v) {
+  const __m256d a = _mm256_loadu_pd(v);      // v0 v1 v2 v3
+  const __m256d b = _mm256_loadu_pd(v + 4);  // v4 v5 v6 v7
+  // haddpd(a, b) = [v0+v1, v4+v5, v2+v3, v6+v7]
+  const __m256d h = _mm256_hadd_pd(a, b);
+  const __m128d lo = _mm256_castpd256_pd128(h);    // v0+v1, v4+v5
+  const __m128d hi = _mm256_extractf128_pd(h, 1);  // v2+v3, v6+v7
+  // pair = [(v0+v1)+(v2+v3), (v4+v5)+(v6+v7)]
+  const __m128d pair = _mm_add_pd(lo, hi);
+  const __m128d swap = _mm_unpackhi_pd(pair, pair);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, swap));
+}
+
+__attribute__((target("avx2"))) double PairwiseLeaf4Avx2(const double* v) {
+  const __m256d a = _mm256_loadu_pd(v);
+  // haddpd(a, a) = [v0+v1, v0+v1, v2+v3, v2+v3]
+  const __m256d h = _mm256_hadd_pd(a, a);
+  const __m128d lo = _mm256_castpd256_pd128(h);
+  const __m128d hi = _mm256_extractf128_pd(h, 1);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, hi));
+}
+
+__attribute__((target("avx2"))) void AxpyMaxAvx2(double* dst,
+                                                 const double* src,
+                                                 double scale, size_t n,
+                                                 double* max_io) {
+  const __m256d scale_v = _mm256_set1_pd(scale);
+  __m256d max_v = _mm256_set1_pd(*max_io);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_loadu_pd(src + i);
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    // Explicit mul then add: identical rounding to the scalar
+    // d + scale * s (no FMA contraction; see above).
+    const __m256d r = _mm256_add_pd(d, _mm256_mul_pd(scale_v, s));
+    _mm256_storeu_pd(dst + i, r);
+    max_v = _mm256_max_pd(max_v, r);
+  }
+  // Lane fold in fixed order; reordering a finite max fold is downstream-
+  // exact (simd.h).
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, max_v);
+  double m = std::max(std::max(lanes[0], lanes[1]),
+                      std::max(lanes[2], lanes[3]));
+  for (; i < n; ++i) {
+    dst[i] = dst[i] + scale * src[i];
+    m = std::max(m, dst[i]);
+  }
+  *max_io = m;
+}
+
+__attribute__((target("avx2"))) void SubScalarAvx2(double* v, double c,
+                                                   size_t n) {
+  const __m256d c_v = _mm256_set1_pd(c);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_sub_pd(_mm256_loadu_pd(v + i), c_v));
+  }
+  for (; i < n; ++i) v[i] = v[i] - c;
+}
+
+__attribute__((target("avx2"))) void DivScalarToAvx2(double* dst,
+                                                     const double* src,
+                                                     double c, size_t n) {
+  const __m256d c_v = _mm256_set1_pd(c);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_div_pd(_mm256_loadu_pd(src + i), c_v));
+  }
+  for (; i < n; ++i) dst[i] = src[i] / c;
+}
+
+#endif  // PMW_SIMD_COMPILED
+
+}  // namespace
+
+bool Available() {
+  static const bool available = DetectAvx2();
+  return available;
+}
+
+bool Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool on) {
+  EnabledFlag().store(on && Available(), std::memory_order_relaxed);
+}
+
+double PairwiseLeaf8(const double* v) {
+#if PMW_SIMD_COMPILED
+  if (Enabled()) return PairwiseLeaf8Avx2(v);
+#endif
+  return ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]));
+}
+
+double PairwiseLeaf4(const double* v) {
+#if PMW_SIMD_COMPILED
+  if (Enabled()) return PairwiseLeaf4Avx2(v);
+#endif
+  return (v[0] + v[1]) + (v[2] + v[3]);
+}
+
+void AxpyMax(double* dst, const double* src, double scale, size_t n,
+             double* max_io) {
+#if PMW_SIMD_COMPILED
+  if (Enabled() && n >= 8) {
+    AxpyMaxAvx2(dst, src, scale, n, max_io);
+    return;
+  }
+#endif
+  double m = *max_io;
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = dst[i] + scale * src[i];
+    m = std::max(m, dst[i]);
+  }
+  *max_io = m;
+}
+
+void SubScalar(double* v, double c, size_t n) {
+#if PMW_SIMD_COMPILED
+  if (Enabled() && n >= 8) {
+    SubScalarAvx2(v, c, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) v[i] = v[i] - c;
+}
+
+void DivScalarTo(double* dst, const double* src, double c, size_t n) {
+#if PMW_SIMD_COMPILED
+  if (Enabled() && n >= 8) {
+    DivScalarToAvx2(dst, src, c, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) dst[i] = src[i] / c;
+}
+
+}  // namespace simd
+}  // namespace pmw

@@ -48,6 +48,13 @@ SupportObjective::SupportObjective(const LossFunction* loss,
 
 double SupportObjective::Value(const Vec& theta) const {
   double acc = 0.0;
+  // A loss that claims the batch path must produce the same bits as the
+  // per-row loop below (loss_function.h), so the dispatch never changes
+  // the objective value, only its cost.
+  if (loss_->BatchValue(theta, *universe_, support_->data(), support_->size(),
+                        &acc)) {
+    return acc;
+  }
   for (const auto& [index, mass] : *support_) {
     acc += mass * loss_->Value(theta, universe_->row(index));
   }
@@ -56,6 +63,10 @@ double SupportObjective::Value(const Vec& theta) const {
 
 Vec SupportObjective::Gradient(const Vec& theta) const {
   Vec grad = Zeros(loss_->dim());
+  if (loss_->BatchAddGradient(theta, *universe_, support_->data(),
+                              support_->size(), &grad)) {
+    return grad;
+  }
   for (const auto& [index, mass] : *support_) {
     loss_->AddGradient(theta, universe_->row(index), mass, &grad);
   }

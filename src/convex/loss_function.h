@@ -10,7 +10,9 @@
 #ifndef PMWCM_CONVEX_LOSS_FUNCTION_H_
 #define PMWCM_CONVEX_LOSS_FUNCTION_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
 
 #include "convex/vector_ops.h"
 #include "data/universe.h"
@@ -47,6 +49,42 @@ class LossFunction {
   virtual bool is_generalized_linear() const { return false; }
 
   virtual std::string name() const = 0;
+
+  /// Optional batched fast path over weighted universe rows: when a loss
+  /// can evaluate sum_e mass_e * Value(theta, universe.row(index_e)) —
+  /// accumulating the terms IN ENTRY ORDER, each term computed with the
+  /// same IEEE operation sequence as the per-row loop — it may claim the
+  /// whole sweep here and return true. Implementations MUST be bitwise
+  /// identical to the per-row loop (the serving transcripts depend on
+  /// it); returning false (the default) falls back to that loop. The
+  /// margin losses claim hypercube universes and evaluate from index
+  /// bits with AVX2 (losses/margin_kernels.h).
+  virtual bool BatchValue(const Vec& theta, const data::Universe& universe,
+                          const std::pair<int, double>* entries, size_t count,
+                          double* acc) const {
+    (void)theta;
+    (void)universe;
+    (void)entries;
+    (void)count;
+    (void)acc;
+    return false;
+  }
+
+  /// Batched counterpart of AddGradient over weighted rows, with the same
+  /// bitwise-identity contract as BatchValue: entry-order accumulation
+  /// into *grad, each entry's contribution computed with the scalar
+  /// path's operation sequence.
+  virtual bool BatchAddGradient(const Vec& theta,
+                                const data::Universe& universe,
+                                const std::pair<int, double>* entries,
+                                size_t count, Vec* grad) const {
+    (void)theta;
+    (void)universe;
+    (void)entries;
+    (void)count;
+    (void)grad;
+    return false;
+  }
 
   /// Convenience non-accumulating gradient.
   Vec Gradient(const Vec& theta, const data::Row& x) const {

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/simd.h"
 
 namespace pmw {
 namespace core {
@@ -412,16 +413,22 @@ Status ShardedHypothesis::DelegateMultiplicativeUpdate(
 
 void ShardedHypothesis::DenseMultiplicativeUpdate(
     const std::vector<double>& payoff, double eta) {
-  // Phase 1 (per shard): log-weights and the shard-local max.
+  // Phase 1 (per shard): log-weights and the shard-local max. Split into
+  // a scalar log pass (libm stays per-element) and a vectorizable
+  // axpy+max pass: per element the same two IEEE ops in the same order
+  // as the fused loop (t = SafeLog(p); t + eta * payoff), so the split
+  // changes no bits; the kernel's max-fold reorder is downstream-exact
+  // (common/simd.h).
   RunShards([this, &payoff, eta](int s) {
     HypothesisShard& shard = shards_[static_cast<size_t>(s)];
-    double local_max = -std::numeric_limits<double>::infinity();
-    for (int i = shard.lo; i < shard.hi; ++i) {
-      scratch_[static_cast<size_t>(i)] =
-          SafeLog(p_[static_cast<size_t>(i)]) +
-          eta * payoff[static_cast<size_t>(i)];
-      local_max = std::max(local_max, scratch_[static_cast<size_t>(i)]);
+    const size_t lo = static_cast<size_t>(shard.lo);
+    const size_t n = static_cast<size_t>(shard.hi - shard.lo);
+    for (size_t i = lo; i < lo + n; ++i) {
+      scratch_[i] = SafeLog(p_[i]);
     }
+    double local_max = -std::numeric_limits<double>::infinity();
+    simd::AxpyMax(scratch_.data() + lo, payoff.data() + lo, eta, n,
+                  &local_max);
     shard.local_max = local_max;
   });
   // Max fold: associative, so the grouping by shards is exact.
@@ -431,26 +438,30 @@ void ShardedHypothesis::DenseMultiplicativeUpdate(
   }
 
   // Phase 2 (per shard): stabilized weights and the shard's subtree sum.
+  // The stabilizing subtract vectorizes (elementwise, exact); std::exp
+  // stays scalar per element; PairwiseSum's 4/8-leaf nodes vectorize
+  // inside the fixed tree (common/simd.h), so the association — and the
+  // transcript — is unchanged.
   RunShards([this, global_max](int s) {
     HypothesisShard& shard = shards_[static_cast<size_t>(s)];
-    for (int i = shard.lo; i < shard.hi; ++i) {
-      scratch_[static_cast<size_t>(i)] =
-          std::exp(scratch_[static_cast<size_t>(i)] - global_max);
+    const size_t lo = static_cast<size_t>(shard.lo);
+    const size_t n = static_cast<size_t>(shard.hi - shard.lo);
+    simd::SubScalar(scratch_.data() + lo, global_max, n);
+    for (size_t i = lo; i < lo + n; ++i) {
+      scratch_[i] = std::exp(scratch_[i]);
     }
-    shard.local_sum =
-        PairwiseSum(scratch_.data(), static_cast<size_t>(shard.lo),
-                    static_cast<size_t>(shard.hi));
+    shard.local_sum = PairwiseSum(scratch_.data(), lo, lo + n);
   });
   // Normalizer combine: O(K), evaluates the top of the fixed tree.
   const double total = CombineShardSums(0, num_shards());
   PMW_CHECK_GT(total, 0.0);
 
-  // Phase 3 (per shard): normalize in place.
+  // Phase 3 (per shard): normalize in place (elementwise divide, exact).
   RunShards([this, total](int s) {
     const HypothesisShard& shard = shards_[static_cast<size_t>(s)];
-    for (int i = shard.lo; i < shard.hi; ++i) {
-      p_[static_cast<size_t>(i)] = scratch_[static_cast<size_t>(i)] / total;
-    }
+    const size_t lo = static_cast<size_t>(shard.lo);
+    const size_t n = static_cast<size_t>(shard.hi - shard.lo);
+    simd::DivScalarTo(p_.data() + lo, scratch_.data() + lo, total, n);
   });
 }
 
@@ -503,9 +514,12 @@ void ShardedHypothesis::SparseMultiplicativeUpdate(
   RunShards([this, global_max](int s) {
     HypothesisShard& shard = shards_[static_cast<size_t>(s)];
     SparseShardState& ss = sparse_[static_cast<size_t>(s)];
-    ss.weight.resize(ss.logw.size());
-    for (size_t j = 0; j < ss.logw.size(); ++j) {
-      ss.weight[j] = std::exp(ss.logw[j] - global_max);
+    // Same split as the dense phase 2: vector subtract (elementwise,
+    // exact), scalar exp per element.
+    ss.weight = ss.logw;
+    simd::SubScalar(ss.weight.data(), global_max, ss.weight.size());
+    for (size_t j = 0; j < ss.weight.size(); ++j) {
+      ss.weight[j] = std::exp(ss.weight[j]);
     }
     ss.untouched_weight = std::exp(ss.untouched_logw - global_max);
 
@@ -567,9 +581,8 @@ void ShardedHypothesis::SparseMultiplicativeUpdate(
     SparseShardState& ss = sparse_[static_cast<size_t>(s)];
     ss.touched.swap(ss.next_touched);
     ss.value.resize(ss.weight.size());
-    for (size_t j = 0; j < ss.weight.size(); ++j) {
-      ss.value[j] = ss.weight[j] / total;
-    }
+    simd::DivScalarTo(ss.value.data(), ss.weight.data(), total,
+                      ss.weight.size());
     ss.residual =
         ss.untouched_count > 0 ? ss.untouched_weight / total : 0.0;
   });

@@ -199,10 +199,19 @@ class Dispatcher {
     obs::Counter* shutdown_rejected = nullptr;
     obs::Counter* deadline_expired = nullptr;
     obs::Counter* batches = nullptr;
+    obs::Counter* plan_evicted = nullptr;
+    obs::Counter* plan_admission_rejected = nullptr;
+    obs::Counter* plan_stale_dropped = nullptr;
     obs::Histogram* batch_fill = nullptr;
     obs::Histogram* queue_wait_us = nullptr;
     obs::Histogram* serve_us = nullptr;
   };
+
+  /// Mirrors the plan cache's replacement counters into the registry as
+  /// deltas (counters are monotonic; the cache owns the totals). Called
+  /// from the dispatch loop after each served batch and once more from
+  /// Shutdown after the loop joins.
+  void PublishPlanCacheMetrics();
 
   serve::PmwService* service_;
   QuotaManager* quota_;
@@ -215,6 +224,9 @@ class Dispatcher {
   std::mutex shutdown_mutex_;  // serializes Shutdown callers
   mutable std::mutex stats_mutex_;
   DispatcherStats stats_;
+  /// Cache totals already published to the registry (dispatch-loop
+  /// local, read once more by Shutdown after the join).
+  serve::PlanCacheCounters published_plan_counters_;
   std::vector<uint64_t> arrival_log_;
   std::thread dispatcher_;  // last member: starts in the constructor
 };

@@ -1,57 +1,205 @@
 #include "frontend/plan_cache.h"
 
-#include "common/check.h"
+#include <algorithm>
 
 namespace pmw {
 namespace frontend {
+namespace {
 
-PlanCache::PlanCache(size_t max_entries) : max_entries_(max_entries) {
-  PMW_CHECK_GE(max_entries, size_t{1});
+// Derives the 4 sketch row hashes from one base hash by odd-constant
+// multiplication (distinct bit mixes per row, no extra hashing of the
+// key itself).
+constexpr uint64_t kRowSeeds[4] = {
+    0x9e3779b97f4a7c15ull,
+    0xc2b2ae3d27d4eb4full,
+    0x165667b19e3779f9ull,
+    0x27d4eb2f165667c5ull,
+};
+
+inline uint64_t MixRow(uint64_t hash, int row) {
+  uint64_t x = hash * kRowSeeds[row];
+  x ^= x >> 29;
+  return x;
 }
 
-bool PlanCache::Lookup(const serve::QueryKey& key, int version,
-                       uint64_t shard_set, core::PreparedQuery* plan) {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+PlanCache::FreqSketch::FreqSketch(size_t capacity) {
+  // Width >= 4x capacity per row keeps collision noise small relative to
+  // the admission threshold; power of two so Index is a mask.
+  const size_t width = NextPow2(std::max<size_t>(capacity * 4, 16));
+  counters_.assign(width * 4, 0);
+  row_mask_ = width - 1;
+  // Halve all counters after ~10x capacity recordings: popularity decays
+  // with a half-life proportional to the cache size, so a query that
+  // stopped arriving cannot hold its slot on ancient credit.
+  sample_period_ = static_cast<long long>(capacity) * 10;
+}
+
+size_t PlanCache::FreqSketch::Index(uint64_t hash, int row) const {
+  const size_t width = row_mask_ + 1;
+  return static_cast<size_t>(row) * width +
+         static_cast<size_t>(MixRow(hash, row) & row_mask_);
+}
+
+void PlanCache::FreqSketch::Record(uint64_t hash) {
+  for (int row = 0; row < 4; ++row) {
+    uint8_t& counter = counters_[Index(hash, row)];
+    if (counter < 255) ++counter;
+  }
+  if (++recorded_ >= sample_period_) {
+    recorded_ = 0;
+    for (uint8_t& counter : counters_) {
+      counter = static_cast<uint8_t>(counter >> 1);
+    }
+  }
+}
+
+uint32_t PlanCache::FreqSketch::Estimate(uint64_t hash) const {
+  uint32_t estimate = 255;
+  for (int row = 0; row < 4; ++row) {
+    estimate = std::min<uint32_t>(estimate, counters_[Index(hash, row)]);
+  }
+  return estimate;
+}
+
+PlanCache::PlanCache(size_t max_entries)
+    : max_entries_(std::max<size_t>(max_entries, 1)),
+      slots_(max_entries_),
+      sketch_(max_entries_) {
+  index_.reserve(max_entries_);
+}
+
+uint64_t PlanCache::KeyHash(const serve::QueryKey& key) {
+  return static_cast<uint64_t>(serve::QueryKeyHash()(key));
+}
+
+void PlanCache::ReleaseSlot(size_t slot) {
+  Slot& s = slots_[slot];
+  index_.erase(s.key);
+  s.occupied = false;
+  s.referenced = false;
+  s.key = serve::QueryKey{nullptr, nullptr};
+  s.plan = core::PreparedQuery{};
+  --occupied_;
+}
+
+size_t PlanCache::FindVictim() {
+  // Second-chance scan: a referenced slot survives one pass (ref bit
+  // cleared), an unreferenced occupied slot is the victim, and an empty
+  // slot is free real estate. Bounded: every step either clears a ref
+  // bit (at most max_entries_ of them) or terminates.
+  for (;;) {
+    Slot& s = slots_[hand_];
+    if (s.occupied && s.referenced) {
+      s.referenced = false;
+      hand_ = (hand_ + 1) % max_entries_;
+      continue;
+    }
+    const size_t slot = hand_;
+    hand_ = (hand_ + 1) % max_entries_;
+    return slot;
+  }
+}
+
+bool PlanCache::Lookup(const serve::QueryKey& key,
+                       const serve::PlanStamp& stamp,
+                       core::PreparedQuery* plan) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (version != version_ || shard_set != shard_set_) {
-    // Defensive: the service publishes (and so invalidates) before it
-    // probes, so a mismatch here means a forged epoch — never serve
-    // across versions or shard partitions regardless.
+  // Every probe feeds the admission sketch, hit or miss: popularity is a
+  // property of the request stream, not of cache residency.
+  sketch_.Record(KeyHash(key));
+  auto it = index_.find(key);
+  if (it == index_.end()) {
     ++stats_.misses;
     return false;
   }
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Slot& slot = slots_[it->second];
+  if (slot.shard_set != stamp.shard_set || slot.content != stamp.content) {
+    // The hypothesis only moves forward: a stamp mismatch means this plan
+    // can never be valid again, so drop it now rather than letting it
+    // squat in the ring until the hand comes around.
+    ReleaseSlot(it->second);
+    ++stats_.stale_dropped;
     ++stats_.misses;
     return false;
   }
-  *plan = it->second;
+  *plan = slot.plan;
+  // Content hit, possibly across versions: restamp so the served plan is
+  // byte-identical to what Prepare would emit against the probing epoch
+  // (hook contract; AnswerPrepared trusts the version stamp).
+  plan->hypothesis_version = stamp.version;
+  slot.referenced = true;
   ++stats_.hits;
   return true;
 }
 
 void PlanCache::Insert(const serve::QueryKey& key,
+                       const serve::PlanStamp& stamp,
                        const core::PreparedQuery& plan) {
   std::lock_guard<std::mutex> lock(mutex_);
-  // A plan from another version would be served never (Lookup checks) or
-  // wrongly (if versions collided later); refuse it outright.
-  if (plan.hypothesis_version != version_) return;
-  if (entries_.size() >= max_entries_ && entries_.find(key) == entries_.end()) {
-    entries_.erase(entries_.begin());
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place: same key, newer stamp (the resident entry went
+    // stale and Prepare just recomputed it).
+    Slot& slot = slots_[it->second];
+    slot.shard_set = stamp.shard_set;
+    slot.content = stamp.content;
+    slot.plan = plan;
+    slot.referenced = true;
+    ++stats_.insertions;
+    return;
+  }
+  size_t target = FindVictim();
+  if (slots_[target].occupied) {
+    // Full ring: the newcomer must win the admission duel against the
+    // CLOCK victim. A one-shot query (estimated frequency below the
+    // resident's) is refused so scans cannot wash out the hot working
+    // set; ties go to the newcomer (a cold working-set shift must be
+    // able to displace decayed residents).
+    const uint32_t newcomer = sketch_.Estimate(KeyHash(key));
+    const uint32_t resident = sketch_.Estimate(KeyHash(slots_[target].key));
+    if (newcomer < resident) {
+      ++stats_.admission_rejected;
+      return;
+    }
+    ReleaseSlot(target);
     ++stats_.evicted;
   }
-  entries_[key] = plan;
+  Slot& slot = slots_[target];
+  slot.occupied = true;
+  // Ref bit starts clear: residency must be earned by a hit, not granted
+  // on insertion, or a full ring of fresh entries would all survive the
+  // hand's first pass and CLOCK would degenerate to FIFO.
+  slot.referenced = false;
+  slot.key = key;
+  slot.shard_set = stamp.shard_set;
+  slot.content = stamp.content;
+  slot.plan = plan;
+  ++occupied_;
+  index_[key] = target;
   ++stats_.insertions;
 }
 
-void PlanCache::OnEpochPublish(int version, uint64_t shard_set) {
+void PlanCache::OnEpochPublish(const serve::PlanStamp& stamp) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (version == version_ && shard_set == shard_set_) {
-    return;  // same hypothesis, same partition: entries stay valid
-  }
-  stats_.invalidated += static_cast<long long>(entries_.size());
-  entries_.clear();
-  version_ = version;
-  shard_set_ = shard_set;
+  // No wholesale clear: entries whose content fingerprints still match
+  // the new epoch remain byte-valid (soft rounds and fingerprint-stable
+  // republishes), and entries that went stale are dropped lazily when a
+  // probe actually touches them. Publishing only advances the stamp the
+  // accessors report.
+  stamp_ = stamp;
+}
+
+serve::PlanCacheCounters PlanCache::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {stats_.evicted, stats_.admission_rejected, stats_.stale_dropped};
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -61,17 +209,12 @@ PlanCache::Stats PlanCache::stats() const {
 
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  return occupied_;
 }
 
-int PlanCache::version() const {
+serve::PlanStamp PlanCache::current_stamp() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return version_;
-}
-
-uint64_t PlanCache::shard_set() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return shard_set_;
+  return stamp_;
 }
 
 }  // namespace frontend

@@ -1,23 +1,54 @@
-// (Epoch, shard-set)-keyed cross-batch plan cache (serve::PlanCacheHook
-// implementation). PR 1/2 deduplicated repeated queries *within* one
-// prepared range; this cache extends the amortization across the whole
-// request stream: a query answered in batch 1 costs no solver work in
-// batch 400, as long as the hypothesis has not moved. Entries are keyed
-// by (query fingerprint, hypothesis version, shard set); when the
-// serving writer publishes an epoch at a new version — or under a new
-// shard partition — every cached plan is permanently stale, so the cache
-// invalidates wholesale. The correctness argument stays trivial: a plan
-// is served only at the exact (version, shard-set) it was computed at,
-// where it is byte-identical to a recompute (PmwCm::Prepare is
-// deterministic, and sharding never changes the hypothesis bits).
+// Content-fingerprint-keyed cross-epoch plan cache with CLOCK eviction
+// (serve::PlanCacheHook implementation).
+//
+// PR 1/2 deduplicated repeated queries *within* one prepared range; the
+// first cross-batch cache extended that across the stream but keyed on
+// the raw hypothesis version and invalidated wholesale at every version
+// change — every hard round re-ran the full cold-plan convoy. This
+// rewrite keys entries on the epoch's *per-shard content fingerprints*
+// (folded into serve::PlanStamp::content) instead:
+//
+//   correctness  A plan is served only when the probing epoch's
+//                (shard_set, content) exactly equal the stamp it was
+//                computed under. Prepare is a pure function of
+//                (query, support bytes) — equal fingerprints mean the
+//                recompute would be byte-identical — so a hit cannot
+//                change the transcript. The one field Prepare takes from
+//                the version rather than the bytes, the plan's
+//                hypothesis_version stamp, is rewritten to the probing
+//                stamp's version on every hit (the hook contract's
+//                "content-hit restamp"), after which plan and recompute
+//                agree byte for byte.
+//
+//   reuse        Soft rounds republish identical content under new
+//                sequence numbers — hits, as before. Epochs whose
+//                version moved but whose content round-tripped (or whose
+//                fingerprints were copied forward by the epoch reuse
+//                path) now ALSO hit, so nothing is thrown away that is
+//                still byte-valid. Entries that went stale (content
+//                moved on; the hypothesis never revisits old content)
+//                are dropped lazily when probed.
+//
+// Replacement is a sized CLOCK ring with second-chance eviction and a
+// frequency-sketch admission filter (TinyLFU-style):
+//
+//        hand ->  [ slot | ref=1 ]   ref set on every hit
+//                 [ slot | ref=0 ]   <- second chance expired: victim
+//                 [ slot | ref=1 ]
+//                    ...ring...
+//
+// A full ring admits a newcomer only if its estimated access frequency
+// (4-row count-min sketch over query keys, periodically halved so stale
+// popularity ages out) is at least the victim's — one-shot scans cannot
+// wash a hot working set out of the ring. Stats distinguish the three
+// ways an entry can die: CLOCK eviction, admission rejection (the
+// newcomer dies instead), and fingerprint-staleness drops.
 //
 // Lifetime contract: keys are the loss/domain pointer fingerprints of
 // serve::QueryKey, so the cache *extends* the repo's pointer-identity
 // convention ("families own the losses and keep them alive") from one
 // batch to the cache's whole lifetime. The query families feeding a
-// dispatcher must therefore outlive the cache — destroying a family and
-// reusing its allocations while cached plans for it are still resident
-// could alias a new query onto an old plan. Every current caller (one
+// dispatcher must therefore outlive the cache. Every current caller (one
 // family per serving session) satisfies this by construction; if query
 // churn ever becomes a workload, key by content fingerprint instead.
 //
@@ -33,6 +64,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/pmw_cm.h"
 #include "serve/shard_executor.h"
@@ -46,10 +78,15 @@ class PlanCache : public serve::PlanCacheHook {
     long long hits = 0;
     long long misses = 0;
     long long insertions = 0;
-    /// Entries dropped by epoch invalidation.
-    long long invalidated = 0;
-    /// Entries dropped to respect max_entries.
+    /// Entries evicted by the CLOCK hand (second chance expired, victim
+    /// lost the admission duel).
     long long evicted = 0;
+    /// Newcomers the frequency sketch refused to admit over a resident
+    /// victim (the newcomer was dropped, the ring unchanged).
+    long long admission_rejected = 0;
+    /// Entries dropped because their content fingerprints no longer
+    /// matched the probing epoch (permanently stale).
+    long long stale_dropped = 0;
 
     double HitRate() const {
       long long lookups = hits + misses;
@@ -59,34 +96,62 @@ class PlanCache : public serve::PlanCacheHook {
     }
   };
 
-  /// Caps resident plans at `max_entries` (>= 1); overflow evicts an
-  /// arbitrary entry (plans are cheap to recompute and die wholesale at
-  /// the next epoch anyway, so LRU bookkeeping would buy little).
+  /// Caps resident plans at `max_entries` (>= 1) in a fixed CLOCK ring.
   explicit PlanCache(size_t max_entries = 4096);
 
-  bool Lookup(const serve::QueryKey& key, int version, uint64_t shard_set,
+  bool Lookup(const serve::QueryKey& key, const serve::PlanStamp& stamp,
               core::PreparedQuery* plan) override;
-  void Insert(const serve::QueryKey& key,
+  void Insert(const serve::QueryKey& key, const serve::PlanStamp& stamp,
               const core::PreparedQuery& plan) override;
-  void OnEpochPublish(int version, uint64_t shard_set) override;
+  void OnEpochPublish(const serve::PlanStamp& stamp) override;
+  serve::PlanCacheCounters Counters() const override;
 
   Stats stats() const;
   size_t size() const;
-  /// The hypothesis version current entries belong to (-1 before the
+  /// The most recently published stamp (version -1 / zeros before the
   /// first epoch publish).
-  int version() const;
-  /// The shard-set fingerprint current entries belong to (0 before the
-  /// first epoch publish).
-  uint64_t shard_set() const;
+  serve::PlanStamp current_stamp() const;
 
  private:
+  struct Slot {
+    bool occupied = false;
+    bool referenced = false;
+    serve::QueryKey key{nullptr, nullptr};
+    uint64_t shard_set = 0;
+    uint64_t content = 0;
+    core::PreparedQuery plan;
+  };
+
+  /// 4-row count-min sketch of query-key popularity with periodic
+  /// halving; saturating 8-bit counters.
+  class FreqSketch {
+   public:
+    explicit FreqSketch(size_t capacity);
+    void Record(uint64_t hash);
+    uint32_t Estimate(uint64_t hash) const;
+
+   private:
+    size_t Index(uint64_t hash, int row) const;
+    std::vector<uint8_t> counters_;
+    size_t row_mask_;
+    long long recorded_ = 0;
+    long long sample_period_;
+  };
+
+  static uint64_t KeyHash(const serve::QueryKey& key);
+  /// Frees `slot` and unlinks it from the index (caller holds the lock).
+  void ReleaseSlot(size_t slot);
+  /// CLOCK second-chance scan: returns the victim candidate's slot index.
+  size_t FindVictim();
+
   const size_t max_entries_;
   mutable std::mutex mutex_;
-  int version_ = -1;
-  uint64_t shard_set_ = 0;
-  std::unordered_map<serve::QueryKey, core::PreparedQuery,
-                     serve::QueryKeyHash>
-      entries_;
+  serve::PlanStamp stamp_{};
+  std::vector<Slot> slots_;
+  size_t hand_ = 0;
+  size_t occupied_ = 0;
+  std::unordered_map<serve::QueryKey, size_t, serve::QueryKeyHash> index_;
+  FreqSketch sketch_;
   Stats stats_;
 };
 

@@ -1,0 +1,78 @@
+// Batched margin-loss evaluation over hypercube universes.
+//
+// The cold-plan cost of Prepare is dominated by objective sweeps of the
+// form sum_e mass_e * link(<theta, t(row_e)>, y_e) over ~|X| support
+// entries, where t is an optional coordinate/label sign flip
+// (losses/transforms.h). On the hypercube universes (data/binary_universe.h)
+// every feature is +-scale with the SAME double `scale` for all rows, and
+// index bit j selects the sign of coordinate j. The kernels here exploit
+// that: instead of materializing rows (the generic path heap-allocates a
+// transformed Row per entry per sweep), they evaluate
+//
+//   z_e = sum_j (bit_j(e) ? w_j : -w_j),   w_j = theta_j * c_j,
+//   c_j = flips_j * scale,
+//
+// reading only index bits — no feature memory traffic at all — and fan
+// four entries across AVX2 lanes.
+//
+// Bitwise identity with the generic path (load-bearing: serving
+// transcripts must not depend on which path ran):
+//   * IEEE multiplication is sign-symmetric: x * (-y) carries exactly the
+//     sign-flipped bits of x * y. The generic path's theta_j * t_j with
+//     t_j = +-c_j is therefore exactly +-w_j, and the +-1 int flips
+//     convert to +-1.0 doubles whose products are exact sign arithmetic.
+//   * Each lane accumulates its z in the same j order, starting from the
+//     same 0.0, as the scalar dot product — per-lane operation sequences
+//     are identical; lanes are independent.
+//   * Links (and their derivatives) are evaluated per entry through the
+//     loss's own scalar Link/LinkDerivative, and the objective terms
+//     mass_e * v_e accumulate in entry order — the exact sequence of the
+//     fallback loop in convex::SupportObjective.
+//   * Gradient scatter computes coeff * t_j as +-(coeff * c_j), again
+//     exact by sign symmetry, in the same (entry, j) order.
+// tests/simd_kernels_test.cc checks batch-vs-generic equality bit for bit;
+// the transcript property test does the same end to end.
+
+#ifndef PMWCM_LOSSES_MARGIN_KERNELS_H_
+#define PMWCM_LOSSES_MARGIN_KERNELS_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "convex/vector_ops.h"
+#include "data/universe.h"
+
+namespace pmw {
+namespace losses {
+
+class MarginLoss;
+
+namespace kernels {
+
+/// Accumulates sum_e mass_e * link(<theta, t(row_e)>, label_flip * y_e)
+/// into *acc. `flips` is a per-coordinate +-1 array of length theta.size()
+/// (nullptr means no coordinate flips; pass label_flip = 1 for the
+/// untransformed loss). Returns false — leaving *acc untouched — when
+/// `universe` is not a (Labeled)HypercubeUniverse of matching dimension,
+/// in which case the caller must run the generic per-row loop.
+bool HypercubeMarginValue(const MarginLoss& link, const convex::Vec& theta,
+                          const data::Universe& universe, const int* flips,
+                          int label_flip,
+                          const std::pair<int, double>* entries, size_t count,
+                          double* acc);
+
+/// Gradient counterpart: accumulates per-entry mass_e-weighted margin
+/// gradients into *grad with the generic path's exact operation order.
+/// Same false-means-fallback contract as HypercubeMarginValue.
+bool HypercubeMarginAddGradient(const MarginLoss& link,
+                                const convex::Vec& theta,
+                                const data::Universe& universe,
+                                const int* flips, int label_flip,
+                                const std::pair<int, double>* entries,
+                                size_t count, convex::Vec* grad);
+
+}  // namespace kernels
+}  // namespace losses
+}  // namespace pmw
+
+#endif  // PMWCM_LOSSES_MARGIN_KERNELS_H_

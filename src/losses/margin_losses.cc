@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "losses/margin_kernels.h"
 
 namespace pmw {
 namespace losses {
@@ -29,51 +30,27 @@ void MarginLoss::AddGradient(const convex::Vec& theta, const data::Row& x,
   }
 }
 
-double SquaredLoss::Link(double z, double y) const {
-  return 0.25 * Sq(z - y);
+bool MarginLoss::BatchValue(const convex::Vec& theta,
+                            const data::Universe& universe,
+                            const std::pair<int, double>* entries,
+                            size_t count, double* acc) const {
+  return kernels::HypercubeMarginValue(*this, theta, universe,
+                                       /*flips=*/nullptr, /*label_flip=*/1,
+                                       entries, count, acc);
 }
 
-double SquaredLoss::LinkDerivative(double z, double y) const {
-  return 0.5 * (z - y);
-}
-
-double LogisticLoss::Link(double z, double y) const {
-  return Log1PExp(-y * z);
-}
-
-double LogisticLoss::LinkDerivative(double z, double y) const {
-  return -y * Sigmoid(-y * z);
-}
-
-double HingeLoss::Link(double z, double y) const {
-  return std::max(0.0, 1.0 - y * z);
-}
-
-double HingeLoss::LinkDerivative(double z, double y) const {
-  return (1.0 - y * z > 0.0) ? -y : 0.0;
-}
-
-double AbsoluteLoss::Link(double z, double y) const { return std::abs(z - y); }
-
-double AbsoluteLoss::LinkDerivative(double z, double y) const {
-  if (z > y) return 1.0;
-  if (z < y) return -1.0;
-  return 0.0;
+bool MarginLoss::BatchAddGradient(const convex::Vec& theta,
+                                  const data::Universe& universe,
+                                  const std::pair<int, double>* entries,
+                                  size_t count, convex::Vec* grad) const {
+  return kernels::HypercubeMarginAddGradient(*this, theta, universe,
+                                             /*flips=*/nullptr,
+                                             /*label_flip=*/1, entries, count,
+                                             grad);
 }
 
 HuberLoss::HuberLoss(int dim, double delta) : MarginLoss(dim), delta_(delta) {
   PMW_CHECK_GT(delta, 0.0);
-}
-
-double HuberLoss::Link(double z, double y) const {
-  double r = z - y;
-  if (std::abs(r) <= delta_) return 0.5 * Sq(r);
-  return delta_ * (std::abs(r) - 0.5 * delta_);
-}
-
-double HuberLoss::LinkDerivative(double z, double y) const {
-  double r = z - y;
-  return Clamp(r, -delta_, delta_);
 }
 
 double HuberLoss::lipschitz() const { return std::min(delta_, 2.0); }

@@ -9,12 +9,28 @@
 #ifndef PMWCM_LOSSES_MARGIN_LOSSES_H_
 #define PMWCM_LOSSES_MARGIN_LOSSES_H_
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
+#include "common/math_util.h"
 #include "convex/loss_function.h"
 
 namespace pmw {
 namespace losses {
+
+/// Tags the concrete link so the batch kernels (losses/margin_kernels.cc)
+/// can dispatch to the inlined static Eval bodies below instead of a
+/// per-entry virtual call. kGeneric means "only the virtual Link is
+/// available" and keeps unknown subclasses correct.
+enum class LinkKind {
+  kGeneric,
+  kSquared,
+  kLogistic,
+  kHinge,
+  kAbsolute,
+  kHuber,
+};
 
 /// Shared base: l(theta; (x,y)) = link(<theta, x.features>, y).
 /// Subclasses provide the scalar link and its derivative in the margin.
@@ -28,10 +44,25 @@ class MarginLoss : public convex::LossFunction {
                    convex::Vec* grad) const override;
   bool is_generalized_linear() const override { return true; }
 
+  // Hypercube-universe sweeps go through the bit-identical batch kernels
+  // (losses/margin_kernels.h); anything else falls back to the row loop.
+  bool BatchValue(const convex::Vec& theta, const data::Universe& universe,
+                  const std::pair<int, double>* entries, size_t count,
+                  double* acc) const override;
+  bool BatchAddGradient(const convex::Vec& theta,
+                        const data::Universe& universe,
+                        const std::pair<int, double>* entries, size_t count,
+                        convex::Vec* grad) const override;
+
   /// link(z, y) — convex in z for each fixed label y.
   virtual double Link(double z, double y) const = 0;
   /// d/dz link(z, y) (a subderivative at kinks).
   virtual double LinkDerivative(double z, double y) const = 0;
+
+  /// Which concrete link this is (for the batch kernels' inline dispatch).
+  virtual LinkKind link_kind() const { return LinkKind::kGeneric; }
+  /// The link's scalar parameter when it has one (Huber's delta).
+  virtual double link_param() const { return 0.0; }
 
  private:
   int dim_;
@@ -43,8 +74,16 @@ class MarginLoss : public convex::LossFunction {
 class SquaredLoss : public MarginLoss {
  public:
   explicit SquaredLoss(int dim) : MarginLoss(dim) {}
-  double Link(double z, double y) const override;
-  double LinkDerivative(double z, double y) const override;
+  // The static Eval bodies are the single source of truth for the link:
+  // the virtual Link and the batch kernels' inline dispatch both call
+  // them, so the two paths cannot diverge.
+  static double Eval(double z, double y) { return 0.25 * Sq(z - y); }
+  static double EvalDerivative(double z, double y) { return 0.5 * (z - y); }
+  double Link(double z, double y) const override { return Eval(z, y); }
+  double LinkDerivative(double z, double y) const override {
+    return EvalDerivative(z, y);
+  }
+  LinkKind link_kind() const override { return LinkKind::kSquared; }
   double lipschitz() const override { return 1.0; }
   std::string name() const override { return "squared"; }
 };
@@ -53,8 +92,15 @@ class SquaredLoss : public MarginLoss {
 class LogisticLoss : public MarginLoss {
  public:
   explicit LogisticLoss(int dim) : MarginLoss(dim) {}
-  double Link(double z, double y) const override;
-  double LinkDerivative(double z, double y) const override;
+  static double Eval(double z, double y) { return Log1PExp(-y * z); }
+  static double EvalDerivative(double z, double y) {
+    return -y * Sigmoid(-y * z);
+  }
+  double Link(double z, double y) const override { return Eval(z, y); }
+  double LinkDerivative(double z, double y) const override {
+    return EvalDerivative(z, y);
+  }
+  LinkKind link_kind() const override { return LinkKind::kLogistic; }
   double lipschitz() const override { return 1.0; }
   std::string name() const override { return "logistic"; }
 };
@@ -63,8 +109,17 @@ class LogisticLoss : public MarginLoss {
 class HingeLoss : public MarginLoss {
  public:
   explicit HingeLoss(int dim) : MarginLoss(dim) {}
-  double Link(double z, double y) const override;
-  double LinkDerivative(double z, double y) const override;
+  static double Eval(double z, double y) {
+    return std::max(0.0, 1.0 - y * z);
+  }
+  static double EvalDerivative(double z, double y) {
+    return (1.0 - y * z > 0.0) ? -y : 0.0;
+  }
+  double Link(double z, double y) const override { return Eval(z, y); }
+  double LinkDerivative(double z, double y) const override {
+    return EvalDerivative(z, y);
+  }
+  LinkKind link_kind() const override { return LinkKind::kHinge; }
   double lipschitz() const override { return 1.0; }
   std::string name() const override { return "hinge"; }
 };
@@ -73,8 +128,17 @@ class HingeLoss : public MarginLoss {
 class AbsoluteLoss : public MarginLoss {
  public:
   explicit AbsoluteLoss(int dim) : MarginLoss(dim) {}
-  double Link(double z, double y) const override;
-  double LinkDerivative(double z, double y) const override;
+  static double Eval(double z, double y) { return std::abs(z - y); }
+  static double EvalDerivative(double z, double y) {
+    if (z > y) return 1.0;
+    if (z < y) return -1.0;
+    return 0.0;
+  }
+  double Link(double z, double y) const override { return Eval(z, y); }
+  double LinkDerivative(double z, double y) const override {
+    return EvalDerivative(z, y);
+  }
+  LinkKind link_kind() const override { return LinkKind::kAbsolute; }
   double lipschitz() const override { return 1.0; }
   std::string name() const override { return "absolute"; }
 };
@@ -85,8 +149,22 @@ class AbsoluteLoss : public MarginLoss {
 class HuberLoss : public MarginLoss {
  public:
   HuberLoss(int dim, double delta = 1.0);
-  double Link(double z, double y) const override;
-  double LinkDerivative(double z, double y) const override;
+  static double Eval(double z, double y, double delta) {
+    double r = z - y;
+    if (std::abs(r) <= delta) return 0.5 * Sq(r);
+    return delta * (std::abs(r) - 0.5 * delta);
+  }
+  static double EvalDerivative(double z, double y, double delta) {
+    return Clamp(z - y, -delta, delta);
+  }
+  double Link(double z, double y) const override {
+    return Eval(z, y, delta_);
+  }
+  double LinkDerivative(double z, double y) const override {
+    return EvalDerivative(z, y, delta_);
+  }
+  LinkKind link_kind() const override { return LinkKind::kHuber; }
+  double link_param() const override { return delta_; }
   double lipschitz() const override;
   std::string name() const override { return "huber"; }
 

@@ -3,13 +3,18 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "losses/margin_kernels.h"
+#include "losses/margin_losses.h"
 
 namespace pmw {
 namespace losses {
 
 SignFlipLoss::SignFlipLoss(const convex::LossFunction* base,
                            std::vector<int> flips, int label_flip)
-    : base_(base), flips_(std::move(flips)), label_flip_(label_flip) {
+    : base_(base),
+      margin_base_(dynamic_cast<const MarginLoss*>(base)),
+      flips_(std::move(flips)),
+      label_flip_(label_flip) {
   PMW_CHECK(base != nullptr);
   PMW_CHECK_EQ(static_cast<int>(flips_.size()), base->dim());
   for (int f : flips_) PMW_CHECK_MSG(f == 1 || f == -1, "flips must be +-1");
@@ -30,12 +35,59 @@ data::Row SignFlipLoss::Transform(const data::Row& x) const {
 
 double SignFlipLoss::Value(const convex::Vec& theta,
                            const data::Row& x) const {
+  if (margin_base_ != nullptr) {
+    // Same multiplies in the same order as Transform followed by the
+    // margin dot product, without storing the transformed row.
+    PMW_CHECK_EQ(theta.size(), x.features.size());
+    PMW_CHECK_EQ(x.features.size(), flips_.size());
+    double z = 0.0;
+    for (size_t j = 0; j < theta.size(); ++j) {
+      z += theta[j] * (flips_[j] * x.features[j]);
+    }
+    return margin_base_->Link(z, label_flip_ * x.label);
+  }
   return base_->Value(theta, Transform(x));
 }
 
 void SignFlipLoss::AddGradient(const convex::Vec& theta, const data::Row& x,
                                double weight, convex::Vec* grad) const {
+  if (margin_base_ != nullptr) {
+    PMW_CHECK(grad != nullptr);
+    PMW_CHECK_EQ(theta.size(), x.features.size());
+    PMW_CHECK_EQ(x.features.size(), flips_.size());
+    PMW_CHECK_EQ(grad->size(), theta.size());
+    double z = 0.0;
+    for (size_t j = 0; j < theta.size(); ++j) {
+      z += theta[j] * (flips_[j] * x.features[j]);
+    }
+    double coeff =
+        weight * margin_base_->LinkDerivative(z, label_flip_ * x.label);
+    for (size_t j = 0; j < theta.size(); ++j) {
+      (*grad)[j] += coeff * (flips_[j] * x.features[j]);
+    }
+    return;
+  }
   base_->AddGradient(theta, Transform(x), weight, grad);
+}
+
+bool SignFlipLoss::BatchValue(const convex::Vec& theta,
+                              const data::Universe& universe,
+                              const std::pair<int, double>* entries,
+                              size_t count, double* acc) const {
+  if (margin_base_ == nullptr) return false;
+  return kernels::HypercubeMarginValue(*margin_base_, theta, universe,
+                                       flips_.data(), label_flip_, entries,
+                                       count, acc);
+}
+
+bool SignFlipLoss::BatchAddGradient(const convex::Vec& theta,
+                                    const data::Universe& universe,
+                                    const std::pair<int, double>* entries,
+                                    size_t count, convex::Vec* grad) const {
+  if (margin_base_ == nullptr) return false;
+  return kernels::HypercubeMarginAddGradient(*margin_base_, theta, universe,
+                                             flips_.data(), label_flip_,
+                                             entries, count, grad);
 }
 
 std::string SignFlipLoss::name() const {

@@ -46,6 +46,10 @@ struct Epoch {
     int lo = 0;
     int hi = 0;
     data::SupportSlice support;
+    /// FNV-1a over this slice's (index, mass-bits) entries: the exact
+    /// bytes Prepare reads from this shard. Equal fingerprints on equal
+    /// partitions mean byte-equal slices.
+    uint64_t content_fingerprint = 0;
   };
 
   std::shared_ptr<const core::HypothesisSnapshot> snapshot;
@@ -54,6 +58,13 @@ struct Epoch {
   /// The mechanism's shard-set identity at capture (what
   /// (epoch, shard-set)-aware plan caches key on, alongside the version).
   uint64_t shard_fingerprint = 0;
+  /// Folds the per-shard content fingerprints (in shard order) into one
+  /// word. Two epochs agreeing on (shard_fingerprint,
+  /// content_fingerprint) publish byte-identical per-shard supports, so
+  /// any plan is byte-identical between them up to its version stamp —
+  /// the key fact that lets plan caches serve across epochs and versions
+  /// whose content never actually moved.
+  uint64_t content_fingerprint = 0;
 };
 
 /// Single-writer, many-reader holder of the current epoch.

@@ -137,6 +137,13 @@ struct ServeStats {
   /// whole point of the front-end's epoch-keyed cache.
   long long cross_batch_cache_lookups = 0;
   long long cross_batch_cache_hits = 0;
+  /// How cross-batch cached plans died (PlanCacheHook::Counters; zeros
+  /// with no cache attached): replacement-policy evictions, admission
+  /// rejections (the new plan was never cached), and content-fingerprint
+  /// staleness drops. Totals, refreshed per batch.
+  long long plan_cache_evicted = 0;
+  long long plan_cache_admission_rejected = 0;
+  long long plan_cache_stale_dropped = 0;
   /// Worker threads serving shards (1 = inline).
   int threads = 1;
   /// Domain shards the hypothesis is partitioned into (after clamping).

@@ -62,13 +62,14 @@ ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
   // (Prepare is deterministic), so the transcript cannot depend on hits.
   std::vector<size_t> miss_slots;
   miss_slots.reserve(distinct);
+  const PlanStamp stamp{epoch.snapshot->version, epoch.shard_fingerprint,
+                        epoch.content_fingerprint};
   if (cache != nullptr) {
     result.cross_batch_lookups = static_cast<long long>(distinct);
     for (size_t slot = 0; slot < distinct; ++slot) {
       const convex::CmQuery& query = queries[positions[slot]];
       QueryKey key{query.loss, query.domain};
-      if (cache->Lookup(key, epoch.snapshot->version, epoch.shard_fingerprint,
-                        &result.plans[slot])) {
+      if (cache->Lookup(key, stamp, &result.plans[slot])) {
         ++result.cross_batch_hits;
         result.plan_from_cache[slot] = 1;
       } else {
@@ -131,7 +132,8 @@ ShardExecutor::PrepareResult ShardExecutor::PrepareRange(
     for (size_t u = 0; u < misses; ++u) {
       const size_t slot = miss_slots[u];
       const convex::CmQuery& query = queries[positions[slot]];
-      cache->Insert(QueryKey{query.loss, query.domain}, result.plans[slot]);
+      cache->Insert(QueryKey{query.loss, query.domain}, stamp,
+                    result.plans[slot]);
     }
   }
   return result;

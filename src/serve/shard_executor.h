@@ -51,40 +51,71 @@ struct QueryKeyHash {
   }
 };
 
+/// The epoch identity a plan is computed under and validated against.
+/// `shard_set` names the partition, `content` folds the per-shard content
+/// fingerprints of the published support (Epoch::content_fingerprint),
+/// and `version` is the hypothesis version stamped into plans.
+struct PlanStamp {
+  int version = -1;
+  uint64_t shard_set = 0;
+  uint64_t content = 0;
+};
+
 /// A cross-batch plan cache the executor consults before computing plans
 /// and feeds after (frontend::PlanCache implements it). Entries are keyed
-/// by (query fingerprint, hypothesis version, shard set): a cached plan
-/// at the epoch's version is byte-identical to what Prepare would
-/// recompute (Prepare is deterministic, and sharding never changes the
-/// hypothesis bits), so serving from the cache can never change a
-/// transcript — only the wall-clock. The shard-set key keeps the cache
-/// honest across repartitions anyway: an entry is only ever served into
-/// the exact serving topology it was computed under.
+/// by (query fingerprint, shard set, per-shard content fingerprints):
+/// Prepare is a pure function of (query, support bytes), and sharding
+/// never changes the hypothesis bits, so a cached plan whose stamp agrees
+/// on (shard_set, content) is byte-identical to what Prepare would
+/// recompute against the probing epoch — even when the hypothesis
+/// *version* differs, as it does on every soft round between hard
+/// updates. Implementations serving such a content hit must restamp the
+/// returned plan's hypothesis_version to the probing stamp's version (the
+/// one field Prepare derives from the version rather than the bytes);
+/// after that restamp the plan is byte-identical to a recompute, so
+/// serving from the cache can never change a transcript — only the
+/// wall-clock.
 ///
 /// Threading contract: every method is called from the serving writer
 /// thread only (PrepareRange probes before fanning work out and inserts
 /// after joining the shards). Implementations may add internal locking so
 /// other threads can scrape stats, but correctness never relies on it.
+/// Replacement/staleness totals a PlanCacheHook reports for
+/// observability: the three distinct ways a cached plan dies. Surfaced
+/// through ServeStats and the frontend's pmw_frontend_plan_* metrics.
+struct PlanCacheCounters {
+  /// Entries evicted by the replacement policy to make room.
+  long long evicted = 0;
+  /// New plans the admission policy refused to cache at all.
+  long long admission_rejected = 0;
+  /// Entries dropped because their content fingerprints went stale.
+  long long stale_dropped = 0;
+};
+
 class PlanCacheHook {
  public:
   virtual ~PlanCacheHook() = default;
 
-  /// Copies the cached plan for `key` at hypothesis `version` under the
-  /// shard set `shard_set` into `*plan` and returns true, or returns
-  /// false on a miss.
-  virtual bool Lookup(const QueryKey& key, int version, uint64_t shard_set,
+  /// Copies the cached plan for `key` into `*plan` — restamped to
+  /// `stamp.version` — and returns true when the cached stamp matches
+  /// `stamp` on (shard_set, content); returns false on a miss.
+  virtual bool Lookup(const QueryKey& key, const PlanStamp& stamp,
                       core::PreparedQuery* plan) = 0;
 
-  /// Offers a freshly computed plan (already tagged with its version,
-  /// computed under the current epoch's shard set).
-  virtual void Insert(const QueryKey& key,
+  /// Offers a freshly computed plan, computed under `stamp` (so
+  /// plan.hypothesis_version == stamp.version).
+  virtual void Insert(const QueryKey& key, const PlanStamp& stamp,
                       const core::PreparedQuery& plan) = 0;
 
-  /// The writer published the epoch for hypothesis `version` under the
-  /// shard set `shard_set`; entries at any other (version, shard-set)
-  /// pair are permanently stale (the hypothesis only moves forward) and
-  /// must never be served again.
-  virtual void OnEpochPublish(int version, uint64_t shard_set) = 0;
+  /// The writer published an epoch with this stamp. Entries whose content
+  /// no longer matches are permanently stale (the hypothesis only moves
+  /// forward) and must never be served again — implementations may drop
+  /// them eagerly here or lazily on lookup.
+  virtual void OnEpochPublish(const PlanStamp& stamp) = 0;
+
+  /// Running replacement/staleness totals (bookkeeping only — never
+  /// influences caching decisions or answers). Default: all zeros.
+  virtual PlanCacheCounters Counters() const { return {}; }
 };
 
 class ShardExecutor {

@@ -10,9 +10,9 @@
 //       (TcpServer endpoint + TcpTransport client + hello/auth).
 //   (b) Recovery: SIGKILLing one worker PROCESS mid-run and restarting
 //       it leaves the transcript bit-identical — the combiner reconnects,
-//       replays its update log, and re-issues the in-flight phase. The
-//       worker holds no private state, so a crash is purely an
-//       availability event.
+//       restores the latest checkpoint (when one exists), replays the
+//       log suffix, and re-issues the in-flight phase. The worker holds
+//       no private state, so a crash is purely an availability event.
 //   (c) Identity: workers and endpoints with an auth token reject
 //       un-helloed or wrongly-helloed traffic with typed kAuthRequired
 //       envelopes, and a connection cannot speak for an analyst it did
@@ -176,9 +176,11 @@ class ClusterTest : public ::testing::Test {
     long long queries_answered = 0;
   };
 
-  Transcript RunSequential(uint64_t seed) const {
+  Transcript RunSequential(uint64_t seed,
+                           const core::PmwOptions& options =
+                               PracticalOptions()) const {
     erm::NoisyGradientOracle oracle;
-    core::PmwCm cm(dataset_.get(), &oracle, PracticalOptions(), seed);
+    core::PmwCm cm(dataset_.get(), &oracle, options, seed);
     Transcript t;
     for (const convex::CmQuery& query : Queries()) {
       t.answers.push_back(cm.AnswerQuery(query));
@@ -461,6 +463,113 @@ TEST_F(ClusterTest, KillAndRestartWorkerKeepsTranscriptBitIdentical) {
   const CombinerStats stats = combiner.stats();
   EXPECT_GE(stats.recoveries, 1);
   EXPECT_GE(stats.rpc_failures, 1);
+
+  combiner.Close();
+  StopWorker(&proc_a);
+  StopWorker(&proc_b);
+}
+
+TEST_F(ClusterTest, CheckpointedRecoveryReplaysSuffixNotFullLog) {
+  if (LauncherBin() == nullptr) {
+    GTEST_SKIP() << "PMW_SHARD_WORKER_BIN not set (run under ctest)";
+  }
+  constexpr uint64_t kSeed = 4400;
+  // A tighter accuracy target trips more hard rounds than the default
+  // scenario, so a checkpoint (every 2 updates) lands before the kill.
+  core::PmwOptions options = PracticalOptions();
+  options.alpha = 0.05;
+  const Transcript want = RunSequential(kSeed, options);
+  ASSERT_GE(want.update_count, 4)
+      << "need enough updates for a checkpoint before the kill";
+  // Kill right after the THIRD hard round commits: with a checkpoint
+  // every 2 updates, the combiner has a checkpoint at seq 2 by then, so
+  // recovery must rebuild the worker from kRestore + a 1-update suffix,
+  // not a full from-zero replay.
+  int updates_seen = 0;
+  size_t third_update_pos = 0;
+  for (size_t j = 0; j < want.answers.size(); ++j) {
+    if (want.answers[j].ok() && want.answers[j].value().was_update) {
+      if (++updates_seen == 3) {
+        third_update_pos = j;
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(updates_seen, 3);
+
+  WorkerProcess proc_a = SpawnWorker(/*port=*/0);
+  WorkerProcess proc_b = SpawnWorker(/*port=*/0);
+  ASSERT_GT(proc_a.pid, 0);
+  ASSERT_GT(proc_b.pid, 0);
+
+  CombinerOptions combiner_options;
+  combiner_options.workers = {{"127.0.0.1", proc_a.port},
+                              {"127.0.0.1", proc_b.port}};
+  combiner_options.auth_token = kToken;
+  combiner_options.checkpoint_interval = 2;
+  Combiner combiner(combiner_options);
+  ASSERT_TRUE(combiner.Connect(DomainSize(), /*num_shards=*/4).ok());
+
+  erm::NoisyGradientOracle oracle;
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = 2;
+  serve_options.num_shards = 4;
+  serve_options.hypothesis_delegate = &combiner;
+  serve::PmwService service(dataset_.get(), &oracle, options, kSeed,
+                            serve_options);
+
+  const std::vector<convex::CmQuery> queries = Queries();
+  std::vector<Result<convex::Vec>> got;
+  const size_t kill_at = third_update_pos + 1;
+  const auto drive = [&](size_t begin, size_t end) {
+    for (size_t start = begin; start < end; start += 8) {
+      const size_t count = std::min<size_t>(8, end - start);
+      std::span<const convex::CmQuery> batch(&queries[start], count);
+      for (auto& result : service.AnswerBatch(batch)) {
+        got.push_back(std::move(result));
+      }
+    }
+  };
+
+  drive(0, kill_at);
+
+  // The checkpoint the recovery will restore from exists BEFORE the
+  // crash, and the log holds only the suffix past it.
+  const CombinerStats before = combiner.stats();
+  ASSERT_GE(before.checkpoints, 1)
+      << "checkpoint_interval=2 should have checkpointed by update 3";
+  ASSERT_LT(before.updates_logged, 3)
+      << "log must be the suffix since the checkpoint, not the full "
+         "history";
+
+  const uint16_t crashed_port = proc_a.port;
+  KillWorker(&proc_a);
+  proc_a = SpawnWorker(crashed_port);
+  ASSERT_GT(proc_a.pid, 0);
+  ASSERT_EQ(proc_a.port, crashed_port);
+
+  drive(kill_at, queries.size());
+
+  // Bit-identity survives a recovery whose rebuild path is
+  // checkpoint-restore + suffix replay (not from-zero replay).
+  ASSERT_EQ(got.size(), want.answers.size());
+  for (size_t j = 0; j < got.size(); ++j) {
+    ExpectAnswerIdentical(got[j], want.answers[j], j);
+  }
+  EXPECT_EQ(service.mechanism().ledger().Report(), want.ledger_report);
+  EXPECT_EQ(service.mechanism().update_count(), want.update_count);
+  EXPECT_EQ(service.mechanism().queries_answered(), want.queries_answered);
+
+  const CombinerStats stats = combiner.stats();
+  EXPECT_GE(stats.recoveries, 1);
+  EXPECT_GE(stats.rpc_failures, 1);
+  EXPECT_GE(stats.checkpoints, before.checkpoints);
+  // The log bound held all the way through: never more than one full
+  // interval of updates pending replay.
+  EXPECT_LT(stats.updates_logged, want.update_count)
+      << "checkpointing never truncated the log";
+  EXPECT_LE(stats.updates_logged, combiner_options.checkpoint_interval);
+  EXPECT_EQ(combiner.update_seq(), static_cast<uint64_t>(want.update_count));
 
   combiner.Close();
   StopWorker(&proc_a);

@@ -11,9 +11,12 @@
 //   (b) Quota rejections are free. A front-door rejection never reaches
 //       the mechanism: the ledger (event count and totals) is unchanged
 //       and no k-query slot is consumed.
-//   (c) The epoch-keyed PlanCache actually amortizes across batches
-//       (hit-rate > 0 on a repeated-query workload) and invalidates
-//       wholesale when the epoch advances.
+//   (c) The content-fingerprint-keyed PlanCache actually amortizes
+//       across batches (hit-rate > 0 on a repeated-query workload),
+//       serves content hits across hypothesis versions with the version
+//       restamped, and lazily drops plans whose fingerprints went stale.
+//   (d) The CLOCK ring's mechanics in isolation: second-chance eviction
+//       order and frequency-sketch admission under a full ring.
 //
 // The TSan CI job rebuilds this binary, so the concurrency claims are
 // machine-checked alongside the functional ones.
@@ -363,7 +366,7 @@ TEST_F(FrontendTest, GlobalQuotaAppliesAcrossAnalysts) {
   EXPECT_EQ(quota.total_admitted(), 4);
 }
 
-TEST_F(FrontendTest, PlanCacheHitsAcrossBatchesAndInvalidatesOnEpochs) {
+TEST_F(FrontendTest, PlanCacheHitsAcrossBatchesAndDropsStalePlans) {
   // Uniform data + non-private oracle: the uniform initial hypothesis is
   // already accurate, so no MW update fires and the epoch stays put —
   // the pure cross-batch reuse regime.
@@ -393,32 +396,47 @@ TEST_F(FrontendTest, PlanCacheHitsAcrossBatchesAndInvalidatesOnEpochs) {
   EXPECT_EQ(stats.cross_batch_cache_hits, 4);
   EXPECT_EQ(stats.cross_batch_cache_lookups, 8);
   EXPECT_EQ(stats.CrossBatchHitRate(), 0.5);
-  EXPECT_EQ(cache.version(), service.mechanism().hypothesis_version());
+  const serve::PlanStamp stamp = cache.current_stamp();
+  EXPECT_EQ(stamp.version, service.mechanism().hypothesis_version());
+  EXPECT_EQ(stamp.shard_set, service.mechanism().shard_fingerprint());
 
-  // Epoch advance: full invalidation, nothing served across versions.
-  const uint64_t shard_set = service.mechanism().shard_fingerprint();
-  EXPECT_EQ(cache.shard_set(), shard_set);
-  const int next_version = cache.version() + 1;
-  cache.OnEpochPublish(next_version, shard_set);
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.stats().invalidated, 4);
+  // Cross-version content hit: a republish under a NEW version whose
+  // content fingerprints are unchanged serves the cached plan, restamped
+  // to the probing version (the one field Prepare derives from the
+  // version rather than the support bytes).
+  serve::PlanStamp republished = stamp;
+  republished.version = stamp.version + 1;
   core::PreparedQuery plan;
+  ASSERT_TRUE(cache.Lookup(serve::QueryKey{batch[0].loss, batch[0].domain},
+                           republished, &plan));
+  EXPECT_EQ(plan.hypothesis_version, republished.version);
+
+  // Forced staleness: the content fingerprint moved on, so the probe
+  // drops the entry lazily — it can never be valid again.
+  serve::PlanStamp moved = stamp;
+  moved.content = stamp.content + 1;
   EXPECT_FALSE(cache.Lookup(serve::QueryKey{batch[0].loss, batch[0].domain},
-                            next_version, shard_set, &plan));
-  // A repartition (new shard set at the SAME version) invalidates the
-  // same way: plans are only ever served into the exact
-  // (version, shard-set) they were computed under.
-  service.AnswerBatch(batch);
-  EXPECT_GT(cache.size(), 0u);
-  cache.OnEpochPublish(cache.version(), shard_set + 1);
-  EXPECT_EQ(cache.size(), 0u);
+                            moved, &plan));
+  EXPECT_EQ(cache.stats().stale_dropped, 1);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // A repartition (new shard set at the same content) invalidates the
+  // same way: plans are only served into the exact (shard_set, content)
+  // they were computed under.
+  serve::PlanStamp repartitioned = stamp;
+  repartitioned.shard_set = stamp.shard_set + 1;
+  EXPECT_FALSE(cache.Lookup(serve::QueryKey{batch[1].loss, batch[1].domain},
+                            repartitioned, &plan));
+  EXPECT_EQ(cache.stats().stale_dropped, 2);
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST_F(FrontendTest, PlanCacheStaysCoherentThroughHardRounds) {
   // Non-uniform data with a randomized oracle: MW updates fire, each one
-  // advances the epoch and must wipe the cache. Correctness is already
-  // covered by the transcript test (the cache was attached there); this
-  // checks the bookkeeping end to end.
+  // changes the content fingerprints, so re-probed plans from older
+  // epochs must be dropped as stale. Correctness is already covered by
+  // the transcript test (the cache was attached there); this checks the
+  // bookkeeping end to end.
   constexpr uint64_t kSeed = 31337;
   erm::NoisyGradientOracle oracle;
   serve::PmwService service(dataset_.get(), &oracle, PracticalOptions(),
@@ -438,12 +456,75 @@ TEST_F(FrontendTest, PlanCacheStaysCoherentThroughHardRounds) {
   }
 
   EXPECT_GT(service.mechanism().update_count(), 0);
-  EXPECT_EQ(cache.version(), service.mechanism().hypothesis_version());
+  EXPECT_EQ(cache.current_stamp().version,
+            service.mechanism().hypothesis_version());
   PlanCache::Stats stats = cache.stats();
-  // Repeats amortized across batches; epoch advances wiped stale plans.
+  // Repeats amortized across batches; hard rounds moved the content
+  // fingerprints, so re-probed old plans were dropped as stale.
   EXPECT_GT(stats.hits, 0);
-  EXPECT_GT(stats.invalidated, 0);
+  EXPECT_GT(stats.stale_dropped, 0);
   EXPECT_GT(service.stats().CrossBatchHitRate(), 0.0);
+}
+
+TEST(PlanCacheClockTest, SecondChanceEvictsUnreferencedInRingOrder) {
+  // 3-slot ring; resident keys A, B, C inserted in order. Touch A and C
+  // (ref bits set), leave B cold; then insert D 3 times so its sketch
+  // frequency beats every resident's. The CLOCK hand starts at slot 0:
+  // A and C get second chances (ref cleared), B is the first
+  // unreferenced slot the hand reaches — the victim.
+  int keys[5] = {};
+  auto key = [&](int i) { return serve::QueryKey{&keys[i], &keys[i]}; };
+  const serve::PlanStamp stamp{1, 7, 99};
+  core::PreparedQuery plan;
+  plan.hypothesis_version = stamp.version;
+
+  PlanCache cache(3);
+  core::PreparedQuery out;
+  for (int i = 0; i < 3; ++i) {
+    cache.Lookup(key(i), stamp, &out);  // seed sketch frequency
+    cache.Insert(key(i), stamp, plan);
+  }
+  ASSERT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.Lookup(key(0), stamp, &out));  // ref A
+  EXPECT_TRUE(cache.Lookup(key(2), stamp, &out));  // ref C
+
+  for (int probe = 0; probe < 3; ++probe) {
+    EXPECT_FALSE(cache.Lookup(key(3), stamp, &out));
+  }
+  cache.Insert(key(3), stamp, plan);
+
+  EXPECT_EQ(cache.stats().evicted, 1);
+  EXPECT_TRUE(cache.Lookup(key(0), stamp, &out));   // A survived
+  EXPECT_FALSE(cache.Lookup(key(1), stamp, &out));  // B was the victim
+  EXPECT_TRUE(cache.Lookup(key(2), stamp, &out));   // C survived
+  EXPECT_TRUE(cache.Lookup(key(3), stamp, &out));   // D admitted
+}
+
+TEST(PlanCacheClockTest, AdmissionRefusesOneShotScanOverHotResidents) {
+  // Fill a 2-slot ring with keys probed repeatedly (hot), then stream a
+  // sequence of never-repeated keys at it. Each one-shot newcomer loses
+  // the admission duel (sketch frequency 1 vs the residents'), so the
+  // hot working set survives the scan untouched.
+  int keys[12] = {};
+  auto key = [&](int i) { return serve::QueryKey{&keys[i], &keys[i]}; };
+  const serve::PlanStamp stamp{1, 7, 99};
+  core::PreparedQuery plan;
+  plan.hypothesis_version = stamp.version;
+
+  PlanCache cache(2);
+  core::PreparedQuery out;
+  for (int i = 0; i < 2; ++i) {
+    for (int probe = 0; probe < 4; ++probe) cache.Lookup(key(i), stamp, &out);
+    cache.Insert(key(i), stamp, plan);
+  }
+  for (int i = 2; i < 12; ++i) {
+    EXPECT_FALSE(cache.Lookup(key(i), stamp, &out));
+    cache.Insert(key(i), stamp, plan);
+  }
+  EXPECT_EQ(cache.stats().admission_rejected, 10);
+  EXPECT_EQ(cache.stats().evicted, 0);
+  EXPECT_TRUE(cache.Lookup(key(0), stamp, &out));
+  EXPECT_TRUE(cache.Lookup(key(1), stamp, &out));
 }
 
 TEST_F(FrontendTest, SubmitAfterShutdownResolvesWithTypedError) {

@@ -1,0 +1,476 @@
+// Bitwise-equivalence suite for the MW-update SIMD kernels.
+//
+// The serving contract says transcripts are bit-identical at every
+// (shards x threads x backend x transport) configuration; the AVX2 hot
+// loops (common/simd.h, losses/margin_kernels.h) extend that claim to
+// "...x SIMD on/off". These tests pin the claim at two levels:
+//
+//   * Kernel level: every simd:: primitive and both hypercube margin
+//     kernels produce the SAME BITS as the scalar loop they replace —
+//     compared via uint64 bit patterns, not tolerances — including the
+//     unaligned tail lanes (n not a multiple of 4) and the one documented
+//     non-identity (the max fold may land on the other sign of zero,
+//     which its only consumer exp(x - max) cannot observe).
+//   * Transcript level: the full serving stack replayed with SIMD
+//     force-disabled (simd::SetEnabled(false)) matches the SIMD-enabled
+//     transcript bit-for-bit across backend {dense, sparse} x shards
+//     {1, 2, 4} x threads {1, 4}. The TSan CI job rebuilds this binary,
+//     so the property also holds under the race detector.
+//
+// On hosts without AVX2 the comparisons collapse to scalar-vs-scalar;
+// those tests GTEST_SKIP so a pass never overstates what was checked.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/simd.h"
+#include "core/pmw_cm.h"
+#include "core/sharded_hypothesis.h"
+#include "data/binary_universe.h"
+#include "data/generators.h"
+#include "data/universe.h"
+#include "erm/noisy_gradient_oracle.h"
+#include "gtest/gtest.h"
+#include "losses/loss_family.h"
+#include "losses/margin_kernels.h"
+#include "losses/margin_losses.h"
+#include "serve/pmw_service.h"
+
+namespace pmw {
+namespace {
+
+/// Restores the process-wide SIMD switch on scope exit so a failing
+/// assertion cannot leak a disabled state into later tests.
+class SimdToggleGuard {
+ public:
+  SimdToggleGuard() : prev_(simd::Enabled()) {}
+  ~SimdToggleGuard() { simd::SetEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+uint64_t Bits(double x) {
+  uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+::testing::AssertionResult BitsEq(double got, double want) {
+  if (Bits(got) == Bits(want)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "bit mismatch: got " << got << " (0x" << std::hex << Bits(got)
+         << "), want " << want << " (0x" << Bits(want) << ")";
+}
+
+// ---------------------------------------------------------------------------
+// simd:: primitives vs the scalar loops (Enabled() off IS the scalar
+// loop — the kernels dispatch internally, so toggling the switch runs
+// the two implementations on identical inputs).
+// ---------------------------------------------------------------------------
+
+TEST(SimdPrimitiveTest, PairwiseLeafNodesReproduceTreeAssociation) {
+  SimdToggleGuard guard;
+  if (!simd::Available()) GTEST_SKIP() << "AVX2 not available on this host";
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    double v[8];
+    for (double& x : v) {
+      // Mixed magnitudes make association errors visible: a re-ordered
+      // sum of these WOULD round differently.
+      x = rng.Uniform(-1.0, 1.0) * std::exp2(rng.Uniform(-30.0, 30.0));
+    }
+    const double want8 =
+        ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]));
+    const double want4 = (v[0] + v[1]) + (v[2] + v[3]);
+    simd::SetEnabled(true);
+    EXPECT_TRUE(BitsEq(simd::PairwiseLeaf8(v), want8)) << "trial " << trial;
+    EXPECT_TRUE(BitsEq(simd::PairwiseLeaf4(v), want4)) << "trial " << trial;
+    simd::SetEnabled(false);
+    EXPECT_TRUE(BitsEq(simd::PairwiseLeaf8(v), want8)) << "trial " << trial;
+    EXPECT_TRUE(BitsEq(simd::PairwiseLeaf4(v), want4)) << "trial " << trial;
+  }
+}
+
+TEST(SimdPrimitiveTest, AxpyMaxMatchesScalarBitwiseIncludingTails) {
+  SimdToggleGuard guard;
+  if (!simd::Available()) GTEST_SKIP() << "AVX2 not available on this host";
+  Rng rng(202);
+  // Sizes straddle the 4-lane width: below it, exact multiples, and
+  // every tail remainder.
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 64u, 67u}) {
+    std::vector<double> dst0(n), src(n);
+    for (size_t i = 0; i < n; ++i) {
+      dst0[i] = rng.Uniform(-20.0, 2.0);  // SafeLog(p) territory
+      src[i] = rng.Uniform(-1.0, 1.0);
+    }
+    const double scale = rng.Uniform(-2.0, 2.0);
+
+    std::vector<double> want = dst0;
+    double want_max = -std::numeric_limits<double>::infinity();
+    simd::SetEnabled(false);
+    simd::AxpyMax(want.data(), src.data(), scale, n, &want_max);
+
+    std::vector<double> got = dst0;
+    double got_max = -std::numeric_limits<double>::infinity();
+    simd::SetEnabled(true);
+    simd::AxpyMax(got.data(), src.data(), scale, n, &got_max);
+
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitsEq(got[i], want[i])) << "n=" << n << " i=" << i;
+    }
+    // No +-0 ties in these inputs, so even the reorderable max fold must
+    // agree bit-for-bit.
+    EXPECT_TRUE(BitsEq(got_max, want_max)) << "n=" << n;
+  }
+}
+
+TEST(SimdPrimitiveTest, MaxFoldSignedZeroTieIsInvisibleToExp) {
+  SimdToggleGuard guard;
+  if (!simd::Available()) GTEST_SKIP() << "AVX2 not available on this host";
+  // The one documented freedom: when the running max ties at +-0.0, the
+  // lane-reordered fold may keep the other zero. Build a slice whose
+  // post-axpy values are exactly {+0.0, -0.0, negatives...} and check
+  // the downstream contract directly: exp(x - max) is bit-identical for
+  // every element no matter which zero won.
+  std::vector<double> dst0 = {0.0, -0.0, -1.5, -3.25, 0.0, -0.0, -7.0};
+  std::vector<double> src(dst0.size(), 0.0);
+  const size_t n = dst0.size();
+
+  std::vector<double> want = dst0;
+  double want_max = -std::numeric_limits<double>::infinity();
+  simd::SetEnabled(false);
+  simd::AxpyMax(want.data(), src.data(), 0.0, n, &want_max);
+
+  std::vector<double> got = dst0;
+  double got_max = -std::numeric_limits<double>::infinity();
+  simd::SetEnabled(true);
+  simd::AxpyMax(got.data(), src.data(), 0.0, n, &got_max);
+
+  EXPECT_EQ(got_max, want_max);  // numerically equal; bits may differ
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(BitsEq(got[i], want[i])) << "i=" << i;
+    EXPECT_TRUE(
+        BitsEq(std::exp(got[i] - got_max), std::exp(want[i] - want_max)))
+        << "i=" << i;
+  }
+}
+
+TEST(SimdPrimitiveTest, SubScalarAndDivScalarToMatchBitwise) {
+  SimdToggleGuard guard;
+  if (!simd::Available()) GTEST_SKIP() << "AVX2 not available on this host";
+  Rng rng(303);
+  for (size_t n : {1u, 3u, 4u, 6u, 8u, 13u, 64u, 65u}) {
+    std::vector<double> v0(n), src(n);
+    for (size_t i = 0; i < n; ++i) {
+      v0[i] = rng.Uniform(-50.0, 50.0);
+      src[i] = rng.Uniform(0.0, 10.0);
+    }
+    const double c = rng.Uniform(0.5, 40.0);
+
+    std::vector<double> want_sub = v0, got_sub = v0;
+    std::vector<double> want_div(n), got_div(n);
+    simd::SetEnabled(false);
+    simd::SubScalar(want_sub.data(), c, n);
+    simd::DivScalarTo(want_div.data(), src.data(), c, n);
+    simd::SetEnabled(true);
+    simd::SubScalar(got_sub.data(), c, n);
+    simd::DivScalarTo(got_div.data(), src.data(), c, n);
+
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitsEq(got_sub[i], want_sub[i])) << "n=" << n << " i=" << i;
+      EXPECT_TRUE(BitsEq(got_div[i], want_div[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hypercube margin kernels vs the generic per-row loop (the exact
+// fallback convex::SupportObjective runs when BatchValue declines).
+// ---------------------------------------------------------------------------
+
+class MarginKernelTest : public ::testing::Test {
+ protected:
+  MarginKernelTest() : universe_(5) {  // |X| = 2^6 = 64
+    Rng rng(404);
+    const int dim = universe_.dim();
+    double norm_sq = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      theta_.push_back(rng.Uniform(-1.0, 1.0));
+      norm_sq += theta_.back() * theta_.back();
+    }
+    const double norm = std::sqrt(norm_sq);
+    for (double& t : theta_) t /= std::max(1.0, norm);
+    // A support with gaps and a count that is NOT a multiple of 4, so
+    // the kernels' tail path runs.
+    for (int i = 0; i < universe_.size(); ++i) {
+      if (i % 9 == 4) continue;
+      entries_.emplace_back(i, rng.Uniform(0.0, 1.0));
+    }
+    for (int j = 0; j < dim; ++j) flips_.push_back(j % 2 == 0 ? -1 : 1);
+  }
+
+  /// The generic path: materialize the (optionally transformed) row and
+  /// go through the virtual Value/AddGradient, accumulating in entry
+  /// order — exactly SupportObjective's fallback loop.
+  double GenericValue(const losses::MarginLoss& loss, const int* flips,
+                      int label_flip) const {
+    double acc = 0.0;
+    for (const auto& [index, mass] : entries_) {
+      data::Row row = universe_.row(index);
+      if (flips != nullptr) {
+        for (size_t j = 0; j < row.features.size(); ++j) {
+          row.features[j] = static_cast<double>(flips[j]) * row.features[j];
+        }
+      }
+      row.label = static_cast<double>(label_flip) * row.label;
+      acc += mass * loss.Value(theta_, row);
+    }
+    return acc;
+  }
+
+  convex::Vec GenericGradient(const losses::MarginLoss& loss,
+                              const int* flips, int label_flip) const {
+    convex::Vec grad(theta_.size(), 0.0);
+    for (const auto& [index, mass] : entries_) {
+      data::Row row = universe_.row(index);
+      if (flips != nullptr) {
+        for (size_t j = 0; j < row.features.size(); ++j) {
+          row.features[j] = static_cast<double>(flips[j]) * row.features[j];
+        }
+      }
+      row.label = static_cast<double>(label_flip) * row.label;
+      loss.AddGradient(theta_, row, mass, &grad);
+    }
+    return grad;
+  }
+
+  void CheckLoss(const losses::MarginLoss& loss, const int* flips,
+                 int label_flip, const std::string& context) {
+    SimdToggleGuard guard;
+    const double want = GenericValue(loss, flips, label_flip);
+    const convex::Vec want_grad = GenericGradient(loss, flips, label_flip);
+    for (bool simd_on : {false, true}) {
+      if (simd_on && !simd::Available()) continue;
+      simd::SetEnabled(simd_on);
+      const std::string where =
+          context + (simd_on ? " [simd on]" : " [simd off]");
+      double acc = 0.0;
+      ASSERT_TRUE(losses::kernels::HypercubeMarginValue(
+          loss, theta_, universe_, flips, label_flip, entries_.data(),
+          entries_.size(), &acc))
+          << where;
+      EXPECT_TRUE(BitsEq(acc, want)) << where;
+      convex::Vec grad(theta_.size(), 0.0);
+      ASSERT_TRUE(losses::kernels::HypercubeMarginAddGradient(
+          loss, theta_, universe_, flips, label_flip, entries_.data(),
+          entries_.size(), &grad))
+          << where;
+      for (size_t j = 0; j < grad.size(); ++j) {
+        EXPECT_TRUE(BitsEq(grad[j], want_grad[j])) << where << " coord " << j;
+      }
+    }
+  }
+
+  data::LabeledHypercubeUniverse universe_;
+  convex::Vec theta_;
+  std::vector<std::pair<int, double>> entries_;
+  std::vector<int> flips_;
+};
+
+TEST_F(MarginKernelTest, EveryLinkMatchesGenericRowLoopBitwise) {
+  // The support was built with gaps so the kernels' tail path runs.
+  ASSERT_NE(entries_.size() % 4, 0u);
+  const int dim = universe_.dim();
+  const losses::SquaredLoss squared(dim);
+  const losses::LogisticLoss logistic(dim);
+  const losses::HingeLoss hinge(dim);
+  const losses::AbsoluteLoss absolute(dim);
+  const losses::HuberLoss huber(dim, 0.7);
+  const losses::MarginLoss* all[] = {&squared, &logistic, &hinge, &absolute,
+                                     &huber};
+  for (const losses::MarginLoss* loss : all) {
+    CheckLoss(*loss, nullptr, 1, loss->name());
+  }
+}
+
+TEST_F(MarginKernelTest, SignFlipsFoldIntoWeightsBitwise) {
+  const int dim = universe_.dim();
+  const losses::LogisticLoss logistic(dim);
+  const losses::HingeLoss hinge(dim);
+  CheckLoss(logistic, flips_.data(), -1, "logistic flipped");
+  CheckLoss(hinge, flips_.data(), 1, "hinge coord-flipped");
+  CheckLoss(logistic, nullptr, -1, "logistic label-flipped");
+}
+
+TEST_F(MarginKernelTest, DeclinesNonHypercubeUniversesUntouched) {
+  // The false-means-fallback contract: a universe that is not a
+  // (Labeled)HypercubeUniverse — or one whose dimension disagrees with
+  // theta — must be declined with the accumulators untouched.
+  std::vector<data::Row> rows(4);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i].features = {0.5, -0.25, 0.125, 0.0625, -0.5, 0.25};
+    rows[i].label = i % 2 == 0 ? 1.0 : -1.0;
+  }
+  const data::VectorUniverse generic(rows, "custom");
+  const losses::LogisticLoss loss(universe_.dim());
+  const std::pair<int, double> entry{0, 0.5};
+  double acc = 1.25;
+  EXPECT_FALSE(losses::kernels::HypercubeMarginValue(
+      loss, theta_, generic, nullptr, 1, &entry, 1, &acc));
+  EXPECT_TRUE(BitsEq(acc, 1.25));
+  convex::Vec grad(theta_.size(), 0.75);
+  EXPECT_FALSE(losses::kernels::HypercubeMarginAddGradient(
+      loss, theta_, generic, nullptr, 1, &entry, 1, &grad));
+  for (double g : grad) EXPECT_TRUE(BitsEq(g, 0.75));
+
+  // Dimension mismatch against a REAL hypercube universe declines too.
+  const data::LabeledHypercubeUniverse wider(7);
+  double acc2 = 0.0;
+  EXPECT_FALSE(losses::kernels::HypercubeMarginValue(
+      loss, theta_, wider, nullptr, 1, &entry, 1, &acc2));
+}
+
+// ---------------------------------------------------------------------------
+// Transcript property: SIMD on/off x backend {dense, sparse} x shards
+// {1, 2, 4} x threads {1, 4} — the end-to-end form of the bit-identity
+// claim, through the full serving stack.
+// ---------------------------------------------------------------------------
+
+struct Transcript {
+  std::vector<Result<convex::Vec>> answers;
+  std::string ledger_report;
+  int update_count = 0;
+  long long queries_answered = 0;
+};
+
+core::PmwOptions PracticalOptions() {
+  core::PmwOptions options;
+  options.alpha = 0.15;
+  options.beta = 0.05;
+  options.privacy = {2.0, 1e-6};
+  options.scale = 2.0;
+  options.max_queries = 400;
+  options.override_updates = 12;
+  return options;
+}
+
+Transcript RunServe(const data::Dataset& dataset,
+                    const std::vector<convex::CmQuery>& workload,
+                    uint64_t seed, int num_shards, int num_threads,
+                    core::HypothesisBackend backend, bool simd_on) {
+  SimdToggleGuard guard;
+  simd::SetEnabled(simd_on);
+  erm::NoisyGradientOracle oracle;
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = num_threads;
+  serve_options.num_shards = num_shards;
+  serve_options.hypothesis_backend = backend;
+  serve::PmwService service(&dataset, &oracle, PracticalOptions(), seed,
+                            serve_options);
+  Transcript t;
+  for (size_t start = 0; start < workload.size(); start += 16) {
+    const size_t count = std::min<size_t>(16, workload.size() - start);
+    std::span<const convex::CmQuery> batch(&workload[start], count);
+    for (auto& result : service.AnswerBatch(batch)) {
+      t.answers.push_back(std::move(result));
+    }
+  }
+  t.ledger_report = service.mechanism().ledger().Report();
+  t.update_count = service.mechanism().update_count();
+  t.queries_answered = service.mechanism().queries_answered();
+  return t;
+}
+
+void ExpectIdentical(const Transcript& got, const Transcript& want,
+                     const std::string& context) {
+  ASSERT_EQ(got.answers.size(), want.answers.size()) << context;
+  for (size_t j = 0; j < want.answers.size(); ++j) {
+    ASSERT_EQ(got.answers[j].ok(), want.answers[j].ok())
+        << context << " status diverged at query " << j;
+    if (!want.answers[j].ok()) {
+      EXPECT_EQ(got.answers[j].status().code(),
+                want.answers[j].status().code())
+          << context << " at query " << j;
+      continue;
+    }
+    const convex::Vec& g = *got.answers[j];
+    const convex::Vec& w = *want.answers[j];
+    ASSERT_EQ(g.size(), w.size()) << context << " at query " << j;
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_TRUE(BitsEq(g[i], w[i]))
+          << context << " query " << j << " coordinate " << i;
+    }
+  }
+  EXPECT_EQ(got.ledger_report, want.ledger_report) << context;
+  EXPECT_EQ(got.update_count, want.update_count) << context;
+  EXPECT_EQ(got.queries_answered, want.queries_answered) << context;
+}
+
+class SimdTranscriptPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  SimdTranscriptPropertyTest() : universe_(3), family_(3) {
+    Rng rng(7500 + static_cast<uint64_t>(GetParam()));
+    std::vector<double> theta_star, biases;
+    for (int d = 0; d < 3; ++d) {
+      theta_star.push_back(rng.Uniform(-1.0, 1.0));
+      biases.push_back(rng.Uniform(0.3, 0.7));
+    }
+    data::Histogram dist = data::LogisticModelDistribution(
+        universe_, theta_star, biases, rng.Uniform(0.2, 0.4));
+    dataset_ = std::make_unique<data::Dataset>(
+        data::RoundedDataset(universe_, dist, 60000));
+    Rng query_rng(8500 + static_cast<uint64_t>(GetParam()));
+    std::vector<convex::CmQuery> pool = family_.Generate(10, &query_rng);
+    for (int j = 0; j < 48; ++j) {
+      workload_.push_back(pool[static_cast<size_t>(j) % pool.size()]);
+    }
+  }
+
+  data::LabeledHypercubeUniverse universe_;
+  losses::LipschitzFamily family_;
+  std::unique_ptr<data::Dataset> dataset_;
+  std::vector<convex::CmQuery> workload_;
+};
+
+TEST_P(SimdTranscriptPropertyTest, SimdOnOffTranscriptsMatchEverywhere) {
+  if (!simd::Available()) {
+    GTEST_SKIP() << "AVX2 not available: on/off would compare scalar to "
+                    "itself";
+  }
+  const uint64_t seed = 9500 + static_cast<uint64_t>(GetParam());
+  for (core::HypothesisBackend backend :
+       {core::HypothesisBackend::kDense, core::HypothesisBackend::kSparse}) {
+    for (int shards : {1, 2, 4}) {
+      for (int threads : {1, 4}) {
+        const std::string context =
+            std::string(backend == core::HypothesisBackend::kDense
+                            ? "dense"
+                            : "sparse") +
+            " shards=" + std::to_string(shards) +
+            " threads=" + std::to_string(threads);
+        Transcript off = RunServe(*dataset_, workload_, seed, shards, threads,
+                                  backend, /*simd_on=*/false);
+        ASSERT_GT(off.update_count, 0)
+            << context << ": scenario never exercised the MW update path";
+        Transcript on = RunServe(*dataset_, workload_, seed, shards, threads,
+                                 backend, /*simd_on=*/true);
+        ExpectIdentical(on, off, context);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, SimdTranscriptPropertyTest,
+                         ::testing::Range(0, 2));
+
+}  // namespace
+}  // namespace pmw
